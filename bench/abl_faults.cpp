@@ -1,0 +1,60 @@
+// Ablation: graceful degradation under cable faults. Failed cables are
+// masked as permanently occupied (both directions); schedulers route around
+// them through their normal availability logic. Sweep the cable failure
+// rate and compare how much schedulability each algorithm retains — global
+// information should degrade more gracefully because it sees the damage on
+// BOTH sides of every candidate port.
+#include <cstdlib>
+#include <iostream>
+
+#include "core/registry.hpp"
+#include "linkstate/faults.hpp"
+#include "stats/summary.hpp"
+#include "util/table.hpp"
+#include "workload/patterns.hpp"
+
+using namespace ftsched;
+
+int main(int argc, char** argv) {
+  const std::size_t reps =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 40;
+
+  const FatTree tree = FatTree::symmetric(3, 8);
+  std::cout << "Ablation: schedulability vs cable failure rate "
+               "(FT(3,8), 512 nodes, " << reps << " reps)\n\n";
+
+  TextTable table({"fault rate", "Global (level-wise)", "Local (random)",
+                   "turnback", "retained (global)"});
+  double baseline_global = 0.0;
+  for (const double rate : {0.0, 0.02, 0.05, 0.10, 0.20}) {
+    std::vector<std::string> row{TextTable::pct(rate, 0)};
+    double global_mean = 0.0;
+    for (const char* name : {"levelwise", "local-random", "turnback"}) {
+      auto scheduler = make_scheduler(name, 3).value();
+      LinkState state(tree);
+      std::vector<double> ratios;
+      Xoshiro256ss rng(13);
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        const FaultPlan plan = random_cable_faults(tree, rate, 1000 + rep);
+        state.reset();
+        apply_faults(state, plan);
+        scheduler->reseed(500 + rep);
+        const auto batch = random_permutation(tree.node_count(), rng);
+        ratios.push_back(
+            scheduler->schedule(tree, batch, state).schedulability_ratio());
+      }
+      const Summary summary = Summary::from(ratios);
+      row.push_back(TextTable::pct(summary.mean));
+      if (std::string(name) == "levelwise") global_mean = summary.mean;
+    }
+    if (rate == 0.0) baseline_global = global_mean;
+    row.push_back(TextTable::pct(global_mean / baseline_global));
+    table.add_row(row);
+  }
+  table.print(std::cout);
+  std::cout << "\nTakeaway: the level-wise AND row absorbs faults exactly "
+               "like contention;\nno special fault handling exists anywhere "
+               "in the scheduler, yet it keeps\nmost of its advantage as the "
+               "fabric decays.\n";
+  return 0;
+}

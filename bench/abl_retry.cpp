@@ -1,0 +1,79 @@
+// Ablation: setup retries in the distributed protocol. The plain local
+// baseline gives a failed request one shot; in practice a NIC retries after
+// the teardown settles. How many attempts until the distributed protocol
+// approaches the centralized level-wise scheduler's one-shot ratio — and
+// what does that cost in setup cycles?
+#include <cstdlib>
+#include <iostream>
+
+#include "core/registry.hpp"
+#include "simnet/setup_sim.hpp"
+#include "stats/summary.hpp"
+#include "util/table.hpp"
+#include "workload/patterns.hpp"
+
+using namespace ftsched;
+
+int main(int argc, char** argv) {
+  const std::size_t reps =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 30;
+
+  const FatTree tree = FatTree::symmetric(3, 8);
+  std::cout << "Ablation: distributed setup with retries "
+               "(FT(3,8), 512 nodes, " << reps << " reps)\n\n";
+
+  // Reference: centralized level-wise, one shot.
+  double reference = 0.0;
+  {
+    auto scheduler = make_scheduler("levelwise", 3).value();
+    LinkState state(tree);
+    Xoshiro256ss rng(21);
+    std::vector<double> ratios;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      const auto batch = random_permutation(tree.node_count(), rng);
+      state.reset();
+      ratios.push_back(
+          scheduler->schedule(tree, batch, state).schedulability_ratio());
+    }
+    reference = Summary::from(ratios).mean;
+  }
+
+  TextTable table({"attempts", "schedulability", "vs levelwise",
+                   "quiesce cycles", "teardowns/batch", "p50 lat", "p99 lat"});
+  for (const std::uint32_t attempts : {1u, 2u, 3u, 5u, 8u}) {
+    SetupSimOptions options;
+    options.max_attempts = attempts;
+    DistributedSetupSim sim(tree, options);
+    LinkState state(tree);
+    Xoshiro256ss rng(21);
+    std::vector<double> ratios;
+    std::vector<double> cycles;
+    std::vector<double> teardowns;
+    std::vector<double> latencies;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      const auto batch = random_permutation(tree.node_count(), rng);
+      const SetupSimReport report = sim.run(batch, state);
+      ratios.push_back(report.result.schedulability_ratio());
+      cycles.push_back(static_cast<double>(report.cycles));
+      teardowns.push_back(static_cast<double>(report.teardowns));
+      for (const std::uint64_t latency : report.setup_latency) {
+        latencies.push_back(static_cast<double>(latency));
+      }
+    }
+    const Summary ratio = Summary::from(ratios);
+    table.add_row({std::to_string(attempts), ratio.ratio_string(),
+                   TextTable::pct(ratio.mean - reference),
+                   TextTable::num(Summary::from(cycles).mean, 1),
+                   TextTable::num(Summary::from(teardowns).mean, 1),
+                   TextTable::num(percentile(latencies, 0.5), 0),
+                   TextTable::num(percentile(latencies, 0.99), 0)});
+  }
+  table.print(std::cout);
+  std::cout << "\nReference: centralized level-wise one-shot = "
+            << TextTable::pct(reference)
+            << ".\nTakeaway: retries claw back part of the gap at the price "
+               "of teardown\ntraffic and longer setup; the centralized "
+               "scheduler gets a better result\nin one pass of N block-cycles "
+               "(Table 1).\n";
+  return 0;
+}

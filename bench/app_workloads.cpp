@@ -1,0 +1,98 @@
+// Application-phase workloads: what does each scheduler deliver to an FFT,
+// an all-to-all, and a stencil code on the same fabric? Reported per phase
+// family: mean schedulability across the phase sequence and the total time
+// slots to drain every phase (each phase must complete before the next —
+// bulk-synchronous semantics).
+#include <cstdlib>
+#include <iostream>
+
+#include "core/registry.hpp"
+#include "util/table.hpp"
+#include "workload/applications.hpp"
+
+using namespace ftsched;
+
+namespace {
+
+struct PhaseFamilyResult {
+  double mean_ratio = 0.0;
+  std::uint64_t total_slots = 0;
+};
+
+PhaseFamilyResult run_family(const FatTree& tree, Scheduler& scheduler,
+                             const std::vector<ApplicationPhase>& phases) {
+  LinkState state(tree);
+  PhaseFamilyResult result;
+  double ratio_sum = 0.0;
+  for (const ApplicationPhase& phase : phases) {
+    // First slot of the phase.
+    std::vector<Request> pending = phase.requests;
+    bool first = true;
+    while (!pending.empty()) {
+      state.reset();
+      const ScheduleResult slot = scheduler.schedule(tree, pending, state);
+      if (first) {
+        ratio_sum += slot.schedulability_ratio();
+        first = false;
+      }
+      ++result.total_slots;
+      std::vector<Request> next;
+      for (std::size_t i = 0; i < pending.size(); ++i) {
+        if (!slot.outcomes[i].granted) next.push_back(pending[i]);
+      }
+      FT_REQUIRE(next.size() < pending.size());
+      pending = std::move(next);
+    }
+  }
+  result.mean_ratio = ratio_sum / static_cast<double>(phases.size());
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t a2a_rounds =
+      argc > 1 ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 32;
+
+  const FatTree tree = FatTree::symmetric(3, 8);
+  Xoshiro256ss rng(2006);
+
+  struct Family {
+    std::string name;
+    std::vector<ApplicationPhase> phases;
+  };
+  std::vector<Family> families;
+  families.push_back({"FFT butterfly", fft_butterfly_phases(tree)});
+  families.push_back(
+      {"all-to-all (" + std::to_string(a2a_rounds) + " rounds)",
+       all_to_all_phases(tree, a2a_rounds)});
+  families.push_back({"3-D stencil halo", stencil_phases(tree, 3)});
+  families.push_back({"random BSP x8", random_phases(tree, 8, rng)});
+
+  std::cout << "Application phase sequences on FT(3,8), 512 PEs\n"
+            << "(ratio = first-slot schedulability, slots = total rounds to "
+               "drain all phases)\n\n";
+
+  TextTable table({"workload", "phases", "scheduler", "first-slot ratio",
+                   "slots", "slots/phase"});
+  for (const Family& family : families) {
+    for (const char* name : {"levelwise", "local-random", "dmodk"}) {
+      auto scheduler = make_scheduler(name, 1).value();
+      const PhaseFamilyResult r =
+          run_family(tree, *scheduler, family.phases);
+      table.add_row(
+          {family.name, std::to_string(family.phases.size()), name,
+           TextTable::pct(r.mean_ratio), std::to_string(r.total_slots),
+           TextTable::num(static_cast<double>(r.total_slots) /
+                              static_cast<double>(family.phases.size()),
+                          2)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nStructured phases are friendlier than random traffic for "
+               "everyone — and\nsome (single-digit exchanges, ring halos) "
+               "route perfectly even statically.\nThe level-wise scheduler "
+               "is the only one that never needs more than ~2\nslots per "
+               "phase on any family.\n";
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Shared driver for the Figure-9 schedulability benches.
+//
+// Protocol, exactly as paper §5: 100 randomly generated communication
+// permutations per test point; each permutation is scheduled by the
+// Level-wise scheduler ("Global") and by the conventional adaptive scheduler
+// with local information ("Local"); the bar is the average schedulability
+// ratio, the whiskers the observed min and max.
+//
+// The paper describes the baseline as "each switch selects a routing path
+// randomly from the available local ports" (§1), so "Local" here is the
+// random-port local scheduler; the greedy (first-fit) variant is also
+// printed for completeness since the paper mentions "greedy or random".
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "stats/runner.hpp"
+#include "util/table.hpp"
+
+namespace ftsched::bench {
+
+struct Fig9Row {
+  ExperimentPoint global;
+  ExperimentPoint local_random;
+  ExperimentPoint local_greedy;
+  std::uint64_t nodes = 0;
+  std::uint32_t arity = 0;
+};
+
+inline Fig9Row run_point(std::uint32_t levels, std::uint32_t arity,
+                         std::size_t reps, std::uint64_t seed) {
+  const FatTree tree = FatTree::symmetric(levels, arity);
+  Fig9Row row;
+  row.nodes = tree.node_count();
+  row.arity = arity;
+  ExperimentConfig config;
+  config.repetitions = reps;
+  config.seed = seed;
+  config.scheduler = "levelwise";
+  row.global = run_experiment(tree, config);
+  config.scheduler = "local-random";
+  row.local_random = run_experiment(tree, config);
+  config.scheduler = "local";
+  row.local_greedy = run_experiment(tree, config);
+  return row;
+}
+
+inline void print_sweep(const std::string& title, std::uint32_t levels,
+                        const std::vector<std::uint32_t>& arities,
+                        std::size_t reps, bool csv = false,
+                        std::vector<Fig9Row>* out = nullptr) {
+  if (!csv) {
+    std::cout << title << "\n";
+    std::cout << "(avg [min, max] over " << reps
+              << " random permutations per point)\n\n";
+  }
+  TextTable table(
+      csv ? std::vector<std::string>{"nodes", "arity", "levels",
+                                     "global_mean", "global_min",
+                                     "global_max", "local_random_mean",
+                                     "local_greedy_mean"}
+          : std::vector<std::string>{"N (w^l)", "Global (level-wise)",
+                                     "Local (random)", "Local (greedy)",
+                                     "improvement"});
+  for (std::uint32_t w : arities) {
+    const Fig9Row row = run_point(levels, w, reps, /*seed=*/2006 + w);
+    if (csv) {
+      table.add_row({std::to_string(row.nodes), std::to_string(w),
+                     std::to_string(levels),
+                     TextTable::num(row.global.schedulability.mean, 4),
+                     TextTable::num(row.global.schedulability.min, 4),
+                     TextTable::num(row.global.schedulability.max, 4),
+                     TextTable::num(row.local_random.schedulability.mean, 4),
+                     TextTable::num(row.local_greedy.schedulability.mean, 4)});
+    } else {
+      const double improvement = (row.global.schedulability.mean -
+                                  row.local_random.schedulability.mean) /
+                                 row.local_random.schedulability.mean;
+      table.add_row({std::to_string(row.nodes) + " (" + std::to_string(w) +
+                         "^" + std::to_string(levels) + ")",
+                     row.global.schedulability.ratio_string(),
+                     row.local_random.schedulability.ratio_string(),
+                     row.local_greedy.schedulability.ratio_string(),
+                     "+" + TextTable::pct(improvement)});
+    }
+    if (out) out->push_back(row);
+  }
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+}
+
+/// Shared argv handling for the three sweep benches:
+/// [reps] [--csv] in any order.
+struct Fig9Args {
+  std::size_t reps = 100;
+  bool csv = false;
+};
+
+inline Fig9Args parse_fig9_args(int argc, char** argv) {
+  Fig9Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--csv") {
+      args.csv = true;
+    } else {
+      args.reps = static_cast<std::size_t>(std::atoi(arg.c_str()));
+    }
+  }
+  if (args.reps == 0) args.reps = 100;
+  return args;
+}
+
+}  // namespace ftsched::bench

@@ -1,0 +1,84 @@
+// Figure 9(d): average schedulability — six bars (Global and Local at 2, 3,
+// and 4 levels), each the mean over that level count's full size sweep.
+// Also prints the §5 headline claims derived from the same data:
+//   * improvement > 30% beyond 500 nodes,
+//   * level-wise minimum above local maximum,
+//   * deviation shrinking with system size.
+#include "fig9_common.hpp"
+
+using namespace ftsched;
+using namespace ftsched::bench;
+
+int main(int argc, char** argv) {
+  const std::size_t reps =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 100;
+
+  struct Family {
+    std::uint32_t levels;
+    std::vector<std::uint32_t> arities;
+  };
+  const std::vector<Family> families{
+      {2, {8, 16, 32, 48, 64}},
+      {3, {4, 6, 8, 12, 16}},
+      {4, {3, 4, 5, 6, 7}},
+  };
+
+  std::cout << "Figure 9(d): Average Schedulability\n\n";
+  TextTable table({"bar", "avg schedulability"});
+  std::vector<std::vector<Fig9Row>> all_rows;
+  for (const Family& family : families) {
+    std::vector<Fig9Row> rows;
+    for (std::uint32_t w : family.arities) {
+      rows.push_back(run_point(family.levels, w, reps, 2006 + w));
+    }
+    double global_sum = 0;
+    double local_sum = 0;
+    for (const Fig9Row& row : rows) {
+      global_sum += row.global.schedulability.mean;
+      local_sum += row.local_random.schedulability.mean;
+    }
+    table.add_row({"G " + std::to_string(family.levels) + "-level",
+                   TextTable::pct(global_sum /
+                                  static_cast<double>(rows.size()))});
+    table.add_row({"L " + std::to_string(family.levels) + "-level",
+                   TextTable::pct(local_sum /
+                                  static_cast<double>(rows.size()))});
+    all_rows.push_back(std::move(rows));
+  }
+  table.print(std::cout);
+
+  std::cout << "\nPaper claims derived from this data:\n";
+  bool min_above_max = true;
+  bool improvement_over_30 = true;
+  for (const auto& rows : all_rows) {
+    for (const Fig9Row& row : rows) {
+      if (row.global.schedulability.min <= row.local_random.schedulability.max) {
+        min_above_max = false;
+      }
+      if (row.nodes > 500) {
+        const double improvement = (row.global.schedulability.mean -
+                                    row.local_random.schedulability.mean) /
+                                   row.local_random.schedulability.mean;
+        if (improvement <= 0.30) improvement_over_30 = false;
+      }
+    }
+  }
+  std::cout << "  level-wise min > local max at every point : "
+            << (min_above_max ? "HOLDS" : "VIOLATED") << "\n";
+  std::cout << "  improvement > 30% beyond 500 nodes        : "
+            << (improvement_over_30 ? "HOLDS" : "VIOLATED") << "\n";
+  for (const auto& rows : all_rows) {
+    const Fig9Row& smallest = rows.front();
+    const Fig9Row& largest = rows.back();
+    const double small_spread = smallest.global.schedulability.max -
+                                smallest.global.schedulability.min;
+    const double large_spread =
+        largest.global.schedulability.max - largest.global.schedulability.min;
+    std::cout << "  deviation (global) N=" << smallest.nodes << " -> N="
+              << largest.nodes << "              : "
+              << TextTable::pct(small_spread) << " -> "
+              << TextTable::pct(large_spread)
+              << (large_spread < small_spread ? "  (shrinks)" : "") << "\n";
+  }
+  return 0;
+}

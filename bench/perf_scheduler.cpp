@@ -1,0 +1,115 @@
+// Throughput microbenchmarks (google-benchmark): how fast is the software
+// implementation of each scheduler, and do the primitives scale the way the
+// complexity claims say (O(l·N) total work for the level-wise scheduler,
+// one AND + find-first per request-level)?
+#include <benchmark/benchmark.h>
+
+#include "core/registry.hpp"
+#include "hw/pipeline.hpp"
+#include "workload/patterns.hpp"
+
+namespace ftsched {
+namespace {
+
+const FatTree& tree_for(std::uint32_t levels, std::uint32_t w) {
+  // Benchmarks reuse topologies; cache them keyed by (levels, w).
+  static std::map<std::pair<std::uint32_t, std::uint32_t>, FatTree>* cache =
+      new std::map<std::pair<std::uint32_t, std::uint32_t>, FatTree>();
+  auto it = cache->find({levels, w});
+  if (it == cache->end()) {
+    it = cache->emplace(std::pair{levels, w}, FatTree::symmetric(levels, w))
+             .first;
+  }
+  return it->second;
+}
+
+void schedule_benchmark(benchmark::State& state, const char* scheduler_name) {
+  const auto levels = static_cast<std::uint32_t>(state.range(0));
+  const auto w = static_cast<std::uint32_t>(state.range(1));
+  const FatTree& tree = tree_for(levels, w);
+  auto scheduler = make_scheduler(scheduler_name, 1).value();
+  Xoshiro256ss rng(42);
+  const auto batch = random_permutation(tree.node_count(), rng);
+  LinkState link_state(tree);
+  for (auto _ : state) {
+    link_state.reset();
+    benchmark::DoNotOptimize(scheduler->schedule(tree, batch, link_state));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch.size()));
+  state.counters["nodes"] = static_cast<double>(tree.node_count());
+}
+
+void BM_Levelwise(benchmark::State& state) {
+  schedule_benchmark(state, "levelwise");
+}
+void BM_Local(benchmark::State& state) { schedule_benchmark(state, "local"); }
+void BM_Turnback(benchmark::State& state) {
+  schedule_benchmark(state, "turnback");
+}
+void BM_Matching2(benchmark::State& state) {
+  schedule_benchmark(state, "matching2");
+}
+
+BENCHMARK(BM_Levelwise)
+    ->Args({2, 16})
+    ->Args({2, 64})
+    ->Args({3, 8})
+    ->Args({3, 16})
+    ->Args({4, 7});
+BENCHMARK(BM_Local)->Args({2, 64})->Args({3, 16})->Args({4, 7});
+BENCHMARK(BM_Turnback)->Args({3, 8})->Args({3, 16});
+BENCHMARK(BM_Matching2)->Args({2, 16})->Args({2, 64});
+
+void BM_PipelineSchedule(benchmark::State& state) {
+  const auto w = static_cast<std::uint32_t>(state.range(0));
+  const FatTree& tree = tree_for(3, w);
+  LevelwisePipeline pipeline(tree);
+  Xoshiro256ss rng(7);
+  const auto batch = random_permutation(tree.node_count(), rng);
+  for (auto _ : state) {
+    pipeline.reset();
+    benchmark::DoNotOptimize(pipeline.schedule(batch));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_PipelineSchedule)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_AscendPrimitive(benchmark::State& state) {
+  const FatTree& tree = tree_for(4, 7);
+  std::uint64_t index = 0;
+  std::uint32_t port = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.ascend(0, index, port));
+    index = (index + 123) % tree.switches_at(0);
+    port = (port + 1) % 7;
+  }
+}
+BENCHMARK(BM_AscendPrimitive);
+
+void BM_FirstAvailablePort(benchmark::State& state) {
+  const FatTree& tree = tree_for(2, 64);
+  LinkState link_state(tree);
+  // Half-occupied rows: realistic mid-batch AND work.
+  Xoshiro256ss rng(3);
+  for (std::uint64_t sw = 0; sw < link_state.rows_at(0); ++sw) {
+    for (std::uint32_t p = 0; p < 64; ++p) {
+      if (rng.below(2)) link_state.set_ulink(0, sw, p, false);
+      if (rng.below(2)) link_state.set_dlink(0, sw, p, false);
+    }
+  }
+  std::uint64_t a = 0;
+  std::uint64_t b = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(link_state.first_available_port(0, a, b));
+    a = (a + 7) % link_state.rows_at(0);
+    b = (b + 13) % link_state.rows_at(0);
+  }
+}
+BENCHMARK(BM_FirstAvailablePort);
+
+}  // namespace
+}  // namespace ftsched
+
+BENCHMARK_MAIN();

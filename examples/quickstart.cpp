@@ -1,0 +1,62 @@
+// Quickstart: build a fat tree, generate a random permutation, schedule it
+// with the paper's level-wise algorithm and with the conventional local
+// baseline, verify both, and print the schedulability ratios.
+//
+//   ./quickstart [levels] [arity] [seed]     (defaults: 3 8 2006)
+#include <cstdlib>
+#include <iostream>
+
+#include "core/registry.hpp"
+#include "core/verifier.hpp"
+#include "stats/summary.hpp"
+#include "util/table.hpp"
+#include "workload/patterns.hpp"
+
+using namespace ftsched;
+
+int main(int argc, char** argv) {
+  const std::uint32_t levels =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 3;
+  const std::uint32_t arity =
+      argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 8;
+  const std::uint64_t seed =
+      argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 2006;
+
+  // 1. Build and validate the topology.
+  auto tree_or = FatTree::create(FatTreeParams::symmetric(levels, arity));
+  if (!tree_or.ok()) {
+    std::cerr << "bad tree parameters: " << tree_or.message() << "\n";
+    return 1;
+  }
+  const FatTree tree = std::move(tree_or).value();
+  std::cout << "FT(l=" << levels << ", w=" << arity << "): "
+            << tree.node_count() << " processing elements, "
+            << tree.total_switches() << " switches\n\n";
+
+  // 2. One random communication permutation (the paper's workload).
+  Xoshiro256ss rng(seed);
+  const std::vector<Request> batch = random_permutation(tree.node_count(), rng);
+
+  // 3. Schedule with each algorithm and verify the result.
+  TextTable table({"scheduler", "granted", "requests", "ratio"});
+  for (const std::string name : {"levelwise", "local", "local-random"}) {
+    auto scheduler = make_scheduler(name, seed).value();
+    LinkState state(tree);
+    const ScheduleResult result = scheduler->schedule(tree, batch, state);
+    const Status verified = verify_schedule(tree, batch, result, &state);
+    if (!verified.ok()) {
+      std::cerr << name << ": verification FAILED: " << verified.message()
+                << "\n";
+      return 1;
+    }
+    table.add_row({std::string(scheduler->name()),
+                   std::to_string(result.granted_count()),
+                   std::to_string(result.outcomes.size()),
+                   TextTable::pct(result.schedulability_ratio())});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nEvery granted circuit was verified: legal per Theorems 1-2,"
+               "\nno channel shared, link state consistent.\n";
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Trace workflow utility: generate a workload trace to a file, or replay a
+// trace through a chosen scheduler.
+//
+//   ./trace_scheduler generate <levels> <arity> <pattern> <seed> > trace.txt
+//   ./trace_scheduler run <levels> <arity> <scheduler> < trace.txt
+//
+// Patterns: random, reversal, rotation, transpose, complement, shift,
+// neighbor, hotspot. Schedulers: any registry name (see --help).
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/registry.hpp"
+#include "core/verifier.hpp"
+#include "workload/patterns.hpp"
+#include "workload/trace.hpp"
+
+using namespace ftsched;
+
+namespace {
+
+const std::map<std::string, TrafficPattern>& pattern_names() {
+  static const std::map<std::string, TrafficPattern> names{
+      {"random", TrafficPattern::kRandomPermutation},
+      {"reversal", TrafficPattern::kDigitReversal},
+      {"rotation", TrafficPattern::kDigitRotation},
+      {"transpose", TrafficPattern::kTranspose},
+      {"complement", TrafficPattern::kComplement},
+      {"shift", TrafficPattern::kShift},
+      {"neighbor", TrafficPattern::kNeighbor},
+      {"hotspot", TrafficPattern::kHotSpot},
+  };
+  return names;
+}
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+      << "  trace_scheduler generate <levels> <arity> <pattern> <seed>\n"
+      << "  trace_scheduler run <levels> <arity> <scheduler>\n"
+      << "patterns:";
+  for (const auto& [name, _] : pattern_names()) std::cerr << " " << name;
+  std::cerr << "\nschedulers:";
+  for (const std::string& name : scheduler_names()) std::cerr << " " << name;
+  std::cerr << "\n";
+  return 2;
+}
+
+Result<FatTree> parse_tree(const char* levels, const char* arity) {
+  return FatTree::create(FatTreeParams::symmetric(
+      static_cast<std::uint32_t>(std::atoi(levels)),
+      static_cast<std::uint32_t>(std::atoi(arity))));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string mode = argv[1];
+
+  if (mode == "generate" && argc == 6) {
+    auto tree_or = parse_tree(argv[2], argv[3]);
+    if (!tree_or.ok()) {
+      std::cerr << tree_or.message() << "\n";
+      return 1;
+    }
+    const auto it = pattern_names().find(argv[4]);
+    if (it == pattern_names().end()) return usage();
+    Xoshiro256ss rng(static_cast<std::uint64_t>(std::atoll(argv[5])));
+    Trace trace;
+    trace.node_count = tree_or.value().node_count();
+    trace.requests = generate_pattern(tree_or.value(), it->second, rng);
+    write_trace(std::cout, trace);
+    return 0;
+  }
+
+  if (mode == "run" && argc == 5) {
+    auto tree_or = parse_tree(argv[2], argv[3]);
+    if (!tree_or.ok()) {
+      std::cerr << tree_or.message() << "\n";
+      return 1;
+    }
+    const FatTree& tree = tree_or.value();
+    auto scheduler_or = make_scheduler(argv[4]);
+    if (!scheduler_or.ok()) {
+      std::cerr << scheduler_or.message() << "\n";
+      return 1;
+    }
+    auto trace_or = read_trace(std::cin);
+    if (!trace_or.ok()) {
+      std::cerr << trace_or.message() << "\n";
+      return 1;
+    }
+    if (trace_or.value().node_count != tree.node_count()) {
+      std::cerr << "trace is for " << trace_or.value().node_count
+                << " nodes, tree has " << tree.node_count() << "\n";
+      return 1;
+    }
+    LinkState state(tree);
+    const ScheduleResult result = scheduler_or.value()->schedule(
+        tree, trace_or.value().requests, state);
+    const Status verified =
+        verify_schedule(tree, trace_or.value().requests, result, &state);
+    if (!verified.ok()) {
+      std::cerr << "verification failed: " << verified.message() << "\n";
+      return 1;
+    }
+    for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
+      const RequestOutcome& out = result.outcomes[i];
+      if (out.granted) {
+        std::cout << "grant " << to_string(out.path) << "\n";
+      } else {
+        std::cout << "reject node " << out.path.src << " -> node "
+                  << out.path.dst << " (" << to_string(out.reason)
+                  << " at level " << out.fail_level << ")\n";
+      }
+    }
+    std::cout << "# schedulability " << result.granted_count() << "/"
+              << result.outcomes.size() << "\n";
+    return 0;
+  }
+
+  return usage();
+}

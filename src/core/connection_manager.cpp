@@ -1,0 +1,91 @@
+#include "core/connection_manager.hpp"
+
+#include "linkstate/transaction.hpp"
+
+namespace ftsched {
+
+ConnectionManager::ConnectionManager(const FatTree& tree, PortPolicy policy,
+                                     std::uint64_t seed)
+    : tree_(tree),
+      policy_(policy),
+      rng_(seed),
+      state_(tree),
+      leaves_(tree.node_count()) {}
+
+std::optional<ConnectionId> ConnectionManager::open(const Request& request) {
+  FT_REQUIRE(request.src < tree_.node_count());
+  FT_REQUIRE(request.dst < tree_.node_count());
+  if (!leaves_.try_claim(request.src, request.dst)) return std::nullopt;
+
+  const std::uint64_t src_leaf = tree_.leaf_switch(request.src).index;
+  const std::uint64_t dst_leaf = tree_.leaf_switch(request.dst).index;
+  const std::uint32_t H = tree_.common_ancestor_level(src_leaf, dst_leaf);
+
+  Path path{request.src, request.dst, H, {}};
+  Transaction tx(state_);
+  std::uint64_t sigma = src_leaf;
+  std::uint64_t delta = dst_leaf;
+  for (std::uint32_t h = 0; h < H; ++h) {
+    std::optional<std::uint32_t> port;
+    switch (policy_) {
+      case PortPolicy::kFirstFit:
+      case PortPolicy::kRoundRobin:  // no persistent pointer in dynamic mode
+        port = state_.first_available_port(h, sigma, delta);
+        break;
+      case PortPolicy::kRandom: {
+        const std::uint32_t count =
+            state_.available_port_count(h, sigma, delta);
+        if (count > 0) {
+          port = state_.nth_available_port(
+              h, sigma, delta, static_cast<std::uint32_t>(rng_.below(count)));
+        }
+        break;
+      }
+    }
+    if (!port) {
+      leaves_.release(request.src, request.dst);
+      return std::nullopt;  // tx rolls back the partial allocation
+    }
+    tx.occupy(h, sigma, delta, *port);
+    path.ports.push_back(*port);
+    sigma = tree_.ascend(h, sigma, *port);
+    delta = tree_.ascend(h, delta, *port);
+  }
+  FT_ASSERT(sigma == delta);
+  tx.commit();
+  const ConnectionId id = next_id_++;
+  connections_.emplace(id, path);
+  return id;
+}
+
+Status ConnectionManager::close(ConnectionId id) {
+  auto it = connections_.find(id);
+  if (it == connections_.end()) {
+    return Status::error("unknown connection id " + std::to_string(id));
+  }
+  state_.release_path(tree_, it->second);
+  leaves_.release(it->second.src, it->second.dst);
+  connections_.erase(it);
+  return Status();
+}
+
+void ConnectionManager::clear() {
+  state_.reset();
+  leaves_.reset();
+  connections_.clear();
+}
+
+const Path* ConnectionManager::find(ConnectionId id) const {
+  auto it = connections_.find(id);
+  return it == connections_.end() ? nullptr : &it->second;
+}
+
+double ConnectionManager::level_utilization(std::uint32_t level) const {
+  const std::uint64_t total =
+      state_.rows_at(level) * state_.ports_per_switch();
+  if (total == 0) return 0.0;
+  return static_cast<double>(state_.occupied_ulinks_at(level)) /
+         static_cast<double>(total);
+}
+
+}  // namespace ftsched

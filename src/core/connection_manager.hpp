@@ -1,0 +1,64 @@
+// ConnectionManager — dynamic (open/close) circuit management.
+//
+// The paper motivates the scheduler with long-lived connections: a grant
+// reserves every channel of the circuit until the connection closes.
+// ConnectionManager wraps the level-wise single-request algorithm
+// (request-major, with rollback) behind an open/close API so applications
+// can manage an evolving set of circuits instead of one-shot batches —
+// this is what a centralized fabric manager built on the paper's hardware
+// would expose.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "core/request.hpp"
+#include "core/scheduler.hpp"
+#include "linkstate/link_state.hpp"
+#include "topology/fat_tree.hpp"
+
+namespace ftsched {
+
+using ConnectionId = std::uint64_t;
+
+class ConnectionManager {
+ public:
+  /// The tree must outlive the manager.
+  explicit ConnectionManager(const FatTree& tree,
+                             PortPolicy policy = PortPolicy::kFirstFit,
+                             std::uint64_t seed = 0xc0117ULL);
+
+  /// Tries to establish a circuit; on success returns its id and the state
+  /// holds its channels until close(). Fails (nullopt) when no conflict-free
+  /// port string exists under the level-wise rule, or an endpoint channel is
+  /// already in use by an open connection.
+  std::optional<ConnectionId> open(const Request& request);
+
+  /// Releases a circuit's channels. Fails if the id is unknown.
+  Status close(ConnectionId id);
+
+  /// Releases everything.
+  void clear();
+
+  std::size_t active_count() const { return connections_.size(); }
+  const LinkState& state() const { return state_; }
+  const FatTree& tree() const { return tree_; }
+
+  /// The established path of an open connection.
+  const Path* find(ConnectionId id) const;
+
+  /// Fraction of inter-switch up-channels occupied at `level`.
+  double level_utilization(std::uint32_t level) const;
+
+ private:
+  const FatTree& tree_;
+  PortPolicy policy_;
+  Xoshiro256ss rng_;
+  LinkState state_;
+  LeafTracker leaves_;
+  std::unordered_map<ConnectionId, Path> connections_;
+  ConnectionId next_id_ = 1;
+};
+
+}  // namespace ftsched

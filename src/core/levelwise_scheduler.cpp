@@ -1,0 +1,233 @@
+#include "core/levelwise_scheduler.hpp"
+
+#include "linkstate/transaction.hpp"
+
+namespace ftsched {
+
+std::string_view to_string(PortPolicy policy) {
+  switch (policy) {
+    case PortPolicy::kFirstFit:
+      return "first-fit";
+    case PortPolicy::kRandom:
+      return "random";
+    case PortPolicy::kRoundRobin:
+      return "round-robin";
+  }
+  FT_UNREACHABLE();
+}
+
+LevelwiseScheduler::LevelwiseScheduler(LevelwiseOptions options)
+    : options_(options), rng_(options.seed) {
+  name_ = "levelwise-" + std::string(to_string(options_.policy));
+  if (options_.order == LevelwiseOptions::Order::kRequestMajor) {
+    name_ += "-reqmajor";
+  }
+}
+
+std::optional<std::uint32_t> LevelwiseScheduler::pick_port(
+    const LinkState& state, std::uint32_t level, std::uint64_t src_sw,
+    std::uint64_t dst_sw, std::vector<std::uint32_t>& rr_hint) {
+  switch (options_.policy) {
+    case PortPolicy::kFirstFit:
+      return state.first_available_port(level, src_sw, dst_sw);
+    case PortPolicy::kRandom: {
+      const std::uint32_t count =
+          state.available_port_count(level, src_sw, dst_sw);
+      if (count == 0) return std::nullopt;
+      return state.nth_available_port(
+          level, src_sw, dst_sw,
+          static_cast<std::uint32_t>(rng_.below(count)));
+    }
+    case PortPolicy::kRoundRobin: {
+      const std::uint32_t w = state.ports_per_switch();
+      std::uint32_t& hint = rr_hint[src_sw];
+      auto port = state.next_available_port(level, src_sw, dst_sw, hint);
+      if (!port) {  // wrap around
+        port = state.first_available_port(level, src_sw, dst_sw);
+      }
+      if (port) hint = (*port + 1) % w;
+      return port;
+    }
+  }
+  FT_UNREACHABLE();
+}
+
+ScheduleResult LevelwiseScheduler::schedule(const FatTree& tree,
+                                            std::span<const Request> requests,
+                                            LinkState& state) {
+  if (options_.order == LevelwiseOptions::Order::kLevelMajor) {
+    return schedule_level_major(tree, requests, state);
+  }
+  return schedule_request_major(tree, requests, state);
+}
+
+namespace {
+
+/// Per-request mutable scheduling state shared by both orders.
+struct Live {
+  std::uint64_t sigma = 0;  ///< σ_h — source-side switch at current level
+  std::uint64_t delta = 0;  ///< δ_h — destination-side switch at current level
+  std::uint32_t ancestor = 0;
+  bool alive = false;       ///< still ascending (not granted, not rejected)
+};
+
+}  // namespace
+
+ScheduleResult LevelwiseScheduler::schedule_level_major(
+    const FatTree& tree, std::span<const Request> requests, LinkState& state) {
+  ScheduleResult result;
+  result.outcomes.resize(requests.size());
+  LeafTracker leaves(tree.node_count());
+  std::vector<Live> live(requests.size());
+
+  // Admission: claim leaf channels, resolve intra-switch (H == 0) requests,
+  // and initialize σ_0 / δ_0 for the rest.
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const Request& r = requests[i];
+    RequestOutcome& out = result.outcomes[i];
+    out.path = Path{r.src, r.dst, 0, {}};
+    if (!leaves.try_claim(r.src, r.dst)) {
+      out.reason = RejectReason::kLeafBusy;
+      continue;
+    }
+    const std::uint64_t src_leaf = tree.leaf_switch(r.src).index;
+    const std::uint64_t dst_leaf = tree.leaf_switch(r.dst).index;
+    const std::uint32_t H = tree.common_ancestor_level(src_leaf, dst_leaf);
+    if (H == 0) {
+      out.granted = true;  // circuit lives inside one leaf crossbar
+      continue;
+    }
+    live[i] = Live{src_leaf, dst_leaf, H, true};
+    out.path.ancestor_level = H;
+  }
+
+  // Per-(request, level) allocations, for the optional post-batch release of
+  // rejected requests' partial circuits.
+  struct Alloc {
+    std::uint32_t level;
+    std::uint64_t sigma;
+    std::uint64_t delta;
+    std::uint32_t port;
+  };
+  std::vector<std::vector<Alloc>> allocs(requests.size());
+
+  const std::uint32_t link_levels = tree.levels() - 1;
+  std::vector<std::uint32_t> rr_hint;
+  for (std::uint32_t h = 0; h < link_levels; ++h) {
+    if (options_.policy == PortPolicy::kRoundRobin) {
+      rr_hint.assign(state.rows_at(h), 0);
+    }
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      Live& lv = live[i];
+      if (!lv.alive || lv.ancestor <= h) continue;
+      RequestOutcome& out = result.outcomes[i];
+      const auto port = pick_port(state, h, lv.sigma, lv.delta, rr_hint);
+      if (!port) {
+        lv.alive = false;
+        out.reason = RejectReason::kNoCommonPort;
+        out.fail_level = h;
+        continue;
+      }
+      state.occupy(h, lv.sigma, lv.delta, *port);
+      allocs[i].push_back(Alloc{h, lv.sigma, lv.delta, *port});
+      out.path.ports.push_back(*port);
+      lv.sigma = tree.ascend(h, lv.sigma, *port);
+      lv.delta = tree.ascend(h, lv.delta, *port);
+      if (out.path.ports.size() == lv.ancestor) {
+        FT_ASSERT(lv.sigma == lv.delta);  // Theorem 2: sides meet at level H
+        lv.alive = false;
+        out.granted = true;
+      }
+    }
+  }
+
+  // Cleanup: rejected requests release their leaf claims and (optionally)
+  // their partial channel allocations.
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    RequestOutcome& out = result.outcomes[i];
+    if (out.granted) continue;
+    out.path.ports.clear();
+    out.path.ancestor_level = 0;
+    if (out.reason != RejectReason::kLeafBusy) {
+      leaves.release(requests[i].src, requests[i].dst);
+    }
+    if (options_.release_rejected) {
+      for (auto it = allocs[i].rbegin(); it != allocs[i].rend(); ++it) {
+        state.release(it->level, it->sigma, it->delta, it->port);
+      }
+    }
+  }
+  return result;
+}
+
+ScheduleResult LevelwiseScheduler::schedule_request_major(
+    const FatTree& tree, std::span<const Request> requests, LinkState& state) {
+  ScheduleResult result;
+  result.outcomes.reserve(requests.size());
+  LeafTracker leaves(tree.node_count());
+
+  const std::uint32_t link_levels = tree.levels() - 1;
+  std::vector<std::vector<std::uint32_t>> rr_hint(link_levels);
+  if (options_.policy == PortPolicy::kRoundRobin) {
+    for (std::uint32_t h = 0; h < link_levels; ++h) {
+      rr_hint[h].assign(state.rows_at(h), 0);
+    }
+  } else {
+    for (std::uint32_t h = 0; h < link_levels; ++h) rr_hint[h].assign(1, 0);
+  }
+
+  for (const Request& r : requests) {
+    RequestOutcome out;
+    out.path = Path{r.src, r.dst, 0, {}};
+    if (!leaves.try_claim(r.src, r.dst)) {
+      out.reason = RejectReason::kLeafBusy;
+      result.outcomes.push_back(out);
+      continue;
+    }
+    const std::uint64_t src_leaf = tree.leaf_switch(r.src).index;
+    const std::uint64_t dst_leaf = tree.leaf_switch(r.dst).index;
+    const std::uint32_t H = tree.common_ancestor_level(src_leaf, dst_leaf);
+    if (H == 0) {
+      out.granted = true;
+      result.outcomes.push_back(out);
+      continue;
+    }
+    out.path.ancestor_level = H;
+
+    Transaction tx(state);
+    std::uint64_t sigma = src_leaf;
+    std::uint64_t delta = dst_leaf;
+    bool rejected = false;
+    for (std::uint32_t h = 0; h < H; ++h) {
+      const auto port = pick_port(state, h, sigma, delta, rr_hint[h]);
+      if (!port) {
+        out.reason = RejectReason::kNoCommonPort;
+        out.fail_level = h;
+        rejected = true;
+        break;
+      }
+      tx.occupy(h, sigma, delta, *port);
+      out.path.ports.push_back(*port);
+      sigma = tree.ascend(h, sigma, *port);
+      delta = tree.ascend(h, delta, *port);
+    }
+    if (rejected) {
+      out.path.ports.clear();
+      out.path.ancestor_level = 0;
+      leaves.release(r.src, r.dst);
+      if (options_.release_rejected) {
+        tx.rollback();
+      } else {
+        tx.commit();  // hardware-fidelity mode: partial allocation persists
+      }
+    } else {
+      FT_ASSERT(sigma == delta);
+      out.granted = true;
+      tx.commit();
+    }
+    result.outcomes.push_back(out);
+  }
+  return result;
+}
+
+}  // namespace ftsched

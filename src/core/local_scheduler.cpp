@@ -1,0 +1,125 @@
+#include "core/local_scheduler.hpp"
+
+#include "linkstate/transaction.hpp"
+
+namespace ftsched {
+
+LocalAdaptiveScheduler::LocalAdaptiveScheduler(LocalOptions options)
+    : options_(options), rng_(options.seed) {
+  name_ = "local-" + std::string(to_string(options_.policy));
+  if (!options_.release_on_fail) name_ += "-hold";
+}
+
+std::optional<std::uint32_t> LocalAdaptiveScheduler::pick_local_port(
+    const LinkState& state, std::uint32_t level, std::uint64_t src_sw,
+    std::vector<std::uint32_t>& rr_hint) {
+  switch (options_.policy) {
+    case PortPolicy::kFirstFit:
+      return state.first_local_ulink(level, src_sw);
+    case PortPolicy::kRandom: {
+      const std::uint32_t count = state.local_ulink_count(level, src_sw);
+      if (count == 0) return std::nullopt;
+      return state.nth_local_ulink(
+          level, src_sw, static_cast<std::uint32_t>(rng_.below(count)));
+    }
+    case PortPolicy::kRoundRobin: {
+      const std::uint32_t w = state.ports_per_switch();
+      std::uint32_t& hint = rr_hint[src_sw];
+      auto port = state.next_local_ulink(level, src_sw, hint);
+      if (!port) port = state.first_local_ulink(level, src_sw);
+      if (port) hint = (*port + 1) % w;
+      return port;
+    }
+  }
+  FT_UNREACHABLE();
+}
+
+ScheduleResult LocalAdaptiveScheduler::schedule(
+    const FatTree& tree, std::span<const Request> requests, LinkState& state) {
+  ScheduleResult result;
+  result.outcomes.reserve(requests.size());
+  LeafTracker leaves(tree.node_count());
+
+  const std::uint32_t link_levels = tree.levels() - 1;
+  std::vector<std::vector<std::uint32_t>> rr_hint(link_levels);
+  if (options_.policy == PortPolicy::kRoundRobin) {
+    for (std::uint32_t h = 0; h < link_levels; ++h) {
+      rr_hint[h].assign(state.rows_at(h), 0);
+    }
+  } else {
+    for (std::uint32_t h = 0; h < link_levels; ++h) rr_hint[h].assign(1, 0);
+  }
+
+  for (const Request& r : requests) {
+    RequestOutcome out;
+    out.path = Path{r.src, r.dst, 0, {}};
+    if (!leaves.try_claim(r.src, r.dst)) {
+      out.reason = RejectReason::kLeafBusy;
+      result.outcomes.push_back(out);
+      continue;
+    }
+    const std::uint64_t src_leaf = tree.leaf_switch(r.src).index;
+    const std::uint64_t dst_leaf = tree.leaf_switch(r.dst).index;
+    const std::uint32_t H = tree.common_ancestor_level(src_leaf, dst_leaf);
+    if (H == 0) {
+      out.granted = true;
+      result.outcomes.push_back(out);
+      continue;
+    }
+    out.path.ancestor_level = H;
+
+    Transaction tx(state);
+    bool rejected = false;
+
+    // Ascent: pick a locally free up-port at each level; the destination
+    // side's availability is invisible here — that is the point.
+    std::uint64_t sigma = src_leaf;
+    for (std::uint32_t h = 0; h < H; ++h) {
+      const auto port = pick_local_port(state, h, sigma, rr_hint[h]);
+      if (!port) {
+        out.reason = RejectReason::kNoLocalUplink;
+        out.fail_level = h;
+        rejected = true;
+        break;
+      }
+      tx.occupy_up(h, sigma, *port);
+      out.path.ports.push_back(*port);
+      sigma = tree.ascend(h, sigma, *port);
+    }
+
+    // Descent: the downward path is forced by Theorem 2; the first occupied
+    // channel (checked top-down, the order a real network discovers it)
+    // kills the request.
+    if (!rejected) {
+      for (std::uint32_t h = H; h-- > 0;) {
+        const std::uint64_t delta =
+            tree.side_switch(dst_leaf, h, out.path.ports);
+        if (!state.dlink(h, delta, out.path.ports[h])) {
+          out.reason = RejectReason::kDownConflict;
+          out.fail_level = h;
+          rejected = true;
+          break;
+        }
+        tx.occupy_down(h, delta, out.path.ports[h]);
+      }
+    }
+
+    if (rejected) {
+      out.path.ports.clear();
+      out.path.ancestor_level = 0;
+      leaves.release(r.src, r.dst);
+      if (options_.release_on_fail) {
+        tx.rollback();
+      } else {
+        tx.commit();
+      }
+    } else {
+      out.granted = true;
+      tx.commit();
+    }
+    result.outcomes.push_back(out);
+  }
+  return result;
+}
+
+}  // namespace ftsched

@@ -1,0 +1,28 @@
+// Free-path counting — a diagnostic over the global state.
+//
+// For a request (src, dst) with ancestor level H there are w^H candidate
+// port strings; count_free_paths() returns how many are fully conflict-free
+// under the current LinkState. Uses:
+//   * diagnostics ("this rejection had 3 live alternatives first-fit walked
+//     past") and admission-headroom metrics,
+//   * the completeness oracle for TurnbackScheduler: with an unlimited
+//     probe budget it must grant exactly the requests whose count is > 0
+//     (tested), which pins down that the DFS explores the whole space,
+//   * quantifying first-fit's blind spot: LevelwiseScheduler can reject a
+//     request whose count is positive, and this function measures how often.
+//
+// Cost is O(w^H) in the worst case with early pruning; H <= l-1 <= 15 makes
+// this fine for analysis use (it is not on any scheduler's hot path).
+#pragma once
+
+#include "linkstate/link_state.hpp"
+#include "topology/fat_tree.hpp"
+
+namespace ftsched {
+
+/// Number of fully-available port strings for src -> dst under `state`.
+/// Intra-switch requests (H == 0) report 1 (the crossbar path).
+std::uint64_t count_free_paths(const FatTree& tree, const LinkState& state,
+                               NodeId src, NodeId dst);
+
+}  // namespace ftsched

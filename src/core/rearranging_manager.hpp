@@ -1,0 +1,94 @@
+// RearrangingConnectionManager — admission with bounded circuit re-routing.
+//
+// Beyond-paper extension in the direction the topology invites: a fat tree
+// is REARRANGEABLY non-blocking, so a request that the level-wise rule
+// cannot place against the current allocation may still be admittable if an
+// existing circuit moves to one of its alternative port strings. The paper
+// schedules a batch once; a fabric manager for long-lived connections keeps
+// admitting and releasing, where exactly this headroom matters.
+//
+// The algorithm is deliberately surgical rather than a full re-pack:
+//   1. run the level-wise walk; on failure it names the blocking row pair
+//      (level h, Ulink row σ_h, Dlink row δ_h) whose AND was empty,
+//   2. look for a port p blocked on exactly ONE side by a movable circuit
+//      (the other side free),
+//   3. move that circuit: release it, mask the contended channel, re-open it
+//      through any other conflict-free port string, unmask,
+//   4. retry, spending at most `max_moves` moves per admission.
+// Every move is transactional — if the evicted circuit cannot be re-homed it
+// is restored on its original path (always possible: the channels were just
+// freed), so open() never degrades existing connections.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+#include "core/connection_manager.hpp"  // ConnectionId
+#include "core/request.hpp"
+#include "core/scheduler.hpp"
+#include "linkstate/link_state.hpp"
+#include "topology/fat_tree.hpp"
+
+namespace ftsched {
+
+struct RearrangeOptions {
+  /// Maximum circuit moves per open() call; 0 = plain level-wise admission.
+  std::uint32_t max_moves = 4;
+};
+
+class RearrangingConnectionManager {
+ public:
+  /// The tree must outlive the manager.
+  explicit RearrangingConnectionManager(const FatTree& tree,
+                                        RearrangeOptions options = {});
+
+  std::optional<ConnectionId> open(const Request& request);
+  Status close(ConnectionId id);
+  void clear();
+
+  const Path* find(ConnectionId id) const;
+  std::size_t active_count() const { return connections_.size(); }
+  const LinkState& state() const { return state_; }
+
+  struct Stats {
+    std::uint64_t opens = 0;
+    std::uint64_t direct_grants = 0;      ///< no rearrangement needed
+    std::uint64_t rearranged_grants = 0;  ///< admitted after >= 1 move
+    std::uint64_t moves = 0;              ///< circuits relocated
+    std::uint64_t rejections = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  /// Level-wise first-fit walk. On success returns the ports; on failure
+  /// fills the blocking row pair.
+  struct Block {
+    std::uint32_t level;
+    std::uint64_t sigma;
+    std::uint64_t delta;
+  };
+  std::optional<DigitVec> walk(std::uint64_t src_leaf, std::uint64_t dst_leaf,
+                               std::uint32_t ancestor, Block& block) const;
+
+  /// Occupies a path's channels and indexes them to `id`.
+  void install(ConnectionId id, const Path& path);
+  /// Releases a path's channels and removes the index entries.
+  void uninstall(ConnectionId id, const Path& path);
+
+  /// Moves the circuit owning `contended` off that channel; returns false
+  /// (state unchanged) if it has no alternative placement.
+  bool move_off(const ChannelId& contended);
+
+  const FatTree& tree_;
+  RearrangeOptions options_;
+  LinkState state_;
+  LeafTracker leaves_;
+  std::unordered_map<ConnectionId, Path> connections_;
+  std::map<ChannelId, ConnectionId> channel_owner_;
+  ConnectionId next_id_ = 1;
+  Stats stats_;
+};
+
+}  // namespace ftsched

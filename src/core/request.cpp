@@ -1,0 +1,31 @@
+#include "core/request.hpp"
+
+namespace ftsched {
+
+std::string_view to_string(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kNone:
+      return "granted";
+    case RejectReason::kNoCommonPort:
+      return "no-common-port";
+    case RejectReason::kNoLocalUplink:
+      return "no-local-uplink";
+    case RejectReason::kDownConflict:
+      return "down-conflict";
+    case RejectReason::kLeafBusy:
+      return "leaf-busy";
+  }
+  FT_UNREACHABLE();
+}
+
+std::vector<std::uint64_t> ScheduleResult::failures_by_level() const {
+  std::vector<std::uint64_t> histogram;
+  for (const auto& o : outcomes) {
+    if (o.granted) continue;
+    if (histogram.size() <= o.fail_level) histogram.resize(o.fail_level + 1);
+    ++histogram[o.fail_level];
+  }
+  return histogram;
+}
+
+}  // namespace ftsched

@@ -1,0 +1,63 @@
+// Communication requests and scheduling outcomes.
+//
+// A Request asks for a dedicated circuit from source PE to destination PE
+// (the paper targets long-lived connections, so a grant means exclusive
+// ownership of every channel on the path until released). Scheduling a batch
+// yields one RequestOutcome per request; ScheduleResult aggregates them into
+// the paper's headline metric, the schedulability ratio.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "topology/path.hpp"
+
+namespace ftsched {
+
+struct Request {
+  NodeId src = 0;
+  NodeId dst = 0;
+
+  friend bool operator==(const Request&, const Request&) = default;
+};
+
+enum class RejectReason : std::uint8_t {
+  kNone = 0,        ///< granted
+  kNoCommonPort,    ///< level-wise: Ulink(σ_h) AND Dlink(δ_h) was all-zero
+  kNoLocalUplink,   ///< local: source-side switch had no free up-port
+  kDownConflict,    ///< local: forced downward channel already occupied
+  kLeafBusy,        ///< destination PE's ejection channel already taken
+};
+
+std::string_view to_string(RejectReason reason);
+
+struct RequestOutcome {
+  bool granted = false;
+  Path path;                                  ///< valid iff granted
+  RejectReason reason = RejectReason::kNone;
+  std::uint32_t fail_level = 0;               ///< level of first failure
+};
+
+struct ScheduleResult {
+  std::vector<RequestOutcome> outcomes;
+
+  std::uint64_t granted_count() const {
+    std::uint64_t n = 0;
+    for (const auto& o : outcomes) n += o.granted ? 1 : 0;
+    return n;
+  }
+
+  /// The paper's metric: successful connections / total requests.
+  double schedulability_ratio() const {
+    if (outcomes.empty()) return 1.0;
+    return static_cast<double>(granted_count()) /
+           static_cast<double>(outcomes.size());
+  }
+
+  /// Histogram of rejection levels (index = level of first failure);
+  /// sized to the highest failing level + 1.
+  std::vector<std::uint64_t> failures_by_level() const;
+};
+
+}  // namespace ftsched

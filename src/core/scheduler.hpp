@@ -1,0 +1,82 @@
+// Scheduler — common interface of all connection schedulers.
+//
+// A scheduler takes a batch of requests and the current global LinkState and
+// decides, for each request, whether a circuit can be established; granted
+// circuits remain occupied in the LinkState afterwards (callers reset() or
+// release_path() to reuse the state). Leaf injection/ejection channels are
+// tracked by the scheduler itself via LeafTracker, since LinkState only
+// covers inter-switch levels.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/request.hpp"
+#include "linkstate/link_state.hpp"
+#include "topology/fat_tree.hpp"
+#include "util/rng.hpp"
+
+namespace ftsched {
+
+/// How a scheduler picks one port from an availability vector.
+enum class PortPolicy : std::uint8_t {
+  kFirstFit,    ///< lowest-numbered free port (the paper's priority selector)
+  kRandom,      ///< uniform among free ports
+  kRoundRobin,  ///< first free port at or after a rotating pointer
+};
+
+std::string_view to_string(PortPolicy policy);
+
+/// Occupancy of the PE<->leaf-switch channels, which LinkState does not
+/// model. Under a (partial) permutation these never conflict; under hot-spot
+/// or many-to-one workloads the ejection channel serializes access to a PE.
+class LeafTracker {
+ public:
+  explicit LeafTracker(std::uint64_t node_count)
+      : injection_(node_count, false), ejection_(node_count, false) {}
+
+  bool try_claim(NodeId src, NodeId dst) {
+    if (injection_[src] || ejection_[dst]) return false;
+    injection_[src] = true;
+    ejection_[dst] = true;
+    return true;
+  }
+
+  void release(NodeId src, NodeId dst) {
+    FT_REQUIRE(injection_[src] && ejection_[dst]);
+    injection_[src] = false;
+    ejection_[dst] = false;
+  }
+
+  void reset() {
+    injection_.assign(injection_.size(), false);
+    ejection_.assign(ejection_.size(), false);
+  }
+
+ private:
+  std::vector<bool> injection_;
+  std::vector<bool> ejection_;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Schedules `requests` against `state`. Granted circuits stay occupied in
+  /// `state`; rejected requests leave no residual occupancy (any partial
+  /// allocation is rolled back before returning unless a scheduler option
+  /// explicitly says otherwise).
+  virtual ScheduleResult schedule(const FatTree& tree,
+                                  std::span<const Request> requests,
+                                  LinkState& state) = 0;
+
+  /// Re-seeds any internal randomness (port policies, tie breaking).
+  virtual void reseed(std::uint64_t seed) = 0;
+};
+
+}  // namespace ftsched

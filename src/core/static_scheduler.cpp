@@ -1,0 +1,91 @@
+#include "core/static_scheduler.hpp"
+
+#include "linkstate/transaction.hpp"
+
+namespace ftsched {
+
+DigitVec StaticDestinationScheduler::static_ports(const FatTree& tree,
+                                                  NodeId dst,
+                                                  std::uint32_t ancestor) {
+  FT_REQUIRE(dst < tree.node_count());
+  const MixedRadix node_system =
+      MixedRadix::uniform(tree.child_arity(), tree.levels());
+  const DigitVec digits = node_system.decompose(dst);
+  DigitVec ports;
+  for (std::uint32_t h = 0; h < ancestor; ++h) {
+    ports.push_back(digits[h]);
+  }
+  return ports;
+}
+
+ScheduleResult StaticDestinationScheduler::schedule(
+    const FatTree& tree, std::span<const Request> requests, LinkState& state) {
+  FT_REQUIRE(tree.parent_arity() >= tree.child_arity());
+  ScheduleResult result;
+  result.outcomes.reserve(requests.size());
+  LeafTracker leaves(tree.node_count());
+
+  for (const Request& r : requests) {
+    RequestOutcome out;
+    out.path = Path{r.src, r.dst, 0, {}};
+    if (!leaves.try_claim(r.src, r.dst)) {
+      out.reason = RejectReason::kLeafBusy;
+      result.outcomes.push_back(out);
+      continue;
+    }
+    const std::uint64_t src_leaf = tree.leaf_switch(r.src).index;
+    const std::uint64_t dst_leaf = tree.leaf_switch(r.dst).index;
+    const std::uint32_t H = tree.common_ancestor_level(src_leaf, dst_leaf);
+    if (H == 0) {
+      out.granted = true;
+      result.outcomes.push_back(out);
+      continue;
+    }
+    const DigitVec ports = static_ports(tree, r.dst, H);
+
+    // The whole path is forced; only the up side can be contended (see
+    // header: a down collision implies an identical destination PE).
+    Transaction tx(state);
+    bool rejected = false;
+    std::uint64_t sigma = src_leaf;
+    for (std::uint32_t h = 0; h < H; ++h) {
+      if (!state.ulink(h, sigma, ports[h])) {
+        out.reason = RejectReason::kNoCommonPort;
+        out.fail_level = h;
+        rejected = true;
+        break;
+      }
+      tx.occupy_up(h, sigma, ports[h]);
+      sigma = tree.ascend(h, sigma, ports[h]);
+    }
+    if (!rejected) {
+      for (std::uint32_t h = H; h-- > 0;) {
+        const std::uint64_t delta = tree.side_switch(dst_leaf, h, ports);
+        // Among this scheduler's own circuits the channel is free by the
+        // destination-uniqueness theorem; it can still be held externally
+        // (pre-occupied state, faults), which is an honest rejection.
+        if (!state.dlink(h, delta, ports[h])) {
+          out.reason = RejectReason::kDownConflict;
+          out.fail_level = h;
+          rejected = true;
+          break;
+        }
+        tx.occupy_down(h, delta, ports[h]);
+      }
+    }
+
+    if (rejected) {
+      leaves.release(r.src, r.dst);
+      // tx rolls back on destruction
+    } else {
+      out.granted = true;
+      out.path.ancestor_level = H;
+      out.path.ports = ports;
+      tx.commit();
+    }
+    result.outcomes.push_back(out);
+  }
+  return result;
+}
+
+}  // namespace ftsched

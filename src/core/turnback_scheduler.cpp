@@ -1,0 +1,172 @@
+#include "core/turnback_scheduler.hpp"
+
+#include <algorithm>
+
+#include "linkstate/transaction.hpp"
+
+namespace ftsched {
+
+TurnbackScheduler::TurnbackScheduler(TurnbackOptions options)
+    : options_(options), rng_(options.seed) {
+  FT_REQUIRE(options_.max_probes >= 1);
+  name_ = "turnback-" + std::string(to_string(options_.policy)) + "-p" +
+          std::to_string(options_.max_probes);
+}
+
+namespace {
+
+/// DFS driver for one request. Holds up-channels along the current branch
+/// directly in `state` and releases them on backtrack.
+class TurnbackSearch {
+ public:
+  TurnbackSearch(const FatTree& tree, LinkState& state, std::uint64_t src_leaf,
+                 std::uint64_t dst_leaf, std::uint32_t ancestor,
+                 const TurnbackOptions& options, Xoshiro256ss& rng)
+      : tree_(tree),
+        state_(state),
+        dst_leaf_(dst_leaf),
+        ancestor_(ancestor),
+        options_(options),
+        rng_(rng) {
+    sigma_.push_back(src_leaf);
+  }
+
+  /// On success, `ports` is filled and all channels (up and down) are
+  /// occupied in the state. On failure nothing stays occupied.
+  bool run(DigitVec& ports, RejectReason& reason, std::uint32_t& fail_level) {
+    probes_left_ = options_.max_probes;
+    reason_ = RejectReason::kNoLocalUplink;
+    fail_level_ = 0;
+    const std::uint32_t outcome = descend_from(0);
+    if (outcome == kSuccess) {
+      ports = ports_;
+      return true;
+    }
+    reason = reason_;
+    fail_level = fail_level_;
+    return false;
+  }
+
+ private:
+  // descend_from returns kSuccess or the highest level whose port choice
+  // could repair the failure (callers at levels above it give up
+  // immediately).
+  static constexpr std::uint32_t kSuccess = UINT32_MAX;
+
+  std::uint32_t descend_from(std::uint32_t h) {
+    if (h == ancestor_) return try_descent();
+
+    const std::vector<std::uint32_t> candidates = candidate_ports(h);
+    if (candidates.empty()) {
+      // No locally free up-port: only a different σ_h (i.e. a choice at a
+      // lower level) can help.
+      note_failure(RejectReason::kNoLocalUplink, h);
+      return h == 0 ? 0 : h - 1;
+    }
+    for (std::uint32_t p : candidates) {
+      state_.set_ulink(h, sigma_.back(), p, false);  // hold tentatively
+      ports_.push_back(p);
+      sigma_.push_back(tree_.ascend(h, sigma_.back(), p));
+      const std::uint32_t res = descend_from(h + 1);
+      if (res == kSuccess) return kSuccess;
+      sigma_.pop_back();
+      ports_.pop_back();
+      state_.set_ulink(h, sigma_.back(), p, true);
+      if (probes_left_ == 0 || res < h) return res;  // cannot repair here
+    }
+    // All candidates exhausted; a different σ_h might still work.
+    return h == 0 ? 0 : h - 1;
+  }
+
+  std::uint32_t try_descent() {
+    FT_ASSERT(probes_left_ > 0);
+    --probes_left_;
+    for (std::uint32_t h = ancestor_; h-- > 0;) {
+      const std::uint64_t delta = tree_.side_switch(dst_leaf_, h, ports_);
+      if (!state_.dlink(h, delta, ports_[h])) {
+        note_failure(RejectReason::kDownConflict, h);
+        return h;  // only levels <= h can repair this conflict
+      }
+    }
+    // Free path found: occupy the downward channels (upward ones are already
+    // held along the DFS branch).
+    for (std::uint32_t h = ancestor_; h-- > 0;) {
+      state_.set_dlink(h, tree_.side_switch(dst_leaf_, h, ports_), ports_[h],
+                       false);
+    }
+    return kSuccess;
+  }
+
+  std::vector<std::uint32_t> candidate_ports(std::uint32_t h) {
+    std::vector<std::uint32_t> candidates;
+    const std::uint64_t sw = sigma_.back();
+    for (auto p = state_.first_local_ulink(h, sw); p;
+         p = state_.next_local_ulink(h, sw, *p + 1)) {
+      candidates.push_back(*p);
+    }
+    if (options_.policy == PortPolicy::kRandom) {
+      rng_.shuffle(candidates.begin(), candidates.end());
+    }
+    return candidates;
+  }
+
+  void note_failure(RejectReason reason, std::uint32_t level) {
+    reason_ = reason;
+    fail_level_ = level;
+  }
+
+  const FatTree& tree_;
+  LinkState& state_;
+  std::uint64_t dst_leaf_;
+  std::uint32_t ancestor_;
+  const TurnbackOptions& options_;
+  Xoshiro256ss& rng_;
+
+  SmallVec<std::uint64_t, kMaxTreeLevels> sigma_;  // σ_0 … σ_h along branch
+  DigitVec ports_;
+  std::uint32_t probes_left_ = 0;
+  RejectReason reason_ = RejectReason::kNoLocalUplink;
+  std::uint32_t fail_level_ = 0;
+};
+
+}  // namespace
+
+ScheduleResult TurnbackScheduler::schedule(const FatTree& tree,
+                                           std::span<const Request> requests,
+                                           LinkState& state) {
+  ScheduleResult result;
+  result.outcomes.reserve(requests.size());
+  LeafTracker leaves(tree.node_count());
+
+  for (const Request& r : requests) {
+    RequestOutcome out;
+    out.path = Path{r.src, r.dst, 0, {}};
+    if (!leaves.try_claim(r.src, r.dst)) {
+      out.reason = RejectReason::kLeafBusy;
+      result.outcomes.push_back(out);
+      continue;
+    }
+    const std::uint64_t src_leaf = tree.leaf_switch(r.src).index;
+    const std::uint64_t dst_leaf = tree.leaf_switch(r.dst).index;
+    const std::uint32_t H = tree.common_ancestor_level(src_leaf, dst_leaf);
+    if (H == 0) {
+      out.granted = true;
+      result.outcomes.push_back(out);
+      continue;
+    }
+
+    TurnbackSearch search(tree, state, src_leaf, dst_leaf, H, options_, rng_);
+    DigitVec ports;
+    if (search.run(ports, out.reason, out.fail_level)) {
+      out.granted = true;
+      out.path.ancestor_level = H;
+      out.path.ports = ports;
+    } else {
+      leaves.release(r.src, r.dst);
+    }
+    result.outcomes.push_back(out);
+  }
+  return result;
+}
+
+}  // namespace ftsched

@@ -1,0 +1,95 @@
+#include "core/verifier.hpp"
+
+#include <set>
+#include <vector>
+
+#include "topology/path.hpp"
+
+namespace ftsched {
+
+Status verify_schedule(const FatTree& tree, std::span<const Request> requests,
+                       const ScheduleResult& result,
+                       const LinkState* state_after,
+                       const VerifyOptions& options) {
+  if (result.outcomes.size() != requests.size()) {
+    return Status::error("result has " +
+                         std::to_string(result.outcomes.size()) +
+                         " outcomes for " + std::to_string(requests.size()) +
+                         " requests");
+  }
+
+  std::set<ChannelId> used_channels;
+  std::vector<bool> src_used(tree.node_count(), false);
+  std::vector<bool> dst_used(tree.node_count(), false);
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const RequestOutcome& out = result.outcomes[i];
+    if (!out.granted) continue;
+    const Request& r = requests[i];
+    if (out.path.src != r.src || out.path.dst != r.dst) {
+      return Status::error("outcome " + std::to_string(i) +
+                           " carries a path for the wrong endpoints");
+    }
+    Status legal = check_path_legal(tree, out.path);
+    if (!legal.ok()) {
+      return Status::error("request " + std::to_string(i) + " (" +
+                           to_string(out.path) + "): " + legal.message());
+    }
+    if (src_used[r.src]) {
+      return Status::error("PE " + std::to_string(r.src) +
+                           " injects two granted circuits");
+    }
+    if (dst_used[r.dst]) {
+      return Status::error("PE " + std::to_string(r.dst) +
+                           " receives two granted circuits");
+    }
+    src_used[r.src] = true;
+    dst_used[r.dst] = true;
+
+    for (const ChannelId& ch : expand_path(tree, out.path).channels) {
+      if (!used_channels.insert(ch).second) {
+        return Status::error("channel " + to_string(ch) +
+                             " is claimed by two granted circuits (second: " +
+                             to_string(out.path) + ")");
+      }
+    }
+  }
+
+  if (state_after != nullptr) {
+    // Rebuild the expected occupancy from the granted circuits alone.
+    LinkState expected(tree);
+    for (const RequestOutcome& out : result.outcomes) {
+      if (out.granted) expected.occupy_path(tree, out.path);
+    }
+    Status audit = state_after->audit();
+    if (!audit.ok()) return audit;
+    if (options.allow_residual_occupancy) {
+      // Every channel a granted circuit needs must be occupied in
+      // state_after (it may hold extra residue from rejected requests).
+      for (const RequestOutcome& out : result.outcomes) {
+        if (!out.granted) continue;
+        for (const ChannelId& ch : expand_path(tree, out.path).channels) {
+          const bool free =
+              ch.direction == Direction::kUp
+                  ? state_after->ulink(ch.cable.level, ch.cable.lower_index,
+                                       ch.cable.port)
+                  : state_after->dlink(ch.cable.level, ch.cable.lower_index,
+                                       ch.cable.port);
+          if (free) {
+            return Status::error("channel " + to_string(ch) +
+                                 " of granted circuit " + to_string(out.path) +
+                                 " is not occupied in the final state");
+          }
+        }
+      }
+    } else if (!(expected == *state_after)) {
+      return Status::error(
+          "final link state differs from the union of granted circuits "
+          "(rejected requests left residue, or grants were not applied)");
+    }
+  }
+
+  return Status();
+}
+
+}  // namespace ftsched

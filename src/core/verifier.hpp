@@ -1,0 +1,34 @@
+// Schedule verification — the safety net behind every experiment.
+//
+// A scheduler bug that over-grants would inflate the paper's headline metric
+// silently, so every test (and optionally every bench run) pushes its
+// ScheduleResult through verify_schedule:
+//   1. each granted path is legal (Theorems 1–2 hold for its port string),
+//   2. no inter-switch channel is claimed by two granted circuits,
+//   3. no PE injects or receives more than one granted circuit,
+//   4. if `state_after` is provided, its occupancy equals exactly the union
+//      of the granted circuits applied to a fresh state (i.e. rejected
+//      requests left no residue) — skip this check when running a scheduler
+//      in a deliberate no-release ablation mode.
+#pragma once
+
+#include <span>
+
+#include "core/request.hpp"
+#include "linkstate/link_state.hpp"
+#include "topology/fat_tree.hpp"
+
+namespace ftsched {
+
+struct VerifyOptions {
+  /// Set when the scheduler ran with release-on-reject disabled; check 4 is
+  /// then relaxed to "granted circuits are a subset of the occupancy".
+  bool allow_residual_occupancy = false;
+};
+
+Status verify_schedule(const FatTree& tree, std::span<const Request> requests,
+                       const ScheduleResult& result,
+                       const LinkState* state_after = nullptr,
+                       const VerifyOptions& options = {});
+
+}  // namespace ftsched

@@ -1,0 +1,94 @@
+// Signal<T> — SystemC-style signal with evaluate/update semantics.
+//
+// write() does not change the visible value immediately: the new value is
+// applied at the next delta boundary of the current timestamp, so every
+// process that reads the signal within the current phase sees the old value
+// regardless of execution order — that is what lets the switch models claim
+// "control signals are passed through each switch node in parallel" while
+// actually running sequentially.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "des/simulator.hpp"
+
+namespace ftsched {
+
+template <typename T>
+class Signal {
+ public:
+  Signal(Simulator& sim, T initial) : sim_(sim), value_(std::move(initial)) {}
+
+  Signal(const Signal&) = delete;
+  Signal& operator=(const Signal&) = delete;
+
+  const T& read() const { return value_; }
+
+  /// Schedules `v` to become visible at the next delta boundary. The last
+  /// write within one phase wins (SystemC resolution for sc_signal).
+  void write(T v) {
+    next_ = std::move(v);
+    if (!update_pending_) {
+      update_pending_ = true;
+      sim_.request_update([this] { apply(); });
+    }
+  }
+
+  /// Registers a callback invoked (in the next delta) whenever the visible
+  /// value changes. Callbacks must outlive the signal's use.
+  void on_change(std::function<void()> fn) {
+    watchers_.push_back(std::move(fn));
+  }
+
+ private:
+  void apply() {
+    update_pending_ = false;
+    if (next_ == value_) return;
+    value_ = std::move(next_);
+    for (auto& w : watchers_) {
+      // Watchers run as fresh events in the next delta of this timestamp.
+      sim_.schedule_at(sim_.now(), w);
+    }
+  }
+
+  Simulator& sim_;
+  T value_;
+  T next_{};
+  bool update_pending_ = false;
+  std::vector<std::function<void()>> watchers_;
+};
+
+/// A periodic clock driving a set of processes once per cycle. The switch
+/// models are synchronous state machines; Clock gives them their edges.
+class Clock {
+ public:
+  Clock(Simulator& sim, SimTime period) : sim_(sim), period_(period) {
+    FT_REQUIRE(period > 0);
+  }
+
+  /// Registers a process run at every rising edge, in registration order.
+  void on_edge(std::function<void()> fn) { processes_.push_back(std::move(fn)); }
+
+  /// Emits `cycles` rising edges starting at the current time.
+  void start(std::uint64_t cycles) {
+    for (std::uint64_t c = 0; c < cycles; ++c) {
+      sim_.schedule_in(c * period_, [this] { tick(); });
+    }
+  }
+
+  std::uint64_t ticks() const { return ticks_; }
+
+ private:
+  void tick() {
+    ++ticks_;
+    for (auto& p : processes_) p();
+  }
+
+  Simulator& sim_;
+  SimTime period_;
+  std::uint64_t ticks_ = 0;
+  std::vector<std::function<void()>> processes_;
+};
+
+}  // namespace ftsched

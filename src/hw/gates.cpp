@@ -1,0 +1,72 @@
+#include "hw/gates.hpp"
+
+namespace ftsched {
+
+namespace {
+
+/// One recursion = one merge level: split the span in half, prefer the low
+/// half (priority = lowest index wins), concatenate the index bit.
+PrioritySelection select_span(std::uint64_t word, std::uint32_t lo,
+                              std::uint32_t span) {
+  if (span == 1) {
+    PrioritySelection leaf;
+    leaf.any = (word >> lo) & 1u;
+    leaf.index = 0;
+    leaf.depth = 0;
+    return leaf;
+  }
+  const std::uint32_t half = span / 2;
+  const PrioritySelection low = select_span(word, lo, half);
+  const PrioritySelection high = select_span(word, lo + half, span - half);
+  PrioritySelection merged;
+  merged.any = low.any || high.any;
+  if (low.any) {
+    merged.index = low.index;
+  } else {
+    merged.index = half + high.index;
+  }
+  merged.depth = 1 + (low.depth > high.depth ? low.depth : high.depth);
+  return merged;
+}
+
+}  // namespace
+
+PrioritySelection priority_tree_select(std::uint64_t word,
+                                       std::uint32_t width) {
+  FT_REQUIRE(width >= 1 && width <= 64);
+  // Pad to the next power of two with zero inputs so every level is a
+  // clean 2:1 merge (hardware would tie the pads low).
+  std::uint32_t padded = 1;
+  while (padded < width) padded *= 2;
+  const std::uint64_t masked =
+      width == 64 ? word : word & ((std::uint64_t{1} << width) - 1);
+  PrioritySelection result = select_span(masked, 0, padded);
+  if (!result.any) result.index = 0;
+  FT_ASSERT(!result.any || result.index < width);
+  return result;
+}
+
+std::uint32_t compute_stage_depth(std::uint32_t width) {
+  return 1 + priority_tree_select(0, width).depth;
+}
+
+std::uint64_t priority_tree_cells(std::uint32_t width) {
+  FT_REQUIRE(width >= 1 && width <= 64);
+  std::uint32_t padded = 1;
+  while (padded < width) padded *= 2;
+  // A full binary tree over `padded` leaves has padded-1 internal merge
+  // cells; a cell at level k (1-based from the leaves) muxes k-1 index
+  // bits plus the any-OR: ~k LUTs.
+  std::uint64_t cells = 0;
+  std::uint32_t nodes = padded / 2;
+  std::uint32_t level = 1;
+  while (nodes >= 1) {
+    cells += static_cast<std::uint64_t>(nodes) * level;
+    if (nodes == 1) break;
+    nodes /= 2;
+    ++level;
+  }
+  return cells;
+}
+
+}  // namespace ftsched

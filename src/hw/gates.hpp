@@ -1,0 +1,45 @@
+// Gate-level model of the P-block's combinational datapath.
+//
+// TimingModel calibrates its cycle time to Table 1's three published
+// points; this module DERIVES the scaling term structurally instead of
+// assuming it: the priority selector over w request bits is built here as
+// an explicit binary tree of 2-input merge cells, each cell combining the
+// (any-set, index-bits) summaries of its halves. Evaluating the tree gives
+//   * the selected port (functionally identical to find-first-set — tests
+//     cross-check against the software primitive), and
+//   * the critical-path depth in gate levels, which is exactly
+//     ceil(log2 w) merge stages — the log term TimingModel charges 1 ns per
+//     level for.
+// The w-bit AND contributes one 2-input gate level (LUT-packed), and the
+// row-update mask decodes the selected index through the same tree depth,
+// overlapping the selector — so the end-to-end combinational depth of the
+// compute stage is depth(AND) + depth(selector), also reported here.
+#pragma once
+
+#include <cstdint>
+
+#include "util/contracts.hpp"
+
+namespace ftsched {
+
+struct PrioritySelection {
+  bool any = false;          ///< at least one input bit set
+  std::uint32_t index = 0;   ///< lowest set bit (valid when any)
+  std::uint32_t depth = 0;   ///< merge-cell levels on the critical path
+};
+
+/// Evaluates the priority-selector tree over the low `width` bits of
+/// `word` (width in [1, 64]). Pure combinational model: the result carries
+/// the tree depth actually traversed.
+PrioritySelection priority_tree_select(std::uint64_t word,
+                                       std::uint32_t width);
+
+/// End-to-end combinational depth of one P-block compute stage in gate
+/// levels: 1 (the Ulink AND Dlink gate) + the selector tree depth.
+std::uint32_t compute_stage_depth(std::uint32_t width);
+
+/// Gate-count estimate of the selector tree: one merge cell per internal
+/// tree node, each ~ (1 + log2 position-bits) LUTs.
+std::uint64_t priority_tree_cells(std::uint32_t width);
+
+}  // namespace ftsched

@@ -1,0 +1,75 @@
+// LinkMemory — the dual-port availability RAM inside a P-block.
+//
+// One memory per direction per block: row address = switch index at the
+// block's level, row contents = the w-bit availability vector. The paper's
+// load stage reads both memories, the update stage writes both back; a
+// dual-port RAM allows the read of request i+1 to overlap the write of
+// request i (see PBlock for the read-after-write forwarding this needs).
+// The functional model keeps rows always-consistent and counts accesses so
+// tests can assert the pipeline's memory traffic (2 reads + 2 writes per
+// scheduled level).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitvec.hpp"
+#include "util/contracts.hpp"
+
+namespace ftsched {
+
+class LinkMemory {
+ public:
+  LinkMemory(std::uint64_t rows, std::uint32_t width)
+      : rows_(rows), width_(width) {
+    FT_REQUIRE(width >= 1 && width <= 64);
+    data_.assign(rows, bits::low_mask(width));
+  }
+
+  std::uint64_t rows() const { return rows_; }
+  std::uint32_t width() const { return width_; }
+
+  std::uint64_t read(std::uint64_t row) {
+    FT_REQUIRE(row < rows_);
+    ++reads_;
+    return data_[row];
+  }
+
+  void write(std::uint64_t row, std::uint64_t value) {
+    FT_REQUIRE(row < rows_);
+    FT_REQUIRE((value & ~bits::low_mask(width_)) == 0);
+    ++writes_;
+    data_[row] = value;
+  }
+
+  /// Non-counting inspection for tests.
+  std::uint64_t peek(std::uint64_t row) const {
+    FT_REQUIRE(row < rows_);
+    return data_[row];
+  }
+
+  void fill_available() { data_.assign(rows_, bits::low_mask(width_)); }
+
+  std::uint64_t read_count() const { return reads_; }
+  std::uint64_t write_count() const { return writes_; }
+  void reset_counters() { reads_ = writes_ = 0; }
+
+ private:
+  std::uint64_t rows_;
+  std::uint32_t width_;
+  std::vector<std::uint64_t> data_;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+/// Priority selector: index of the lowest set bit, as the paper's
+/// combinational priority selector computes it. Returns width on all-zero
+/// input (the "no valid port" code).
+inline std::uint32_t priority_select(std::uint64_t word, std::uint32_t width) {
+  if (word == 0) return width;
+  const auto bit = static_cast<std::uint32_t>(bits::find_first_word(word));
+  FT_ASSERT(bit < width);
+  return bit;
+}
+
+}  // namespace ftsched

@@ -1,0 +1,52 @@
+#include "hw/resources.hpp"
+
+namespace ftsched {
+
+namespace {
+
+std::uint32_t bits_for(std::uint64_t count) {
+  std::uint32_t bits = 0;
+  while ((std::uint64_t{1} << bits) < count) ++bits;
+  return bits == 0 ? 1 : bits;
+}
+
+}  // namespace
+
+ResourceEstimate estimate_resources(const FatTree& tree) {
+  FT_REQUIRE(tree.levels() >= 2);
+  FT_REQUIRE(tree.parent_arity() <= 64);
+  constexpr std::uint64_t kM4kBits = 4096;
+
+  ResourceEstimate est;
+  est.pipeline_stages = tree.levels() - 1;
+  const std::uint32_t w = tree.parent_arity();
+
+  // Descriptor register: valid + alive + σ + δ + H + accumulated ports.
+  const std::uint32_t label_bits = bits_for(tree.switches_at(0));
+  est.descriptor_bits = 2 + 2 * label_bits + bits_for(tree.levels()) +
+                        est.pipeline_stages * bits_for(w);
+
+  for (std::uint32_t h = 0; h + 1 < tree.levels(); ++h) {
+    const std::uint64_t rows = tree.switches_at(h);
+    // Two memories (Ulink, Dlink), w bits per row each.
+    const std::uint64_t bits_per_memory = rows * w;
+    est.memory_bits += 2 * bits_per_memory;
+    // Each memory rounds up to whole M4K blocks on its own.
+    est.m4k_blocks += 2 * ((bits_per_memory + kM4kBits - 1) / kM4kBits);
+
+    // Per-block combinational logic (first-order ALUT heuristics).
+    const std::uint64_t and_aluts = w;
+    const std::uint64_t priority_aluts = 2 * w;
+    const std::uint64_t update_aluts = 2 * w;
+    const std::uint64_t shifter_aluts = 2 * label_bits;
+    est.aluts += and_aluts + priority_aluts + update_aluts + shifter_aluts;
+
+    // Stage registers: the descriptor plus the two row latches.
+    est.registers += est.descriptor_bits + 2 * w;
+  }
+  // Output register after the last block.
+  est.registers += est.descriptor_bits;
+  return est;
+}
+
+}  // namespace ftsched

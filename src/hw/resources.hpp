@@ -1,0 +1,37 @@
+// FPGA resource estimate for the centralized scheduler (paper §6).
+//
+// The paper reports post place-and-route results on an Altera Stratix II
+// but not the resource table itself; this model reconstructs the first-order
+// footprint from the architecture, so the capacity planner can say "that
+// fabric's scheduler needs this much FPGA":
+//   * link memories: 2 directions × rows(level) × w bits per P-block,
+//     mapped to M4K blocks (4 Kbit, the Stratix II mid-size BRAM),
+//   * per-block logic: a w-bit AND (w ALUTs), a w-input priority selector
+//     (~2w ALUTs across its tree), w-bit row update masks (~2w), and the
+//     Theorem-1 label shifters (~2 × label_bits ALUTs for σ and δ),
+//   * pipeline registers between blocks: descriptor width
+//     (valid + alive + 2 labels + accumulated ports).
+// All constants are first-order (LUT-count heuristics, not synthesis); the
+// value of the model is the SCALING — linear memory in N, logic in w per
+// block — which tests pin down.
+#pragma once
+
+#include <cstdint>
+
+#include "topology/fat_tree.hpp"
+
+namespace ftsched {
+
+struct ResourceEstimate {
+  std::uint64_t memory_bits = 0;     ///< total availability-RAM bits
+  std::uint64_t m4k_blocks = 0;      ///< 4 Kbit BRAMs (per-memory granularity)
+  std::uint64_t aluts = 0;           ///< combinational logic estimate
+  std::uint64_t registers = 0;       ///< pipeline + stage registers
+  std::uint32_t pipeline_stages = 0; ///< l - 1 P-blocks
+  std::uint32_t descriptor_bits = 0; ///< width of one inter-stage register
+};
+
+/// Requires levels >= 2 and parent_arity <= 64 (one memory word per row).
+ResourceEstimate estimate_resources(const FatTree& tree);
+
+}  // namespace ftsched

@@ -1,0 +1,71 @@
+#include "linkstate/faults.hpp"
+
+#include <algorithm>
+
+namespace ftsched {
+
+FaultPlan random_cable_faults(const FatTree& tree, double rate,
+                              std::uint64_t seed) {
+  FT_REQUIRE(rate >= 0.0 && rate <= 1.0);
+  Xoshiro256ss rng(seed);
+  FaultPlan plan;
+  for (std::uint32_t h = 0; h + 1 < tree.levels(); ++h) {
+    for (std::uint64_t sw = 0; sw < tree.switches_at(h); ++sw) {
+      for (std::uint32_t p = 0; p < tree.parent_arity(); ++p) {
+        if (rng.uniform01() < rate) {
+          plan.failed_cables.push_back(CableId{h, sw, p});
+        }
+      }
+    }
+  }
+  return plan;
+}
+
+FaultPlan exact_cable_faults(const FatTree& tree, std::uint64_t count,
+                             std::uint64_t seed) {
+  std::vector<CableId> all;
+  for (std::uint32_t h = 0; h + 1 < tree.levels(); ++h) {
+    for (std::uint64_t sw = 0; sw < tree.switches_at(h); ++sw) {
+      for (std::uint32_t p = 0; p < tree.parent_arity(); ++p) {
+        all.push_back(CableId{h, sw, p});
+      }
+    }
+  }
+  FT_REQUIRE(count <= all.size());
+  Xoshiro256ss rng(seed);
+  rng.shuffle(all.begin(), all.end());
+  all.resize(count);
+  // Deterministic order independent of the shuffle tail.
+  std::sort(all.begin(), all.end());
+  return FaultPlan{std::move(all)};
+}
+
+void apply_faults(LinkState& state, const FaultPlan& plan) {
+  for (const CableId& cable : plan.failed_cables) {
+    FT_REQUIRE(state.ulink(cable.level, cable.lower_index, cable.port));
+    FT_REQUIRE(state.dlink(cable.level, cable.lower_index, cable.port));
+    state.set_ulink(cable.level, cable.lower_index, cable.port, false);
+    state.set_dlink(cable.level, cable.lower_index, cable.port, false);
+  }
+}
+
+void clear_faults(LinkState& state, const FaultPlan& plan) {
+  for (const CableId& cable : plan.failed_cables) {
+    FT_REQUIRE(!state.ulink(cable.level, cable.lower_index, cable.port));
+    FT_REQUIRE(!state.dlink(cable.level, cable.lower_index, cable.port));
+    state.set_ulink(cable.level, cable.lower_index, cable.port, true);
+    state.set_dlink(cable.level, cable.lower_index, cable.port, true);
+  }
+}
+
+bool faults_still_marked(const LinkState& state, const FaultPlan& plan) {
+  for (const CableId& cable : plan.failed_cables) {
+    if (state.ulink(cable.level, cable.lower_index, cable.port) ||
+        state.dlink(cable.level, cable.lower_index, cable.port)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ftsched

@@ -1,0 +1,45 @@
+// Cable fault injection.
+//
+// A failed cable takes out BOTH directed channels (its Ulink and Dlink).
+// Because the schedulers consume availability through LinkState, marking a
+// faulted cable permanently occupied is exactly how a centralized fabric
+// manager masks dead links — no scheduler changes needed, and the
+// degradation benches measure how gracefully each algorithm routes around
+// damage. apply_faults() / clear_faults() are idempotent-free (they demand
+// the expected prior state) so double application is caught, not absorbed.
+#pragma once
+
+#include <vector>
+
+#include "linkstate/link_state.hpp"
+#include "topology/fat_tree.hpp"
+#include "util/rng.hpp"
+
+namespace ftsched {
+
+struct FaultPlan {
+  std::vector<CableId> failed_cables;
+};
+
+/// Draws each inter-switch cable independently with probability `rate`.
+FaultPlan random_cable_faults(const FatTree& tree, double rate,
+                              std::uint64_t seed);
+
+/// Exactly `count` distinct cables, uniformly chosen.
+FaultPlan exact_cable_faults(const FatTree& tree, std::uint64_t count,
+                             std::uint64_t seed);
+
+/// Marks every cable in the plan unavailable in both directions. Every
+/// affected channel must currently be available.
+void apply_faults(LinkState& state, const FaultPlan& plan);
+
+/// Restores the channels (e.g. repaired cables). Every affected channel must
+/// currently be occupied.
+void clear_faults(LinkState& state, const FaultPlan& plan);
+
+/// True if no granted circuit could ever cross a faulted cable: every
+/// channel of the plan is still occupied in `state`. Used by tests after a
+/// scheduling run.
+bool faults_still_marked(const LinkState& state, const FaultPlan& plan);
+
+}  // namespace ftsched

@@ -1,0 +1,270 @@
+#include "linkstate/link_state.hpp"
+
+#include "util/bitvec.hpp"
+
+namespace ftsched {
+
+LinkState::LinkState(const FatTree& tree)
+    : link_levels_(tree.levels() - 1),
+      w_(tree.parent_arity()),
+      row_words_(BitVec::word_count(tree.parent_arity())) {
+  for (std::uint32_t h = 0; h < link_levels_; ++h) {
+    rows_.push_back(tree.switches_at(h));
+  }
+  u_.resize(link_levels_);
+  d_.resize(link_levels_);
+  occupied_u_.assign(link_levels_, 0);
+  occupied_d_.assign(link_levels_, 0);
+  reset();
+}
+
+void LinkState::reset() {
+  for (std::uint32_t h = 0; h < link_levels_; ++h) {
+    u_[h].assign(rows_[h] * row_words_, 0);
+    d_[h].assign(rows_[h] * row_words_, 0);
+    // Set exactly w_ bits per row (spare high bits stay 0 so popcount-based
+    // accounting is exact).
+    for (std::uint64_t sw = 0; sw < rows_[h]; ++sw) {
+      for (std::uint64_t wd = 0; wd < row_words_; ++wd) {
+        const std::uint64_t bits_before = wd * 64;
+        const std::uint64_t bits_here =
+            w_ > bits_before ? std::min<std::uint64_t>(64, w_ - bits_before)
+                             : 0;
+        const std::uint64_t mask = bits::low_mask(bits_here);
+        u_[h][sw * row_words_ + wd] = mask;
+        d_[h][sw * row_words_ + wd] = mask;
+      }
+    }
+    occupied_u_[h] = 0;
+    occupied_d_[h] = 0;
+  }
+}
+
+void LinkState::set_bit(std::vector<Matrix>& mats, std::uint32_t level,
+                        std::uint64_t sw, std::uint32_t port, bool value) {
+  FT_REQUIRE(level < link_levels_);
+  FT_REQUIRE(sw < rows_[level]);
+  FT_REQUIRE(port < w_);
+  std::uint64_t& word = mats[level][sw * row_words_ + port / 64];
+  const std::uint64_t mask = std::uint64_t{1} << (port % 64);
+  if (value) {
+    word |= mask;
+  } else {
+    word &= ~mask;
+  }
+}
+
+void LinkState::set_ulink(std::uint32_t level, std::uint64_t sw,
+                          std::uint32_t port, bool available) {
+  const bool was = ulink(level, sw, port);
+  if (was == available) return;
+  set_bit(u_, level, sw, port, available);
+  occupied_u_[level] += available ? std::uint64_t(-1) : 1;
+}
+
+void LinkState::set_dlink(std::uint32_t level, std::uint64_t sw,
+                          std::uint32_t port, bool available) {
+  const bool was = dlink(level, sw, port);
+  if (was == available) return;
+  set_bit(d_, level, sw, port, available);
+  occupied_d_[level] += available ? std::uint64_t(-1) : 1;
+}
+
+std::optional<std::uint32_t> LinkState::first_available_port(
+    std::uint32_t level, std::uint64_t src_sw, std::uint64_t dst_sw) const {
+  return next_available_port(level, src_sw, dst_sw, 0);
+}
+
+std::optional<std::uint32_t> LinkState::next_available_port(
+    std::uint32_t level, std::uint64_t src_sw, std::uint64_t dst_sw,
+    std::uint32_t from) const {
+  FT_REQUIRE(level < link_levels_);
+  FT_REQUIRE(src_sw < rows_[level]);
+  FT_REQUIRE(dst_sw < rows_[level]);
+  if (from >= w_) return std::nullopt;
+  const std::uint64_t* su = &u_[level][src_sw * row_words_];
+  const std::uint64_t* dd = &d_[level][dst_sw * row_words_];
+  std::uint64_t wd = from / 64;
+  std::uint64_t word = (su[wd] & dd[wd]) & ~bits::low_mask(from % 64);
+  while (true) {
+    if (word != 0) {
+      return static_cast<std::uint32_t>(wd * 64 + bits::find_first_word(word));
+    }
+    if (++wd >= row_words_) return std::nullopt;
+    word = su[wd] & dd[wd];
+  }
+}
+
+std::uint32_t LinkState::available_port_count(std::uint32_t level,
+                                              std::uint64_t src_sw,
+                                              std::uint64_t dst_sw) const {
+  FT_REQUIRE(level < link_levels_);
+  FT_REQUIRE(src_sw < rows_[level]);
+  FT_REQUIRE(dst_sw < rows_[level]);
+  const std::uint64_t* su = &u_[level][src_sw * row_words_];
+  const std::uint64_t* dd = &d_[level][dst_sw * row_words_];
+  std::uint32_t count = 0;
+  for (std::uint64_t wd = 0; wd < row_words_; ++wd) {
+    count += static_cast<std::uint32_t>(bits::popcount(su[wd] & dd[wd]));
+  }
+  return count;
+}
+
+std::optional<std::uint32_t> LinkState::nth_available_port(
+    std::uint32_t level, std::uint64_t src_sw, std::uint64_t dst_sw,
+    std::uint32_t index) const {
+  FT_REQUIRE(level < link_levels_);
+  const std::uint64_t* su = &u_[level][src_sw * row_words_];
+  const std::uint64_t* dd = &d_[level][dst_sw * row_words_];
+  for (std::uint64_t wd = 0; wd < row_words_; ++wd) {
+    std::uint64_t word = su[wd] & dd[wd];
+    while (word != 0) {
+      const std::size_t bit = bits::find_first_word(word);
+      if (index == 0) return static_cast<std::uint32_t>(wd * 64 + bit);
+      --index;
+      word &= word - 1;
+    }
+  }
+  return std::nullopt;
+}
+
+std::uint32_t LinkState::local_ulink_count(std::uint32_t level,
+                                           std::uint64_t src_sw) const {
+  FT_REQUIRE(level < link_levels_);
+  FT_REQUIRE(src_sw < rows_[level]);
+  const std::uint64_t* su = &u_[level][src_sw * row_words_];
+  std::uint32_t count = 0;
+  for (std::uint64_t wd = 0; wd < row_words_; ++wd) {
+    count += static_cast<std::uint32_t>(bits::popcount(su[wd]));
+  }
+  return count;
+}
+
+std::optional<std::uint32_t> LinkState::first_local_ulink(
+    std::uint32_t level, std::uint64_t src_sw) const {
+  return next_local_ulink(level, src_sw, 0);
+}
+
+std::optional<std::uint32_t> LinkState::next_local_ulink(
+    std::uint32_t level, std::uint64_t src_sw, std::uint32_t from) const {
+  FT_REQUIRE(level < link_levels_);
+  FT_REQUIRE(src_sw < rows_[level]);
+  if (from >= w_) return std::nullopt;
+  const std::uint64_t* su = &u_[level][src_sw * row_words_];
+  std::uint64_t wd = from / 64;
+  std::uint64_t word = su[wd] & ~bits::low_mask(from % 64);
+  while (true) {
+    if (word != 0) {
+      return static_cast<std::uint32_t>(wd * 64 + bits::find_first_word(word));
+    }
+    if (++wd >= row_words_) return std::nullopt;
+    word = su[wd];
+  }
+}
+
+std::optional<std::uint32_t> LinkState::nth_local_ulink(
+    std::uint32_t level, std::uint64_t src_sw, std::uint32_t index) const {
+  FT_REQUIRE(level < link_levels_);
+  const std::uint64_t* su = &u_[level][src_sw * row_words_];
+  for (std::uint64_t wd = 0; wd < row_words_; ++wd) {
+    std::uint64_t word = su[wd];
+    while (word != 0) {
+      const std::size_t bit = bits::find_first_word(word);
+      if (index == 0) return static_cast<std::uint32_t>(wd * 64 + bit);
+      --index;
+      word &= word - 1;
+    }
+  }
+  return std::nullopt;
+}
+
+void LinkState::occupy(std::uint32_t level, std::uint64_t src_sw,
+                       std::uint64_t dst_sw, std::uint32_t port) {
+  FT_REQUIRE(ulink(level, src_sw, port));
+  FT_REQUIRE(dlink(level, dst_sw, port));
+  set_bit(u_, level, src_sw, port, false);
+  set_bit(d_, level, dst_sw, port, false);
+  ++occupied_u_[level];
+  ++occupied_d_[level];
+}
+
+void LinkState::release(std::uint32_t level, std::uint64_t src_sw,
+                        std::uint64_t dst_sw, std::uint32_t port) {
+  FT_REQUIRE(!ulink(level, src_sw, port));
+  FT_REQUIRE(!dlink(level, dst_sw, port));
+  set_bit(u_, level, src_sw, port, true);
+  set_bit(d_, level, dst_sw, port, true);
+  --occupied_u_[level];
+  --occupied_d_[level];
+}
+
+void LinkState::occupy_path(const FatTree& tree, const Path& path) {
+  const std::uint64_t src_leaf = tree.leaf_switch(path.src).index;
+  const std::uint64_t dst_leaf = tree.leaf_switch(path.dst).index;
+  for (std::uint32_t h = 0; h < path.ancestor_level; ++h) {
+    occupy(h, tree.side_switch(src_leaf, h, path.ports),
+           tree.side_switch(dst_leaf, h, path.ports), path.ports[h]);
+  }
+}
+
+void LinkState::release_path(const FatTree& tree, const Path& path) {
+  const std::uint64_t src_leaf = tree.leaf_switch(path.src).index;
+  const std::uint64_t dst_leaf = tree.leaf_switch(path.dst).index;
+  for (std::uint32_t h = 0; h < path.ancestor_level; ++h) {
+    release(h, tree.side_switch(src_leaf, h, path.ports),
+            tree.side_switch(dst_leaf, h, path.ports), path.ports[h]);
+  }
+}
+
+bool LinkState::path_available(const FatTree& tree, const Path& path) const {
+  const std::uint64_t src_leaf = tree.leaf_switch(path.src).index;
+  const std::uint64_t dst_leaf = tree.leaf_switch(path.dst).index;
+  for (std::uint32_t h = 0; h < path.ancestor_level; ++h) {
+    if (!ulink(h, tree.side_switch(src_leaf, h, path.ports), path.ports[h]) ||
+        !dlink(h, tree.side_switch(dst_leaf, h, path.ports), path.ports[h])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t LinkState::occupied_ulinks_at(std::uint32_t level) const {
+  FT_REQUIRE(level < link_levels_);
+  return occupied_u_[level];
+}
+
+std::uint64_t LinkState::occupied_dlinks_at(std::uint32_t level) const {
+  FT_REQUIRE(level < link_levels_);
+  return occupied_d_[level];
+}
+
+std::uint64_t LinkState::total_occupied() const {
+  std::uint64_t total = 0;
+  for (std::uint32_t h = 0; h < link_levels_; ++h) {
+    total += occupied_u_[h] + occupied_d_[h];
+  }
+  return total;
+}
+
+Status LinkState::audit() const {
+  for (std::uint32_t h = 0; h < link_levels_; ++h) {
+    std::uint64_t set_u = 0;
+    std::uint64_t set_d = 0;
+    for (std::uint64_t wd = 0; wd < rows_[h] * row_words_; ++wd) {
+      set_u += bits::popcount(u_[h][wd]);
+      set_d += bits::popcount(d_[h][wd]);
+    }
+    const std::uint64_t total = rows_[h] * w_;
+    if (total - set_u != occupied_u_[h]) {
+      return Status::error("ulink occupancy counter drift at level " +
+                           std::to_string(h));
+    }
+    if (total - set_d != occupied_d_[h]) {
+      return Status::error("dlink occupancy counter drift at level " +
+                           std::to_string(h));
+    }
+  }
+  return Status();
+}
+
+}  // namespace ftsched

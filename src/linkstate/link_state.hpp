@@ -1,0 +1,151 @@
+// LinkState — the global routing information of the paper's scheduler.
+//
+// For every inter-switch level h (0 … l-2) the paper keeps two bit matrices:
+//   Ulink(h, τ)[i] — upward channel through upper port i of SW(h, τ) is free
+//   Dlink(h, τ)[i] — downward channel through upper port i of SW(h, τ) is free
+// (bit value 1 = available, exactly as in the paper). Rows are packed w bits
+// wide into uint64 words; the scheduler's inner operation — AND the source
+// row with the destination row, take the first set bit (Fig. 7 lines 3-6) —
+// is one or a few word ops (Core Guidelines Per.16/19).
+//
+// LinkState is a value: copyable, snapshot-able, independent of the FatTree
+// object that sized it (it remembers only the dimensions).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "topology/fat_tree.hpp"
+#include "topology/path.hpp"
+#include "util/result.hpp"
+
+namespace ftsched {
+
+class LinkState {
+ public:
+  /// Sizes the matrices for `tree`; all channels start available.
+  explicit LinkState(const FatTree& tree);
+
+  /// Number of inter-switch levels (l - 1).
+  std::uint32_t link_levels() const { return link_levels_; }
+  std::uint32_t ports_per_switch() const { return w_; }
+  std::uint64_t rows_at(std::uint32_t level) const {
+    FT_REQUIRE(level < link_levels_);
+    return rows_[level];
+  }
+
+  /// Marks every channel available again.
+  void reset();
+
+  // --- Single-bit accessors -------------------------------------------------
+
+  bool ulink(std::uint32_t level, std::uint64_t sw, std::uint32_t port) const {
+    return test(u_, level, sw, port);
+  }
+  bool dlink(std::uint32_t level, std::uint64_t sw, std::uint32_t port) const {
+    return test(d_, level, sw, port);
+  }
+  void set_ulink(std::uint32_t level, std::uint64_t sw, std::uint32_t port,
+                 bool available);
+  void set_dlink(std::uint32_t level, std::uint64_t sw, std::uint32_t port,
+                 bool available);
+
+  // --- The scheduler's fused row operation ----------------------------------
+
+  /// First port i with Ulink(level, src_sw)[i] AND Dlink(level, dst_sw)[i]
+  /// (the paper's priority-selector semantics), or nullopt if the AND is all
+  /// zero — the request is unschedulable at this level.
+  std::optional<std::uint32_t> first_available_port(std::uint32_t level,
+                                                    std::uint64_t src_sw,
+                                                    std::uint64_t dst_sw) const;
+
+  /// Like first_available_port but skips ports below `from` — used by the
+  /// round-robin policy ablation.
+  std::optional<std::uint32_t> next_available_port(std::uint32_t level,
+                                                   std::uint64_t src_sw,
+                                                   std::uint64_t dst_sw,
+                                                   std::uint32_t from) const;
+
+  /// Number of ports available on BOTH sides (popcount of the AND).
+  std::uint32_t available_port_count(std::uint32_t level, std::uint64_t src_sw,
+                                     std::uint64_t dst_sw) const;
+
+  /// The `index`-th (0-based) available port of the AND row, or nullopt if
+  /// fewer are free — used by the random port policy.
+  std::optional<std::uint32_t> nth_available_port(std::uint32_t level,
+                                                  std::uint64_t src_sw,
+                                                  std::uint64_t dst_sw,
+                                                  std::uint32_t index) const;
+
+  /// Ports free on the SOURCE side only (local information — what the
+  /// conventional adaptive scheduler sees).
+  std::uint32_t local_ulink_count(std::uint32_t level,
+                                  std::uint64_t src_sw) const;
+  std::optional<std::uint32_t> first_local_ulink(std::uint32_t level,
+                                                 std::uint64_t src_sw) const;
+  std::optional<std::uint32_t> next_local_ulink(std::uint32_t level,
+                                                std::uint64_t src_sw,
+                                                std::uint32_t from) const;
+  std::optional<std::uint32_t> nth_local_ulink(std::uint32_t level,
+                                               std::uint64_t src_sw,
+                                               std::uint32_t index) const;
+
+  // --- Allocation -----------------------------------------------------------
+
+  /// Clears Ulink(level, src_sw)[port] and Dlink(level, dst_sw)[port]
+  /// (both must currently be available).
+  void occupy(std::uint32_t level, std::uint64_t src_sw, std::uint64_t dst_sw,
+              std::uint32_t port);
+
+  /// Inverse of occupy (both must currently be occupied).
+  void release(std::uint32_t level, std::uint64_t src_sw, std::uint64_t dst_sw,
+               std::uint32_t port);
+
+  /// Occupies every channel of an already-legal path (Ulink(h, σ_h, P_h) and
+  /// Dlink(h, δ_h, P_h) for h < H). All channels must be free.
+  void occupy_path(const FatTree& tree, const Path& path);
+  void release_path(const FatTree& tree, const Path& path);
+
+  /// True if every channel the path needs is currently available.
+  bool path_available(const FatTree& tree, const Path& path) const;
+
+  // --- Accounting & integrity -----------------------------------------------
+
+  std::uint64_t occupied_ulinks_at(std::uint32_t level) const;
+  std::uint64_t occupied_dlinks_at(std::uint32_t level) const;
+  std::uint64_t total_occupied() const;
+
+  /// Verifies internal counters against the bitmaps; a failure indicates a
+  /// bug in occupy/release sequencing.
+  Status audit() const;
+
+  friend bool operator==(const LinkState&, const LinkState&) = default;
+
+ private:
+  using Matrix = std::vector<std::uint64_t>;  // one per level, rows flattened
+
+  bool test(const std::vector<Matrix>& mats, std::uint32_t level,
+            std::uint64_t sw, std::uint32_t port) const {
+    FT_ASSERT(level < link_levels_);
+    FT_ASSERT(sw < rows_[level]);
+    FT_ASSERT(port < w_);
+    const std::uint64_t word =
+        mats[level][sw * row_words_ + port / 64];
+    return (word >> (port % 64)) & 1u;
+  }
+
+  void set_bit(std::vector<Matrix>& mats, std::uint32_t level,
+               std::uint64_t sw, std::uint32_t port, bool value);
+
+  std::uint32_t link_levels_ = 0;
+  std::uint32_t w_ = 0;
+  std::uint64_t row_words_ = 0;
+  std::vector<std::uint64_t> rows_;  // switches per link level
+  std::vector<Matrix> u_;
+  std::vector<Matrix> d_;
+  std::vector<std::uint64_t> occupied_u_;
+  std::vector<std::uint64_t> occupied_d_;
+};
+
+}  // namespace ftsched

@@ -1,0 +1,84 @@
+// Transaction — scoped, roll-back-able link allocation.
+//
+// The level-wise scheduler allocates a request's channels one level at a
+// time; if a later level has no common free port the request is rejected and
+// everything it grabbed below must be returned. The conventional local
+// scheduler needs the same, but allocates the two directions at different
+// times (up-channels while ascending, down-channels while descending), so
+// the transaction records single-sided entries too. All entries roll back
+// (newest first) unless commit() is called — RAII, so early exits cannot
+// leak occupied channels.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linkstate/link_state.hpp"
+
+namespace ftsched {
+
+class Transaction {
+ public:
+  explicit Transaction(LinkState& state) : state_(state) {}
+
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  ~Transaction() {
+    if (!committed_) rollback();
+  }
+
+  /// Occupies Ulink(level, src_sw)[port] + Dlink(level, dst_sw)[port] — the
+  /// level-wise scheduler's paired allocation.
+  void occupy(std::uint32_t level, std::uint64_t src_sw, std::uint64_t dst_sw,
+              std::uint32_t port) {
+    occupy_up(level, src_sw, port);
+    occupy_down(level, dst_sw, port);
+  }
+
+  /// Occupies only the upward channel (local scheduler, ascent phase).
+  void occupy_up(std::uint32_t level, std::uint64_t sw, std::uint32_t port) {
+    FT_REQUIRE(state_.ulink(level, sw, port));
+    state_.set_ulink(level, sw, port, false);
+    entries_.push_back(Entry{level, sw, port, Direction::kUp});
+  }
+
+  /// Occupies only the downward channel (local scheduler, descent phase).
+  void occupy_down(std::uint32_t level, std::uint64_t sw, std::uint32_t port) {
+    FT_REQUIRE(state_.dlink(level, sw, port));
+    state_.set_dlink(level, sw, port, false);
+    entries_.push_back(Entry{level, sw, port, Direction::kDown});
+  }
+
+  /// Keeps all allocations; the transaction becomes inert.
+  void commit() { committed_ = true; }
+
+  /// Releases every recorded allocation (newest first) immediately.
+  void rollback() {
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+      if (it->direction == Direction::kUp) {
+        state_.set_ulink(it->level, it->sw, it->port, true);
+      } else {
+        state_.set_dlink(it->level, it->sw, it->port, true);
+      }
+    }
+    entries_.clear();
+    committed_ = true;  // nothing left to undo
+  }
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::uint32_t level;
+    std::uint64_t sw;
+    std::uint32_t port;
+    Direction direction;
+  };
+
+  LinkState& state_;
+  std::vector<Entry> entries_;
+  bool committed_ = false;
+};
+
+}  // namespace ftsched

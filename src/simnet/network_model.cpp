@@ -1,0 +1,73 @@
+#include "simnet/network_model.hpp"
+
+namespace ftsched {
+
+NetworkModel::NetworkModel(const FatTree& tree) : tree_(tree) {
+  switches_.resize(tree.levels());
+  for (std::uint32_t h = 0; h < tree.levels(); ++h) {
+    const std::uint64_t count = tree.switches_at(h);
+    switches_[h].reserve(count);
+    // Top-level switches have no up ports; intermediate ones have w.
+    const std::uint32_t ups =
+        h + 1 < tree.levels() ? tree.parent_arity() : 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      switches_[h].emplace_back(SwitchId{h, i}, tree.child_arity(), ups);
+    }
+  }
+}
+
+SwitchNode& NetworkModel::at(const SwitchId& sw) {
+  FT_REQUIRE(sw.level < switches_.size());
+  FT_REQUIRE(sw.index < switches_[sw.level].size());
+  return switches_[sw.level][sw.index];
+}
+
+const SwitchNode& NetworkModel::at(const SwitchId& sw) const {
+  FT_REQUIRE(sw.level < switches_.size());
+  FT_REQUIRE(sw.index < switches_[sw.level].size());
+  return switches_[sw.level][sw.index];
+}
+
+void NetworkModel::clear() {
+  for (auto& level : switches_) {
+    for (auto& sw : level) sw.clear();
+  }
+}
+
+std::uint64_t NetworkModel::total_connections() const {
+  std::uint64_t total = 0;
+  for (const auto& level : switches_) {
+    for (const auto& sw : level) total += sw.connection_count();
+  }
+  return total;
+}
+
+NetworkModel::Hop NetworkModel::next_hop(const SwitchId& sw,
+                                         std::uint32_t output) const {
+  const SwitchNode& node = at(sw);
+  const std::uint32_t m = tree_.child_arity();
+  Hop hop;
+  if (output < m) {
+    // Down port: to a PE at level 0, to the child switch otherwise.
+    if (sw.level == 0) {
+      hop.to_node = true;
+      hop.node = tree_.node_at(sw.index, output);
+      return hop;
+    }
+    const FatTree::DownHop down = tree_.down_neighbor(sw, output);
+    hop.next = down.child;
+    // Enters the child through its upper port used by this cable.
+    hop.input = at(down.child).up_port(down.child_up_port);
+    return hop;
+  }
+  // Up port: to the parent switch, entering through the parent's down port
+  // that leads back here.
+  const std::uint32_t up_index = output - m;
+  FT_REQUIRE(up_index < node.up_ports());
+  const SwitchId parent = tree_.up_neighbor(sw, up_index);
+  hop.next = parent;
+  hop.input = at(parent).down_port(tree_.parent_down_port(sw));
+  return hop;
+}
+
+}  // namespace ftsched

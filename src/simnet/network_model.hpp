@@ -1,0 +1,45 @@
+// NetworkModel — all switch nodes of a fat tree, wired per the topology.
+//
+// Owns one SwitchNode per SW(h, τ) and answers "where does this output port
+// lead": the structural glue between the arithmetic FatTree and the
+// event-driven simulations.
+#pragma once
+
+#include <vector>
+
+#include "simnet/switch_node.hpp"
+#include "topology/fat_tree.hpp"
+
+namespace ftsched {
+
+class NetworkModel {
+ public:
+  /// The tree must outlive the model.
+  explicit NetworkModel(const FatTree& tree);
+
+  const FatTree& tree() const { return tree_; }
+
+  SwitchNode& at(const SwitchId& sw);
+  const SwitchNode& at(const SwitchId& sw) const;
+
+  /// Resets every crossbar.
+  void clear();
+
+  /// Total programmed crossbar connections across the fabric.
+  std::uint64_t total_connections() const;
+
+  /// Where a cell leaving `sw` through dense output port `output` arrives.
+  struct Hop {
+    bool to_node = false;   ///< true: delivered to a PE (level-0 down port)
+    NodeId node = 0;        ///< valid when to_node
+    SwitchId next{};        ///< valid when !to_node
+    std::uint32_t input = 0;  ///< dense input port at `next`
+  };
+  Hop next_hop(const SwitchId& sw, std::uint32_t output) const;
+
+ private:
+  const FatTree& tree_;
+  std::vector<std::vector<SwitchNode>> switches_;  // [level][index]
+};
+
+}  // namespace ftsched

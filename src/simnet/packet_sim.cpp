@@ -1,0 +1,324 @@
+#include "simnet/packet_sim.hpp"
+
+#include <algorithm>
+
+namespace ftsched {
+
+PacketSim::PacketSim(const FatTree& tree, PacketSimOptions options)
+    : tree_(tree), options_(options) {
+  FT_REQUIRE(options_.queue_capacity >= 1);
+  FT_REQUIRE(options_.injection_rate >= 0.0 && options_.injection_rate <= 1.0);
+  FT_REQUIRE(options_.flits_per_packet >= 1);
+  if (options_.routing == PacketRouting::kStatic) {
+    FT_REQUIRE(tree.parent_arity() >= tree.child_arity());
+  }
+}
+
+namespace {
+
+/// Message descriptor; flits reference it by arena index. The routing
+/// fields are only consulted at the switch currently holding the HEAD flit,
+/// so sharing one descriptor across the worm's span is safe.
+struct Message {
+  NodeId dst = 0;
+  std::uint32_t ancestor = 0;     ///< level to climb to
+  bool descending = false;
+  bool measured = false;          ///< injected inside the measure window
+  std::uint64_t injected_at = 0;
+  DigitVec dst_node_digits;       ///< base-m digits of dst (l digits)
+};
+
+struct Flit {
+  std::uint32_t message = 0;
+  bool head = false;
+  bool tail = false;
+};
+
+constexpr std::int32_t kUnlocked = -1;
+
+struct SwitchQueues {
+  std::vector<std::deque<Flit>> in;        ///< dense input port -> FIFO
+  std::vector<std::int32_t> in_lock;       ///< input -> locked output
+  std::vector<std::int32_t> out_owner;     ///< output -> locking input
+};
+
+}  // namespace
+
+PacketSimReport PacketSim::run() {
+  const std::uint32_t levels = tree_.levels();
+  const std::uint32_t m = tree_.child_arity();
+  const std::uint32_t w = levels > 1 ? tree_.parent_arity() : 0;
+  const std::uint32_t flits = options_.flits_per_packet;
+  const MixedRadix node_system = MixedRadix::uniform(m, levels);
+  Xoshiro256ss rng(options_.seed);
+
+  // Fabric state.
+  std::vector<std::vector<SwitchQueues>> fabric(levels);
+  for (std::uint32_t h = 0; h < levels; ++h) {
+    fabric[h].resize(tree_.switches_at(h));
+    const std::uint32_t ports = m + (h + 1 < levels ? w : 0);
+    for (auto& sw : fabric[h]) {
+      sw.in.resize(ports);
+      sw.in_lock.assign(ports, kUnlocked);
+      sw.out_owner.assign(ports, kUnlocked);
+    }
+  }
+  auto queue_at = [&](const SwitchId& sw, std::uint32_t port)
+      -> std::deque<Flit>& { return fabric[sw.level][sw.index].in[port]; };
+
+  // Message arena (never shrinks; index = flit.message).
+  std::vector<Message> messages;
+
+  // Per-PE source backlog (flits of not-yet-injected messages, in order)
+  // and fixed permutation partners.
+  std::vector<std::deque<Flit>> backlog(tree_.node_count());
+  std::vector<NodeId> partner(tree_.node_count());
+  for (NodeId n = 0; n < tree_.node_count(); ++n) partner[n] = n;
+  if (!options_.uniform_destinations) {
+    rng.shuffle(partner.begin(), partner.end());
+  }
+
+  PacketSimReport report;
+  std::uint64_t window_deliveries = 0;
+  std::uint64_t latency_sum = 0;
+  std::uint64_t occupancy_samples = 0;
+  std::uint64_t occupancy_sum = 0;
+  std::uint64_t total_queues = 0;
+  for (std::uint32_t h = 0; h < levels; ++h) {
+    total_queues += tree_.switches_at(h) * (m + (h + 1 < levels ? w : 0));
+  }
+
+  // Per-switch, per-output round-robin grant pointers and the rotating
+  // tie-break counter for adaptive up-port selection.
+  std::vector<std::vector<std::vector<std::uint32_t>>> rr(levels);
+  std::vector<std::vector<std::uint32_t>> adaptive_rotate(levels);
+  for (std::uint32_t h = 0; h < levels; ++h) {
+    const std::uint32_t ports = m + (h + 1 < levels ? w : 0);
+    rr[h].assign(tree_.switches_at(h), std::vector<std::uint32_t>(ports, 0));
+    adaptive_rotate[h].assign(tree_.switches_at(h), 0);
+  }
+
+  const std::uint64_t total_cycles =
+      options_.warmup_cycles + options_.measure_cycles +
+      /*drain=*/options_.warmup_cycles + 2000 + 20ull * flits;
+
+  struct Move {
+    Flit flit;
+    SwitchId to{};
+    std::uint32_t input = 0;
+    bool eject = false;
+  };
+  std::vector<Move> moves;
+
+  for (std::uint64_t cycle = 0; cycle < total_cycles; ++cycle) {
+    const bool in_measure =
+        cycle >= options_.warmup_cycles &&
+        cycle < options_.warmup_cycles + options_.measure_cycles;
+
+    // --- Injection: generate messages, then stream backlog flits into the
+    // PE's leaf-switch FIFO as space permits (one flit per cycle per PE —
+    // the injection channel has unit bandwidth too).
+    if (cycle < options_.warmup_cycles + options_.measure_cycles) {
+      for (NodeId src = 0; src < tree_.node_count(); ++src) {
+        if (rng.uniform01() >= options_.injection_rate) continue;
+        NodeId dst = options_.uniform_destinations
+                         ? rng.below(tree_.node_count())
+                         : partner[src];
+        if (dst == src) dst = (dst + 1) % tree_.node_count();
+        Message msg;
+        msg.dst = dst;
+        msg.injected_at = cycle;
+        msg.measured = in_measure;
+        const std::uint64_t src_leaf = tree_.leaf_switch(src).index;
+        const std::uint64_t dst_leaf = tree_.leaf_switch(dst).index;
+        msg.ancestor = tree_.common_ancestor_level(src_leaf, dst_leaf);
+        msg.descending = msg.ancestor == 0;
+        msg.dst_node_digits = node_system.decompose(dst);
+        if (msg.measured) ++report.offered;
+        const auto id = static_cast<std::uint32_t>(messages.size());
+        messages.push_back(std::move(msg));
+        for (std::uint32_t f = 0; f < flits; ++f) {
+          backlog[src].push_back(Flit{id, f == 0, f + 1 == flits});
+        }
+      }
+    }
+    // Backlog drains every cycle — generation stops at the window's end,
+    // but already-generated messages must still enter the fabric.
+    for (NodeId src = 0; src < tree_.node_count(); ++src) {
+      if (backlog[src].empty()) continue;
+      const SwitchId leaf = tree_.leaf_switch(src);
+      auto& q = queue_at(leaf, tree_.leaf_port(src));
+      if (q.size() < options_.queue_capacity) {
+        q.push_back(backlog[src].front());
+        backlog[src].pop_front();
+      }
+    }
+
+    // --- Switching.
+    moves.clear();
+    for (std::uint32_t h = 0; h < levels; ++h) {
+      const std::uint32_t in_ports = m + (h + 1 < levels ? w : 0);
+      for (std::uint64_t i = 0; i < tree_.switches_at(h); ++i) {
+        const SwitchId sw{h, i};
+        SwitchQueues& node = fabric[h][i];
+
+        auto output_accepts = [&](std::uint32_t out, const Flit& f,
+                                  Move& mv) -> bool {
+          if (out < m && h == 0) {
+            mv = Move{f, SwitchId{}, 0, true};
+            return true;  // ejection always accepted
+          }
+          SwitchId next{};
+          std::uint32_t next_in = 0;
+          if (out < m) {
+            const FatTree::DownHop hop = tree_.down_neighbor(sw, out);
+            next = hop.child;
+            next_in = m + hop.child_up_port;
+          } else {
+            next = tree_.up_neighbor(sw, out - m);
+            next_in = tree_.parent_down_port(sw);
+          }
+          if (queue_at(next, next_in).size() >= options_.queue_capacity) {
+            return false;
+          }
+          mv = Move{f, next, next_in, false};
+          return true;
+        };
+
+        // Phase A: locked inputs stream their body flits (the channel is
+        // reserved; only downstream credit can stall them).
+        for (std::uint32_t in = 0; in < in_ports; ++in) {
+          const std::int32_t out = node.in_lock[in];
+          if (out == kUnlocked) continue;
+          auto& q = node.in[in];
+          if (q.empty()) continue;  // worm stretched thin upstream
+          const Flit f = q.front();
+          FT_ASSERT(!f.head);  // the head established the lock and left
+          Move mv;
+          if (!output_accepts(static_cast<std::uint32_t>(out), f, mv)) {
+            continue;
+          }
+          q.pop_front();
+          moves.push_back(mv);
+          if (f.tail) {
+            node.out_owner[static_cast<std::size_t>(out)] = kUnlocked;
+            node.in_lock[in] = kUnlocked;
+          }
+        }
+
+        // Phase B: head flits compute their desired output...
+        std::vector<std::int64_t> want(in_ports, -1);
+        for (std::uint32_t in = 0; in < in_ports; ++in) {
+          if (node.in_lock[in] != kUnlocked) continue;
+          auto& q = node.in[in];
+          if (q.empty() || !q.front().head) continue;
+          Message& msg = messages[q.front().message];
+          if (!msg.descending && h == msg.ancestor) msg.descending = true;
+          if (msg.descending) {
+            want[in] = msg.dst_node_digits[h];
+          } else if (options_.routing == PacketRouting::kStatic) {
+            want[in] = m + msg.dst_node_digits[h];
+          } else {
+            // Adaptive: up port whose downstream FIFO has the most free
+            // slots; rotating scan start so ties spread across ports.
+            const std::uint32_t start = adaptive_rotate[h][i]++ % w;
+            std::uint32_t best_port = start;
+            std::size_t best_free = 0;
+            for (std::uint32_t k = 0; k < w; ++k) {
+              const std::uint32_t up = (start + k) % w;
+              const SwitchId parent = tree_.up_neighbor(sw, up);
+              const auto& down_q = fabric[parent.level][parent.index]
+                                       .in[tree_.parent_down_port(sw)];
+              const std::size_t free =
+                  options_.queue_capacity -
+                  std::min<std::size_t>(options_.queue_capacity,
+                                        down_q.size());
+              if (free > best_free) {
+                best_free = free;
+                best_port = up;
+              }
+            }
+            want[in] = m + best_port;
+          }
+        }
+
+        // ...and arbitrate per output (skipping outputs locked to worms).
+        for (std::uint32_t out = 0; out < in_ports; ++out) {
+          if (node.out_owner[out] != kUnlocked) continue;
+          std::int64_t granted = -1;
+          for (std::uint32_t k = 0; k < in_ports; ++k) {
+            const std::uint32_t in = (rr[h][i][out] + k) % in_ports;
+            if (want[in] == out) {
+              granted = in;
+              break;
+            }
+          }
+          if (granted < 0) continue;
+          const auto gin = static_cast<std::uint32_t>(granted);
+          auto& q = node.in[gin];
+          const Flit f = q.front();
+          Move mv;
+          if (!output_accepts(out, f, mv)) continue;
+          q.pop_front();
+          moves.push_back(mv);
+          rr[h][i][out] = (gin + 1) % in_ports;
+          if (!f.tail) {
+            // Multi-flit worm: lock the channel until the tail passes.
+            node.in_lock[gin] = static_cast<std::int32_t>(out);
+            node.out_owner[out] = static_cast<std::int32_t>(gin);
+          }
+        }
+      }
+    }
+
+    // --- Commit moves (arrivals visible next cycle).
+    for (const Move& mv : moves) {
+      if (mv.eject) {
+        const Message& msg = messages[mv.flit.message];
+        if (mv.flit.tail) {
+          if (in_measure) ++window_deliveries;
+          if (msg.measured) {
+            ++report.delivered;
+            const std::uint64_t latency = cycle + 1 - msg.injected_at;
+            latency_sum += latency;
+            report.max_latency =
+                std::max(report.max_latency, static_cast<double>(latency));
+          }
+        }
+        continue;
+      }
+      queue_at(mv.to, mv.input).push_back(mv.flit);
+    }
+
+    // --- Occupancy sampling.
+    if (in_measure) {
+      std::uint64_t filled = 0;
+      for (std::uint32_t h = 0; h < levels; ++h) {
+        for (const auto& sw : fabric[h]) {
+          for (const auto& q : sw.in) filled += q.size();
+        }
+      }
+      occupancy_sum += filled;
+      ++occupancy_samples;
+    }
+  }
+
+  if (report.delivered > 0) {
+    report.avg_latency = static_cast<double>(latency_sum) /
+                         static_cast<double>(report.delivered);
+  }
+  report.throughput =
+      static_cast<double>(window_deliveries) /
+      (static_cast<double>(tree_.node_count()) *
+       static_cast<double>(options_.measure_cycles));
+  if (occupancy_samples > 0) {
+    report.avg_queue_occupancy =
+        static_cast<double>(occupancy_sum) /
+        (static_cast<double>(occupancy_samples) *
+         static_cast<double>(total_queues) *
+         static_cast<double>(options_.queue_capacity));
+  }
+  return report;
+}
+
+}  // namespace ftsched

@@ -1,0 +1,30 @@
+#include "simnet/switch_node.hpp"
+
+namespace ftsched {
+
+Status SwitchNode::connect(std::uint32_t input, std::uint32_t output) {
+  FT_REQUIRE(input < crossbar_.size());
+  FT_REQUIRE(output < output_driven_.size());
+  if (crossbar_[input] != kUnconnected) {
+    return Status::error(to_string(id_) + ": input port " +
+                         std::to_string(input) + " already routed to " +
+                         std::to_string(crossbar_[input]));
+  }
+  if (output_driven_[output]) {
+    return Status::error(to_string(id_) + ": output port " +
+                         std::to_string(output) +
+                         " already driven by another input");
+  }
+  crossbar_[input] = output;
+  output_driven_[output] = true;
+  ++connections_;
+  return Status();
+}
+
+void SwitchNode::clear() {
+  crossbar_.assign(crossbar_.size(), kUnconnected);
+  output_driven_.assign(output_driven_.size(), false);
+  connections_ = 0;
+}
+
+}  // namespace ftsched

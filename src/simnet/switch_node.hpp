@@ -1,0 +1,74 @@
+// SwitchNode — a 2w-port crossbar switch model.
+//
+// Ports follow the paper's Figure 1(a): m bidirectional ports face down
+// (children at levels > 0, processing elements at level 0) and w face up.
+// Internally a port is a dense index: down ports occupy [0, m), up ports
+// [m, m+w). The crossbar maps input channels to output channels injectively;
+// programming a conflicting connection is reported, not absorbed — that is
+// exactly the error a broken scheduler would cause.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "topology/ids.hpp"
+#include "util/result.hpp"
+
+namespace ftsched {
+
+class SwitchNode {
+ public:
+  SwitchNode(SwitchId id, std::uint32_t down_ports, std::uint32_t up_ports)
+      : id_(id),
+        down_ports_(down_ports),
+        up_ports_(up_ports),
+        crossbar_(down_ports + up_ports, kUnconnected),
+        output_driven_(down_ports + up_ports, false) {}
+
+  SwitchId id() const { return id_; }
+  std::uint32_t down_ports() const { return down_ports_; }
+  std::uint32_t up_ports() const { return up_ports_; }
+
+  std::uint32_t down_port(std::uint32_t i) const {
+    FT_REQUIRE(i < down_ports_);
+    return i;
+  }
+  std::uint32_t up_port(std::uint32_t i) const {
+    FT_REQUIRE(i < up_ports_);
+    return down_ports_ + i;
+  }
+
+  /// Programs input -> output. Fails if the input is already routed or the
+  /// output already driven by another input.
+  Status connect(std::uint32_t input, std::uint32_t output);
+
+  /// Where the crossbar sends `input`, if connected.
+  std::optional<std::uint32_t> route(std::uint32_t input) const {
+    FT_REQUIRE(input < crossbar_.size());
+    if (crossbar_[input] == kUnconnected) return std::nullopt;
+    return crossbar_[input];
+  }
+
+  bool output_driven(std::uint32_t output) const {
+    FT_REQUIRE(output < output_driven_.size());
+    return output_driven_[output];
+  }
+
+  /// Number of programmed crossbar connections.
+  std::uint32_t connection_count() const { return connections_; }
+
+  void clear();
+
+ private:
+  static constexpr std::uint32_t kUnconnected = UINT32_MAX;
+
+  SwitchId id_;
+  std::uint32_t down_ports_;
+  std::uint32_t up_ports_;
+  std::uint32_t connections_ = 0;
+  std::vector<std::uint32_t> crossbar_;    // input -> output
+  std::vector<bool> output_driven_;
+};
+
+}  // namespace ftsched

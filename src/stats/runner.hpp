@@ -1,0 +1,43 @@
+// ExperimentRunner — the engine behind every figure bench.
+//
+// One experiment point = (tree, scheduler, pattern, repetitions). The runner
+// regenerates the workload from a deterministic per-repetition seed, resets
+// the link state, schedules, optionally verifies the result against the
+// PathVerifier, and aggregates the schedulability ratios into a Summary.
+// This keeps bench binaries down to declaring their parameter grid.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/registry.hpp"
+#include "core/verifier.hpp"
+#include "stats/summary.hpp"
+#include "workload/patterns.hpp"
+
+namespace ftsched {
+
+struct ExperimentConfig {
+  std::string scheduler = "levelwise";
+  TrafficPattern pattern = TrafficPattern::kRandomPermutation;
+  WorkloadOptions workload;
+  std::size_t repetitions = 100;  ///< the paper's 100 permutations per point
+  std::uint64_t seed = 2006;      ///< base seed; repetition r uses seed ⊕ mix(r)
+  bool verify = true;             ///< run verify_schedule on every repetition
+  /// Set for schedulers deliberately run in no-release mode ("local-hold"):
+  /// relaxes the final-state check to subset semantics.
+  bool allow_residual = false;
+};
+
+struct ExperimentPoint {
+  Summary schedulability;
+  std::uint64_t total_requests = 0;
+  std::uint64_t total_granted = 0;
+};
+
+/// Runs one experiment point. Aborts (contract) on unknown scheduler name —
+/// bench grids are static; use make_scheduler directly for user input.
+ExperimentPoint run_experiment(const FatTree& tree,
+                               const ExperimentConfig& config);
+
+}  // namespace ftsched

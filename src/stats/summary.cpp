@@ -1,0 +1,55 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/contracts.hpp"
+#include "util/table.hpp"
+
+namespace ftsched {
+
+Summary Summary::from(std::span<const double> samples) {
+  FT_REQUIRE(!samples.empty());
+  Summary s;
+  s.count = samples.size();
+  s.min = samples[0];
+  s.max = samples[0];
+  double sum = 0.0;
+  for (double x : samples) {
+    sum += x;
+    if (x < s.min) s.min = x;
+    if (x > s.max) s.max = x;
+  }
+  s.mean = sum / static_cast<double>(s.count);
+  if (s.count > 1) {
+    double sq = 0.0;
+    for (double x : samples) sq += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(sq / static_cast<double>(s.count - 1));
+  }
+  return s;
+}
+
+double Summary::ci95_half_width() const {
+  if (count < 2) return 0.0;
+  return 1.96 * stddev / std::sqrt(static_cast<double>(count));
+}
+
+std::string Summary::ratio_string() const {
+  return TextTable::pct(mean) + " [" + TextTable::pct(min) + ", " +
+         TextTable::pct(max) + "]";
+}
+
+double percentile(std::span<const double> samples, double q) {
+  FT_REQUIRE(!samples.empty());
+  FT_REQUIRE(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double position = q * static_cast<double>(sorted.size() - 1);
+  const auto lower = static_cast<std::size_t>(position);
+  if (lower + 1 >= sorted.size()) return sorted.back();
+  const double fraction = position - static_cast<double>(lower);
+  return sorted[lower] * (1.0 - fraction) + sorted[lower + 1] * fraction;
+}
+
+}  // namespace ftsched

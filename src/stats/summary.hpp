@@ -1,0 +1,36 @@
+// Summary statistics over repeated experiment runs.
+//
+// Figure 9's bars are the average schedulability ratio over 100 random
+// permutations, with whiskers at the observed minimum and maximum — Summary
+// carries exactly those plus stddev and a normal-approximation confidence
+// interval for the extended analyses.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace ftsched {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1)
+
+  static Summary from(std::span<const double> samples);
+
+  /// Half-width of the normal-approximation CI at ~95% (1.96 s / sqrt(n)).
+  double ci95_half_width() const;
+
+  /// "mean [min, max]" with percentages, for ratio-valued samples.
+  std::string ratio_string() const;
+};
+
+/// The q-quantile (q in [0, 1]) of `samples` by linear interpolation
+/// between order statistics (the common "type 7" definition). Copies and
+/// sorts internally — analysis-path helper, not for hot loops.
+double percentile(std::span<const double> samples, double q);
+
+}  // namespace ftsched

@@ -1,0 +1,64 @@
+#include "topology/dot.hpp"
+
+namespace ftsched {
+
+namespace {
+
+std::string switch_name(const SwitchId& sw) {
+  return "sw_" + std::to_string(sw.level) + "_" + std::to_string(sw.index);
+}
+
+}  // namespace
+
+void export_dot(const FatTree& tree, std::ostream& os,
+                const DotOptions& options) {
+  os << "graph fat_tree {\n";
+  os << "  // FT(l=" << tree.levels() << ", m=" << tree.child_arity()
+     << ", w=" << tree.parent_arity() << "), " << tree.node_count()
+     << " nodes\n";
+  os << "  node [shape=box];\n";
+
+  for (std::uint32_t h = 0; h < tree.levels(); ++h) {
+    if (options.rank_by_level) os << "  { rank=same;";
+    for (std::uint64_t i = 0; i < tree.switches_at(h); ++i) {
+      const SwitchId sw{h, i};
+      if (options.rank_by_level) {
+        os << " " << switch_name(sw) << ";";
+      } else {
+        os << "  " << switch_name(sw) << ";\n";
+      }
+    }
+    if (options.rank_by_level) os << " }\n";
+  }
+
+  // Inter-switch cables, labeled by the lower endpoint's up-port.
+  for (std::uint32_t h = 0; h + 1 < tree.levels(); ++h) {
+    for (std::uint64_t i = 0; i < tree.switches_at(h); ++i) {
+      const SwitchId sw{h, i};
+      for (std::uint32_t port = 0; port < tree.parent_arity(); ++port) {
+        const SwitchId parent = tree.up_neighbor(sw, port);
+        os << "  " << switch_name(sw) << " -- " << switch_name(parent)
+           << " [label=\"p" << port << "\"];\n";
+      }
+    }
+  }
+
+  if (options.include_nodes) {
+    os << "  node [shape=circle];\n";
+    if (options.rank_by_level) {
+      os << "  { rank=same;";
+      for (NodeId n = 0; n < tree.node_count(); ++n) {
+        os << " pe_" << n << ";";
+      }
+      os << " }\n";
+    }
+    for (NodeId n = 0; n < tree.node_count(); ++n) {
+      os << "  pe_" << n << " -- " << switch_name(tree.leaf_switch(n))
+         << ";\n";
+    }
+  }
+
+  os << "}\n";
+}
+
+}  // namespace ftsched

@@ -1,0 +1,21 @@
+// Graphviz export of small fat trees (Figure-1-style diagrams).
+#pragma once
+
+#include <ostream>
+
+#include "topology/fat_tree.hpp"
+
+namespace ftsched {
+
+struct DotOptions {
+  bool include_nodes = true;   ///< draw processing elements below level 0
+  bool rank_by_level = true;   ///< one Graphviz rank per switch level
+};
+
+/// Writes a `graph` (undirected; cables are bidirectional) in DOT format.
+/// Intended for trees small enough to look at — the caller should keep
+/// total_switches() in the hundreds.
+void export_dot(const FatTree& tree, std::ostream& os,
+                const DotOptions& options = {});
+
+}  // namespace ftsched

@@ -1,0 +1,23 @@
+#include "topology/ids.hpp"
+
+namespace ftsched {
+
+std::string to_string(const SwitchId& sw) {
+  return "SW(" + std::to_string(sw.level) + "," + std::to_string(sw.index) +
+         ")";
+}
+
+std::string to_string(const CableId& cable) {
+  return "Cable(" + std::to_string(cable.level) + "," +
+         std::to_string(cable.lower_index) + "," + std::to_string(cable.port) +
+         ")";
+}
+
+std::string to_string(const ChannelId& channel) {
+  const char* kind = channel.direction == Direction::kUp ? "Ulink" : "Dlink";
+  return std::string(kind) + "(" + std::to_string(channel.cable.level) + "," +
+         std::to_string(channel.cable.lower_index) + "," +
+         std::to_string(channel.cable.port) + ")";
+}
+
+}  // namespace ftsched

@@ -1,0 +1,52 @@
+// Identifier types for fat-tree entities.
+//
+// Naming follows the paper: switches are SW(h, τ) with level h and label τ;
+// Ulink(h, τ, i) / Dlink(h, τ, i) are the upward and downward channels of the
+// bidirectional cable attached to upper port i of SW(h, τ). Both channels of
+// one cable therefore share a CableId keyed by the *lower* endpoint.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace ftsched {
+
+/// Processing element (leaf node) index in [0, node_count).
+using NodeId = std::uint64_t;
+
+/// Switch SW(level, index); index ∈ [0, switches_at(level)).
+struct SwitchId {
+  std::uint32_t level = 0;
+  std::uint64_t index = 0;
+
+  friend auto operator<=>(const SwitchId&, const SwitchId&) = default;
+};
+
+/// A bidirectional cable between SW(level, lower_index) upper port `port`
+/// and its level+1 parent. `level` is the LOWER endpoint's level.
+struct CableId {
+  std::uint32_t level = 0;
+  std::uint64_t lower_index = 0;
+  std::uint32_t port = 0;
+
+  friend auto operator<=>(const CableId&, const CableId&) = default;
+};
+
+/// Direction of travel over a cable.
+enum class Direction : std::uint8_t { kUp, kDown };
+
+/// One directed channel: the paper's Ulink(h, τ, i) (kUp) or
+/// Dlink(h, τ, i) (kDown).
+struct ChannelId {
+  CableId cable;
+  Direction direction = Direction::kUp;
+
+  friend auto operator<=>(const ChannelId&, const ChannelId&) = default;
+};
+
+std::string to_string(const SwitchId& sw);
+std::string to_string(const CableId& cable);
+std::string to_string(const ChannelId& channel);
+
+}  // namespace ftsched

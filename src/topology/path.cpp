@@ -1,0 +1,81 @@
+#include "topology/path.hpp"
+
+namespace ftsched {
+
+PathExpansion expand_path(const FatTree& tree, const Path& path) {
+  FT_REQUIRE(check_path_legal(tree, path).ok());
+  const std::uint64_t src_leaf = tree.leaf_switch(path.src).index;
+  const std::uint64_t dst_leaf = tree.leaf_switch(path.dst).index;
+  const std::uint32_t H = path.ancestor_level;
+
+  PathExpansion out;
+  // Upward side: σ_0 … σ_H with Ulink(h, σ_h, P_h).
+  for (std::uint32_t h = 0; h <= H; ++h) {
+    const std::uint64_t sigma = tree.side_switch(src_leaf, h, path.ports);
+    out.switches.push_back(SwitchId{h, sigma});
+    if (h < H) {
+      out.channels.push_back(
+          ChannelId{CableId{h, sigma, path.ports[h]}, Direction::kUp});
+    }
+  }
+  // Downward side: δ_{H-1} … δ_0 with Dlink(h, δ_h, P_h).
+  for (std::uint32_t h = H; h-- > 0;) {
+    const std::uint64_t delta = tree.side_switch(dst_leaf, h, path.ports);
+    out.switches.push_back(SwitchId{h, delta});
+    out.channels.push_back(
+        ChannelId{CableId{h, delta, path.ports[h]}, Direction::kDown});
+  }
+  return out;
+}
+
+Status check_path_legal(const FatTree& tree, const Path& path) {
+  if (path.src >= tree.node_count() || path.dst >= tree.node_count()) {
+    return Status::error("path endpoints out of range for this tree");
+  }
+  const std::uint64_t src_leaf = tree.leaf_switch(path.src).index;
+  const std::uint64_t dst_leaf = tree.leaf_switch(path.dst).index;
+  const std::uint32_t true_h = tree.common_ancestor_level(src_leaf, dst_leaf);
+  if (path.ancestor_level != true_h) {
+    return Status::error("path ancestor_level " +
+                         std::to_string(path.ancestor_level) +
+                         " differs from the true common-ancestor level " +
+                         std::to_string(true_h));
+  }
+  if (path.ports.size() != true_h) {
+    return Status::error("path must carry exactly H = " +
+                         std::to_string(true_h) + " port digits, got " +
+                         std::to_string(path.ports.size()));
+  }
+  for (std::size_t i = 0; i < path.ports.size(); ++i) {
+    if (path.ports[i] >= tree.parent_arity()) {
+      return Status::error("port P_" + std::to_string(i) + " = " +
+                           std::to_string(path.ports[i]) +
+                           " exceeds parent arity");
+    }
+  }
+  // Theorem 2: with identical ports both sides must reach the same level-H
+  // switch. side_switch() computes each side independently; equality here is
+  // what makes the downward path exist at all.
+  const std::uint64_t sigma_h = tree.side_switch(src_leaf, true_h, path.ports);
+  const std::uint64_t delta_h = tree.side_switch(dst_leaf, true_h, path.ports);
+  if (sigma_h != delta_h) {
+    return Status::error("up and down sides do not meet at level " +
+                         std::to_string(true_h) + " (σ_H=" +
+                         std::to_string(sigma_h) + ", δ_H=" +
+                         std::to_string(delta_h) + ")");
+  }
+  return Status();
+}
+
+std::string to_string(const Path& path) {
+  std::string out = "node " + std::to_string(path.src) + " -> node " +
+                    std::to_string(path.dst) + " via P=(";
+  for (std::size_t i = 0; i < path.ports.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(path.ports[i]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace ftsched

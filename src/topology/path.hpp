@@ -1,0 +1,49 @@
+// Path — a scheduled circuit through the fat tree, and its expansion.
+//
+// Per Theorems 1–2 a circuit from leaf switch σ_0 to leaf switch δ_0 with
+// common ancestor at level H is fully determined by the up-port choices
+// P_0 … P_{H-1}: the upward path visits σ_h = side_switch(σ_0, h, P) and the
+// downward path visits δ_h = side_switch(δ_0, h, P), using the SAME port
+// number at each level. Path stores exactly that compact form; expand()
+// materializes the switch/channel sequence for verification and display.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topology/fat_tree.hpp"
+#include "topology/ids.hpp"
+
+namespace ftsched {
+
+struct Path {
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::uint32_t ancestor_level = 0;  ///< H; 0 = same leaf switch
+  DigitVec ports;                    ///< P_0 … P_{H-1}
+
+  friend bool operator==(const Path&, const Path&) = default;
+};
+
+struct PathExpansion {
+  /// σ_0 … σ_H then δ_{H-1} … δ_0 — every switch the circuit traverses.
+  std::vector<SwitchId> switches;
+  /// Ulink(h, σ_h, P_h) for h = 0…H-1, then Dlink(h, δ_h, P_h) for
+  /// h = H-1…0 — every inter-switch channel the circuit occupies.
+  std::vector<ChannelId> channels;
+};
+
+/// Materializes the circuit. Aborts (contract) if `path.ports` is
+/// inconsistent with the tree or with `ancestor_level`.
+PathExpansion expand_path(const FatTree& tree, const Path& path);
+
+/// Checks that `path` is a legal circuit for (src, dst) on `tree`:
+/// H equals the true common-ancestor level, ports.size() == H, every port is
+/// < w, and the up/down sides meet at the same level-H switch. Returns a
+/// diagnostic on the first violation.
+Status check_path_legal(const FatTree& tree, const Path& path);
+
+/// Human-readable rendering: "node 3 -> node 95 via P=(0,1,0)".
+std::string to_string(const Path& path);
+
+}  // namespace ftsched

@@ -1,0 +1,28 @@
+// Structural validation of the arithmetic topology.
+//
+// FatTree never materializes adjacency tables, so validate_structure()
+// cross-checks the label algebra against the properties the Öhring
+// construction guarantees: ascend/descend are inverse, every child-parent
+// pair shares exactly one cable, per-level cable counts balance
+// (switches_at(h)·w == switches_at(h+1)·m), and ascending from any two
+// leaves with equal ports meets exactly at their common-ancestor level
+// (Theorem 2's premise). Intended for tests and for users instantiating
+// unusual (m ≠ w) configurations; cost is O(total switches · (m + w)).
+#pragma once
+
+#include "topology/fat_tree.hpp"
+
+namespace ftsched {
+
+struct ValidateOptions {
+  /// Upper bound on total switches to exhaustively check; larger trees are
+  /// spot-checked with `samples` random probes per property instead.
+  std::uint64_t exhaustive_limit = 1u << 16;
+  std::uint64_t samples = 4096;
+  std::uint64_t seed = 1;
+};
+
+Status validate_structure(const FatTree& tree,
+                          const ValidateOptions& options = {});
+
+}  // namespace ftsched

@@ -1,0 +1,51 @@
+// Contract-checking macros used across ftsched.
+//
+// FT_REQUIRE  — precondition on public API arguments; always checked.
+// FT_ASSERT   — internal invariant; checked unless NDEBUG.
+// FT_UNREACHABLE — marks provably dead control flow.
+//
+// Violations abort with a message locating the failed contract. Expected,
+// recoverable failures (bad user configuration, unschedulable requests) are
+// never expressed through these macros — they travel through
+// ftsched::Result / status codes instead.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ftsched::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* cond,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "ftsched: %s failed: %s (%s:%d)\n", kind, cond, file,
+               line);
+  std::abort();
+}
+
+}  // namespace ftsched::detail
+
+#define FT_REQUIRE(cond)                                                  \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::ftsched::detail::contract_failure("precondition", #cond, __FILE__, \
+                                          __LINE__);                      \
+    }                                                                     \
+  } while (false)
+
+#ifdef NDEBUG
+#define FT_ASSERT(cond) \
+  do {                  \
+  } while (false)
+#else
+#define FT_ASSERT(cond)                                                      \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::ftsched::detail::contract_failure("assertion", #cond, __FILE__,      \
+                                          __LINE__);                         \
+    }                                                                        \
+  } while (false)
+#endif
+
+#define FT_UNREACHABLE()                                                   \
+  ::ftsched::detail::contract_failure("unreachable code reached", "", \
+                                      __FILE__, __LINE__)

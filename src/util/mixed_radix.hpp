@@ -1,0 +1,102 @@
+// Mixed-radix positional arithmetic for switch labels.
+//
+// The paper labels switch SW(h, τ) by the base-w digit string of τ
+// (τ = t_{l-2} … t_0). Theorems 1 and 2 are digit manipulations: ascending a
+// level replaces the lowest remaining source digit with the chosen up-port
+// (σ_{h+1} = s_{l-2} … s_{h+1} P_0 … P_h). For symmetric trees every digit is
+// base w; for slimmed trees FT(l, m, w) with m ≠ w the *source* digits are
+// base m (positions within a subtree of m children) while the *port* digits
+// are base w — a mixed-radix system. MixedRadix captures exactly that.
+//
+// Digit order convention: index 0 is the LEAST significant digit throughout
+// (the paper's t_0), so `decompose(τ)[i]` is the paper's t_i.
+#pragma once
+
+#include <cstdint>
+
+#include "util/contracts.hpp"
+#include "util/small_vec.hpp"
+
+namespace ftsched {
+
+/// A fat tree deeper than 16 levels with radix >= 2 would exceed 2^16 nodes
+/// per the shallowest configuration and 64-bit labels long before; 16 is a
+/// structural bound, not a tuning knob.
+inline constexpr std::size_t kMaxTreeLevels = 16;
+
+using DigitVec = SmallVec<std::uint32_t, kMaxTreeLevels>;
+
+class MixedRadix {
+ public:
+  MixedRadix() = default;
+
+  /// `radices[i]` is the radix of digit position i (LSB first). Every radix
+  /// must be >= 1 and the total cardinality must fit in 64 bits.
+  explicit MixedRadix(const DigitVec& radices) : radices_(radices) {
+    std::uint64_t place = 1;
+    for (std::size_t i = 0; i < radices_.size(); ++i) {
+      FT_REQUIRE(radices_[i] >= 1);
+      places_.push_back(place);
+      FT_REQUIRE(place <= UINT64_MAX / radices_[i]);
+      place *= radices_[i];
+    }
+    cardinality_ = place;
+  }
+
+  /// Uniform base-`base` system with `digit_count` digits.
+  static MixedRadix uniform(std::uint32_t base, std::size_t digit_count) {
+    FT_REQUIRE(digit_count <= kMaxTreeLevels);
+    DigitVec radices;
+    for (std::size_t i = 0; i < digit_count; ++i) radices.push_back(base);
+    return MixedRadix(radices);
+  }
+
+  std::size_t digit_count() const { return radices_.size(); }
+
+  std::uint32_t radix(std::size_t i) const {
+    FT_REQUIRE(i < radices_.size());
+    return radices_[i];
+  }
+
+  /// Number of representable values (product of all radices).
+  std::uint64_t cardinality() const { return cardinality_; }
+
+  /// Weight of digit position i: the product of radices below i.
+  std::uint64_t place_value(std::size_t i) const {
+    FT_REQUIRE(i < places_.size());
+    return places_[i];
+  }
+
+  /// Splits `value` into digits, LSB first.
+  DigitVec decompose(std::uint64_t value) const {
+    FT_REQUIRE(value < cardinality_ || digit_count() == 0);
+    DigitVec digits;
+    for (std::size_t i = 0; i < radices_.size(); ++i) {
+      digits.push_back(static_cast<std::uint32_t>(value % radices_[i]));
+      value /= radices_[i];
+    }
+    return digits;
+  }
+
+  /// Inverse of decompose. Each digit must be < its radix.
+  std::uint64_t compose(const DigitVec& digits) const {
+    FT_REQUIRE(digits.size() == radices_.size());
+    std::uint64_t value = 0;
+    for (std::size_t i = 0; i < digits.size(); ++i) {
+      FT_REQUIRE(digits[i] < radices_[i]);
+      value += places_[i] * digits[i];
+    }
+    return value;
+  }
+
+  friend bool operator==(const MixedRadix& a, const MixedRadix& b) {
+    return a.radices_ == b.radices_;
+  }
+
+ private:
+  DigitVec radices_;
+  SmallVec<std::uint64_t, kMaxTreeLevels> places_;
+  std::uint64_t cardinality_ = 1;
+};
+
+}  // namespace ftsched

@@ -1,0 +1,75 @@
+// Result<T> / Status — expected-failure channel for the public API.
+//
+// Recoverable failures (invalid tree parameters, malformed traces, requests
+// that cannot be scheduled) are values, not exceptions: library functions
+// return Result<T> or Status and callers branch on ok(). Contract violations
+// (programming errors) go through FT_REQUIRE/FT_ASSERT instead and abort.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace ftsched {
+
+class [[nodiscard]] Status {
+ public:
+  /// Success.
+  Status() = default;
+
+  static Status error(std::string message) {
+    Status s;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  bool ok() const { return !message_.has_value(); }
+
+  /// Failure description; empty string when ok().
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return message_ ? *message_ : kEmpty;
+  }
+
+ private:
+  std::optional<std::string> message_;
+};
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /*implicit*/ Result(T value) : value_(std::move(value)) {}
+  /*implicit*/ Result(Status status) : status_(std::move(status)) {
+    FT_REQUIRE(!status_.ok());  // a success Status must carry a T
+  }
+
+  static Result error(std::string message) {
+    return Result(Status::error(std::move(message)));
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const T& value() const& {
+    FT_REQUIRE(ok());
+    return *value_;
+  }
+  T& value() & {
+    FT_REQUIRE(ok());
+    return *value_;
+  }
+  T&& value() && {
+    FT_REQUIRE(ok());
+    return std::move(*value_);
+  }
+
+  const Status& status() const { return status_; }
+  const std::string& message() const { return status_.message(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace ftsched

@@ -1,0 +1,97 @@
+// SmallVec<T, N> — a fixed-capacity inline vector.
+//
+// Digit strings, port lists and per-level path records in ftsched are tiny
+// (a fat tree deeper than 16 levels is beyond any practical machine), so the
+// hot data structures never need heap allocation (Core Guidelines Per.14).
+// SmallVec stores up to N trivially-copyable elements inline and aborts on
+// overflow — capacity is a structural bound, not a tuning knob.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <initializer_list>
+#include <type_traits>
+
+#include "util/contracts.hpp"
+
+namespace ftsched {
+
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVec only supports trivially copyable element types");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  constexpr SmallVec() = default;
+
+  constexpr SmallVec(std::initializer_list<T> init) {
+    FT_REQUIRE(init.size() <= N);
+    std::copy(init.begin(), init.end(), data_.begin());
+    size_ = init.size();
+  }
+
+  /// Constructs a vector of `count` copies of `value`.
+  constexpr SmallVec(std::size_t count, const T& value) {
+    FT_REQUIRE(count <= N);
+    std::fill_n(data_.begin(), count, value);
+    size_ = count;
+  }
+
+  static constexpr std::size_t capacity() { return N; }
+  constexpr std::size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+
+  constexpr T& operator[](std::size_t i) {
+    FT_ASSERT(i < size_);
+    return data_[i];
+  }
+  constexpr const T& operator[](std::size_t i) const {
+    FT_ASSERT(i < size_);
+    return data_[i];
+  }
+
+  constexpr T& front() { return (*this)[0]; }
+  constexpr const T& front() const { return (*this)[0]; }
+  constexpr T& back() { return (*this)[size_ - 1]; }
+  constexpr const T& back() const { return (*this)[size_ - 1]; }
+
+  constexpr void push_back(const T& value) {
+    FT_REQUIRE(size_ < N);
+    data_[size_++] = value;
+  }
+
+  constexpr void pop_back() {
+    FT_REQUIRE(size_ > 0);
+    --size_;
+  }
+
+  constexpr void clear() { size_ = 0; }
+
+  /// Grows or shrinks to `count`; new elements are value-initialized.
+  constexpr void resize(std::size_t count) {
+    FT_REQUIRE(count <= N);
+    for (std::size_t i = size_; i < count; ++i) data_[i] = T{};
+    size_ = count;
+  }
+
+  constexpr iterator begin() { return data_.data(); }
+  constexpr iterator end() { return data_.data() + size_; }
+  constexpr const_iterator begin() const { return data_.data(); }
+  constexpr const_iterator end() const { return data_.data() + size_; }
+
+  friend constexpr bool operator==(const SmallVec& a, const SmallVec& b) {
+    return a.size_ == b.size_ &&
+           std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  std::array<T, N> data_{};
+  std::size_t size_ = 0;
+};
+
+}  // namespace ftsched

@@ -1,0 +1,132 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/contracts.hpp"
+
+namespace ftsched {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  FT_REQUIRE(!headers_.empty());
+  aligns_.assign(headers_.size(), Align::kRight);
+  aligns_[0] = Align::kLeft;
+}
+
+void TextTable::set_align(std::size_t column, Align align) {
+  FT_REQUIRE(column < aligns_.size());
+  aligns_[column] = align;
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  FT_REQUIRE(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+namespace {
+
+std::vector<std::size_t> column_widths(
+    const std::vector<std::string>& headers,
+    const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(headers.size());
+  for (std::size_t c = 0; c < headers.size(); ++c) widths[c] = headers[c].size();
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  return widths;
+}
+
+void print_padded(std::ostream& os, const std::string& cell, std::size_t width,
+                  TextTable::Align align) {
+  const std::string pad(width - cell.size(), ' ');
+  if (align == TextTable::Align::kLeft) {
+    os << cell << pad;
+  } else {
+    os << pad << cell;
+  }
+}
+
+}  // namespace
+
+void TextTable::print(std::ostream& os) const {
+  const auto widths = column_widths(headers_, rows_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) os << "  ";
+    print_padded(os, headers_[c], widths[c], aligns_[c]);
+  }
+  os << '\n';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) os << "  ";
+    os << std::string(widths[c], '-');
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << "  ";
+      print_padded(os, row[c], widths[c], aligns_[c]);
+    }
+    os << '\n';
+  }
+}
+
+void TextTable::print_markdown(std::ostream& os) const {
+  os << '|';
+  for (const auto& h : headers_) os << ' ' << h << " |";
+  os << "\n|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (aligns_[c] == Align::kRight ? " ---: |" : " --- |");
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    os << '|';
+    for (const auto& cell : row) os << ' ' << cell << " |";
+    os << '\n';
+  }
+}
+
+namespace {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += "\"\"";
+    else out.push_back(ch);
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void TextTable::print_csv(std::ostream& os) const {
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) os << ',';
+    os << csv_escape(headers_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << csv_escape(row[c]);
+    }
+    os << '\n';
+  }
+}
+
+std::string TextTable::num(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string TextTable::pct(double ratio, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", digits, ratio * 100.0);
+  return buf;
+}
+
+}  // namespace ftsched

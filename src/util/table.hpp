@@ -1,0 +1,49 @@
+// TextTable — aligned console / markdown / CSV table emitter.
+//
+// The figure benches print the paper's rows; TextTable keeps all of them on
+// one rendering path so `bench/fig9*` and EXPERIMENTS.md stay consistent.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ftsched {
+
+class TextTable {
+ public:
+  enum class Align { kLeft, kRight };
+
+  /// `headers` fixes the column count for every subsequent row.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Per-column alignment; defaults to left for col 0, right otherwise.
+  void set_align(std::size_t column, Align align);
+
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with space padding and a separator rule under the header.
+  void print(std::ostream& os) const;
+
+  /// GitHub-flavored markdown.
+  void print_markdown(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV (cells containing comma/quote/newline get quoted).
+  void print_csv(std::ostream& os) const;
+
+  /// Formats a double with `digits` decimals ("12.34").
+  static std::string num(double value, int digits = 2);
+
+  /// Formats a ratio in [0,1] as a percentage ("87.3%").
+  static std::string pct(double ratio, int digits = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ftsched

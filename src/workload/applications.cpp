@@ -1,0 +1,137 @@
+#include "workload/applications.hpp"
+
+#include "workload/patterns.hpp"
+
+namespace ftsched {
+
+std::vector<ApplicationPhase> fft_butterfly_phases(const FatTree& tree) {
+  const std::uint32_t m = tree.child_arity();
+  const std::uint32_t l = tree.levels();
+  const MixedRadix system = MixedRadix::uniform(m, l);
+  std::vector<ApplicationPhase> phases;
+  for (std::uint32_t digit = 0; digit < l; ++digit) {
+    for (std::uint32_t offset = 1; offset < m; ++offset) {
+      ApplicationPhase phase;
+      phase.label = "fft-d" + std::to_string(digit) + "+" +
+                    std::to_string(offset);
+      phase.requests.reserve(tree.node_count());
+      for (NodeId src = 0; src < tree.node_count(); ++src) {
+        DigitVec digits = system.decompose(src);
+        digits[digit] = (digits[digit] + offset) % m;
+        phase.requests.push_back(Request{src, system.compose(digits)});
+      }
+      phases.push_back(std::move(phase));
+    }
+  }
+  return phases;
+}
+
+std::vector<ApplicationPhase> all_to_all_phases(const FatTree& tree,
+                                                std::uint64_t rounds) {
+  const std::uint64_t n = tree.node_count();
+  if (rounds == 0 || rounds > n - 1) rounds = n - 1;
+  std::vector<ApplicationPhase> phases;
+  phases.reserve(rounds);
+  for (std::uint64_t k = 1; k <= rounds; ++k) {
+    ApplicationPhase phase;
+    phase.label = "a2a-shift" + std::to_string(k);
+    phase.requests.reserve(n);
+    for (NodeId src = 0; src < n; ++src) {
+      phase.requests.push_back(Request{src, (src + k) % n});
+    }
+    phases.push_back(std::move(phase));
+  }
+  return phases;
+}
+
+std::vector<ApplicationPhase> stencil_phases(const FatTree& tree,
+                                             std::uint32_t dimensions) {
+  FT_REQUIRE(dimensions >= 1 && dimensions <= 4);
+  const std::uint64_t n = tree.node_count();
+  // Densest grid: sides as equal as possible with product == n. Greedy:
+  // repeatedly take the largest integer side not exceeding the remaining
+  // d-th root. For the m^l node counts this yields exact factorizations.
+  std::vector<std::uint64_t> sides(dimensions, 1);
+  {
+    std::uint64_t remaining = n;
+    for (std::uint32_t d = 0; d < dimensions; ++d) {
+      const std::uint32_t dims_left = dimensions - d;
+      // Ideal side ≈ remaining^(1/dims_left); take the nearest divisor at
+      // or below it, falling back to the smallest divisor above.
+      std::uint64_t target = 1;
+      while ((target + 1) > 0) {
+        std::uint64_t power = 1;
+        bool fits = true;
+        for (std::uint32_t i = 0; i < dims_left; ++i) {
+          if (power > remaining / (target + 1)) {
+            fits = false;
+            break;
+          }
+          power *= target + 1;
+        }
+        if (!fits) break;
+        ++target;
+      }
+      std::uint64_t side = 1;
+      for (std::uint64_t cand = target; cand >= 1; --cand) {
+        if (remaining % cand == 0) {
+          side = cand;
+          break;
+        }
+      }
+      if (side == 1 && target < remaining) {
+        for (std::uint64_t cand = target + 1; cand <= remaining; ++cand) {
+          if (remaining % cand == 0) {
+            side = cand;
+            break;
+          }
+        }
+      }
+      sides[d] = side;
+      remaining /= side;
+    }
+    FT_ASSERT(remaining == 1);
+  }
+
+  std::vector<std::uint64_t> stride(dimensions, 1);
+  for (std::uint32_t d = 1; d < dimensions; ++d) {
+    stride[d] = stride[d - 1] * sides[d - 1];
+  }
+
+  std::vector<ApplicationPhase> phases;
+  for (std::uint32_t d = 0; d < dimensions; ++d) {
+    if (sides[d] < 2) continue;  // no exchange along a degenerate axis
+    for (const int dir : {+1, -1}) {
+      ApplicationPhase phase;
+      phase.label = "stencil-dim" + std::to_string(d) +
+                    (dir > 0 ? "+" : "-");
+      phase.requests.reserve(n);
+      for (NodeId src = 0; src < n; ++src) {
+        const std::uint64_t coord = (src / stride[d]) % sides[d];
+        const std::uint64_t next =
+            dir > 0 ? (coord + 1) % sides[d]
+                    : (coord + sides[d] - 1) % sides[d];
+        const NodeId dst = src + (next - coord) * stride[d];
+        phase.requests.push_back(Request{src, dst});
+      }
+      phases.push_back(std::move(phase));
+    }
+  }
+  return phases;
+}
+
+std::vector<ApplicationPhase> random_phases(const FatTree& tree,
+                                            std::size_t count,
+                                            Xoshiro256ss& rng) {
+  std::vector<ApplicationPhase> phases;
+  phases.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    ApplicationPhase phase;
+    phase.label = "random" + std::to_string(i);
+    phase.requests = random_permutation(tree.node_count(), rng);
+    phases.push_back(std::move(phase));
+  }
+  return phases;
+}
+
+}  // namespace ftsched

@@ -1,0 +1,56 @@
+// Application-phase workloads: sequences of communication batches.
+//
+// The paper's motivation is parallel applications setting up long-lived
+// connections; a single random permutation is the micro-benchmark, but
+// real codes issue STRUCTURED PHASES — an FFT performs log N butterfly
+// exchanges, an all-to-all runs N-1 shifted rounds, a stencil repeats
+// nearest-neighbor halos. Each phase is one batch of simultaneous circuit
+// requests; the scheduler's per-phase ratio (and the slots needed to drain
+// a phase, cf. abl_multiround) is what the application experiences.
+//
+// All phases are permutations or partial permutations (≤ 1 request per
+// source and destination), so they compose with every scheduler and with
+// the PathVerifier's preconditions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/request.hpp"
+#include "topology/fat_tree.hpp"
+#include "util/rng.hpp"
+
+namespace ftsched {
+
+struct ApplicationPhase {
+  std::string label;
+  std::vector<Request> requests;
+};
+
+/// FFT butterfly: one phase per digit position d; partners exchange by
+/// rotating digit d through all non-zero offsets would be all-to-all, so
+/// the classic radix-m butterfly phase k pairs node x with the node whose
+/// k-th base-m digit is incremented by `offset` (mod m) — (m-1)·l phases
+/// of perfect permutations, stressing exactly one tree level at a time.
+std::vector<ApplicationPhase> fft_butterfly_phases(const FatTree& tree);
+
+/// All-to-all personalized exchange: N-1 shift rounds (dst = src + k mod N)
+/// — every node talks to every other exactly once across the sequence.
+/// `rounds` caps the sequence (0 = all N-1).
+std::vector<ApplicationPhase> all_to_all_phases(const FatTree& tree,
+                                                std::uint64_t rounds = 0);
+
+/// d-dimensional halo exchange: nodes arranged in the densest possible
+/// d-dim grid over [0, N); one phase per (dimension, direction) —
+/// dst = neighbor at ±1 in that dimension (wrapping). 2·d phases.
+std::vector<ApplicationPhase> stencil_phases(const FatTree& tree,
+                                             std::uint32_t dimensions);
+
+/// Random bulk-synchronous phases: `count` independent random permutations
+/// (the paper's workload, repeated).
+std::vector<ApplicationPhase> random_phases(const FatTree& tree,
+                                            std::size_t count,
+                                            Xoshiro256ss& rng);
+
+}  // namespace ftsched

@@ -1,0 +1,151 @@
+#include "workload/patterns.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ftsched {
+
+std::string_view to_string(TrafficPattern pattern) {
+  switch (pattern) {
+    case TrafficPattern::kRandomPermutation:
+      return "random-permutation";
+    case TrafficPattern::kDigitReversal:
+      return "digit-reversal";
+    case TrafficPattern::kDigitRotation:
+      return "digit-rotation";
+    case TrafficPattern::kTranspose:
+      return "transpose";
+    case TrafficPattern::kComplement:
+      return "complement";
+    case TrafficPattern::kShift:
+      return "shift";
+    case TrafficPattern::kNeighbor:
+      return "neighbor";
+    case TrafficPattern::kHotSpot:
+      return "hot-spot";
+  }
+  FT_UNREACHABLE();
+}
+
+std::vector<Request> random_permutation(std::uint64_t node_count,
+                                        Xoshiro256ss& rng) {
+  std::vector<NodeId> destinations(node_count);
+  std::iota(destinations.begin(), destinations.end(), NodeId{0});
+  rng.shuffle(destinations.begin(), destinations.end());
+  std::vector<Request> batch;
+  batch.reserve(node_count);
+  for (NodeId src = 0; src < node_count; ++src) {
+    batch.push_back(Request{src, destinations[src]});
+  }
+  return batch;
+}
+
+namespace {
+
+/// Destination of `src` under a structured pattern; node digits are base m
+/// with l positions (node = leaf-switch digits + leaf port digit).
+NodeId structured_destination(const FatTree& tree, TrafficPattern pattern,
+                              NodeId src) {
+  const std::uint64_t n = tree.node_count();
+  const MixedRadix system =
+      MixedRadix::uniform(tree.child_arity(), tree.levels());
+  switch (pattern) {
+    case TrafficPattern::kDigitReversal: {
+      DigitVec d = system.decompose(src);
+      DigitVec r;
+      for (std::size_t i = d.size(); i-- > 0;) r.push_back(d[i]);
+      return system.compose(r);
+    }
+    case TrafficPattern::kDigitRotation: {
+      DigitVec d = system.decompose(src);
+      DigitVec r;
+      for (std::size_t i = 1; i < d.size(); ++i) r.push_back(d[i]);
+      r.push_back(d[0]);
+      return system.compose(r);
+    }
+    case TrafficPattern::kTranspose: {
+      DigitVec d = system.decompose(src);
+      const std::size_t half = d.size() / 2;
+      DigitVec r;
+      // Swap low and high halves; with an odd digit count the middle digit
+      // stays in place.
+      for (std::size_t i = d.size() - half; i < d.size(); ++i) {
+        r.push_back(d[i]);
+      }
+      for (std::size_t i = half; i < d.size() - half; ++i) r.push_back(d[i]);
+      for (std::size_t i = 0; i < half; ++i) r.push_back(d[i]);
+      return system.compose(r);
+    }
+    case TrafficPattern::kComplement:
+      return n - 1 - src;
+    case TrafficPattern::kShift:
+      return (src + n / 2) % n;
+    case TrafficPattern::kNeighbor:
+      // Pairs (2k, 2k+1) exchange; with an odd node count the last PE is a
+      // fixed point.
+      if (src % 2 == 0) return src + 1 < n ? src + 1 : src;
+      return src - 1;
+    default:
+      FT_UNREACHABLE();
+  }
+}
+
+}  // namespace
+
+std::vector<Request> generate_pattern(const FatTree& tree,
+                                      TrafficPattern pattern,
+                                      Xoshiro256ss& rng,
+                                      const WorkloadOptions& options) {
+  FT_REQUIRE(options.load_factor > 0.0 && options.load_factor <= 1.0);
+  const std::uint64_t n = tree.node_count();
+
+  // Which sources participate.
+  std::vector<NodeId> sources;
+  sources.reserve(n);
+  for (NodeId s = 0; s < n; ++s) {
+    if (options.load_factor >= 1.0 || rng.uniform01() < options.load_factor) {
+      sources.push_back(s);
+    }
+  }
+
+  std::vector<Request> batch;
+  batch.reserve(sources.size());
+
+  switch (pattern) {
+    case TrafficPattern::kRandomPermutation: {
+      // Distinct random destinations for the participating sources: a random
+      // injection from sources into [0, N).
+      std::vector<NodeId> pool(n);
+      std::iota(pool.begin(), pool.end(), NodeId{0});
+      rng.shuffle(pool.begin(), pool.end());
+      for (std::size_t i = 0; i < sources.size(); ++i) {
+        batch.push_back(Request{sources[i], pool[i]});
+      }
+      break;
+    }
+    case TrafficPattern::kHotSpot: {
+      FT_REQUIRE(options.hotspot_fraction >= 0.0 &&
+                 options.hotspot_fraction <= 1.0);
+      std::vector<NodeId> pool(n);
+      std::iota(pool.begin(), pool.end(), NodeId{0});
+      rng.shuffle(pool.begin(), pool.end());
+      for (std::size_t i = 0; i < sources.size(); ++i) {
+        const bool hot = rng.uniform01() < options.hotspot_fraction;
+        batch.push_back(Request{sources[i], hot ? NodeId{0} : pool[i]});
+      }
+      break;
+    }
+    default:
+      for (NodeId src : sources) {
+        batch.push_back(Request{src, structured_destination(tree, pattern, src)});
+      }
+      break;
+  }
+
+  if (options.drop_self) {
+    std::erase_if(batch, [](const Request& r) { return r.src == r.dst; });
+  }
+  return batch;
+}
+
+}  // namespace ftsched

@@ -1,0 +1,62 @@
+// Traffic pattern generators.
+//
+// The paper's evaluation uses randomly generated communication permutations
+// (100 per test point). Beyond kRandomPermutation, the classic structured
+// permutations of the interconnection-network literature are provided for
+// the extension benches: they stress specific levels of the tree (digit
+// reversal and transpose force traffic through the root; shift keeps it
+// low), which is exactly where level-wise and local scheduling differ.
+//
+// All generators emit at most one request per source PE and — except
+// kHotSpot, which deliberately violates it — at most one request per
+// destination PE, so leaf channels never conflict and the schedulability
+// ratio measures inter-switch contention only, as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/request.hpp"
+#include "topology/fat_tree.hpp"
+#include "util/rng.hpp"
+
+namespace ftsched {
+
+enum class TrafficPattern : std::uint8_t {
+  kRandomPermutation,  ///< uniform random permutation of [0, N) (the paper's)
+  kDigitReversal,      ///< destination = base-m digit string of source, reversed
+  kDigitRotation,      ///< destination = digits rotated one position (shuffle)
+  kTranspose,          ///< destination = digit string halves swapped
+  kComplement,         ///< destination = N-1-source
+  kShift,              ///< destination = (source + N/2) mod N (tornado-like)
+  kNeighbor,           ///< pairs (2k, 2k+1) exchange
+  kHotSpot,            ///< a fraction of sources all target PE 0
+};
+
+std::string_view to_string(TrafficPattern pattern);
+
+struct WorkloadOptions {
+  /// Fraction of PEs that issue a request (partial permutation); 1.0 = full.
+  double load_factor = 1.0;
+  /// kHotSpot only: fraction of the issuing sources aimed at the hot PE.
+  double hotspot_fraction = 0.25;
+  /// Drop requests whose source equals their destination (fixed points of
+  /// the permutation; they are trivially schedulable loopbacks).
+  bool drop_self = false;
+};
+
+/// Generates one batch for `tree`. Structured (non-random) patterns are
+/// deterministic given the tree; the rng only draws which sources
+/// participate when load_factor < 1 (and everything, for the random
+/// patterns).
+std::vector<Request> generate_pattern(const FatTree& tree,
+                                      TrafficPattern pattern,
+                                      Xoshiro256ss& rng,
+                                      const WorkloadOptions& options = {});
+
+/// Convenience: the paper's workload — a full random permutation.
+std::vector<Request> random_permutation(std::uint64_t node_count,
+                                        Xoshiro256ss& rng);
+
+}  // namespace ftsched

@@ -1,0 +1,63 @@
+#include "workload/trace.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace ftsched {
+
+void write_trace(std::ostream& os, const Trace& trace) {
+  os << "# ftsched-trace v1\n";
+  os << "# nodes " << trace.node_count << "\n";
+  for (const Request& r : trace.requests) {
+    os << r.src << ' ' << r.dst << '\n';
+  }
+}
+
+Result<Trace> read_trace(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != "# ftsched-trace v1") {
+    return Status::error("trace: missing or unsupported version header");
+  }
+  Trace trace;
+  if (!std::getline(is, line)) {
+    return Status::error("trace: missing node-count header");
+  }
+  {
+    std::istringstream hdr(line);
+    std::string hash;
+    std::string word;
+    if (!(hdr >> hash >> word >> trace.node_count) || hash != "#" ||
+        word != "nodes") {
+      return Status::error("trace: malformed node-count header: " + line);
+    }
+    if (trace.node_count == 0) {
+      return Status::error("trace: node count must be positive");
+    }
+  }
+  std::size_t line_no = 2;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream body(line);
+    Request r;
+    if (!(body >> r.src >> r.dst)) {
+      return Status::error("trace: malformed request at line " +
+                           std::to_string(line_no) + ": " + line);
+    }
+    std::string excess;
+    if (body >> excess) {
+      return Status::error("trace: trailing tokens at line " +
+                           std::to_string(line_no) + ": " + line);
+    }
+    if (r.src >= trace.node_count || r.dst >= trace.node_count) {
+      return Status::error("trace: endpoint out of range at line " +
+                           std::to_string(line_no) + ": " + line);
+    }
+    trace.requests.push_back(r);
+  }
+  return trace;
+}
+
+}  // namespace ftsched

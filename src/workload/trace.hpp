@@ -1,0 +1,35 @@
+// Request-trace persistence.
+//
+// A trace file pins down a workload exactly — the repository's experiment
+// pipeline regenerates workloads from seeds, but traces let users replay a
+// production request batch through any scheduler, or archive a failing case
+// from a fuzz run. Format (line-oriented text):
+//
+//   # ftsched-trace v1
+//   # nodes <N>
+//   <src> <dst>
+//   ...
+//
+// '#' lines after the header are comments.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "core/request.hpp"
+#include "util/result.hpp"
+
+namespace ftsched {
+
+struct Trace {
+  std::uint64_t node_count = 0;
+  std::vector<Request> requests;
+};
+
+void write_trace(std::ostream& os, const Trace& trace);
+
+/// Parses a trace; rejects malformed headers, non-numeric fields, and
+/// endpoints outside [0, node_count).
+Result<Trace> read_trace(std::istream& is);
+
+}  // namespace ftsched

@@ -1,0 +1,126 @@
+#include "core/connection_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/verifier.hpp"
+
+namespace ftsched {
+namespace {
+
+TEST(ConnectionManager, OpenCloseRoundTrip) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  ConnectionManager manager(tree);
+  const auto id = manager.open(Request{0, 63});
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(manager.active_count(), 1u);
+  EXPECT_GT(manager.state().total_occupied(), 0u);
+  EXPECT_TRUE(manager.close(*id).ok());
+  EXPECT_EQ(manager.active_count(), 0u);
+  EXPECT_EQ(manager.state().total_occupied(), 0u);
+}
+
+TEST(ConnectionManager, FindReturnsEstablishedPath) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  ConnectionManager manager(tree);
+  const auto id = manager.open(Request{0, 63});
+  ASSERT_TRUE(id.has_value());
+  const Path* path = manager.find(*id);
+  ASSERT_NE(path, nullptr);
+  EXPECT_EQ(path->src, 0u);
+  EXPECT_EQ(path->dst, 63u);
+  EXPECT_TRUE(check_path_legal(tree, *path).ok());
+  EXPECT_EQ(manager.find(*id + 100), nullptr);
+}
+
+TEST(ConnectionManager, CloseUnknownIdFails) {
+  const FatTree tree = FatTree::symmetric(2, 4);
+  ConnectionManager manager(tree);
+  EXPECT_FALSE(manager.close(42).ok());
+}
+
+TEST(ConnectionManager, EndpointExclusivity) {
+  const FatTree tree = FatTree::symmetric(2, 4);
+  ConnectionManager manager(tree);
+  ASSERT_TRUE(manager.open(Request{0, 9}).has_value());
+  // Same source PE or same destination PE cannot open a second circuit.
+  EXPECT_FALSE(manager.open(Request{0, 10}).has_value());
+  EXPECT_FALSE(manager.open(Request{1, 9}).has_value());
+  // Unrelated endpoints are fine.
+  EXPECT_TRUE(manager.open(Request{1, 10}).has_value());
+}
+
+TEST(ConnectionManager, ReleasedEndpointsReusable) {
+  const FatTree tree = FatTree::symmetric(2, 4);
+  ConnectionManager manager(tree);
+  const auto id = manager.open(Request{0, 9});
+  ASSERT_TRUE(id.has_value());
+  ASSERT_TRUE(manager.close(*id).ok());
+  EXPECT_TRUE(manager.open(Request{0, 9}).has_value());
+}
+
+TEST(ConnectionManager, SaturationAndRecovery) {
+  // FT(2,2): each leaf switch has 2 up links; 2 inter-switch circuits from
+  // one leaf switch saturate its up side.
+  const FatTree tree = FatTree::symmetric(2, 2);
+  ConnectionManager manager(tree);
+  const auto a = manager.open(Request{0, 2});  // leaf 0 -> leaf 1
+  const auto b = manager.open(Request{1, 3});
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_DOUBLE_EQ(manager.level_utilization(0), 0.5);  // 2 of 4 up links
+  ASSERT_TRUE(manager.close(*a).ok());
+  EXPECT_DOUBLE_EQ(manager.level_utilization(0), 0.25);
+  EXPECT_TRUE(manager.open(Request{0, 2}).has_value());
+}
+
+TEST(ConnectionManager, RejectedOpenLeavesNoResidue) {
+  // Slimmed FT(2, m=4, w=2): a leaf switch has 4 PEs but only 2 uplinks, so
+  // a third inter-switch circuit from one leaf is blocked even though its
+  // endpoints are free — the open must fail without leaving residue.
+  const FatTree tree = FatTree::create(FatTreeParams{2, 4, 2}).value();
+  ConnectionManager manager(tree);
+  ASSERT_TRUE(manager.open(Request{0, 4}).has_value());
+  ASSERT_TRUE(manager.open(Request{1, 5}).has_value());
+  const std::uint64_t occupied = manager.state().total_occupied();
+  EXPECT_FALSE(manager.open(Request{2, 6}).has_value());
+  EXPECT_EQ(manager.state().total_occupied(), occupied);
+  EXPECT_EQ(manager.active_count(), 2u);
+  // Endpoints of the failed open stay reusable.
+  ASSERT_TRUE(manager.close(*manager.open(Request{6, 2})).ok());
+}
+
+TEST(ConnectionManager, ClearResetsEverything) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  ConnectionManager manager(tree);
+  ASSERT_TRUE(manager.open(Request{0, 63}).has_value());
+  ASSERT_TRUE(manager.open(Request{1, 62}).has_value());
+  manager.clear();
+  EXPECT_EQ(manager.active_count(), 0u);
+  EXPECT_EQ(manager.state().total_occupied(), 0u);
+  EXPECT_TRUE(manager.open(Request{0, 63}).has_value());
+}
+
+TEST(ConnectionManager, ChurnKeepsStateConsistent) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  ConnectionManager manager(tree);
+  Xoshiro256ss rng(11);
+  std::vector<ConnectionId> open_ids;
+  for (int step = 0; step < 2000; ++step) {
+    if (!open_ids.empty() && rng.below(3) == 0) {
+      const std::size_t pick = rng.below(open_ids.size());
+      ASSERT_TRUE(manager.close(open_ids[pick]).ok());
+      open_ids.erase(open_ids.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {
+      const Request r{rng.below(tree.node_count()),
+                      rng.below(tree.node_count())};
+      const auto id = manager.open(r);
+      if (id) open_ids.push_back(*id);
+    }
+    ASSERT_TRUE(manager.state().audit().ok());
+  }
+  for (ConnectionId id : open_ids) ASSERT_TRUE(manager.close(id).ok());
+  EXPECT_EQ(manager.state().total_occupied(), 0u);
+}
+
+}  // namespace
+}  // namespace ftsched

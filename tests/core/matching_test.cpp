@@ -1,0 +1,107 @@
+#include "core/matching_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/levelwise_scheduler.hpp"
+#include "core/verifier.hpp"
+#include "workload/patterns.hpp"
+
+namespace ftsched {
+namespace {
+
+TEST(Matching, FullPermutationIsPerfect) {
+  // König: a full permutation on FT(2, w) admits a perfect w-edge-coloring.
+  // Repeated maximum matching achieves it on these sizes.
+  for (std::uint32_t w : {4u, 8u}) {
+    const FatTree tree = FatTree::symmetric(2, w);
+    Xoshiro256ss rng(1);
+    MatchingScheduler scheduler;
+    for (int rep = 0; rep < 10; ++rep) {
+      const auto batch = random_permutation(tree.node_count(), rng);
+      LinkState state(tree);
+      const ScheduleResult result = scheduler.schedule(tree, batch, state);
+      EXPECT_EQ(result.granted_count(), batch.size()) << "w=" << w;
+      ASSERT_TRUE(verify_schedule(tree, batch, result, &state).ok());
+    }
+  }
+}
+
+TEST(Matching, AtLeastAsGoodAsLevelwiseOnTwoLevels) {
+  const FatTree tree = FatTree::symmetric(2, 8);
+  Xoshiro256ss rng(2);
+  MatchingScheduler matching;
+  LevelwiseScheduler levelwise;
+  for (int rep = 0; rep < 20; ++rep) {
+    const auto batch = random_permutation(tree.node_count(), rng);
+    LinkState a(tree);
+    LinkState b(tree);
+    EXPECT_GE(matching.schedule(tree, batch, a).granted_count(),
+              levelwise.schedule(tree, batch, b).granted_count());
+  }
+}
+
+TEST(Matching, RespectsPreOccupiedChannels) {
+  const FatTree tree = FatTree::symmetric(2, 4);
+  LinkState state(tree);
+  // Only port 2 usable between leaf 0 and leaf 3.
+  for (std::uint32_t p : {0u, 1u, 3u}) state.set_ulink(0, 0, p, false);
+  MatchingScheduler scheduler;
+  const Request request{0, 12};
+  const ScheduleResult result = scheduler.schedule(tree, {&request, 1}, state);
+  ASSERT_TRUE(result.outcomes[0].granted);
+  EXPECT_EQ(result.outcomes[0].path.ports[0], 2u);
+}
+
+TEST(Matching, ImpossibleRequestRejected) {
+  const FatTree tree = FatTree::symmetric(2, 4);
+  LinkState state(tree);
+  for (std::uint32_t p = 0; p < 4; ++p) state.set_dlink(0, 3, p, false);
+  MatchingScheduler scheduler;
+  const Request request{0, 12};
+  const ScheduleResult result = scheduler.schedule(tree, {&request, 1}, state);
+  ASSERT_FALSE(result.outcomes[0].granted);
+  EXPECT_EQ(result.outcomes[0].reason, RejectReason::kNoCommonPort);
+  EXPECT_EQ(state.total_occupied(), 4u);  // only the pre-planted occupancy
+}
+
+TEST(Matching, IntraSwitchAndLeafConflicts) {
+  const FatTree tree = FatTree::symmetric(2, 4);
+  LinkState state(tree);
+  MatchingScheduler scheduler;
+  const std::vector<Request> batch{{0, 1}, {2, 5}, {6, 5}};
+  const ScheduleResult result = scheduler.schedule(tree, batch, state);
+  EXPECT_TRUE(result.outcomes[0].granted);   // intra-switch
+  EXPECT_TRUE(result.outcomes[1].granted);
+  EXPECT_FALSE(result.outcomes[2].granted);  // duplicate destination
+  EXPECT_EQ(result.outcomes[2].reason, RejectReason::kLeafBusy);
+}
+
+TEST(Matching, ResolvesPortContentionAcrossSwitches) {
+  // Four requests from four leaf switches all into leaf switch 3: every one
+  // needs a distinct down port there; a maximum matching per color finds the
+  // assignment greedy first-fit also finds, but verify optimality: all 4 go
+  // through (one per port).
+  const FatTree tree = FatTree::symmetric(2, 4);
+  LinkState state(tree);
+  MatchingScheduler scheduler;
+  std::vector<Request> batch;
+  for (std::uint64_t leaf = 0; leaf < 3; ++leaf) {
+    batch.push_back(Request{tree.node_at(leaf, 0),
+                            tree.node_at(3, static_cast<std::uint32_t>(leaf))});
+  }
+  batch.push_back(Request{tree.node_at(3, 3), tree.node_at(3, 3)});  // intra
+  const ScheduleResult result = scheduler.schedule(tree, batch, state);
+  EXPECT_EQ(result.granted_count(), 4u);
+  EXPECT_TRUE(verify_schedule(tree, batch, result, &state).ok());
+}
+
+TEST(MatchingDeath, RejectsDeeperTrees) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  LinkState state(tree);
+  MatchingScheduler scheduler;
+  const Request request{0, 63};
+  EXPECT_DEATH(scheduler.schedule(tree, {&request, 1}, state), "precondition");
+}
+
+}  // namespace
+}  // namespace ftsched

@@ -1,0 +1,143 @@
+#include "core/path_count.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/levelwise_scheduler.hpp"
+#include "core/turnback_scheduler.hpp"
+#include "topology/path.hpp"
+#include "workload/patterns.hpp"
+
+namespace ftsched {
+namespace {
+
+/// Brute force: enumerate every port string and test availability directly.
+std::uint64_t brute_count(const FatTree& tree, const LinkState& state,
+                          NodeId src, NodeId dst) {
+  const std::uint64_t src_leaf = tree.leaf_switch(src).index;
+  const std::uint64_t dst_leaf = tree.leaf_switch(dst).index;
+  const std::uint32_t ancestor =
+      tree.common_ancestor_level(src_leaf, dst_leaf);
+  const std::uint32_t w = tree.parent_arity();
+  std::uint64_t combos = 1;
+  for (std::uint32_t h = 0; h < ancestor; ++h) combos *= w;
+  std::uint64_t count = 0;
+  for (std::uint64_t code = 0; code < combos; ++code) {
+    DigitVec ports;
+    std::uint64_t rest = code;
+    for (std::uint32_t h = 0; h < ancestor; ++h) {
+      ports.push_back(static_cast<std::uint32_t>(rest % w));
+      rest /= w;
+    }
+    const Path path{src, dst, ancestor, ports};
+    if (state.path_available(tree, path)) ++count;
+  }
+  return count;
+}
+
+TEST(PathCount, FreshStateHasAllCombinations) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  LinkState state(tree);
+  EXPECT_EQ(count_free_paths(tree, state, 0, 63), 16u);  // w^H = 4^2
+  EXPECT_EQ(count_free_paths(tree, state, 0, 4), 4u);    // H = 1
+  EXPECT_EQ(count_free_paths(tree, state, 0, 2), 1u);    // intra-switch
+}
+
+TEST(PathCount, MatchesBruteForceUnderRandomOccupancy) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  Xoshiro256ss rng(5);
+  for (int round = 0; round < 10; ++round) {
+    LinkState state(tree);
+    for (std::uint32_t h = 0; h < 2; ++h) {
+      for (std::uint64_t sw = 0; sw < 16; ++sw) {
+        for (std::uint32_t p = 0; p < 4; ++p) {
+          if (rng.below(3) == 0) state.set_ulink(h, sw, p, false);
+          if (rng.below(3) == 0) state.set_dlink(h, sw, p, false);
+        }
+      }
+    }
+    for (int probe = 0; probe < 30; ++probe) {
+      const NodeId src = rng.below(tree.node_count());
+      const NodeId dst = rng.below(tree.node_count());
+      EXPECT_EQ(count_free_paths(tree, state, src, dst),
+                brute_count(tree, state, src, dst))
+          << src << "->" << dst;
+    }
+  }
+}
+
+TEST(PathCount, GrantDecrementsAlternatives) {
+  const FatTree tree = FatTree::symmetric(2, 8);
+  LinkState state(tree);
+  const Request request{0, 63};  // leaf 0 -> leaf 7
+  EXPECT_EQ(count_free_paths(tree, state, 0, 63), 8u);
+  LevelwiseScheduler scheduler;
+  ASSERT_TRUE(scheduler.schedule(tree, {&request, 1}, state)
+                  .outcomes[0]
+                  .granted);
+  // Port 0 now taken on both sides for this pair.
+  EXPECT_EQ(count_free_paths(tree, state, 1, 62), 7u);
+}
+
+// Completeness oracle: an unlimited-budget turnback grants a request IFF a
+// free path exists, on heavily and randomly occupied fabrics.
+TEST(PathCount, UnlimitedTurnbackGrantsIffPathExists) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  Xoshiro256ss rng(6);
+  for (int round = 0; round < 15; ++round) {
+    LinkState state(tree);
+    for (std::uint32_t h = 0; h < 2; ++h) {
+      for (std::uint64_t sw = 0; sw < 16; ++sw) {
+        for (std::uint32_t p = 0; p < 4; ++p) {
+          if (rng.below(2) == 0) state.set_ulink(h, sw, p, false);
+          if (rng.below(2) == 0) state.set_dlink(h, sw, p, false);
+        }
+      }
+    }
+    const NodeId src = rng.below(tree.node_count());
+    NodeId dst = rng.below(tree.node_count());
+    if (dst == src) dst = (dst + 1) % tree.node_count();
+    const std::uint64_t alternatives = count_free_paths(tree, state, src, dst);
+
+    TurnbackOptions options;
+    options.max_probes = 100000;
+    TurnbackScheduler turnback(options);
+    const Request request{src, dst};
+    const bool granted =
+        turnback.schedule(tree, {&request, 1}, state).outcomes[0].granted;
+    EXPECT_EQ(granted, alternatives > 0)
+        << "round " << round << " " << src << "->" << dst << " alt="
+        << alternatives;
+  }
+}
+
+// First-fit's blind spot is real: construct a state where levelwise rejects
+// although an alternative exists (and count it).
+TEST(PathCount, LevelwiseCanRejectDespitePositiveCount) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  LinkState state(tree);
+  // Leave exactly the ports (3, 3) free for 0 -> 63 at the σ/δ rows the
+  // FIRST-FIT walk visits: block P0 candidates 0..2 on one side so first
+  // fit takes P0 = 3, then block level-1 entirely for the σ1 reached by
+  // P0 = 3 while leaving a path through P0 = 2 open... simplest concrete
+  // construction: make port 0 available at level 0 but dead-ended above,
+  // and port 1 fully free.
+  const std::uint64_t src_leaf = 0;
+  const std::uint64_t dst_leaf = tree.leaf_switch(63).index;
+  // Kill all level-1 ports of the σ1/δ1 pair reached via P0 = 0.
+  const std::uint64_t sigma1 = tree.ascend(0, src_leaf, 0);
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    state.set_ulink(1, sigma1, p, false);
+  }
+  (void)dst_leaf;
+  // First-fit: picks P0 = 0 (available), then finds level 1 empty ->
+  // reject. But P0 = 1..3 lead to fully free levels.
+  EXPECT_EQ(count_free_paths(tree, state, 0, 63), 12u);  // 3 × 4
+  LevelwiseScheduler scheduler;
+  const Request request{0, 63};
+  const ScheduleResult result = scheduler.schedule(tree, {&request, 1}, state);
+  EXPECT_FALSE(result.outcomes[0].granted);
+  EXPECT_EQ(result.outcomes[0].fail_level, 1u);
+}
+
+}  // namespace
+}  // namespace ftsched

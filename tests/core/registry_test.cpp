@@ -1,0 +1,63 @@
+#include "core/registry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftsched {
+namespace {
+
+TEST(Registry, AllAdvertisedNamesConstruct) {
+  for (const std::string& name : scheduler_names()) {
+    auto scheduler = make_scheduler(name, 1);
+    ASSERT_TRUE(scheduler.ok()) << name;
+    EXPECT_NE(scheduler.value(), nullptr);
+  }
+}
+
+TEST(Registry, UnknownNameIsError) {
+  auto scheduler = make_scheduler("no-such-scheduler");
+  ASSERT_FALSE(scheduler.ok());
+  EXPECT_NE(scheduler.message().find("unknown scheduler"), std::string::npos);
+  EXPECT_NE(scheduler.message().find("levelwise"), std::string::npos);
+}
+
+TEST(Registry, NamesAreStableIdentifiers) {
+  // These names appear in DESIGN.md and the bench output; renaming them is a
+  // breaking change this test makes deliberate.
+  const std::vector<std::string> expected{
+      "levelwise",   "levelwise-random", "levelwise-rr",
+      "levelwise-reqmajor", "local",     "local-random",
+      "local-rr",    "local-hold",       "turnback",
+      "matching2",   "dmodk"};
+  EXPECT_EQ(scheduler_names(), expected);
+}
+
+TEST(Registry, InstanceNamesDistinguishConfigurations) {
+  EXPECT_EQ(make_scheduler("levelwise").value()->name(),
+            "levelwise-first-fit");
+  EXPECT_EQ(make_scheduler("local-random").value()->name(), "local-random");
+  EXPECT_EQ(make_scheduler("local-hold").value()->name(),
+            "local-first-fit-hold");
+  EXPECT_EQ(make_scheduler("matching2").value()->name(), "matching2");
+  EXPECT_EQ(make_scheduler("turnback").value()->name(),
+            "turnback-first-fit-p8");
+}
+
+TEST(Registry, SeedThreadsToScheduler) {
+  // Two random-policy schedulers with equal seeds produce identical results.
+  const FatTree tree = FatTree::symmetric(3, 4);
+  auto a = make_scheduler("levelwise-random", 99).value();
+  auto b = make_scheduler("levelwise-random", 99).value();
+  std::vector<Request> batch;
+  for (NodeId n = 0; n < 64; ++n) batch.push_back(Request{n, 63 - n});
+  LinkState sa(tree);
+  LinkState sb(tree);
+  const ScheduleResult ra = a->schedule(tree, batch, sa);
+  const ScheduleResult rb = b->schedule(tree, batch, sb);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(ra.outcomes[i].granted, rb.outcomes[i].granted);
+    EXPECT_EQ(ra.outcomes[i].path, rb.outcomes[i].path);
+  }
+}
+
+}  // namespace
+}  // namespace ftsched

@@ -1,0 +1,174 @@
+#include "core/static_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/verifier.hpp"
+#include "workload/patterns.hpp"
+
+namespace ftsched {
+namespace {
+
+TEST(StaticScheduler, PortsAreDestinationNodeDigits) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  // Node 63 = 333 base 4: P_h = digit h = 3, 3.
+  EXPECT_EQ(StaticDestinationScheduler::static_ports(tree, 63, 2),
+            (DigitVec{3, 3}));
+  // Node 38 = 212 base 4 (LSB first 2, 1, 2): ports (2, 1).
+  EXPECT_EQ(StaticDestinationScheduler::static_ports(tree, 38, 2),
+            (DigitVec{2, 1}));
+  // Shorter ancestor level truncates.
+  EXPECT_EQ(StaticDestinationScheduler::static_ports(tree, 38, 1),
+            (DigitVec{2}));
+}
+
+TEST(StaticScheduler, GrantsUseExactlyTheForcedPath) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  LinkState state(tree);
+  StaticDestinationScheduler scheduler;
+  const Request request{0, 38};
+  const ScheduleResult result = scheduler.schedule(tree, {&request, 1}, state);
+  ASSERT_TRUE(result.outcomes[0].granted);
+  EXPECT_EQ(result.outcomes[0].path.ports, (DigitVec{2, 1}));
+}
+
+// The d-mod-k theorem: circuits to DISTINCT destination PEs never share a
+// downward channel, so on fresh state no rejection is ever a down conflict
+// — on ANY workload (endpoint admission removes duplicate destinations).
+TEST(StaticScheduler, NeverDownConflictsOnFreshState) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  LinkState state(tree);
+  StaticDestinationScheduler scheduler;
+  Xoshiro256ss rng(3);
+  for (TrafficPattern pattern :
+       {TrafficPattern::kRandomPermutation, TrafficPattern::kShift,
+        TrafficPattern::kDigitReversal, TrafficPattern::kHotSpot}) {
+    for (int rep = 0; rep < 5; ++rep) {
+      const auto batch = generate_pattern(tree, pattern, rng);
+      state.reset();
+      const ScheduleResult result = scheduler.schedule(tree, batch, state);
+      for (const RequestOutcome& out : result.outcomes) {
+        EXPECT_NE(out.reason, RejectReason::kDownConflict)
+            << to_string(pattern);
+      }
+      ASSERT_TRUE(verify_schedule(tree, batch, result, &state).ok());
+    }
+  }
+}
+
+TEST(StaticScheduler, SameLeafDestinationsSpreadAcrossDownPorts) {
+  // All four PEs of leaf 15 receive circuits: d-mod-k assigns them the four
+  // distinct P_0 values, so ALL are granted (unlike the naive leaf-digit
+  // variant, which would funnel them onto one channel).
+  const FatTree tree = FatTree::symmetric(3, 4);
+  LinkState state(tree);
+  StaticDestinationScheduler scheduler;
+  std::vector<Request> batch;
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    batch.push_back(Request{tree.node_at(p, 0), tree.node_at(15, p)});
+  }
+  const ScheduleResult result = scheduler.schedule(tree, batch, state);
+  EXPECT_EQ(result.granted_count(), 4u);
+  EXPECT_TRUE(verify_schedule(tree, batch, result, &state).ok());
+}
+
+TEST(StaticScheduler, UpConflictWhenDigitShared) {
+  // Two sources under the SAME leaf to destinations with equal low node
+  // digit: both need the same up-port of their shared leaf switch.
+  const FatTree tree = FatTree::symmetric(3, 4);
+  LinkState state(tree);
+  StaticDestinationScheduler scheduler;
+  // Destinations 20 (=110_4, digit0 = 0) and 32 (=200_4, digit0 = 0).
+  const std::vector<Request> batch{{0, 20}, {1, 32}};
+  const ScheduleResult result = scheduler.schedule(tree, batch, state);
+  EXPECT_TRUE(result.outcomes[0].granted);
+  ASSERT_FALSE(result.outcomes[1].granted);
+  EXPECT_EQ(result.outcomes[1].reason, RejectReason::kNoCommonPort);
+  EXPECT_EQ(result.outcomes[1].fail_level, 0u);
+}
+
+TEST(StaticScheduler, RejectionLeavesNoResidue) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  LinkState state(tree);
+  StaticDestinationScheduler scheduler;
+  const std::vector<Request> batch{{0, 20}, {1, 32}};
+  const ScheduleResult result = scheduler.schedule(tree, batch, state);
+  ASSERT_FALSE(result.outcomes[1].granted);
+  // One granted H=2 circuit: 4 channels.
+  EXPECT_EQ(state.total_occupied(), 4u);
+  EXPECT_TRUE(verify_schedule(tree, batch, result, &state).ok());
+}
+
+TEST(StaticScheduler, ExternallyHeldDownChannelRejectsGracefully) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  LinkState state(tree);
+  // Pre-occupy the down channel request 0 -> 38 would need at level 0:
+  // Dlink(0, leaf(38)=9, P_0 = 2).
+  state.set_dlink(0, 9, 2, false);
+  StaticDestinationScheduler scheduler;
+  const Request request{0, 38};
+  const ScheduleResult result = scheduler.schedule(tree, {&request, 1}, state);
+  ASSERT_FALSE(result.outcomes[0].granted);
+  EXPECT_EQ(result.outcomes[0].reason, RejectReason::kDownConflict);
+  // Up-side channels it tentatively held were rolled back.
+  EXPECT_EQ(state.total_occupied(), 1u);  // only the planted occupancy
+}
+
+TEST(StaticScheduler, ShiftRoutesPerfectlyButDigitReversalCollapses) {
+  // Shift by N/2 only changes the top digit (no carries), so d-mod-k's
+  // port string equals the source's own low digits — conflict-free, 100%.
+  // Digit reversal makes every source of a leaf want P_0 = its shared top
+  // digit — a w-way up conflict, ~1/w survival.
+  const FatTree tree = FatTree::symmetric(3, 8);
+  LinkState state(tree);
+  StaticDestinationScheduler scheduler;
+  Xoshiro256ss rng(4);
+
+  const auto shift = generate_pattern(tree, TrafficPattern::kShift, rng);
+  const ScheduleResult shift_result = scheduler.schedule(tree, shift, state);
+  EXPECT_TRUE(verify_schedule(tree, shift, shift_result, &state).ok());
+  EXPECT_DOUBLE_EQ(shift_result.schedulability_ratio(), 1.0);
+
+  state.reset();
+  const auto reversal =
+      generate_pattern(tree, TrafficPattern::kDigitReversal, rng);
+  const ScheduleResult rev_result = scheduler.schedule(tree, reversal, state);
+  EXPECT_TRUE(verify_schedule(tree, reversal, rev_result, &state).ok());
+  EXPECT_LT(rev_result.schedulability_ratio(), 0.4);
+}
+
+TEST(StaticScheduler, DeterministicAcrossRuns) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  Xoshiro256ss rng(5);
+  const auto batch = random_permutation(tree.node_count(), rng);
+  StaticDestinationScheduler a;
+  StaticDestinationScheduler b;
+  LinkState sa(tree);
+  LinkState sb(tree);
+  const ScheduleResult ra = a.schedule(tree, batch, sa);
+  const ScheduleResult rb = b.schedule(tree, batch, sb);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(ra.outcomes[i].granted, rb.outcomes[i].granted);
+  }
+}
+
+TEST(StaticScheduler, FattenedTreesUseDigitPortsDirectly) {
+  // w > m: destination digits are always valid ports.
+  const FatTree tree = FatTree::create(FatTreeParams{3, 2, 4}).value();
+  LinkState state(tree);
+  StaticDestinationScheduler scheduler;
+  Xoshiro256ss rng(6);
+  const auto batch = random_permutation(tree.node_count(), rng);
+  const ScheduleResult result = scheduler.schedule(tree, batch, state);
+  EXPECT_TRUE(verify_schedule(tree, batch, result, &state).ok());
+}
+
+TEST(StaticSchedulerDeath, SlimmedTreesRejected) {
+  const FatTree tree = FatTree::create(FatTreeParams{3, 4, 2}).value();
+  LinkState state(tree);
+  StaticDestinationScheduler scheduler;
+  const Request request{0, 63};
+  EXPECT_DEATH(scheduler.schedule(tree, {&request, 1}, state), "precondition");
+}
+
+}  // namespace
+}  // namespace ftsched

@@ -1,0 +1,142 @@
+#include "core/verifier.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftsched {
+namespace {
+
+FatTree make_ft34() { return FatTree::symmetric(3, 4); }
+
+ScheduleResult granted_result(const std::vector<Request>& batch,
+                              const std::vector<Path>& paths) {
+  ScheduleResult result;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    RequestOutcome out;
+    out.granted = true;
+    out.path = paths[i];
+    result.outcomes.push_back(out);
+  }
+  return result;
+}
+
+TEST(Verifier, AcceptsConsistentSchedule) {
+  const FatTree tree = make_ft34();
+  const std::vector<Request> batch{{0, 63}, {4, 20}};
+  const std::vector<Path> paths{{0, 63, 2, DigitVec{0, 0}},
+                                {4, 20, 2, DigitVec{1, 1}}};
+  LinkState state(tree);
+  for (const Path& p : paths) state.occupy_path(tree, p);
+  EXPECT_TRUE(
+      verify_schedule(tree, batch, granted_result(batch, paths), &state).ok());
+}
+
+TEST(Verifier, RejectsOutcomeCountMismatch) {
+  const FatTree tree = make_ft34();
+  const std::vector<Request> batch{{0, 63}};
+  ScheduleResult result;  // zero outcomes
+  EXPECT_FALSE(verify_schedule(tree, batch, result).ok());
+}
+
+TEST(Verifier, RejectsWrongEndpoints) {
+  const FatTree tree = make_ft34();
+  const std::vector<Request> batch{{0, 63}};
+  const std::vector<Path> paths{{0, 62, 2, DigitVec{0, 0}}};  // wrong dst
+  EXPECT_FALSE(
+      verify_schedule(tree, batch, granted_result(batch, paths)).ok());
+}
+
+TEST(Verifier, RejectsIllegalPath) {
+  const FatTree tree = make_ft34();
+  const std::vector<Request> batch{{0, 63}};
+  const std::vector<Path> paths{{0, 63, 1, DigitVec{0}}};  // wrong H
+  const Status s = verify_schedule(tree, batch, granted_result(batch, paths));
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(Verifier, RejectsSharedChannel) {
+  const FatTree tree = make_ft34();
+  // Two circuits from the same leaf switch using the same up port at level 0.
+  const std::vector<Request> batch{{0, 63}, {1, 62}};
+  const std::vector<Path> paths{{0, 63, 2, DigitVec{0, 0}},
+                                {1, 62, 2, DigitVec{0, 1}}};
+  const Status s = verify_schedule(tree, batch, granted_result(batch, paths));
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("claimed by two"), std::string::npos);
+}
+
+TEST(Verifier, RejectsDuplicateSource) {
+  const FatTree tree = make_ft34();
+  const std::vector<Request> batch{{0, 20}, {0, 40}};
+  const std::vector<Path> paths{{0, 20, 2, DigitVec{0, 0}},
+                                {0, 40, 2, DigitVec{1, 1}}};
+  const Status s = verify_schedule(tree, batch, granted_result(batch, paths));
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("injects"), std::string::npos);
+}
+
+TEST(Verifier, RejectsDuplicateDestination) {
+  const FatTree tree = make_ft34();
+  const std::vector<Request> batch{{0, 40}, {4, 40}};
+  const std::vector<Path> paths{{0, 40, 2, DigitVec{0, 0}},
+                                {4, 40, 2, DigitVec{1, 1}}};
+  const Status s = verify_schedule(tree, batch, granted_result(batch, paths));
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("receives"), std::string::npos);
+}
+
+TEST(Verifier, RejectsResidualOccupancyByDefault) {
+  const FatTree tree = make_ft34();
+  const std::vector<Request> batch{{0, 63}};
+  const std::vector<Path> paths{{0, 63, 2, DigitVec{0, 0}}};
+  LinkState state(tree);
+  state.occupy_path(tree, paths[0]);
+  state.occupy(0, 5, 6, 2);  // unrelated residue
+  const Status s =
+      verify_schedule(tree, batch, granted_result(batch, paths), &state);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("residue"), std::string::npos);
+}
+
+TEST(Verifier, ResidualAllowedWhenRelaxed) {
+  const FatTree tree = make_ft34();
+  const std::vector<Request> batch{{0, 63}};
+  const std::vector<Path> paths{{0, 63, 2, DigitVec{0, 0}}};
+  LinkState state(tree);
+  state.occupy_path(tree, paths[0]);
+  state.occupy(0, 5, 6, 2);
+  VerifyOptions options;
+  options.allow_residual_occupancy = true;
+  EXPECT_TRUE(
+      verify_schedule(tree, batch, granted_result(batch, paths), &state,
+                      options)
+          .ok());
+}
+
+TEST(Verifier, RelaxedModeStillRequiresGrantsOccupied) {
+  const FatTree tree = make_ft34();
+  const std::vector<Request> batch{{0, 63}};
+  const std::vector<Path> paths{{0, 63, 2, DigitVec{0, 0}}};
+  LinkState state(tree);  // grant NOT applied
+  VerifyOptions options;
+  options.allow_residual_occupancy = true;
+  const Status s = verify_schedule(tree, batch, granted_result(batch, paths),
+                                   &state, options);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("not occupied"), std::string::npos);
+}
+
+TEST(Verifier, RejectedRequestsNeedNoPath) {
+  const FatTree tree = make_ft34();
+  const std::vector<Request> batch{{0, 63}};
+  ScheduleResult result;
+  RequestOutcome out;
+  out.granted = false;
+  out.reason = RejectReason::kNoCommonPort;
+  out.path = Path{0, 63, 0, {}};
+  result.outcomes.push_back(out);
+  LinkState state(tree);
+  EXPECT_TRUE(verify_schedule(tree, batch, result, &state).ok());
+}
+
+}  // namespace
+}  // namespace ftsched

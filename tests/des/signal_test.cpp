@@ -1,0 +1,99 @@
+#include "des/signal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ftsched {
+namespace {
+
+TEST(Signal, WriteNotVisibleUntilDeltaBoundary) {
+  Simulator sim;
+  Signal<int> sig(sim, 0);
+  int seen_same_phase = -1;
+  sim.schedule_at(1, [&] {
+    sig.write(5);
+    seen_same_phase = sig.read();
+  });
+  sim.run();
+  EXPECT_EQ(seen_same_phase, 0);  // old value within the writing phase
+  EXPECT_EQ(sig.read(), 5);       // applied after the delta
+}
+
+TEST(Signal, ParallelReadersSeeConsistentValue) {
+  // The paper's "signals passed through each switch node in parallel":
+  // two processes swap values through two signals at the same timestamp.
+  Simulator sim;
+  Signal<int> a(sim, 1);
+  Signal<int> b(sim, 2);
+  sim.schedule_at(0, [&] { a.write(b.read()); });
+  sim.schedule_at(0, [&] { b.write(a.read()); });
+  sim.run();
+  EXPECT_EQ(a.read(), 2);
+  EXPECT_EQ(b.read(), 1);  // a clean swap — no ordering artifact
+}
+
+TEST(Signal, LastWriteInPhaseWins) {
+  Simulator sim;
+  Signal<int> sig(sim, 0);
+  sim.schedule_at(0, [&] { sig.write(1); });
+  sim.schedule_at(0, [&] { sig.write(2); });
+  sim.run();
+  EXPECT_EQ(sig.read(), 2);
+}
+
+TEST(Signal, OnChangeFiresOnlyOnRealChanges) {
+  Simulator sim;
+  Signal<int> sig(sim, 3);
+  int notifications = 0;
+  sig.on_change([&] { ++notifications; });
+  sim.schedule_at(0, [&] { sig.write(3); });  // same value: no change
+  sim.run();
+  EXPECT_EQ(notifications, 0);
+  sim.schedule_at(1, [&] { sig.write(4); });
+  sim.run();
+  EXPECT_EQ(notifications, 1);
+}
+
+TEST(Signal, ChainOfWatchersPropagatesWithinTimestamp) {
+  Simulator sim;
+  Signal<int> first(sim, 0);
+  Signal<int> second(sim, 0);
+  SimTime settled_at = 999;
+  first.on_change([&] { second.write(first.read() + 1); });
+  second.on_change([&] { settled_at = sim.now(); });
+  sim.schedule_at(7, [&] { first.write(10); });
+  sim.run();
+  EXPECT_EQ(second.read(), 11);
+  EXPECT_EQ(settled_at, 7u);  // all deltas at t=7
+}
+
+TEST(Clock, DrivesProcessesEachEdge) {
+  Simulator sim;
+  Clock clock(sim, 10);
+  std::vector<SimTime> edges;
+  clock.on_edge([&] { edges.push_back(sim.now()); });
+  clock.start(4);
+  sim.run();
+  EXPECT_EQ(edges, (std::vector<SimTime>{0, 10, 20, 30}));
+  EXPECT_EQ(clock.ticks(), 4u);
+}
+
+TEST(Clock, ProcessesRunInRegistrationOrder) {
+  Simulator sim;
+  Clock clock(sim, 1);
+  std::vector<int> order;
+  clock.on_edge([&] { order.push_back(1); });
+  clock.on_edge([&] { order.push_back(2); });
+  clock.start(2);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 1, 2}));
+}
+
+TEST(ClockDeath, ZeroPeriodRejected) {
+  Simulator sim;
+  EXPECT_DEATH(Clock(sim, 0), "precondition");
+}
+
+}  // namespace
+}  // namespace ftsched

@@ -1,0 +1,116 @@
+#include "des/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ftsched {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30u);
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(Simulator, FifoWithinTimestamp) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  SimTime seen = 0;
+  sim.schedule_at(100, [&] {
+    sim.schedule_in(5, [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(seen, 105u);
+}
+
+TEST(Simulator, EventsCanCascade) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 50) sim.schedule_in(1, recurse);
+  };
+  sim.schedule_at(0, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 50);
+  EXPECT_EQ(sim.now(), 49u);
+}
+
+TEST(Simulator, RunLimitStopsEarly) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) sim.schedule_at(static_cast<SimTime>(i),
+                                               [&] { ++count; });
+  EXPECT_EQ(sim.run(4), 4u);
+  EXPECT_EQ(count, 4);
+  EXPECT_EQ(sim.run(), 6u);
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Simulator, RunUntilLeavesLaterEventsQueued) {
+  Simulator sim;
+  std::vector<SimTime> fired;
+  for (SimTime t : {5u, 10u, 15u, 20u}) {
+    sim.schedule_at(t, [&fired, &sim] { fired.push_back(sim.now()); });
+  }
+  sim.run_until(12);
+  EXPECT_EQ(fired, (std::vector<SimTime>{5, 10}));
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<SimTime>{5, 10, 15, 20}));
+}
+
+TEST(Simulator, UpdatesApplyBetweenDeltas) {
+  // Two events at the same timestamp both read a "signal" (plain int +
+  // request_update); both must see the old value — evaluate/update split.
+  Simulator sim;
+  int value = 0;
+  int seen_a = -1;
+  int seen_b = -1;
+  sim.schedule_at(1, [&] {
+    seen_a = value;
+    sim.request_update([&] { value = 7; });
+  });
+  sim.schedule_at(1, [&] { seen_b = value; });
+  sim.run();
+  EXPECT_EQ(seen_a, 0);
+  EXPECT_EQ(seen_b, 0);
+  EXPECT_EQ(value, 7);
+}
+
+TEST(Simulator, UpdateTriggeredEventsRunSameTimestamp) {
+  Simulator sim;
+  SimTime when = 999;
+  sim.schedule_at(4, [&] {
+    sim.request_update([&] {
+      sim.schedule_at(sim.now(), [&] { when = sim.now(); });
+    });
+  });
+  sim.run();
+  EXPECT_EQ(when, 4u);
+}
+
+TEST(SimulatorDeath, SchedulingInThePastRejected) {
+  Simulator sim;
+  sim.schedule_at(10, [&] {
+    sim.schedule_at(5, [] {});  // now() is 10
+  });
+  EXPECT_DEATH(sim.run(), "precondition");
+}
+
+}  // namespace
+}  // namespace ftsched

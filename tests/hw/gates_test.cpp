@@ -1,0 +1,89 @@
+#include "hw/gates.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/link_memory.hpp"
+#include "hw/timing_model.hpp"
+#include "util/rng.hpp"
+
+namespace ftsched {
+namespace {
+
+TEST(Gates, MatchesFindFirstSetExhaustivelyAtSmallWidths) {
+  for (std::uint32_t width : {1u, 2u, 3u, 4u, 5u, 8u}) {
+    const std::uint64_t limit = std::uint64_t{1} << width;
+    for (std::uint64_t word = 0; word < limit; ++word) {
+      const PrioritySelection sel = priority_tree_select(word, width);
+      EXPECT_EQ(sel.any, word != 0) << "w=" << width << " v=" << word;
+      if (word != 0) {
+        EXPECT_EQ(sel.index, static_cast<std::uint32_t>(
+                                 bits::find_first_word(word)))
+            << "w=" << width << " v=" << word;
+      }
+    }
+  }
+}
+
+TEST(Gates, MatchesPrioritySelectRandomlyAtFullWidth) {
+  Xoshiro256ss rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t word = rng();
+    for (std::uint32_t width : {16u, 48u, 64u}) {
+      const PrioritySelection sel = priority_tree_select(word, width);
+      const std::uint32_t reference = priority_select(
+          width == 64 ? word : word & ((std::uint64_t{1} << width) - 1),
+          width);
+      if (reference == width) {
+        EXPECT_FALSE(sel.any);
+      } else {
+        ASSERT_TRUE(sel.any);
+        EXPECT_EQ(sel.index, reference);
+      }
+    }
+  }
+}
+
+TEST(Gates, MasksBitsAboveWidth) {
+  // Bit 5 set but width 4: must report empty.
+  const PrioritySelection sel = priority_tree_select(1u << 5, 4);
+  EXPECT_FALSE(sel.any);
+}
+
+TEST(Gates, TreeDepthIsCeilLog2) {
+  EXPECT_EQ(priority_tree_select(0, 1).depth, 0u);
+  EXPECT_EQ(priority_tree_select(0, 2).depth, 1u);
+  EXPECT_EQ(priority_tree_select(0, 4).depth, 2u);
+  EXPECT_EQ(priority_tree_select(0, 5).depth, 3u);
+  EXPECT_EQ(priority_tree_select(0, 8).depth, 3u);
+  EXPECT_EQ(priority_tree_select(0, 16).depth, 4u);
+  EXPECT_EQ(priority_tree_select(0, 64).depth, 6u);
+}
+
+TEST(Gates, DepthAgreesWithTimingModelLevels) {
+  // The structural derivation must match what TimingModel charges for.
+  for (std::uint32_t w = 1; w <= 64; ++w) {
+    EXPECT_EQ(priority_tree_select(0, w).depth,
+              TimingModel::priority_levels(w))
+        << w;
+  }
+}
+
+TEST(Gates, ComputeStageDepthAddsTheAndLevel) {
+  EXPECT_EQ(compute_stage_depth(4), 3u);
+  EXPECT_EQ(compute_stage_depth(16), 5u);
+}
+
+TEST(Gates, CellCountGrowsNearLinearly) {
+  // padded-tree cells: 4 -> 2·1+1·2 = 4; 8 -> 4+2·2+1·3 = 11; 16 -> 26.
+  EXPECT_EQ(priority_tree_cells(4), 4u);
+  EXPECT_EQ(priority_tree_cells(8), 11u);
+  EXPECT_EQ(priority_tree_cells(16), 26u);
+  EXPECT_LT(priority_tree_cells(64), 4u * 64u);
+}
+
+TEST(GatesDeath, ZeroWidthRejected) {
+  EXPECT_DEATH(priority_tree_select(0, 0), "precondition");
+}
+
+}  // namespace
+}  // namespace ftsched

@@ -1,0 +1,76 @@
+#include "hw/link_memory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftsched {
+namespace {
+
+TEST(LinkMemory, InitializesAllAvailable) {
+  LinkMemory mem(16, 4);
+  EXPECT_EQ(mem.rows(), 16u);
+  EXPECT_EQ(mem.width(), 4u);
+  for (std::uint64_t r = 0; r < 16; ++r) EXPECT_EQ(mem.peek(r), 0xFu);
+}
+
+TEST(LinkMemory, ReadWriteRoundTrip) {
+  LinkMemory mem(8, 4);
+  mem.write(3, 0b1010);
+  EXPECT_EQ(mem.read(3), 0b1010u);
+  EXPECT_EQ(mem.read(2), 0xFu);
+}
+
+TEST(LinkMemory, AccessCounters) {
+  LinkMemory mem(8, 4);
+  (void)mem.read(0);
+  (void)mem.read(1);
+  mem.write(0, 0);
+  EXPECT_EQ(mem.read_count(), 2u);
+  EXPECT_EQ(mem.write_count(), 1u);
+  mem.reset_counters();
+  EXPECT_EQ(mem.read_count(), 0u);
+  EXPECT_EQ(mem.write_count(), 0u);
+}
+
+TEST(LinkMemory, PeekDoesNotCount) {
+  LinkMemory mem(8, 4);
+  (void)mem.peek(0);
+  EXPECT_EQ(mem.read_count(), 0u);
+}
+
+TEST(LinkMemory, FillAvailableRestores) {
+  LinkMemory mem(4, 6);
+  mem.write(1, 0);
+  mem.fill_available();
+  EXPECT_EQ(mem.peek(1), 0x3Fu);
+}
+
+TEST(LinkMemory, FullWidth64) {
+  LinkMemory mem(2, 64);
+  EXPECT_EQ(mem.peek(0), ~std::uint64_t{0});
+  mem.write(0, 1);
+  EXPECT_EQ(mem.read(0), 1u);
+}
+
+TEST(LinkMemoryDeath, WriteBeyondWidthRejected) {
+  LinkMemory mem(4, 4);
+  EXPECT_DEATH(mem.write(0, 0x10), "precondition");
+}
+
+TEST(LinkMemoryDeath, RowOutOfRangeRejected) {
+  LinkMemory mem(4, 4);
+  EXPECT_DEATH(mem.read(4), "precondition");
+}
+
+TEST(PrioritySelect, PicksLowestSetBit) {
+  EXPECT_EQ(priority_select(0b0110, 4), 1u);
+  EXPECT_EQ(priority_select(0b1000, 4), 3u);
+  EXPECT_EQ(priority_select(1, 4), 0u);
+}
+
+TEST(PrioritySelect, AllZeroReturnsWidthCode) {
+  EXPECT_EQ(priority_select(0, 4), 4u);
+  EXPECT_EQ(priority_select(0, 64), 64u);
+}
+
+}  // namespace
+}  // namespace ftsched

@@ -1,0 +1,137 @@
+#include "hw/multilane.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/verifier.hpp"
+#include "hw/pipeline.hpp"
+#include "workload/patterns.hpp"
+
+namespace ftsched {
+namespace {
+
+TEST(Multilane, SingleLaneMatchesPipelineTiming) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  MultilaneOptions options;
+  options.lanes = 1;
+  MultilanePipeline multilane(tree, options);
+  Xoshiro256ss rng(1);
+  const auto batch = random_permutation(tree.node_count(), rng);
+  const MultilaneReport report = multilane.schedule(batch);
+  EXPECT_EQ(report.cycles, report.single_lane_cycles);
+  EXPECT_EQ(report.bank_stall_cycles, 0u);
+  EXPECT_DOUBLE_EQ(report.speedup(), 1.0);
+}
+
+TEST(Multilane, GrantsIdenticalToSingleLanePipelineAtEveryLaneCount) {
+  const FatTree tree = FatTree::symmetric(3, 8);
+  Xoshiro256ss rng(2);
+  const auto batch = random_permutation(tree.node_count(), rng);
+  LevelwisePipeline reference(tree);
+  const PipelineReport ref = reference.schedule(batch);
+  for (const std::uint32_t lanes : {1u, 2u, 3u, 4u, 8u, 16u}) {
+    MultilaneOptions options;
+    options.lanes = lanes;
+    MultilanePipeline multilane(tree, options);
+    const MultilaneReport report = multilane.schedule(batch);
+    ASSERT_EQ(report.result.outcomes.size(), ref.result.outcomes.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      ASSERT_EQ(report.result.outcomes[i].granted,
+                ref.result.outcomes[i].granted)
+          << "lanes=" << lanes << " req=" << i;
+      if (ref.result.outcomes[i].granted) {
+        EXPECT_EQ(report.result.outcomes[i].path, ref.result.outcomes[i].path);
+      }
+    }
+  }
+}
+
+TEST(Multilane, MoreLanesNeverSlower) {
+  const FatTree tree = FatTree::symmetric(3, 8);
+  Xoshiro256ss rng(3);
+  const auto batch = random_permutation(tree.node_count(), rng);
+  std::uint64_t prev = UINT64_MAX;
+  for (const std::uint32_t lanes : {1u, 2u, 4u, 8u}) {
+    MultilaneOptions options;
+    options.lanes = lanes;
+    MultilanePipeline multilane(tree, options);
+    const MultilaneReport report = multilane.schedule(batch);
+    EXPECT_LE(report.cycles, prev) << "lanes=" << lanes;
+    prev = report.cycles;
+  }
+}
+
+TEST(Multilane, SameRowLanesShareAccessViaBypass) {
+  const FatTree tree = FatTree::symmetric(2, 4);
+  MultilaneOptions options;
+  options.lanes = 2;
+  MultilanePipeline multilane(tree, options);
+  // Both requests in one beat come from leaf 0 and go to leaf 3: identical
+  // rows on both memories — a shared access, not a conflict.
+  const std::vector<Request> batch{{0, 12}, {1, 13}};
+  const MultilaneReport report = multilane.schedule(batch);
+  EXPECT_TRUE(report.result.outcomes[0].granted);
+  EXPECT_TRUE(report.result.outcomes[1].granted);
+  EXPECT_EQ(report.beats, 1u);
+  EXPECT_EQ(report.bank_stall_cycles, 0u);
+  EXPECT_EQ(report.cycles, 1u);
+  EXPECT_DOUBLE_EQ(report.speedup(), 2.0);
+}
+
+TEST(Multilane, DistinctRowsSameBankSerialize) {
+  const FatTree tree = FatTree::symmetric(2, 4);
+  MultilaneOptions options;
+  options.lanes = 2;
+  MultilanePipeline multilane(tree, options);
+  // Source rows 0 and 2: both in bank 0 (row % 2), distinct -> serialize.
+  // Destination rows are both 3 (shared).
+  const std::vector<Request> batch{{0, 12}, {8, 13}};
+  const MultilaneReport report = multilane.schedule(batch);
+  EXPECT_TRUE(report.result.outcomes[0].granted);
+  EXPECT_TRUE(report.result.outcomes[1].granted);
+  EXPECT_EQ(report.beats, 1u);
+  EXPECT_EQ(report.bank_stall_cycles, 1u);
+  EXPECT_EQ(report.cycles, 2u);  // one beat at service 2, single stage
+}
+
+TEST(Multilane, DisjointRowsSameBeatRunParallel) {
+  const FatTree tree = FatTree::symmetric(2, 4);
+  MultilaneOptions options;
+  options.lanes = 2;
+  MultilanePipeline multilane(tree, options);
+  // Rows 0 and 1 -> banks 0 and 1; destinations rows 3 and 2 -> banks 1, 0.
+  const std::vector<Request> batch{{0, 12}, {5, 9}};
+  const MultilaneReport report = multilane.schedule(batch);
+  EXPECT_EQ(report.bank_stall_cycles, 0u);
+  EXPECT_EQ(report.cycles, 1u);           // one beat, one stage, no stall
+  EXPECT_EQ(report.single_lane_cycles, 2u);
+  EXPECT_DOUBLE_EQ(report.speedup(), 2.0);
+}
+
+TEST(Multilane, ResultsVerify) {
+  const FatTree tree = FatTree::symmetric(4, 3);
+  MultilaneOptions options;
+  options.lanes = 4;
+  MultilanePipeline multilane(tree, options);
+  Xoshiro256ss rng(4);
+  const auto batch = random_permutation(tree.node_count(), rng);
+  const MultilaneReport report = multilane.schedule(batch);
+  EXPECT_TRUE(verify_schedule(tree, batch, report.result).ok());
+}
+
+TEST(Multilane, EmptyBatch) {
+  const FatTree tree = FatTree::symmetric(2, 4);
+  MultilanePipeline multilane(tree);
+  const MultilaneReport report = multilane.schedule({});
+  EXPECT_EQ(report.cycles, 0u);
+  EXPECT_EQ(report.beats, 0u);
+}
+
+TEST(MultilaneDeath, ZeroLanesRejected) {
+  const FatTree tree = FatTree::symmetric(2, 4);
+  MultilaneOptions options;
+  options.lanes = 0;
+  EXPECT_DEATH(MultilanePipeline(tree, options), "precondition");
+}
+
+}  // namespace
+}  // namespace ftsched

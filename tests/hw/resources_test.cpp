@@ -1,0 +1,58 @@
+#include "hw/resources.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftsched {
+namespace {
+
+TEST(Resources, ThreeLevelBaseline) {
+  const FatTree tree = FatTree::symmetric(3, 4);  // 64 nodes, 16 rows/level
+  const ResourceEstimate est = estimate_resources(tree);
+  EXPECT_EQ(est.pipeline_stages, 2u);
+  // Two blocks × two memories × 16 rows × 4 bits.
+  EXPECT_EQ(est.memory_bits, 2u * 2u * 16u * 4u);
+  // 64 bits per memory rounds up to one M4K each.
+  EXPECT_EQ(est.m4k_blocks, 4u);
+  EXPECT_GT(est.aluts, 0u);
+  EXPECT_GT(est.registers, 0u);
+}
+
+TEST(Resources, MemoryScalesLinearlyWithRows) {
+  const ResourceEstimate small = estimate_resources(FatTree::symmetric(2, 8));
+  const ResourceEstimate big = estimate_resources(FatTree::symmetric(2, 16));
+  // FT(2,w): one block, rows = w, width = w -> memory bits = 2 w^2.
+  EXPECT_EQ(small.memory_bits, 2u * 8u * 8u);
+  EXPECT_EQ(big.memory_bits, 2u * 16u * 16u);
+}
+
+TEST(Resources, LogicScalesWithArityNotNodeCount) {
+  // Same w, more nodes (deeper tree): per-block ALUTs fixed; blocks add up.
+  const ResourceEstimate l3 = estimate_resources(FatTree::symmetric(3, 4));
+  const ResourceEstimate l4 = estimate_resources(FatTree::symmetric(4, 4));
+  EXPECT_EQ(l4.pipeline_stages, l3.pipeline_stages + 1);
+  EXPECT_GT(l4.aluts, l3.aluts);
+  EXPECT_LT(l4.aluts, 3 * l3.aluts);  // sublinear in node count (64 -> 256)
+}
+
+TEST(Resources, DescriptorWidthCoversLabelsAndPorts) {
+  const FatTree tree = FatTree::symmetric(3, 16);  // labels: 256 rows -> 8 bits
+  const ResourceEstimate est = estimate_resources(tree);
+  // valid+alive (2) + 2×8 label + 2 (levels) + 2 stages × 4 port bits.
+  EXPECT_EQ(est.descriptor_bits, 2u + 16u + 2u + 8u);
+}
+
+TEST(Resources, PaperLargestConfigIsSmall) {
+  // 4096-node, 3-level: the paper's headline hardware point.
+  const ResourceEstimate est = estimate_resources(FatTree::symmetric(3, 16));
+  EXPECT_LT(est.aluts, 2000u);          // a sliver of a Stratix II
+  EXPECT_LT(est.m4k_blocks, 16u);
+  EXPECT_EQ(est.memory_bits, 2u * 2u * 256u * 16u);
+}
+
+TEST(ResourcesDeath, SingleLevelRejected) {
+  const FatTree tree = FatTree::symmetric(1, 4);
+  EXPECT_DEATH(estimate_resources(tree), "precondition");
+}
+
+}  // namespace
+}  // namespace ftsched

@@ -1,0 +1,68 @@
+#include "hw/timing_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftsched {
+namespace {
+
+TEST(TimingModel, PriorityLevels) {
+  EXPECT_EQ(TimingModel::priority_levels(1), 0u);
+  EXPECT_EQ(TimingModel::priority_levels(2), 1u);
+  EXPECT_EQ(TimingModel::priority_levels(4), 2u);
+  EXPECT_EQ(TimingModel::priority_levels(5), 3u);  // rounds up
+  EXPECT_EQ(TimingModel::priority_levels(8), 3u);
+  EXPECT_EQ(TimingModel::priority_levels(16), 4u);
+  EXPECT_EQ(TimingModel::priority_levels(64), 6u);
+}
+
+TEST(TimingModel, ReproducesTable1CycleTimes) {
+  const TimingModel model;
+  EXPECT_DOUBLE_EQ(model.cycle_ns(4), 7.5);
+  EXPECT_DOUBLE_EQ(model.cycle_ns(8), 8.5);
+  EXPECT_DOUBLE_EQ(model.cycle_ns(16), 9.5);
+}
+
+TEST(TimingModel, ReproducesTable1SingleRequestLatency) {
+  // Three-level fat tree -> two P-blocks.
+  const TimingModel model;
+  EXPECT_DOUBLE_EQ(model.request_latency_ns(3, 4), 15.0);
+  EXPECT_DOUBLE_EQ(model.request_latency_ns(3, 8), 17.0);
+  EXPECT_DOUBLE_EQ(model.request_latency_ns(3, 16), 19.0);
+}
+
+TEST(TimingModel, ReproducesTable1BatchTimes) {
+  const TimingModel model;
+  EXPECT_DOUBLE_EQ(model.batch_throughput_ns(64, 4), 480.0);
+  EXPECT_DOUBLE_EQ(model.batch_throughput_ns(512, 8), 4352.0);
+  EXPECT_DOUBLE_EQ(model.batch_throughput_ns(4096, 16), 38912.0);
+  // Paper's "<40 microseconds for 4096 nodes" claim.
+  EXPECT_LT(model.batch_total_ns(4096, 3, 16), 40000.0);
+}
+
+TEST(TimingModel, PipelineFillAddsStagesMinusOne) {
+  const TimingModel model;
+  EXPECT_DOUBLE_EQ(
+      model.batch_total_ns(64, 3, 4) - model.batch_throughput_ns(64, 4),
+      model.cycle_ns(4));  // (n + l - 2) - n = 1 extra cycle for l = 3
+}
+
+TEST(TimingModel, DeeperTreesOnlyAffectLatencyNotCycle) {
+  const TimingModel model;
+  EXPECT_DOUBLE_EQ(model.cycle_ns(4), model.cycle_ns(4));
+  EXPECT_DOUBLE_EQ(model.request_latency_ns(4, 4), 3 * 7.5);
+  EXPECT_DOUBLE_EQ(model.request_latency_ns(5, 4), 4 * 7.5);
+}
+
+TEST(TimingModel, CustomCalibration) {
+  TimingModel model;
+  model.priority_level_ns = 2.0;
+  EXPECT_DOUBLE_EQ(model.cycle_ns(4), 5.5 + 4.0);
+}
+
+TEST(TimingModelDeath, LatencyNeedsTwoLevels) {
+  const TimingModel model;
+  EXPECT_DEATH(model.request_latency_ns(1, 4), "precondition");
+}
+
+}  // namespace
+}  // namespace ftsched

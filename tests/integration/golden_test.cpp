@@ -1,0 +1,79 @@
+// Golden regression values: exact grant counts for a pinned workload
+// (FT(3,8), seed-2006 permutation) and pinned scheduler seeds. These are
+// NOT correctness oracles — they pin the implementation's deterministic
+// behaviour so an accidental change to port selection, processing order,
+// RNG streams, or tie-breaking shows up as a diff instead of silently
+// shifting every figure. If a change is INTENTIONAL, update the values and
+// say so in the commit that changes them.
+#include <gtest/gtest.h>
+
+#include "core/registry.hpp"
+#include "hw/pipeline.hpp"
+#include "workload/patterns.hpp"
+
+namespace ftsched {
+namespace {
+
+std::vector<Request> golden_batch(const FatTree& tree) {
+  Xoshiro256ss rng(2006);
+  return random_permutation(tree.node_count(), rng);
+}
+
+TEST(Golden, SchedulerGrantCountsOnPinnedWorkload) {
+  const FatTree tree = FatTree::symmetric(3, 8);
+  const auto batch = golden_batch(tree);
+  const std::pair<const char*, std::uint64_t> expected[] = {
+      {"levelwise", 466u},          {"levelwise-random", 460u},
+      {"levelwise-rr", 459u},       {"levelwise-reqmajor", 465u},
+      {"local", 245u},              {"local-random", 302u},
+      {"local-rr", 290u},           {"local-hold", 278u},
+      {"turnback", 424u},           {"dmodk", 298u},
+  };
+  for (const auto& [name, grants] : expected) {
+    auto scheduler = make_scheduler(name, 42).value();
+    LinkState state(tree);
+    EXPECT_EQ(scheduler->schedule(tree, batch, state).granted_count(), grants)
+        << name;
+  }
+}
+
+TEST(Golden, MatchingIsPerfectOnPinnedTwoLevelWorkload) {
+  const FatTree tree = FatTree::symmetric(2, 16);
+  const auto batch = golden_batch(tree);
+  auto scheduler = make_scheduler("matching2", 42).value();
+  LinkState state(tree);
+  EXPECT_EQ(scheduler->schedule(tree, batch, state).granted_count(), 256u);
+}
+
+TEST(Golden, PipelineCountersOnPinnedWorkload) {
+  const FatTree tree = FatTree::symmetric(3, 8);
+  const auto batch = golden_batch(tree);
+  LevelwisePipeline pipeline(tree);
+  const PipelineReport report = pipeline.schedule(batch);
+  EXPECT_EQ(report.result.granted_count(), 466u);  // == levelwise golden
+  EXPECT_EQ(report.cycles, 513u);                  // N + stages - 1
+  EXPECT_EQ(report.raw_forwards, 414u);
+}
+
+TEST(Golden, OrderingOfSchedulersIsStable) {
+  // The qualitative ranking the whole evaluation rests on, as one assert:
+  // levelwise > turnback > local-random > local, and the paper's algorithm
+  // within a whisker of its request-major variant.
+  const FatTree tree = FatTree::symmetric(3, 8);
+  const auto batch = golden_batch(tree);
+  auto count = [&](const char* name) {
+    auto scheduler = make_scheduler(name, 42).value();
+    LinkState state(tree);
+    return scheduler->schedule(tree, batch, state).granted_count();
+  };
+  const std::uint64_t levelwise = count("levelwise");
+  const std::uint64_t turnback = count("turnback");
+  const std::uint64_t local_random = count("local-random");
+  const std::uint64_t local = count("local");
+  EXPECT_GT(levelwise, turnback);
+  EXPECT_GT(turnback, local_random);
+  EXPECT_GT(local_random, local);
+}
+
+}  // namespace
+}  // namespace ftsched

@@ -1,0 +1,102 @@
+// Statistical reproduction of the paper's §5 claims, at reduced repetition
+// count so the suite stays fast (the full 100-permutation protocol lives in
+// the bench binaries). Thresholds are set with slack: these tests assert the
+// SHAPE of the results, not exact numbers.
+#include <gtest/gtest.h>
+
+#include "stats/runner.hpp"
+
+namespace ftsched {
+namespace {
+
+ExperimentPoint run(const FatTree& tree, const std::string& scheduler,
+                    std::size_t reps = 25) {
+  ExperimentConfig config;
+  config.scheduler = scheduler;
+  config.repetitions = reps;
+  config.seed = 2006;
+  return run_experiment(tree, config);
+}
+
+// Paper abstract: level-wise schedulability 78%-95% across the studied
+// sizes; local scheduling 45%-70%.
+TEST(PaperClaims, SchedulabilityBandsHold) {
+  struct Point {
+    std::uint32_t levels;
+    std::uint32_t w;
+  };
+  // One small and one large point per level count (full sweep in benches).
+  for (const Point p : {Point{2, 8}, Point{2, 32}, Point{3, 4}, Point{3, 8},
+                        Point{4, 3}, Point{4, 5}}) {
+    const FatTree tree = FatTree::symmetric(p.levels, p.w);
+    const double global = run(tree, "levelwise").schedulability.mean;
+    const double local = run(tree, "local-random").schedulability.mean;
+    EXPECT_GE(global, 0.78) << "FT(" << p.levels << "," << p.w << ")";
+    EXPECT_LE(local, 0.80) << "FT(" << p.levels << "," << p.w << ")";
+    EXPECT_GT(global, local) << "FT(" << p.levels << "," << p.w << ")";
+  }
+}
+
+// Paper §5: "the minimum schedulability ratio of the Level-wise scheduler is
+// higher than the maximum schedulability ratio of the conventional
+// scheduler."
+TEST(PaperClaims, LevelwiseMinAboveLocalMax) {
+  for (std::uint32_t levels : {2u, 3u, 4u}) {
+    const std::uint32_t w = levels == 2 ? 16 : (levels == 3 ? 8 : 4);
+    const FatTree tree = FatTree::symmetric(levels, w);
+    const ExperimentPoint global = run(tree, "levelwise");
+    const ExperimentPoint local = run(tree, "local-random");
+    EXPECT_GT(global.schedulability.min, local.schedulability.max)
+        << "FT(" << levels << "," << w << ")";
+  }
+}
+
+// Paper §5: "In a network with more than 500 communication nodes, the
+// improvement is over 30%."
+TEST(PaperClaims, ImprovementOver30PercentBeyond500Nodes) {
+  for (const auto& [levels, w] : {std::pair{3u, 8u}, std::pair{4u, 5u}}) {
+    const FatTree tree = FatTree::symmetric(levels, w);
+    ASSERT_GT(tree.node_count(), 500u);
+    const double global = run(tree, "levelwise").schedulability.mean;
+    const double local = run(tree, "local-random").schedulability.mean;
+    EXPECT_GT((global - local) / local, 0.30)
+        << "FT(" << levels << "," << w << ")";
+  }
+}
+
+// Paper §5: "The deviation of the schedulability ratio become less as the
+// system size increases."
+TEST(PaperClaims, DeviationShrinksWithSize) {
+  const ExperimentPoint small = run(FatTree::symmetric(3, 4), "levelwise");
+  const ExperimentPoint large = run(FatTree::symmetric(3, 12), "levelwise");
+  EXPECT_LT(large.schedulability.max - large.schedulability.min,
+            small.schedulability.max - small.schedulability.min);
+  EXPECT_LT(large.schedulability.stddev, small.schedulability.stddev);
+}
+
+// Paper §5: "the conventional scheduler's schedulability ratio decreases as
+// the number of levels increases."
+TEST(PaperClaims, LocalRatioDecreasesWithLevels) {
+  const double l2 =
+      run(FatTree::symmetric(2, 16), "local-random").schedulability.mean;
+  const double l3 =
+      run(FatTree::symmetric(3, 6), "local-random").schedulability.mean;
+  const double l4 =
+      run(FatTree::symmetric(4, 4), "local-random").schedulability.mean;
+  EXPECT_GT(l2, l3);
+  EXPECT_GT(l3, l4);
+}
+
+// Paper §5: the level-wise scheduler shows only "negligible drop-off as
+// system size increases" — check the mean stays within a few points across
+// a 64x size increase at fixed depth.
+TEST(PaperClaims, LevelwiseScalesWithNegligibleDropoff) {
+  const double small =
+      run(FatTree::symmetric(3, 4), "levelwise").schedulability.mean;
+  const double large =
+      run(FatTree::symmetric(3, 16), "levelwise").schedulability.mean;
+  EXPECT_LT(std::abs(small - large), 0.08);
+}
+
+}  // namespace
+}  // namespace ftsched

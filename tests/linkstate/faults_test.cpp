@@ -1,0 +1,100 @@
+#include "linkstate/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ftsched {
+namespace {
+
+FatTree make_ft34() { return FatTree::symmetric(3, 4); }
+
+TEST(Faults, RandomRateZeroIsEmpty) {
+  const FatTree tree = make_ft34();
+  EXPECT_TRUE(random_cable_faults(tree, 0.0, 1).failed_cables.empty());
+}
+
+TEST(Faults, RandomRateOneIsEverything) {
+  const FatTree tree = make_ft34();
+  const FaultPlan plan = random_cable_faults(tree, 1.0, 1);
+  EXPECT_EQ(plan.failed_cables.size(), tree.cables_at(0) + tree.cables_at(1));
+}
+
+TEST(Faults, RandomRateRoughlyProportional) {
+  const FatTree tree = FatTree::symmetric(2, 32);  // 2048 cables
+  const FaultPlan plan = random_cable_faults(tree, 0.25, 7);
+  const double fraction = static_cast<double>(plan.failed_cables.size()) /
+                          static_cast<double>(tree.cables_at(0));
+  EXPECT_NEAR(fraction, 0.25, 0.05);
+}
+
+TEST(Faults, ExactCountIsExactAndDistinct) {
+  const FatTree tree = make_ft34();
+  const FaultPlan plan = exact_cable_faults(tree, 17, 3);
+  EXPECT_EQ(plan.failed_cables.size(), 17u);
+  std::set<CableId> distinct(plan.failed_cables.begin(),
+                             plan.failed_cables.end());
+  EXPECT_EQ(distinct.size(), 17u);
+}
+
+TEST(Faults, ExactCountDeterministicPerSeed) {
+  const FatTree tree = make_ft34();
+  EXPECT_EQ(exact_cable_faults(tree, 10, 5).failed_cables,
+            exact_cable_faults(tree, 10, 5).failed_cables);
+  EXPECT_NE(exact_cable_faults(tree, 10, 5).failed_cables,
+            exact_cable_faults(tree, 10, 6).failed_cables);
+}
+
+TEST(Faults, ApplyMarksBothDirections) {
+  const FatTree tree = make_ft34();
+  LinkState state(tree);
+  const FaultPlan plan{{CableId{0, 3, 2}, CableId{1, 7, 0}}};
+  apply_faults(state, plan);
+  EXPECT_FALSE(state.ulink(0, 3, 2));
+  EXPECT_FALSE(state.dlink(0, 3, 2));
+  EXPECT_FALSE(state.ulink(1, 7, 0));
+  EXPECT_FALSE(state.dlink(1, 7, 0));
+  EXPECT_TRUE(faults_still_marked(state, plan));
+  EXPECT_EQ(state.total_occupied(), 4u);
+}
+
+TEST(Faults, ClearRestores) {
+  const FatTree tree = make_ft34();
+  LinkState state(tree);
+  const FaultPlan plan = exact_cable_faults(tree, 8, 2);
+  apply_faults(state, plan);
+  clear_faults(state, plan);
+  EXPECT_EQ(state.total_occupied(), 0u);
+  EXPECT_TRUE(state.audit().ok());
+}
+
+TEST(Faults, StillMarkedDetectsLeaks) {
+  const FatTree tree = make_ft34();
+  LinkState state(tree);
+  const FaultPlan plan{{CableId{0, 0, 0}}};
+  apply_faults(state, plan);
+  EXPECT_TRUE(faults_still_marked(state, plan));
+  state.set_ulink(0, 0, 0, true);  // someone wrongly released it
+  EXPECT_FALSE(faults_still_marked(state, plan));
+}
+
+TEST(FaultsDeath, DoubleApplyRejected) {
+  const FatTree tree = make_ft34();
+  LinkState state(tree);
+  const FaultPlan plan{{CableId{0, 0, 0}}};
+  apply_faults(state, plan);
+  EXPECT_DEATH(apply_faults(state, plan), "precondition");
+}
+
+TEST(FaultsDeath, BadRateRejected) {
+  const FatTree tree = make_ft34();
+  EXPECT_DEATH(random_cable_faults(tree, 1.5, 1), "precondition");
+}
+
+TEST(FaultsDeath, TooManyExactFaultsRejected) {
+  const FatTree tree = make_ft34();
+  EXPECT_DEATH(exact_cable_faults(tree, 1000, 1), "precondition");
+}
+
+}  // namespace
+}  // namespace ftsched

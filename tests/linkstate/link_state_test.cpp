@@ -1,0 +1,192 @@
+#include "linkstate/link_state.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftsched {
+namespace {
+
+FatTree make_ft34() { return FatTree::symmetric(3, 4); }
+
+TEST(LinkState, StartsFullyAvailable) {
+  const FatTree tree = make_ft34();
+  LinkState state(tree);
+  EXPECT_EQ(state.link_levels(), 2u);
+  EXPECT_EQ(state.ports_per_switch(), 4u);
+  for (std::uint32_t h = 0; h < 2; ++h) {
+    EXPECT_EQ(state.rows_at(h), 16u);
+    EXPECT_EQ(state.occupied_ulinks_at(h), 0u);
+    EXPECT_EQ(state.occupied_dlinks_at(h), 0u);
+    for (std::uint64_t sw = 0; sw < 16; ++sw) {
+      for (std::uint32_t p = 0; p < 4; ++p) {
+        EXPECT_TRUE(state.ulink(h, sw, p));
+        EXPECT_TRUE(state.dlink(h, sw, p));
+      }
+    }
+  }
+  EXPECT_TRUE(state.audit().ok());
+}
+
+TEST(LinkState, OccupyClearsBothSides) {
+  const FatTree tree = make_ft34();
+  LinkState state(tree);
+  state.occupy(0, 2, 9, 1);
+  EXPECT_FALSE(state.ulink(0, 2, 1));
+  EXPECT_FALSE(state.dlink(0, 9, 1));
+  EXPECT_TRUE(state.ulink(0, 9, 1));  // destination's ulink untouched
+  EXPECT_TRUE(state.dlink(0, 2, 1));  // source's dlink untouched
+  EXPECT_EQ(state.occupied_ulinks_at(0), 1u);
+  EXPECT_EQ(state.occupied_dlinks_at(0), 1u);
+  EXPECT_EQ(state.total_occupied(), 2u);
+  EXPECT_TRUE(state.audit().ok());
+}
+
+TEST(LinkState, ReleaseRestores) {
+  const FatTree tree = make_ft34();
+  LinkState state(tree);
+  state.occupy(1, 3, 7, 2);
+  state.release(1, 3, 7, 2);
+  EXPECT_TRUE(state.ulink(1, 3, 2));
+  EXPECT_TRUE(state.dlink(1, 7, 2));
+  EXPECT_EQ(state.total_occupied(), 0u);
+}
+
+TEST(LinkState, FirstAvailablePortIsLowestCommon) {
+  const FatTree tree = make_ft34();
+  LinkState state(tree);
+  // Block port 0 on the source's up side, port 1 on the destination's down
+  // side; first common port must be 2.
+  state.set_ulink(0, 2, 0, false);
+  state.set_dlink(0, 9, 1, false);
+  auto port = state.first_available_port(0, 2, 9);
+  ASSERT_TRUE(port.has_value());
+  EXPECT_EQ(*port, 2u);
+}
+
+TEST(LinkState, FirstAvailablePortNulloptWhenDisjoint) {
+  const FatTree tree = make_ft34();
+  LinkState state(tree);
+  // Source free on {0,1}, destination free on {2,3}: AND is empty.
+  state.set_ulink(0, 2, 2, false);
+  state.set_ulink(0, 2, 3, false);
+  state.set_dlink(0, 9, 0, false);
+  state.set_dlink(0, 9, 1, false);
+  EXPECT_FALSE(state.first_available_port(0, 2, 9).has_value());
+  EXPECT_EQ(state.available_port_count(0, 2, 9), 0u);
+}
+
+TEST(LinkState, NextAvailablePortSkips) {
+  const FatTree tree = make_ft34();
+  LinkState state(tree);
+  EXPECT_EQ(*state.next_available_port(0, 1, 5, 2), 2u);
+  state.set_ulink(0, 1, 2, false);
+  EXPECT_EQ(*state.next_available_port(0, 1, 5, 2), 3u);
+  EXPECT_FALSE(state.next_available_port(0, 1, 5, 4).has_value());
+}
+
+TEST(LinkState, NthAvailablePort) {
+  const FatTree tree = make_ft34();
+  LinkState state(tree);
+  state.set_ulink(0, 1, 1, false);
+  // Common free ports: 0, 2, 3.
+  EXPECT_EQ(*state.nth_available_port(0, 1, 5, 0), 0u);
+  EXPECT_EQ(*state.nth_available_port(0, 1, 5, 1), 2u);
+  EXPECT_EQ(*state.nth_available_port(0, 1, 5, 2), 3u);
+  EXPECT_FALSE(state.nth_available_port(0, 1, 5, 3).has_value());
+}
+
+TEST(LinkState, LocalViewIgnoresDestination) {
+  const FatTree tree = make_ft34();
+  LinkState state(tree);
+  state.set_dlink(0, 9, 0, false);  // destination port 0 occupied
+  // Local view of source 2 still sees port 0 free: that is the baseline's
+  // blindness the paper exploits.
+  EXPECT_EQ(*state.first_local_ulink(0, 2), 0u);
+  EXPECT_EQ(state.local_ulink_count(0, 2), 4u);
+  // But the global AND skips it.
+  EXPECT_EQ(*state.first_available_port(0, 2, 9), 1u);
+}
+
+TEST(LinkState, NthLocalUlink) {
+  const FatTree tree = make_ft34();
+  LinkState state(tree);
+  state.set_ulink(0, 2, 0, false);
+  state.set_ulink(0, 2, 2, false);
+  EXPECT_EQ(*state.nth_local_ulink(0, 2, 0), 1u);
+  EXPECT_EQ(*state.nth_local_ulink(0, 2, 1), 3u);
+  EXPECT_FALSE(state.nth_local_ulink(0, 2, 2).has_value());
+}
+
+TEST(LinkState, ResetRestoresEverything) {
+  const FatTree tree = make_ft34();
+  LinkState state(tree);
+  state.occupy(0, 0, 1, 0);
+  state.occupy(1, 2, 3, 1);
+  state.reset();
+  EXPECT_EQ(state.total_occupied(), 0u);
+  EXPECT_TRUE(state.audit().ok());
+  EXPECT_TRUE(state.ulink(0, 0, 0));
+  EXPECT_TRUE(state.dlink(1, 3, 1));
+}
+
+TEST(LinkState, PathOccupyRelease) {
+  const FatTree tree = make_ft34();
+  LinkState state(tree);
+  const Path path{0, 63, 2, DigitVec{1, 2}};
+  ASSERT_TRUE(state.path_available(tree, path));
+  state.occupy_path(tree, path);
+  EXPECT_FALSE(state.path_available(tree, path));
+  EXPECT_EQ(state.total_occupied(), 4u);  // 2 levels × (one ulink + one dlink)
+  state.release_path(tree, path);
+  EXPECT_TRUE(state.path_available(tree, path));
+  EXPECT_EQ(state.total_occupied(), 0u);
+}
+
+TEST(LinkState, WideRowsSpanMultipleWords) {
+  // w = 64 exercises exactly one full word; w = 48 a partial word. Both
+  // appear in the paper's two-level sweep.
+  for (std::uint32_t w : {48u, 64u}) {
+    const FatTree tree = FatTree::symmetric(2, w);
+    LinkState state(tree);
+    EXPECT_EQ(state.ports_per_switch(), w);
+    EXPECT_EQ(*state.first_available_port(0, 0, 1), 0u);
+    for (std::uint32_t p = 0; p + 1 < w; ++p) state.set_ulink(0, 0, p, false);
+    EXPECT_EQ(*state.first_available_port(0, 0, 1), w - 1);
+    EXPECT_EQ(state.available_port_count(0, 0, 1), 1u);
+    EXPECT_TRUE(state.audit().ok());
+  }
+}
+
+TEST(LinkState, EqualityDetectsDifferences) {
+  const FatTree tree = make_ft34();
+  LinkState a(tree);
+  LinkState b(tree);
+  EXPECT_TRUE(a == b);
+  a.occupy(0, 0, 1, 0);
+  EXPECT_FALSE(a == b);
+  a.release(0, 0, 1, 0);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(LinkState, SingleLevelTreeHasNoLinkLevels) {
+  const FatTree tree = FatTree::symmetric(1, 4);
+  LinkState state(tree);
+  EXPECT_EQ(state.link_levels(), 0u);
+  EXPECT_EQ(state.total_occupied(), 0u);
+  EXPECT_TRUE(state.audit().ok());
+}
+
+TEST(LinkStateDeath, DoubleOccupyRejected) {
+  const FatTree tree = make_ft34();
+  LinkState state(tree);
+  state.occupy(0, 0, 1, 0);
+  EXPECT_DEATH(state.occupy(0, 0, 1, 0), "precondition");
+}
+
+TEST(LinkStateDeath, ReleaseFreeChannelRejected) {
+  const FatTree tree = make_ft34();
+  LinkState state(tree);
+  EXPECT_DEATH(state.release(0, 0, 1, 0), "precondition");
+}
+
+}  // namespace
+}  // namespace ftsched

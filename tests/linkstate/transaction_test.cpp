@@ -1,0 +1,99 @@
+#include "linkstate/transaction.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftsched {
+namespace {
+
+FatTree make_ft34() { return FatTree::symmetric(3, 4); }
+
+TEST(Transaction, RollbackOnDestruction) {
+  const FatTree tree = make_ft34();
+  LinkState state(tree);
+  {
+    Transaction tx(state);
+    tx.occupy(0, 1, 2, 3);
+    tx.occupy(1, 4, 5, 0);
+    EXPECT_EQ(tx.size(), 4u);  // two paired entries = four channel holds
+    EXPECT_EQ(state.total_occupied(), 4u);
+  }  // no commit
+  EXPECT_EQ(state.total_occupied(), 0u);
+  EXPECT_TRUE(state.audit().ok());
+}
+
+TEST(Transaction, CommitKeepsAllocations) {
+  const FatTree tree = make_ft34();
+  LinkState state(tree);
+  {
+    Transaction tx(state);
+    tx.occupy(0, 1, 2, 3);
+    tx.commit();
+  }
+  EXPECT_FALSE(state.ulink(0, 1, 3));
+  EXPECT_FALSE(state.dlink(0, 2, 3));
+  EXPECT_EQ(state.total_occupied(), 2u);
+}
+
+TEST(Transaction, ExplicitRollbackIsImmediate) {
+  const FatTree tree = make_ft34();
+  LinkState state(tree);
+  Transaction tx(state);
+  tx.occupy(0, 0, 1, 0);
+  tx.rollback();
+  EXPECT_EQ(state.total_occupied(), 0u);
+  EXPECT_EQ(tx.size(), 0u);
+}
+
+TEST(Transaction, SingleSidedEntries) {
+  const FatTree tree = make_ft34();
+  LinkState state(tree);
+  {
+    Transaction tx(state);
+    tx.occupy_up(0, 3, 1);
+    tx.occupy_down(1, 7, 2);
+    EXPECT_FALSE(state.ulink(0, 3, 1));
+    EXPECT_TRUE(state.dlink(0, 3, 1));  // other direction untouched
+    EXPECT_FALSE(state.dlink(1, 7, 2));
+  }
+  EXPECT_TRUE(state.ulink(0, 3, 1));
+  EXPECT_TRUE(state.dlink(1, 7, 2));
+  EXPECT_TRUE(state.audit().ok());
+}
+
+TEST(Transaction, RollbackAfterCommitIsNoOp) {
+  const FatTree tree = make_ft34();
+  LinkState state(tree);
+  Transaction tx(state);
+  tx.occupy(0, 0, 1, 0);
+  tx.commit();
+  // Destructor must not release committed entries.
+  EXPECT_EQ(state.total_occupied(), 2u);
+}
+
+TEST(Transaction, InterleavedTransactionsIndependent) {
+  const FatTree tree = make_ft34();
+  LinkState state(tree);
+  Transaction keep(state);
+  keep.occupy(0, 0, 1, 0);
+  {
+    Transaction drop(state);
+    drop.occupy(0, 2, 3, 1);
+    EXPECT_EQ(state.total_occupied(), 4u);
+  }
+  keep.commit();
+  EXPECT_EQ(state.total_occupied(), 2u);
+  EXPECT_FALSE(state.ulink(0, 0, 0));
+  EXPECT_TRUE(state.ulink(0, 2, 1));
+}
+
+TEST(TransactionDeath, OccupyingHeldChannelRejected) {
+  const FatTree tree = make_ft34();
+  LinkState state(tree);
+  Transaction tx(state);
+  tx.occupy_up(0, 0, 0);
+  EXPECT_DEATH(tx.occupy_up(0, 0, 0), "precondition");
+  tx.rollback();
+}
+
+}  // namespace
+}  // namespace ftsched

@@ -1,0 +1,130 @@
+#include "simnet/delivery_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/registry.hpp"
+#include "workload/patterns.hpp"
+
+namespace ftsched {
+namespace {
+
+std::vector<Path> granted_paths(const ScheduleResult& result) {
+  std::vector<Path> paths;
+  for (const RequestOutcome& out : result.outcomes) {
+    if (out.granted) paths.push_back(out.path);
+  }
+  return paths;
+}
+
+TEST(DeliverySim, SingleCircuitDelivers) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  DeliverySim sim(tree);
+  const Path path{0, 63, 2, DigitVec{1, 2}};
+  ASSERT_TRUE(sim.configure({&path, 1}).ok());
+  const DeliveryReport report = sim.run();
+  EXPECT_TRUE(report.all_delivered());
+  ASSERT_EQ(report.latencies.size(), 1u);
+  EXPECT_EQ(report.latencies[0], 5u);  // 2H + 1 hops
+}
+
+TEST(DeliverySim, IntraSwitchCircuitDeliversInOneHop) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  DeliverySim sim(tree);
+  const Path path{0, 3, 0, DigitVec{}};
+  ASSERT_TRUE(sim.configure({&path, 1}).ok());
+  const DeliveryReport report = sim.run();
+  EXPECT_TRUE(report.all_delivered());
+  EXPECT_EQ(report.latencies[0], 1u);
+}
+
+TEST(DeliverySim, ConflictingCircuitsRejectedAtConfigure) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  DeliverySim sim(tree);
+  // Both circuits leave leaf switch 0 through up port 0.
+  const std::vector<Path> circuits{{0, 63, 2, DigitVec{0, 0}},
+                                   {1, 62, 2, DigitVec{0, 1}}};
+  const Status s = sim.configure(circuits);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("already"), std::string::npos);
+}
+
+TEST(DeliverySim, IllegalPathRejectedAtConfigure) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  DeliverySim sim(tree);
+  const Path bad{0, 63, 1, DigitVec{0}};
+  EXPECT_FALSE(sim.configure({&bad, 1}).ok());
+}
+
+TEST(DeliverySim, EmptyConfigurationRunsToEmptyReport) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  DeliverySim sim(tree);
+  const DeliveryReport report = sim.run();
+  EXPECT_EQ(report.injected, 0u);
+  EXPECT_TRUE(report.all_delivered());
+}
+
+TEST(DeliverySim, CrossbarConnectionCountMatchesCircuits) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  DeliverySim sim(tree);
+  // An H=2 circuit programs 2H+1 = 5 crossbar entries; an intra-switch one
+  // programs 1.
+  const std::vector<Path> circuits{{0, 63, 2, DigitVec{1, 2}},
+                                   {4, 8, 1, DigitVec{0}},
+                                   {9, 10, 0, DigitVec{}}};
+  ASSERT_TRUE(sim.configure(circuits).ok());
+  EXPECT_EQ(sim.network().total_connections(), 5u + 3u + 1u);
+}
+
+TEST(DeliverySim, WholeScheduleDeliversForEveryScheduler) {
+  // The paper's acceptance criterion: every granted connection's request
+  // reaches its destination node. Run it for each scheduler on a random
+  // permutation.
+  const FatTree tree = FatTree::symmetric(3, 4);
+  Xoshiro256ss rng(21);
+  const auto batch = random_permutation(tree.node_count(), rng);
+  for (const std::string name :
+       {"levelwise", "levelwise-random", "local", "local-random", "turnback"}) {
+    auto scheduler = make_scheduler(name, 9).value();
+    LinkState state(tree);
+    const ScheduleResult result = scheduler->schedule(tree, batch, state);
+    DeliverySim sim(tree);
+    ASSERT_TRUE(sim.configure(granted_paths(result)).ok()) << name;
+    const DeliveryReport report = sim.run();
+    EXPECT_TRUE(report.all_delivered()) << name;
+    EXPECT_EQ(report.injected, result.granted_count()) << name;
+  }
+}
+
+TEST(DeliverySim, LatenciesMatchAncestorLevels) {
+  const FatTree tree = FatTree::symmetric(4, 3);
+  Xoshiro256ss rng(22);
+  const auto batch = random_permutation(tree.node_count(), rng);
+  auto scheduler = make_scheduler("levelwise", 1).value();
+  LinkState state(tree);
+  const ScheduleResult result = scheduler->schedule(tree, batch, state);
+  const std::vector<Path> circuits = granted_paths(result);
+  DeliverySim sim(tree);
+  ASSERT_TRUE(sim.configure(circuits).ok());
+  const DeliveryReport report = sim.run();
+  ASSERT_TRUE(report.all_delivered());
+  // Max latency bounded by the tree height: 2(l-1)+1 hops.
+  for (SimTime latency : report.latencies) {
+    EXPECT_GE(latency, 1u);
+    EXPECT_LE(latency, 2u * 3u + 1u);
+  }
+}
+
+TEST(DeliverySim, ResetAllowsReuse) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  DeliverySim sim(tree);
+  const Path path{0, 63, 2, DigitVec{1, 2}};
+  ASSERT_TRUE(sim.configure({&path, 1}).ok());
+  EXPECT_TRUE(sim.run().all_delivered());
+  sim.reset();
+  // Same circuit configures again without conflicts.
+  ASSERT_TRUE(sim.configure({&path, 1}).ok());
+  EXPECT_TRUE(sim.run().all_delivered());
+}
+
+}  // namespace
+}  // namespace ftsched

@@ -1,0 +1,88 @@
+#include "simnet/network_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftsched {
+namespace {
+
+TEST(NetworkModel, BuildsEverySwitch) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  NetworkModel network(tree);
+  for (std::uint32_t h = 0; h < 3; ++h) {
+    for (std::uint64_t i = 0; i < 16; ++i) {
+      const SwitchNode& sw = network.at(SwitchId{h, i});
+      EXPECT_EQ(sw.id(), (SwitchId{h, i}));
+      EXPECT_EQ(sw.down_ports(), 4u);
+      EXPECT_EQ(sw.up_ports(), h == 2 ? 0u : 4u);
+    }
+  }
+}
+
+TEST(NetworkModel, UpHopLandsOnTheoremOneParent) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  NetworkModel network(tree);
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    for (std::uint32_t p = 0; p < 4; ++p) {
+      const SwitchId sw{0, i};
+      const auto hop = network.next_hop(sw, network.at(sw).up_port(p));
+      EXPECT_FALSE(hop.to_node);
+      EXPECT_EQ(hop.next, tree.up_neighbor(sw, p));
+      // Enters the parent on its down side, at the port leading back.
+      EXPECT_EQ(hop.input, tree.parent_down_port(sw));
+    }
+  }
+}
+
+TEST(NetworkModel, DownHopAtLevelZeroReachesNode) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  NetworkModel network(tree);
+  const auto hop = network.next_hop(SwitchId{0, 5}, 2);  // down port 2
+  EXPECT_TRUE(hop.to_node);
+  EXPECT_EQ(hop.node, tree.node_at(5, 2));
+}
+
+TEST(NetworkModel, DownHopAboveLevelZeroEntersChildUpPort) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  NetworkModel network(tree);
+  const SwitchId parent{1, 7};
+  for (std::uint32_t j = 0; j < 4; ++j) {
+    const auto hop = network.next_hop(parent, j);
+    EXPECT_FALSE(hop.to_node);
+    const FatTree::DownHop expected = tree.down_neighbor(parent, j);
+    EXPECT_EQ(hop.next, expected.child);
+    EXPECT_EQ(hop.input,
+              network.at(expected.child).up_port(expected.child_up_port));
+  }
+}
+
+TEST(NetworkModel, UpThenDownReturnsToOrigin) {
+  const FatTree tree = FatTree::symmetric(4, 3);
+  NetworkModel network(tree);
+  for (std::uint32_t h = 0; h < 3; ++h) {
+    for (std::uint64_t i = 0; i < tree.switches_at(h); i += 5) {
+      const SwitchId sw{h, i};
+      for (std::uint32_t p = 0; p < 3; ++p) {
+        const auto up = network.next_hop(sw, network.at(sw).up_port(p));
+        // From the parent, go back down through the input port we arrived on.
+        const auto down = network.next_hop(up.next, up.input);
+        EXPECT_FALSE(down.to_node);
+        EXPECT_EQ(down.next, sw);
+        EXPECT_EQ(down.input, network.at(sw).up_port(p));
+      }
+    }
+  }
+}
+
+TEST(NetworkModel, TotalConnectionsAggregates) {
+  const FatTree tree = FatTree::symmetric(2, 4);
+  NetworkModel network(tree);
+  EXPECT_EQ(network.total_connections(), 0u);
+  ASSERT_TRUE(network.at(SwitchId{0, 0}).connect(0, 4).ok());
+  ASSERT_TRUE(network.at(SwitchId{1, 0}).connect(0, 1).ok());
+  EXPECT_EQ(network.total_connections(), 2u);
+  network.clear();
+  EXPECT_EQ(network.total_connections(), 0u);
+}
+
+}  // namespace
+}  // namespace ftsched

@@ -1,0 +1,168 @@
+#include "simnet/packet_sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftsched {
+namespace {
+
+PacketSimOptions quick(double rate, PacketRouting routing) {
+  PacketSimOptions options;
+  options.injection_rate = rate;
+  options.routing = routing;
+  options.warmup_cycles = 200;
+  options.measure_cycles = 800;
+  options.seed = 7;
+  return options;
+}
+
+TEST(PacketSim, LightLoadDeliversEverythingNearMinimumLatency) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  PacketSim sim(tree, quick(0.02, PacketRouting::kAdaptive));
+  const PacketSimReport report = sim.run();
+  EXPECT_GT(report.offered, 0u);
+  // Drain window is generous; everything offered must arrive.
+  EXPECT_EQ(report.delivered, report.offered);
+  // Minimum possible: 2 hops (intra-leaf) to 2·(l-1)+1 inter-switch hops
+  // plus injection; at 2% load queueing is negligible.
+  EXPECT_GE(report.avg_latency, 2.0);
+  EXPECT_LT(report.avg_latency, 10.0);
+  EXPECT_LT(report.avg_queue_occupancy, 0.05);
+}
+
+TEST(PacketSim, ThroughputMatchesOfferedLoadBelowSaturation) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  for (const double rate : {0.05, 0.15}) {
+    PacketSim sim(tree, quick(rate, PacketRouting::kAdaptive));
+    const PacketSimReport report = sim.run();
+    EXPECT_NEAR(report.throughput, rate, rate * 0.2) << rate;
+  }
+}
+
+TEST(PacketSim, LatencyIncreasesWithLoad) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  PacketSim light(tree, quick(0.05, PacketRouting::kAdaptive));
+  PacketSim heavy(tree, quick(0.6, PacketRouting::kAdaptive));
+  const PacketSimReport l = light.run();
+  const PacketSimReport h = heavy.run();
+  EXPECT_GT(h.avg_latency, l.avg_latency);
+  EXPECT_GT(h.avg_queue_occupancy, l.avg_queue_occupancy);
+}
+
+TEST(PacketSim, SaturationCapsThroughput) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  PacketSim sim(tree, quick(1.0, PacketRouting::kAdaptive));
+  const PacketSimReport report = sim.run();
+  // Cannot deliver more than offered, and at full injection the fabric
+  // saturates below the offered rate.
+  EXPECT_LT(report.throughput, 1.0);
+  EXPECT_GT(report.throughput, 0.2);
+  EXPECT_LE(report.delivered, report.offered);
+}
+
+TEST(PacketSim, StaticRoutingWorksAndDeliversAtLightLoad) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  PacketSim sim(tree, quick(0.02, PacketRouting::kStatic));
+  const PacketSimReport report = sim.run();
+  EXPECT_EQ(report.delivered, report.offered);
+}
+
+TEST(PacketSim, PermutationPartnersRespected) {
+  const FatTree tree = FatTree::symmetric(2, 4);
+  PacketSimOptions options = quick(0.1, PacketRouting::kAdaptive);
+  options.uniform_destinations = false;
+  PacketSim sim(tree, options);
+  const PacketSimReport report = sim.run();
+  EXPECT_EQ(report.delivered, report.offered);
+}
+
+TEST(PacketSim, DeterministicForEqualSeeds) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  PacketSim a(tree, quick(0.3, PacketRouting::kAdaptive));
+  PacketSim b(tree, quick(0.3, PacketRouting::kAdaptive));
+  const PacketSimReport ra = a.run();
+  const PacketSimReport rb = b.run();
+  EXPECT_EQ(ra.offered, rb.offered);
+  EXPECT_EQ(ra.delivered, rb.delivered);
+  EXPECT_DOUBLE_EQ(ra.avg_latency, rb.avg_latency);
+}
+
+TEST(PacketSim, WormholeLightLoadDeliversEverything) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  PacketSimOptions options = quick(0.01, PacketRouting::kAdaptive);
+  options.flits_per_packet = 4;
+  PacketSim sim(tree, options);
+  const PacketSimReport report = sim.run();
+  EXPECT_GT(report.offered, 0u);
+  EXPECT_EQ(report.delivered, report.offered);
+  // Tail latency = head path + (F - 1) flit pipeline, plus injection.
+  EXPECT_GE(report.avg_latency, 5.0);
+  EXPECT_LT(report.avg_latency, 16.0);
+}
+
+TEST(PacketSim, WormholeTailLatencyExceedsSingleFlit) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  PacketSimOptions single = quick(0.02, PacketRouting::kAdaptive);
+  PacketSimOptions worm = single;
+  worm.flits_per_packet = 4;
+  const PacketSimReport s = PacketSim(tree, single).run();
+  const PacketSimReport f = PacketSim(tree, worm).run();
+  EXPECT_EQ(f.delivered, f.offered);
+  EXPECT_GT(f.avg_latency, s.avg_latency + 2.0);
+}
+
+TEST(PacketSim, WormholeSaturatesEarlierInMessageRate) {
+  // At message rate 0.25, flit load is 1.0 for 4-flit worms: the wormhole
+  // fabric must fall well short of the offered message rate while the
+  // single-flit fabric still keeps up.
+  const FatTree tree = FatTree::symmetric(3, 4);
+  PacketSimOptions single = quick(0.25, PacketRouting::kAdaptive);
+  PacketSimOptions worm = single;
+  worm.flits_per_packet = 4;
+  const PacketSimReport s = PacketSim(tree, single).run();
+  const PacketSimReport f = PacketSim(tree, worm).run();
+  EXPECT_GT(s.throughput, 0.22);
+  EXPECT_LT(f.throughput, 0.20);
+}
+
+TEST(PacketSim, WormholeStaticRoutingDelivers) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  PacketSimOptions options = quick(0.01, PacketRouting::kStatic);
+  options.flits_per_packet = 3;
+  PacketSim sim(tree, options);
+  const PacketSimReport report = sim.run();
+  EXPECT_EQ(report.delivered, report.offered);
+}
+
+TEST(PacketSim, WormholePermutationPartnersDeliver) {
+  const FatTree tree = FatTree::symmetric(2, 4);
+  PacketSimOptions options = quick(0.05, PacketRouting::kAdaptive);
+  options.flits_per_packet = 8;
+  options.uniform_destinations = false;
+  PacketSim sim(tree, options);
+  const PacketSimReport report = sim.run();
+  EXPECT_EQ(report.delivered, report.offered);
+}
+
+TEST(PacketSimDeath, ZeroFlitsRejected) {
+  const FatTree tree = FatTree::symmetric(2, 4);
+  PacketSimOptions options;
+  options.flits_per_packet = 0;
+  EXPECT_DEATH(PacketSim(tree, options), "precondition");
+}
+
+TEST(PacketSimDeath, StaticOnSlimmedTreeRejected) {
+  const FatTree tree = FatTree::create(FatTreeParams{3, 4, 2}).value();
+  PacketSimOptions options;
+  options.routing = PacketRouting::kStatic;
+  EXPECT_DEATH(PacketSim(tree, options), "precondition");
+}
+
+TEST(PacketSimDeath, BadRateRejected) {
+  const FatTree tree = FatTree::symmetric(2, 4);
+  PacketSimOptions options;
+  options.injection_rate = 1.5;
+  EXPECT_DEATH(PacketSim(tree, options), "precondition");
+}
+
+}  // namespace
+}  // namespace ftsched

@@ -1,0 +1,189 @@
+#include "simnet/setup_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/local_scheduler.hpp"
+#include "core/verifier.hpp"
+#include "workload/patterns.hpp"
+
+namespace ftsched {
+namespace {
+
+TEST(SetupSim, SingleRequestGrantsWithExpectedLatency) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  DistributedSetupSim sim(tree);
+  LinkState state(tree);
+  const Request request{0, 63};  // H = 2
+  const SetupSimReport report = sim.run({&request, 1}, state);
+  ASSERT_TRUE(report.result.outcomes[0].granted);
+  ASSERT_EQ(report.setup_latency.size(), 1u);
+  // 2 ascent cycles + 2 descent cycles.
+  EXPECT_EQ(report.setup_latency[0], 4u);
+  EXPECT_EQ(report.teardowns, 0u);
+  EXPECT_TRUE(
+      verify_schedule(tree, {&request, 1}, report.result, &state).ok());
+}
+
+TEST(SetupSim, IntraSwitchResolvedAtAdmission) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  DistributedSetupSim sim(tree);
+  LinkState state(tree);
+  const Request request{0, 2};
+  const SetupSimReport report = sim.run({&request, 1}, state);
+  EXPECT_TRUE(report.result.outcomes[0].granted);
+  EXPECT_EQ(report.cycles, 0u);
+}
+
+TEST(SetupSim, SimultaneousConflictKillsExactlyOne) {
+  // The Fig. 4 scenario under true simultaneity: both tokens race up port 0
+  // and collide on the destination side; the loser tears down, the winner
+  // completes.
+  const FatTree tree = FatTree::symmetric(3, 4);
+  DistributedSetupSim sim(tree);
+  LinkState state(tree);
+  const std::vector<Request> batch{
+      {tree.node_at(0, 0), tree.node_at(8, 0)},
+      {tree.node_at(1, 0), tree.node_at(8, 1)}};
+  const SetupSimReport report = sim.run(batch, state);
+  const std::uint64_t granted = report.result.granted_count();
+  EXPECT_EQ(granted, 1u);
+  EXPECT_EQ(report.teardowns, 1u);
+  EXPECT_TRUE(verify_schedule(tree, batch, report.result, &state).ok());
+}
+
+TEST(SetupSim, PermutationBatchesVerify) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  DistributedSetupSim sim(tree);
+  LinkState state(tree);
+  Xoshiro256ss rng(31);
+  for (int rep = 0; rep < 10; ++rep) {
+    const auto batch = random_permutation(tree.node_count(), rng);
+    const SetupSimReport report = sim.run(batch, state);
+    ASSERT_TRUE(verify_schedule(tree, batch, report.result, &state).ok());
+    ASSERT_TRUE(state.audit().ok());
+    // Quiescence well within the structural bound.
+    EXPECT_LT(report.cycles, 64u);
+  }
+}
+
+TEST(SetupSim, TracksSequentialLocalSchedulerClosely) {
+  // Simultaneity changes individual outcomes but the aggregate ratio must
+  // stay in the same band as the sequential abstract baseline.
+  const FatTree tree = FatTree::symmetric(3, 8);
+  DistributedSetupSim sim(tree);
+  LocalAdaptiveScheduler sequential;
+  LinkState a(tree);
+  LinkState b(tree);
+  Xoshiro256ss rng(32);
+  double sim_sum = 0;
+  double seq_sum = 0;
+  const int reps = 10;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto batch = random_permutation(tree.node_count(), rng);
+    sim_sum += sim.run(batch, a).result.schedulability_ratio();
+    b.reset();
+    seq_sum += sequential.schedule(tree, batch, b).schedulability_ratio();
+  }
+  const double sim_mean = sim_sum / reps;
+  const double seq_mean = seq_sum / reps;
+  EXPECT_NEAR(sim_mean, seq_mean, 0.15);
+}
+
+TEST(SetupSim, LatenciesBoundedByTreeHeight) {
+  const FatTree tree = FatTree::symmetric(4, 3);
+  DistributedSetupSim sim(tree);
+  LinkState state(tree);
+  Xoshiro256ss rng(33);
+  const auto batch = random_permutation(tree.node_count(), rng);
+  const SetupSimReport report = sim.run(batch, state);
+  for (std::uint64_t latency : report.setup_latency) {
+    EXPECT_GE(latency, 2u);
+    EXPECT_LE(latency, 6u);  // 2 * (l-1)
+  }
+}
+
+TEST(SetupSim, RandomPolicySpreadsBetterThanGreedy) {
+  const FatTree tree = FatTree::symmetric(3, 8);
+  SetupSimOptions greedy_options;
+  SetupSimOptions random_options;
+  random_options.policy = PortPolicy::kRandom;
+  DistributedSetupSim greedy(tree, greedy_options);
+  DistributedSetupSim random_sim(tree, random_options);
+  LinkState a(tree);
+  LinkState b(tree);
+  Xoshiro256ss rng(34);
+  std::uint64_t greedy_total = 0;
+  std::uint64_t random_total = 0;
+  for (int rep = 0; rep < 10; ++rep) {
+    const auto batch = random_permutation(tree.node_count(), rng);
+    greedy_total += greedy.run(batch, a).result.granted_count();
+    random_total += random_sim.run(batch, b).result.granted_count();
+  }
+  EXPECT_GT(random_total, greedy_total);
+}
+
+TEST(SetupSim, RetryRecoversTheFigure4Loser) {
+  // With one retry, the token killed by the Fig. 4 race relaunches after
+  // its teardown and finds the alternative port — both requests succeed.
+  const FatTree tree = FatTree::symmetric(3, 4);
+  SetupSimOptions options;
+  options.max_attempts = 2;
+  DistributedSetupSim sim(tree, options);
+  LinkState state(tree);
+  const std::vector<Request> batch{
+      {tree.node_at(0, 0), tree.node_at(8, 0)},
+      {tree.node_at(1, 0), tree.node_at(8, 1)}};
+  const SetupSimReport report = sim.run(batch, state);
+  EXPECT_EQ(report.result.granted_count(), 2u);
+  EXPECT_EQ(report.retries, 1u);
+  EXPECT_EQ(report.teardowns, 1u);
+  EXPECT_TRUE(verify_schedule(tree, batch, report.result, &state).ok());
+}
+
+TEST(SetupSim, MoreAttemptsNeverGrantFewer) {
+  const FatTree tree = FatTree::symmetric(3, 8);
+  LinkState state(tree);
+  Xoshiro256ss rng(41);
+  const auto batch = random_permutation(tree.node_count(), rng);
+  std::uint64_t prev = 0;
+  for (const std::uint32_t attempts : {1u, 2u, 4u, 8u}) {
+    SetupSimOptions options;
+    options.max_attempts = attempts;
+    DistributedSetupSim sim(tree, options);
+    const SetupSimReport report = sim.run(batch, state);
+    EXPECT_GE(report.result.granted_count(), prev) << attempts;
+    prev = report.result.granted_count();
+    ASSERT_TRUE(verify_schedule(tree, batch, report.result, &state).ok());
+  }
+}
+
+TEST(SetupSim, RetriedGrantsHaveHigherLatency) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  SetupSimOptions options;
+  options.max_attempts = 4;
+  DistributedSetupSim sim(tree, options);
+  LinkState state(tree);
+  Xoshiro256ss rng(42);
+  const auto batch = random_permutation(tree.node_count(), rng);
+  const SetupSimReport report = sim.run(batch, state);
+  if (report.retries == 0) GTEST_SKIP() << "no conflicts drawn";
+  std::uint64_t max_latency = 0;
+  for (std::uint64_t latency : report.setup_latency) {
+    max_latency = std::max(max_latency, latency);
+  }
+  // A retried token pays at least one teardown + relaunch beyond 2(l-1).
+  EXPECT_GT(max_latency, 4u);
+}
+
+TEST(SetupSim, LeafConflictsRejectedBeforeSimulation) {
+  const FatTree tree = FatTree::symmetric(2, 4);
+  DistributedSetupSim sim(tree);
+  LinkState state(tree);
+  const std::vector<Request> batch{{0, 9}, {5, 9}};
+  const SetupSimReport report = sim.run(batch, state);
+  EXPECT_TRUE(report.result.outcomes[0].granted);
+  EXPECT_EQ(report.result.outcomes[1].reason, RejectReason::kLeafBusy);
+}
+
+}  // namespace
+}  // namespace ftsched

@@ -1,0 +1,78 @@
+#include "simnet/switch_node.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftsched {
+namespace {
+
+TEST(SwitchNode, PortIndexing) {
+  SwitchNode sw(SwitchId{1, 3}, 4, 2);
+  EXPECT_EQ(sw.down_ports(), 4u);
+  EXPECT_EQ(sw.up_ports(), 2u);
+  EXPECT_EQ(sw.down_port(0), 0u);
+  EXPECT_EQ(sw.down_port(3), 3u);
+  EXPECT_EQ(sw.up_port(0), 4u);
+  EXPECT_EQ(sw.up_port(1), 5u);
+}
+
+TEST(SwitchNode, ConnectAndRoute) {
+  SwitchNode sw(SwitchId{0, 0}, 4, 4);
+  ASSERT_TRUE(sw.connect(sw.down_port(1), sw.up_port(2)).ok());
+  ASSERT_TRUE(sw.route(sw.down_port(1)).has_value());
+  EXPECT_EQ(*sw.route(sw.down_port(1)), sw.up_port(2));
+  EXPECT_FALSE(sw.route(sw.down_port(0)).has_value());
+  EXPECT_TRUE(sw.output_driven(sw.up_port(2)));
+  EXPECT_FALSE(sw.output_driven(sw.up_port(1)));
+  EXPECT_EQ(sw.connection_count(), 1u);
+}
+
+TEST(SwitchNode, InputDoubleRoutingRejected) {
+  SwitchNode sw(SwitchId{0, 0}, 4, 4);
+  ASSERT_TRUE(sw.connect(0, 4).ok());
+  const Status s = sw.connect(0, 5);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("already routed"), std::string::npos);
+}
+
+TEST(SwitchNode, OutputDoubleDrivingRejected) {
+  SwitchNode sw(SwitchId{0, 0}, 4, 4);
+  ASSERT_TRUE(sw.connect(0, 4).ok());
+  const Status s = sw.connect(1, 4);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("already driven"), std::string::npos);
+}
+
+TEST(SwitchNode, LoopbackDownToDownAllowed) {
+  // Intra-switch circuits enter and leave on the down side.
+  SwitchNode sw(SwitchId{0, 0}, 4, 4);
+  ASSERT_TRUE(sw.connect(sw.down_port(0), sw.down_port(3)).ok());
+  EXPECT_EQ(*sw.route(sw.down_port(0)), 3u);
+}
+
+TEST(SwitchNode, FullCrossbarPermutation) {
+  SwitchNode sw(SwitchId{0, 0}, 4, 4);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(sw.connect(i, 7 - i).ok());
+  }
+  EXPECT_EQ(sw.connection_count(), 8u);
+  for (std::uint32_t i = 0; i < 8; ++i) EXPECT_EQ(*sw.route(i), 7 - i);
+}
+
+TEST(SwitchNode, ClearResets) {
+  SwitchNode sw(SwitchId{0, 0}, 4, 4);
+  ASSERT_TRUE(sw.connect(0, 4).ok());
+  sw.clear();
+  EXPECT_EQ(sw.connection_count(), 0u);
+  EXPECT_FALSE(sw.route(0).has_value());
+  EXPECT_FALSE(sw.output_driven(4));
+  ASSERT_TRUE(sw.connect(0, 4).ok());
+}
+
+TEST(SwitchNode, TopLevelSwitchHasNoUpPorts) {
+  SwitchNode sw(SwitchId{2, 0}, 4, 0);
+  EXPECT_EQ(sw.up_ports(), 0u);
+  ASSERT_TRUE(sw.connect(sw.down_port(0), sw.down_port(1)).ok());
+}
+
+}  // namespace
+}  // namespace ftsched

@@ -1,0 +1,88 @@
+#include "stats/runner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftsched {
+namespace {
+
+TEST(Runner, ProducesVerifiedPoint) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  ExperimentConfig config;
+  config.repetitions = 10;
+  config.verify = true;
+  const ExperimentPoint point = run_experiment(tree, config);
+  EXPECT_EQ(point.schedulability.count, 10u);
+  EXPECT_EQ(point.total_requests, 10 * tree.node_count());
+  EXPECT_GT(point.total_granted, 0u);
+  EXPECT_GE(point.schedulability.min, 0.0);
+  EXPECT_LE(point.schedulability.max, 1.0);
+}
+
+TEST(Runner, DeterministicForEqualSeeds) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  ExperimentConfig config;
+  config.repetitions = 5;
+  config.seed = 77;
+  const ExperimentPoint a = run_experiment(tree, config);
+  const ExperimentPoint b = run_experiment(tree, config);
+  EXPECT_DOUBLE_EQ(a.schedulability.mean, b.schedulability.mean);
+  EXPECT_EQ(a.total_granted, b.total_granted);
+}
+
+TEST(Runner, DifferentSeedsDiffer) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  ExperimentConfig config;
+  config.repetitions = 5;
+  config.seed = 1;
+  const ExperimentPoint a = run_experiment(tree, config);
+  config.seed = 2;
+  const ExperimentPoint b = run_experiment(tree, config);
+  EXPECT_NE(a.total_granted, b.total_granted);
+}
+
+TEST(Runner, ComparesSchedulersOnEqualWorkloads) {
+  // Same seed => same permutations => the ratio gap is the algorithm's, not
+  // the workload's. This is the exact protocol of the figure benches.
+  const FatTree tree = FatTree::symmetric(3, 6);
+  ExperimentConfig config;
+  config.repetitions = 10;
+  config.seed = 42;
+  config.scheduler = "levelwise";
+  const ExperimentPoint global = run_experiment(tree, config);
+  config.scheduler = "local-random";
+  const ExperimentPoint local = run_experiment(tree, config);
+  EXPECT_GT(global.schedulability.mean, local.schedulability.mean);
+  // Paper: level-wise minimum above local maximum.
+  EXPECT_GT(global.schedulability.min, local.schedulability.max);
+}
+
+TEST(Runner, HoldModeNeedsResidualRelaxation) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  ExperimentConfig config;
+  config.scheduler = "local-hold";
+  config.repetitions = 3;
+  config.allow_residual = true;
+  const ExperimentPoint point = run_experiment(tree, config);
+  EXPECT_GT(point.total_granted, 0u);
+}
+
+TEST(Runner, PatternAndLoadConfigurable) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  ExperimentConfig config;
+  config.pattern = TrafficPattern::kShift;
+  config.workload.load_factor = 0.5;
+  config.repetitions = 5;
+  const ExperimentPoint point = run_experiment(tree, config);
+  EXPECT_LT(point.total_requests, 5 * tree.node_count());
+  EXPECT_GT(point.total_requests, 0u);
+}
+
+TEST(RunnerDeath, UnknownSchedulerAborts) {
+  const FatTree tree = FatTree::symmetric(2, 4);
+  ExperimentConfig config;
+  config.scheduler = "bogus";
+  EXPECT_DEATH(run_experiment(tree, config), "precondition");
+}
+
+}  // namespace
+}  // namespace ftsched

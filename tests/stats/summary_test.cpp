@@ -1,0 +1,96 @@
+#include "stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace ftsched {
+namespace {
+
+TEST(Summary, BasicStatistics) {
+  const std::array<double, 5> samples{1.0, 2.0, 3.0, 4.0, 5.0};
+  const Summary s = Summary::from(samples);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, 1.5811, 1e-3);  // sqrt(2.5)
+}
+
+TEST(Summary, SingleSample) {
+  const std::array<double, 1> samples{0.7};
+  const Summary s = Summary::from(samples);
+  EXPECT_DOUBLE_EQ(s.mean, 0.7);
+  EXPECT_DOUBLE_EQ(s.min, 0.7);
+  EXPECT_DOUBLE_EQ(s.max, 0.7);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_half_width(), 0.0);
+}
+
+TEST(Summary, ConstantSamplesHaveZeroSpread) {
+  const std::array<double, 4> samples{2.0, 2.0, 2.0, 2.0};
+  const Summary s = Summary::from(samples);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, s.max);
+}
+
+TEST(Summary, Ci95ShrinksWithSampleCount) {
+  std::vector<double> small(10);
+  std::vector<double> large(1000);
+  for (std::size_t i = 0; i < small.size(); ++i) {
+    small[i] = (i % 2) ? 1.0 : 0.0;
+  }
+  for (std::size_t i = 0; i < large.size(); ++i) {
+    large[i] = (i % 2) ? 1.0 : 0.0;
+  }
+  EXPECT_GT(Summary::from(small).ci95_half_width(),
+            Summary::from(large).ci95_half_width());
+}
+
+TEST(Summary, RatioStringFormat) {
+  const std::array<double, 3> samples{0.80, 0.90, 1.00};
+  EXPECT_EQ(Summary::from(samples).ratio_string(),
+            "90.0% [80.0%, 100.0%]");
+}
+
+TEST(Summary, NegativeValues) {
+  const std::array<double, 3> samples{-2.0, 0.0, 2.0};
+  const Summary s = Summary::from(samples);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, -2.0);
+  EXPECT_DOUBLE_EQ(s.max, 2.0);
+}
+
+TEST(Percentile, OrderStatisticsAndInterpolation) {
+  const std::array<double, 5> samples{5.0, 1.0, 3.0, 2.0, 4.0};  // unsorted
+  EXPECT_DOUBLE_EQ(percentile(samples, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(samples, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(samples, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(samples, 0.25), 2.0);
+  // Interpolated: q=0.1 -> position 0.4 between 1 and 2.
+  EXPECT_DOUBLE_EQ(percentile(samples, 0.1), 1.4);
+}
+
+TEST(Percentile, SingleSample) {
+  const std::array<double, 1> samples{7.0};
+  EXPECT_DOUBLE_EQ(percentile(samples, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(samples, 0.99), 7.0);
+}
+
+TEST(Percentile, MedianOfEvenCountInterpolates) {
+  const std::array<double, 4> samples{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(samples, 0.5), 2.5);
+}
+
+TEST(PercentileDeath, EmptyOrBadQuantileRejected) {
+  const std::array<double, 2> samples{1.0, 2.0};
+  EXPECT_DEATH(percentile(std::span<const double>{}, 0.5), "precondition");
+  EXPECT_DEATH(percentile(samples, 1.5), "precondition");
+}
+
+TEST(SummaryDeath, EmptyRejected) {
+  EXPECT_DEATH(Summary::from(std::span<const double>{}), "precondition");
+}
+
+}  // namespace
+}  // namespace ftsched

@@ -1,0 +1,60 @@
+#include "topology/dot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ftsched {
+namespace {
+
+TEST(Dot, ContainsEverySwitchAndNode) {
+  const FatTree tree = FatTree::symmetric(2, 2);  // 4 nodes, 2+2 switches
+  std::ostringstream os;
+  export_dot(tree, os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("graph fat_tree {"), std::string::npos);
+  for (std::uint32_t h = 0; h < 2; ++h) {
+    for (std::uint64_t i = 0; i < 2; ++i) {
+      EXPECT_NE(out.find("sw_" + std::to_string(h) + "_" + std::to_string(i)),
+                std::string::npos);
+    }
+  }
+  for (int n = 0; n < 4; ++n) {
+    EXPECT_NE(out.find("pe_" + std::to_string(n)), std::string::npos);
+  }
+}
+
+TEST(Dot, EdgeCountMatchesTopology) {
+  const FatTree tree = FatTree::symmetric(3, 2);  // 8 nodes
+  std::ostringstream os;
+  export_dot(tree, os);
+  const std::string out = os.str();
+  std::size_t edges = 0;
+  for (std::size_t pos = out.find(" -- "); pos != std::string::npos;
+       pos = out.find(" -- ", pos + 1)) {
+    ++edges;
+  }
+  // Inter-switch cables: cables_at(0) + cables_at(1) = 8 + 8; PE links: 8.
+  EXPECT_EQ(edges, tree.cables_at(0) + tree.cables_at(1) + tree.node_count());
+}
+
+TEST(Dot, NodesCanBeOmitted) {
+  const FatTree tree = FatTree::symmetric(2, 2);
+  std::ostringstream os;
+  DotOptions options;
+  options.include_nodes = false;
+  export_dot(tree, os, options);
+  EXPECT_EQ(os.str().find("pe_"), std::string::npos);
+}
+
+TEST(Dot, PortLabelsPresent) {
+  const FatTree tree = FatTree::symmetric(2, 3);
+  std::ostringstream os;
+  export_dot(tree, os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("label=\"p0\""), std::string::npos);
+  EXPECT_NE(out.find("label=\"p2\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftsched

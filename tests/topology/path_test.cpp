@@ -1,0 +1,126 @@
+#include "topology/path.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ftsched {
+namespace {
+
+FatTree make_ft34() { return FatTree::symmetric(3, 4); }
+
+TEST(Path, LegalPathAccepted) {
+  const FatTree tree = make_ft34();
+  // Nodes 0 and 63: leaf switches 0 and 15, ancestor level 2.
+  Path path{0, 63, 2, DigitVec{1, 2}};
+  EXPECT_TRUE(check_path_legal(tree, path).ok());
+}
+
+TEST(Path, WrongAncestorLevelRejected) {
+  const FatTree tree = make_ft34();
+  Path path{0, 63, 1, DigitVec{1}};
+  const Status s = check_path_legal(tree, path);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("common-ancestor"), std::string::npos);
+}
+
+TEST(Path, WrongPortCountRejected) {
+  const FatTree tree = make_ft34();
+  Path path{0, 63, 2, DigitVec{1}};
+  EXPECT_FALSE(check_path_legal(tree, path).ok());
+}
+
+TEST(Path, PortOutOfRangeRejected) {
+  const FatTree tree = make_ft34();
+  Path path{0, 63, 2, DigitVec{1, 4}};
+  const Status s = check_path_legal(tree, path);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("arity"), std::string::npos);
+}
+
+TEST(Path, EndpointOutOfRangeRejected) {
+  const FatTree tree = make_ft34();
+  Path path{0, 64, 2, DigitVec{1, 2}};
+  EXPECT_FALSE(check_path_legal(tree, path).ok());
+}
+
+TEST(Path, IntraSwitchPathLegal) {
+  const FatTree tree = make_ft34();
+  Path path{0, 3, 0, DigitVec{}};  // same leaf switch
+  EXPECT_TRUE(check_path_legal(tree, path).ok());
+}
+
+TEST(Path, ExpansionSwitchAndChannelCounts) {
+  const FatTree tree = make_ft34();
+  Path path{0, 63, 2, DigitVec{0, 3}};
+  const PathExpansion exp = expand_path(tree, path);
+  // σ_0, σ_1, σ_2(=ancestor), δ_1, δ_0 — 2H+1 switches; 2H channels.
+  EXPECT_EQ(exp.switches.size(), 5u);
+  EXPECT_EQ(exp.channels.size(), 4u);
+  // First two channels ascend, last two descend.
+  EXPECT_EQ(exp.channels[0].direction, Direction::kUp);
+  EXPECT_EQ(exp.channels[1].direction, Direction::kUp);
+  EXPECT_EQ(exp.channels[2].direction, Direction::kDown);
+  EXPECT_EQ(exp.channels[3].direction, Direction::kDown);
+  // Theorem 2: ports mirror — up at level h uses the same port as down.
+  EXPECT_EQ(exp.channels[0].cable.port, 0u);
+  EXPECT_EQ(exp.channels[3].cable.port, 0u);
+  EXPECT_EQ(exp.channels[1].cable.port, 3u);
+  EXPECT_EQ(exp.channels[2].cable.port, 3u);
+}
+
+TEST(Path, ExpansionLevelsAreSymmetric) {
+  const FatTree tree = make_ft34();
+  Path path{5, 58, 2, DigitVec{2, 1}};
+  ASSERT_TRUE(check_path_legal(tree, path).ok());
+  const PathExpansion exp = expand_path(tree, path);
+  // Switch levels: 0,1,2,1,0.
+  std::vector<std::uint32_t> levels;
+  for (const SwitchId& sw : exp.switches) levels.push_back(sw.level);
+  EXPECT_EQ(levels, (std::vector<std::uint32_t>{0, 1, 2, 1, 0}));
+  // Channel levels: 0,1 up then 1,0 down.
+  EXPECT_EQ(exp.channels[0].cable.level, 0u);
+  EXPECT_EQ(exp.channels[1].cable.level, 1u);
+  EXPECT_EQ(exp.channels[2].cable.level, 1u);
+  EXPECT_EQ(exp.channels[3].cable.level, 0u);
+}
+
+TEST(Path, ExpansionChannelsAreDistinct) {
+  const FatTree tree = make_ft34();
+  Path path{7, 42, 2, DigitVec{3, 0}};
+  ASSERT_TRUE(check_path_legal(tree, path).ok());
+  const PathExpansion exp = expand_path(tree, path);
+  std::set<ChannelId> channels(exp.channels.begin(), exp.channels.end());
+  EXPECT_EQ(channels.size(), exp.channels.size());
+}
+
+TEST(Path, IntraSwitchExpansionHasNoChannels) {
+  const FatTree tree = make_ft34();
+  Path path{0, 2, 0, DigitVec{}};
+  const PathExpansion exp = expand_path(tree, path);
+  EXPECT_EQ(exp.switches.size(), 1u);
+  EXPECT_TRUE(exp.channels.empty());
+}
+
+TEST(Path, ToStringRendersPorts) {
+  Path path{3, 95, 3, DigitVec{0, 1, 0}};
+  EXPECT_EQ(to_string(path), "node 3 -> node 95 via P=(0,1,0)");
+}
+
+TEST(Path, IdRendering) {
+  EXPECT_EQ(to_string(SwitchId{1, 7}), "SW(1,7)");
+  EXPECT_EQ(to_string(CableId{0, 3, 2}), "Cable(0,3,2)");
+  EXPECT_EQ(to_string(ChannelId{CableId{0, 3, 2}, Direction::kUp}),
+            "Ulink(0,3,2)");
+  EXPECT_EQ(to_string(ChannelId{CableId{1, 4, 0}, Direction::kDown}),
+            "Dlink(1,4,0)");
+}
+
+TEST(PathDeath, ExpandIllegalPathAborts) {
+  const FatTree tree = make_ft34();
+  Path path{0, 63, 1, DigitVec{0}};
+  EXPECT_DEATH(expand_path(tree, path), "precondition");
+}
+
+}  // namespace
+}  // namespace ftsched

@@ -1,0 +1,53 @@
+#include "topology/validate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftsched {
+namespace {
+
+struct Shape {
+  std::uint32_t levels;
+  std::uint32_t m;
+  std::uint32_t w;
+};
+
+class ValidateTest : public testing::TestWithParam<Shape> {};
+
+TEST_P(ValidateTest, StructureHolds) {
+  const Shape s = GetParam();
+  const FatTree tree =
+      FatTree::create(FatTreeParams{s.levels, s.m, s.w}).value();
+  EXPECT_TRUE(validate_structure(tree).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ValidateTest,
+    testing::Values(Shape{1, 4, 4}, Shape{2, 4, 4}, Shape{2, 8, 8},
+                    Shape{3, 4, 4}, Shape{3, 6, 6}, Shape{4, 3, 3},
+                    Shape{4, 4, 4}, Shape{5, 2, 2}, Shape{3, 4, 2},
+                    Shape{3, 2, 4}, Shape{4, 2, 3}, Shape{2, 6, 3}),
+    [](const testing::TestParamInfo<Shape>& param_info) {
+      return "FT_l" + std::to_string(param_info.param.levels) + "_m" +
+             std::to_string(param_info.param.m) + "_w" +
+             std::to_string(param_info.param.w);
+    });
+
+TEST(Validate, LargeTreeSampledMode) {
+  // FT(3,16) has 4096 nodes and 768 switches — exhaustive; FT(2,64) has 128
+  // switches; force sampling with a tiny exhaustive limit instead.
+  const FatTree tree = FatTree::symmetric(3, 16);
+  ValidateOptions options;
+  options.exhaustive_limit = 8;
+  options.samples = 256;
+  EXPECT_TRUE(validate_structure(tree, options).ok());
+}
+
+TEST(Validate, PaperFigureConfigurations) {
+  // One representative per Figure-9 family (the largest of each).
+  EXPECT_TRUE(validate_structure(FatTree::symmetric(2, 64)).ok());
+  EXPECT_TRUE(validate_structure(FatTree::symmetric(3, 16)).ok());
+  EXPECT_TRUE(validate_structure(FatTree::symmetric(4, 7)).ok());
+}
+
+}  // namespace
+}  // namespace ftsched

@@ -1,0 +1,138 @@
+#include "util/bitvec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftsched {
+namespace {
+
+TEST(BitVec, DefaultIsEmpty) {
+  BitVec v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(v.none());
+  EXPECT_EQ(v.count(), 0u);
+  EXPECT_FALSE(v.find_first().has_value());
+}
+
+TEST(BitVec, ConstructAllClear) {
+  BitVec v(100);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_TRUE(v.none());
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_FALSE(v.test(i));
+}
+
+TEST(BitVec, ConstructAllSet) {
+  BitVec v(100, true);
+  EXPECT_EQ(v.count(), 100u);
+  EXPECT_TRUE(v.all());
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_TRUE(v.test(i));
+}
+
+TEST(BitVec, SetAndReset) {
+  BitVec v(70);
+  v.set(0);
+  v.set(63);
+  v.set(64);
+  v.set(69);
+  EXPECT_EQ(v.count(), 4u);
+  EXPECT_TRUE(v.test(63));
+  EXPECT_TRUE(v.test(64));
+  v.reset(63);
+  EXPECT_FALSE(v.test(63));
+  EXPECT_EQ(v.count(), 3u);
+}
+
+TEST(BitVec, FindFirstAcrossWordBoundary) {
+  BitVec v(130);
+  v.set(129);
+  ASSERT_TRUE(v.find_first().has_value());
+  EXPECT_EQ(*v.find_first(), 129u);
+  v.set(64);
+  EXPECT_EQ(*v.find_first(), 64u);
+  v.set(3);
+  EXPECT_EQ(*v.find_first(), 3u);
+}
+
+TEST(BitVec, FindNextSkipsBelowFrom) {
+  BitVec v(130);
+  v.set(3);
+  v.set(64);
+  v.set(129);
+  EXPECT_EQ(*v.find_next(0), 3u);
+  EXPECT_EQ(*v.find_next(3), 3u);  // inclusive
+  EXPECT_EQ(*v.find_next(4), 64u);
+  EXPECT_EQ(*v.find_next(65), 129u);
+  EXPECT_FALSE(v.find_next(130).has_value());
+}
+
+TEST(BitVec, FindNextFromBeyondSizeIsEmpty) {
+  BitVec v(10, true);
+  EXPECT_FALSE(v.find_next(10).has_value());
+  EXPECT_FALSE(v.find_next(1000).has_value());
+}
+
+TEST(BitVec, AndOrXor) {
+  BitVec a(8);
+  BitVec b(8);
+  a.set(1);
+  a.set(3);
+  b.set(3);
+  b.set(5);
+  EXPECT_EQ((a & b).to_string(), "00010000");
+  EXPECT_EQ((a | b).to_string(), "01010100");
+  EXPECT_EQ((a ^ b).to_string(), "01000100");
+}
+
+TEST(BitVec, FlipRespectsSize) {
+  BitVec v(67);
+  v.set(0);
+  v.flip();
+  EXPECT_EQ(v.count(), 66u);  // exactly size-1, no phantom high bits
+  EXPECT_FALSE(v.test(0));
+  EXPECT_TRUE(v.test(66));
+}
+
+TEST(BitVec, SetAllTrimsLastWord) {
+  BitVec v(65);
+  v.set_all();
+  EXPECT_EQ(v.count(), 65u);
+  EXPECT_TRUE(v.all());
+}
+
+TEST(BitVec, EqualityIncludesSize) {
+  BitVec a(8, true);
+  BitVec b(8, true);
+  BitVec c(9, true);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  b.reset(7);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(BitVec, ToStringBitZeroLeftmost) {
+  BitVec v(4);
+  v.set(0);
+  EXPECT_EQ(v.to_string(), "1000");
+}
+
+TEST(BitsHelpers, FindFirstWord) {
+  EXPECT_EQ(bits::find_first_word(1), 0u);
+  EXPECT_EQ(bits::find_first_word(0x8000000000000000ULL), 63u);
+  EXPECT_EQ(bits::find_first_word(0b101000), 3u);
+}
+
+TEST(BitsHelpers, LowMask) {
+  EXPECT_EQ(bits::low_mask(0), 0u);
+  EXPECT_EQ(bits::low_mask(1), 1u);
+  EXPECT_EQ(bits::low_mask(4), 0xFu);
+  EXPECT_EQ(bits::low_mask(64), ~std::uint64_t{0});
+}
+
+TEST(BitsHelpers, Popcount) {
+  EXPECT_EQ(bits::popcount(0), 0u);
+  EXPECT_EQ(bits::popcount(0xFF), 8u);
+  EXPECT_EQ(bits::popcount(~std::uint64_t{0}), 64u);
+}
+
+}  // namespace
+}  // namespace ftsched

@@ -1,0 +1,88 @@
+#include "util/mixed_radix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftsched {
+namespace {
+
+TEST(MixedRadix, UniformBase4) {
+  const MixedRadix sys = MixedRadix::uniform(4, 3);
+  EXPECT_EQ(sys.digit_count(), 3u);
+  EXPECT_EQ(sys.cardinality(), 64u);
+  EXPECT_EQ(sys.place_value(0), 1u);
+  EXPECT_EQ(sys.place_value(1), 4u);
+  EXPECT_EQ(sys.place_value(2), 16u);
+}
+
+TEST(MixedRadix, PaperExampleNode95) {
+  // Paper Fig. 8: node 95 in FT(4,4) sits under leaf switch 23 = 113 base 4.
+  const MixedRadix sys = MixedRadix::uniform(4, 3);
+  const DigitVec d = sys.decompose(23);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_EQ(d[0], 3u);  // t_0
+  EXPECT_EQ(d[1], 1u);  // t_1
+  EXPECT_EQ(d[2], 1u);  // t_2  -> "113" written MSB-first
+  EXPECT_EQ(sys.compose(d), 23u);
+}
+
+TEST(MixedRadix, DecomposeComposeRoundTripUniform) {
+  const MixedRadix sys = MixedRadix::uniform(5, 4);
+  for (std::uint64_t v = 0; v < sys.cardinality(); ++v) {
+    EXPECT_EQ(sys.compose(sys.decompose(v)), v);
+  }
+}
+
+TEST(MixedRadix, TrulyMixedRadices) {
+  // Radices 2, 3, 4 (LSB first): cardinality 24, place values 1, 2, 6.
+  const MixedRadix sys(DigitVec{2, 3, 4});
+  EXPECT_EQ(sys.cardinality(), 24u);
+  EXPECT_EQ(sys.place_value(1), 2u);
+  EXPECT_EQ(sys.place_value(2), 6u);
+  const DigitVec d = sys.decompose(23);  // max value: all digits maximal
+  EXPECT_EQ(d[0], 1u);
+  EXPECT_EQ(d[1], 2u);
+  EXPECT_EQ(d[2], 3u);
+  for (std::uint64_t v = 0; v < 24; ++v) {
+    EXPECT_EQ(sys.compose(sys.decompose(v)), v);
+  }
+}
+
+TEST(MixedRadix, DecomposeOrderIsLsbFirst) {
+  const MixedRadix sys = MixedRadix::uniform(10, 3);
+  const DigitVec d = sys.decompose(123);
+  EXPECT_EQ(d[0], 3u);
+  EXPECT_EQ(d[1], 2u);
+  EXPECT_EQ(d[2], 1u);
+}
+
+TEST(MixedRadix, ZeroDigitSystem) {
+  const MixedRadix sys = MixedRadix::uniform(4, 0);
+  EXPECT_EQ(sys.digit_count(), 0u);
+  EXPECT_EQ(sys.cardinality(), 1u);
+  EXPECT_EQ(sys.decompose(0).size(), 0u);
+  EXPECT_EQ(sys.compose(DigitVec{}), 0u);
+}
+
+TEST(MixedRadix, EqualityByRadices) {
+  EXPECT_EQ(MixedRadix::uniform(4, 3), MixedRadix::uniform(4, 3));
+  EXPECT_FALSE(MixedRadix::uniform(4, 3) == MixedRadix::uniform(4, 2));
+  EXPECT_FALSE(MixedRadix::uniform(4, 3) == MixedRadix(DigitVec{4, 4, 5}));
+}
+
+TEST(MixedRadixDeath, CompositionRejectsOverflowingDigit) {
+  const MixedRadix sys = MixedRadix::uniform(4, 2);
+  EXPECT_DEATH(sys.compose(DigitVec{4, 0}), "precondition");
+}
+
+TEST(MixedRadixDeath, DecomposeRejectsOutOfRangeValue) {
+  const MixedRadix sys = MixedRadix::uniform(4, 2);
+  EXPECT_DEATH(sys.decompose(16), "precondition");
+}
+
+TEST(MixedRadixDeath, WrongDigitCountRejected) {
+  const MixedRadix sys = MixedRadix::uniform(4, 3);
+  EXPECT_DEATH(sys.compose(DigitVec{1, 2}), "precondition");
+}
+
+}  // namespace
+}  // namespace ftsched

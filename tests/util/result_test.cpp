@@ -1,0 +1,72 @@
+#include "util/result.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ftsched {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.message(), "");
+}
+
+TEST(Status, ErrorCarriesMessage) {
+  Status s = Status::error("broken");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "broken");
+}
+
+TEST(Status, EmptyMessageErrorStillFails) {
+  Status s = Status::error("");
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.message(), "");
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Result<int>::error("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.message(), "nope");
+}
+
+TEST(Result, ImplicitFromStatus) {
+  auto f = [](bool fail) -> Result<std::string> {
+    if (fail) return Status::error("failed");
+    return std::string("value");
+  };
+  EXPECT_TRUE(f(false).ok());
+  EXPECT_EQ(f(false).value(), "value");
+  EXPECT_FALSE(f(true).ok());
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r(std::string(100, 'x'));
+  std::string moved = std::move(r).value();
+  EXPECT_EQ(moved.size(), 100u);
+}
+
+TEST(Result, MutableValueAccess) {
+  Result<std::string> r(std::string("a"));
+  r.value() += "b";
+  EXPECT_EQ(r.value(), "ab");
+}
+
+TEST(ResultDeath, ValueOnErrorAborts) {
+  Result<int> r = Result<int>::error("nope");
+  EXPECT_DEATH((void)r.value(), "precondition");
+}
+
+TEST(ResultDeath, OkStatusIntoResultAborts) {
+  EXPECT_DEATH(Result<int>{Status()}, "precondition");
+}
+
+}  // namespace
+}  // namespace ftsched

@@ -1,0 +1,132 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace ftsched {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Xoshiro256ss a(42);
+  Xoshiro256ss b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256ss a(1);
+  Xoshiro256ss b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, LowEntropySeedsStillMix) {
+  // Sequential seeds must not produce correlated first outputs (splitmix
+  // seeding property).
+  std::set<std::uint64_t> firsts;
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    firsts.insert(Xoshiro256ss(seed)());
+  }
+  EXPECT_EQ(firsts.size(), 64u);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Xoshiro256ss rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 7ULL, 64ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Xoshiro256ss rng(9);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Xoshiro256ss rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Xoshiro256ss rng(13);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng.range(10, 13);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 13u);
+    saw_lo |= v == 10;
+    saw_hi |= v == 13;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Xoshiro256ss rng(17);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform01();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Xoshiro256ss rng(19);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> shuffled = v;
+  rng.shuffle(shuffled.begin(), shuffled.end());
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, ShuffleHandlesTinyRanges) {
+  Xoshiro256ss rng(23);
+  std::vector<int> empty;
+  rng.shuffle(empty.begin(), empty.end());
+  std::vector<int> one{5};
+  rng.shuffle(one.begin(), one.end());
+  EXPECT_EQ(one[0], 5);
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Xoshiro256ss parent(29);
+  Xoshiro256ss childa = parent.fork(0);
+  Xoshiro256ss childb = parent.fork(1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (childa() == childb()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, FrequencyRoughlyUniform) {
+  Xoshiro256ss rng(31);
+  std::vector<int> buckets(8, 0);
+  const int draws = 80000;
+  for (int i = 0; i < draws; ++i) ++buckets[rng.below(8)];
+  for (int b : buckets) {
+    EXPECT_NEAR(b, draws / 8, draws / 80);  // within 10% of expectation
+  }
+}
+
+TEST(RngDeath, BelowZeroRejected) {
+  Xoshiro256ss rng(1);
+  EXPECT_DEATH(rng.below(0), "precondition");
+}
+
+}  // namespace
+}  // namespace ftsched

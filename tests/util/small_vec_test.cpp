@@ -1,0 +1,91 @@
+#include "util/small_vec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftsched {
+namespace {
+
+TEST(SmallVec, StartsEmpty) {
+  SmallVec<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.capacity(), 4u);
+}
+
+TEST(SmallVec, PushPopBack) {
+  SmallVec<int, 4> v;
+  v.push_back(10);
+  v.push_back(20);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.front(), 10);
+  EXPECT_EQ(v.back(), 20);
+  v.pop_back();
+  EXPECT_EQ(v.back(), 10);
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(SmallVec, InitializerList) {
+  SmallVec<int, 4> v{1, 2, 3};
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[2], 3);
+}
+
+TEST(SmallVec, CountValueConstructor) {
+  SmallVec<int, 8> v(5, 7);
+  EXPECT_EQ(v.size(), 5u);
+  for (int x : v) EXPECT_EQ(x, 7);
+}
+
+TEST(SmallVec, ResizeValueInitializesNewElements) {
+  SmallVec<int, 8> v{9, 9};
+  v.resize(5);
+  EXPECT_EQ(v.size(), 5u);
+  EXPECT_EQ(v[0], 9);
+  EXPECT_EQ(v[4], 0);
+  v.resize(1);
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], 9);
+}
+
+TEST(SmallVec, ClearKeepsCapacity) {
+  SmallVec<int, 4> v{1, 2};
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  v.push_back(3);
+  EXPECT_EQ(v[0], 3);
+}
+
+TEST(SmallVec, EqualityComparesContents) {
+  SmallVec<int, 4> a{1, 2};
+  SmallVec<int, 4> b{1, 2};
+  SmallVec<int, 4> c{1, 2, 3};
+  SmallVec<int, 4> d{1, 9};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == d);
+}
+
+TEST(SmallVec, IterationInOrder) {
+  SmallVec<int, 8> v{4, 5, 6};
+  int expected = 4;
+  for (int x : v) EXPECT_EQ(x, expected++);
+  EXPECT_EQ(expected, 7);
+}
+
+TEST(SmallVecDeath, OverflowAborts) {
+  SmallVec<int, 2> v{1, 2};
+  EXPECT_DEATH(v.push_back(3), "precondition");
+}
+
+TEST(SmallVecDeath, PopEmptyAborts) {
+  SmallVec<int, 2> v;
+  EXPECT_DEATH(v.pop_back(), "precondition");
+}
+
+TEST(SmallVecDeath, OversizedInitializerAborts) {
+  EXPECT_DEATH((SmallVec<int, 2>{1, 2, 3}), "precondition");
+}
+
+}  // namespace
+}  // namespace ftsched

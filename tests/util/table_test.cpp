@@ -1,0 +1,74 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ftsched {
+namespace {
+
+TEST(TextTable, AlignedPlainOutput) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // Right-aligned numeric column: "1" padded to width of "value".
+  EXPECT_NE(out.find("    1"), std::string::npos);
+}
+
+TEST(TextTable, MarkdownShape) {
+  TextTable t({"a", "b"});
+  t.add_row({"x", "1"});
+  std::ostringstream os;
+  t.print_markdown(os);
+  EXPECT_EQ(os.str(), "| a | b |\n| --- | ---: |\n| x | 1 |\n");
+}
+
+TEST(TextTable, CsvEscaping) {
+  TextTable t({"k", "v"});
+  t.add_row({"with,comma", "with\"quote"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "k,v\n\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(TextTable, RowCountTracksRows) {
+  TextTable t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, NumFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(3.0, 0), "3");
+  EXPECT_EQ(TextTable::num(-0.5, 1), "-0.5");
+}
+
+TEST(TextTable, PctFormatting) {
+  EXPECT_EQ(TextTable::pct(0.873, 1), "87.3%");
+  EXPECT_EQ(TextTable::pct(1.0, 0), "100%");
+}
+
+TEST(TextTable, LeftAlignOverride) {
+  TextTable t({"a", "b"});
+  t.set_align(1, TextTable::Align::kLeft);
+  t.add_row({"x", "y"});
+  std::ostringstream os;
+  t.print_markdown(os);
+  EXPECT_EQ(os.str(), "| a | b |\n| --- | --- |\n| x | y |\n");
+}
+
+TEST(TextTableDeath, WrongColumnCountRejected) {
+  TextTable t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "precondition");
+}
+
+}  // namespace
+}  // namespace ftsched

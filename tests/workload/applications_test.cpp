@@ -1,0 +1,122 @@
+#include "workload/applications.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ftsched {
+namespace {
+
+bool is_full_permutation(const std::vector<Request>& batch, std::uint64_t n) {
+  if (batch.size() != n) return false;
+  std::set<NodeId> sources;
+  std::set<NodeId> destinations;
+  for (const Request& r : batch) {
+    if (r.src >= n || r.dst >= n) return false;
+    sources.insert(r.src);
+    destinations.insert(r.dst);
+  }
+  return sources.size() == n && destinations.size() == n;
+}
+
+TEST(Applications, FftPhaseCountAndStructure) {
+  const FatTree tree = FatTree::symmetric(3, 4);  // m=4, l=3
+  const auto phases = fft_butterfly_phases(tree);
+  EXPECT_EQ(phases.size(), 3u * 3u);  // (m-1) offsets × l digits
+  for (const ApplicationPhase& phase : phases) {
+    EXPECT_TRUE(is_full_permutation(phase.requests, tree.node_count()))
+        << phase.label;
+    // No fixed points: the exchanged digit always changes.
+    for (const Request& r : phase.requests) EXPECT_NE(r.src, r.dst);
+  }
+  // Phase "fft-d0+1": digit 0 incremented -> node 0 talks to node 1.
+  EXPECT_EQ(phases[0].label, "fft-d0+1");
+  EXPECT_EQ(phases[0].requests[0].dst, 1u);
+  // Wraps: node 3 (digit0 = 3) + offset 1 -> digit0 = 0 -> node 0.
+  EXPECT_EQ(phases[0].requests[3].dst, 0u);
+}
+
+TEST(Applications, FftHighDigitPhasesCrossTheRoot) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  const auto phases = fft_butterfly_phases(tree);
+  // Last digit phases pair nodes in different top-level subtrees:
+  // ancestor level = l - 1... = 2 for every request.
+  const ApplicationPhase& top = phases.back();  // fft-d2+3
+  for (const Request& r : top.requests) {
+    const std::uint32_t h = tree.common_ancestor_level(
+        tree.leaf_switch(r.src).index, tree.leaf_switch(r.dst).index);
+    EXPECT_EQ(h, 2u);
+  }
+}
+
+TEST(Applications, AllToAllCoversEveryPairOnce) {
+  const FatTree tree = FatTree::symmetric(2, 4);  // 16 nodes
+  const auto phases = all_to_all_phases(tree);
+  EXPECT_EQ(phases.size(), 15u);
+  std::set<std::pair<NodeId, NodeId>> pairs;
+  for (const ApplicationPhase& phase : phases) {
+    EXPECT_TRUE(is_full_permutation(phase.requests, 16));
+    for (const Request& r : phase.requests) {
+      EXPECT_TRUE(pairs.emplace(r.src, r.dst).second)
+          << "duplicate pair " << r.src << "->" << r.dst;
+    }
+  }
+  EXPECT_EQ(pairs.size(), 16u * 15u);
+}
+
+TEST(Applications, AllToAllRoundCap) {
+  const FatTree tree = FatTree::symmetric(2, 4);
+  EXPECT_EQ(all_to_all_phases(tree, 5).size(), 5u);
+  EXPECT_EQ(all_to_all_phases(tree, 500).size(), 15u);
+}
+
+TEST(Applications, StencilGridFactorsNodeCount) {
+  const FatTree tree = FatTree::symmetric(3, 4);  // 64 nodes
+  // 3-D: 4x4x4 -> 6 phases, all permutations.
+  const auto phases = stencil_phases(tree, 3);
+  EXPECT_EQ(phases.size(), 6u);
+  for (const ApplicationPhase& phase : phases) {
+    EXPECT_TRUE(is_full_permutation(phase.requests, 64)) << phase.label;
+  }
+}
+
+TEST(Applications, StencilNeighborsAreGridNeighbors) {
+  const FatTree tree = FatTree::symmetric(3, 4);  // 64 = 8x8 in 2-D
+  const auto phases = stencil_phases(tree, 2);
+  ASSERT_EQ(phases.size(), 4u);
+  // Dim 0, +1: node 0 -> node 1; node 7 wraps to 0 (side 8).
+  const ApplicationPhase& xplus = phases[0];
+  EXPECT_EQ(xplus.requests[0].dst, 1u);
+  EXPECT_EQ(xplus.requests[7].dst, 0u);
+  // Dim 1, +1: node 0 -> node 8.
+  const ApplicationPhase& yplus = phases[2];
+  EXPECT_EQ(yplus.requests[0].dst, 8u);
+}
+
+TEST(Applications, StencilOneDimensionalIsRing) {
+  const FatTree tree = FatTree::symmetric(2, 4);  // 16 nodes
+  const auto phases = stencil_phases(tree, 1);
+  ASSERT_EQ(phases.size(), 2u);
+  EXPECT_EQ(phases[0].requests[15].dst, 0u);   // +1 wraps
+  EXPECT_EQ(phases[1].requests[0].dst, 15u);   // -1 wraps
+}
+
+TEST(Applications, RandomPhasesAreIndependentPermutations) {
+  const FatTree tree = FatTree::symmetric(2, 4);
+  Xoshiro256ss rng(3);
+  const auto phases = random_phases(tree, 4, rng);
+  ASSERT_EQ(phases.size(), 4u);
+  for (const ApplicationPhase& phase : phases) {
+    EXPECT_TRUE(is_full_permutation(phase.requests, 16));
+  }
+  EXPECT_NE(phases[0].requests, phases[1].requests);
+}
+
+TEST(ApplicationsDeath, StencilDimensionBounds) {
+  const FatTree tree = FatTree::symmetric(2, 4);
+  EXPECT_DEATH(stencil_phases(tree, 0), "precondition");
+  EXPECT_DEATH(stencil_phases(tree, 5), "precondition");
+}
+
+}  // namespace
+}  // namespace ftsched

@@ -1,0 +1,178 @@
+#include "workload/patterns.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ftsched {
+namespace {
+
+bool is_partial_permutation(const std::vector<Request>& batch,
+                            std::uint64_t n) {
+  std::set<NodeId> sources;
+  std::set<NodeId> destinations;
+  for (const Request& r : batch) {
+    if (r.src >= n || r.dst >= n) return false;
+    if (!sources.insert(r.src).second) return false;
+    if (!destinations.insert(r.dst).second) return false;
+  }
+  return true;
+}
+
+TEST(Patterns, RandomPermutationIsFullPermutation) {
+  Xoshiro256ss rng(1);
+  const auto batch = random_permutation(64, rng);
+  EXPECT_EQ(batch.size(), 64u);
+  EXPECT_TRUE(is_partial_permutation(batch, 64));
+  // Sources are exactly 0..63 in order.
+  for (NodeId n = 0; n < 64; ++n) EXPECT_EQ(batch[n].src, n);
+}
+
+TEST(Patterns, RandomPermutationVariesWithSeed) {
+  Xoshiro256ss a(1);
+  Xoshiro256ss b(2);
+  EXPECT_NE(random_permutation(64, a), random_permutation(64, b));
+}
+
+TEST(Patterns, GeneratorPermutationPropertyHoldsForAll) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  Xoshiro256ss rng(3);
+  for (TrafficPattern p :
+       {TrafficPattern::kRandomPermutation, TrafficPattern::kDigitReversal,
+        TrafficPattern::kDigitRotation, TrafficPattern::kTranspose,
+        TrafficPattern::kComplement, TrafficPattern::kShift,
+        TrafficPattern::kNeighbor}) {
+    const auto batch = generate_pattern(tree, p, rng);
+    EXPECT_EQ(batch.size(), tree.node_count()) << to_string(p);
+    EXPECT_TRUE(is_partial_permutation(batch, tree.node_count()))
+        << to_string(p);
+  }
+}
+
+TEST(Patterns, DigitReversalMatchesHandComputation) {
+  const FatTree tree = FatTree::symmetric(3, 4);  // 3 base-4 digits
+  Xoshiro256ss rng(4);
+  const auto batch =
+      generate_pattern(tree, TrafficPattern::kDigitReversal, rng);
+  // 6 = 012 base 4 (MSB first: 0,1,2) -> reversed 210 base 4 = 36.
+  EXPECT_EQ(batch[6].dst, 36u);
+  // Palindromic labels are fixed points: 0, 21 (111).
+  EXPECT_EQ(batch[0].dst, 0u);
+  EXPECT_EQ(batch[21].dst, 21u);
+}
+
+TEST(Patterns, ComplementAndShift) {
+  const FatTree tree = FatTree::symmetric(2, 4);  // 16 nodes
+  Xoshiro256ss rng(5);
+  const auto complement =
+      generate_pattern(tree, TrafficPattern::kComplement, rng);
+  EXPECT_EQ(complement[0].dst, 15u);
+  EXPECT_EQ(complement[15].dst, 0u);
+  const auto shift = generate_pattern(tree, TrafficPattern::kShift, rng);
+  EXPECT_EQ(shift[0].dst, 8u);
+  EXPECT_EQ(shift[10].dst, 2u);
+}
+
+TEST(Patterns, NeighborPairsExchange) {
+  const FatTree tree = FatTree::symmetric(2, 4);
+  Xoshiro256ss rng(6);
+  const auto batch = generate_pattern(tree, TrafficPattern::kNeighbor, rng);
+  EXPECT_EQ(batch[0].dst, 1u);
+  EXPECT_EQ(batch[1].dst, 0u);
+  EXPECT_EQ(batch[14].dst, 15u);
+  EXPECT_EQ(batch[15].dst, 14u);
+}
+
+TEST(Patterns, DigitRotationIsAPermutationWithExpectedImage) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  Xoshiro256ss rng(7);
+  const auto batch =
+      generate_pattern(tree, TrafficPattern::kDigitRotation, rng);
+  // src digits (LSB first) d0,d1,d2 -> dst digits d1,d2,d0.
+  const MixedRadix sys = MixedRadix::uniform(4, 3);
+  for (const Request& r : batch) {
+    const DigitVec s = sys.decompose(r.src);
+    const DigitVec d = sys.decompose(r.dst);
+    EXPECT_EQ(d[0], s[1]);
+    EXPECT_EQ(d[1], s[2]);
+    EXPECT_EQ(d[2], s[0]);
+  }
+}
+
+TEST(Patterns, TransposeSwapsHalves) {
+  const FatTree tree = FatTree::symmetric(2, 4);  // 2 digits: clean swap
+  Xoshiro256ss rng(8);
+  const auto batch = generate_pattern(tree, TrafficPattern::kTranspose, rng);
+  const MixedRadix sys = MixedRadix::uniform(4, 2);
+  for (const Request& r : batch) {
+    const DigitVec s = sys.decompose(r.src);
+    const DigitVec d = sys.decompose(r.dst);
+    EXPECT_EQ(d[0], s[1]);
+    EXPECT_EQ(d[1], s[0]);
+  }
+}
+
+TEST(Patterns, LoadFactorControlsBatchSize) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  Xoshiro256ss rng(9);
+  WorkloadOptions options;
+  options.load_factor = 0.5;
+  std::size_t total = 0;
+  for (int rep = 0; rep < 50; ++rep) {
+    const auto batch = generate_pattern(
+        tree, TrafficPattern::kRandomPermutation, rng, options);
+    EXPECT_TRUE(is_partial_permutation(batch, tree.node_count()));
+    total += batch.size();
+  }
+  // Mean 32 per batch, generous tolerance.
+  EXPECT_NEAR(static_cast<double>(total) / 50.0, 32.0, 6.0);
+}
+
+TEST(Patterns, HotSpotTargetsNodeZero) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  Xoshiro256ss rng(10);
+  WorkloadOptions options;
+  options.hotspot_fraction = 0.5;
+  const auto batch =
+      generate_pattern(tree, TrafficPattern::kHotSpot, rng, options);
+  std::size_t hot = 0;
+  for (const Request& r : batch) hot += r.dst == 0 ? 1 : 0;
+  EXPECT_GT(hot, batch.size() / 4);
+  EXPECT_LT(hot, 3 * batch.size() / 4);
+}
+
+TEST(Patterns, DropSelfRemovesFixedPoints) {
+  const FatTree tree = FatTree::symmetric(2, 4);
+  Xoshiro256ss rng(11);
+  WorkloadOptions options;
+  options.drop_self = true;
+  const auto batch =
+      generate_pattern(tree, TrafficPattern::kNeighbor, rng, options);
+  for (const Request& r : batch) EXPECT_NE(r.src, r.dst);
+  EXPECT_EQ(batch.size(), 16u);  // even node count: no fixed points anyway
+}
+
+TEST(Patterns, RejectReasonNames) {
+  EXPECT_EQ(to_string(RejectReason::kNone), "granted");
+  EXPECT_EQ(to_string(RejectReason::kNoCommonPort), "no-common-port");
+  EXPECT_EQ(to_string(RejectReason::kDownConflict), "down-conflict");
+}
+
+TEST(Patterns, PatternNames) {
+  EXPECT_EQ(to_string(TrafficPattern::kRandomPermutation),
+            "random-permutation");
+  EXPECT_EQ(to_string(TrafficPattern::kHotSpot), "hot-spot");
+}
+
+TEST(PatternsDeath, ZeroLoadFactorRejected) {
+  const FatTree tree = FatTree::symmetric(2, 4);
+  Xoshiro256ss rng(12);
+  WorkloadOptions options;
+  options.load_factor = 0.0;
+  EXPECT_DEATH(generate_pattern(tree, TrafficPattern::kRandomPermutation, rng,
+                                options),
+               "precondition");
+}
+
+}  // namespace
+}  // namespace ftsched

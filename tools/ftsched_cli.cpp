@@ -1,0 +1,252 @@
+// ftsched — command-line front end to the library.
+//
+//   ftsched info <levels> <m> [w]          topology summary + validation
+//   ftsched dot <levels> <m> [w]           Graphviz dump (small trees)
+//   ftsched schedule <levels> <w> <scheduler> <pattern> <reps> [seed]
+//                                          schedulability experiment
+//   ftsched sweep <scheduler> [reps]       the paper's full Figure-9 grid,
+//                                          CSV on stdout
+//   ftsched hw <levels> <w>                hardware timing + resources
+//   ftsched schedulers                     list registry names
+//   ftsched patterns                       list traffic pattern names
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/registry.hpp"
+#include "hw/resources.hpp"
+#include "hw/timing_model.hpp"
+#include "stats/runner.hpp"
+#include "topology/dot.hpp"
+#include "topology/validate.hpp"
+#include "util/table.hpp"
+
+using namespace ftsched;
+
+namespace {
+
+const std::map<std::string, TrafficPattern>& pattern_names() {
+  static const std::map<std::string, TrafficPattern> names{
+      {"random", TrafficPattern::kRandomPermutation},
+      {"reversal", TrafficPattern::kDigitReversal},
+      {"rotation", TrafficPattern::kDigitRotation},
+      {"transpose", TrafficPattern::kTranspose},
+      {"complement", TrafficPattern::kComplement},
+      {"shift", TrafficPattern::kShift},
+      {"neighbor", TrafficPattern::kNeighbor},
+      {"hotspot", TrafficPattern::kHotSpot},
+  };
+  return names;
+}
+
+int usage() {
+  std::cerr << "usage: ftsched <info|dot|schedule|sweep|hw|schedulers|"
+               "patterns> ...\n"
+               "  info <levels> <m> [w]\n"
+               "  dot <levels> <m> [w]\n"
+               "  schedule <levels> <w> <scheduler> <pattern> <reps> [seed]\n"
+               "  sweep <scheduler> [reps]\n"
+               "  hw <levels> <w>\n";
+  return 2;
+}
+
+Result<FatTree> tree_from_args(int argc, char** argv, int base) {
+  const auto levels = static_cast<std::uint32_t>(std::atoi(argv[base]));
+  const auto m = static_cast<std::uint32_t>(std::atoi(argv[base + 1]));
+  const auto w = argc > base + 2
+                     ? static_cast<std::uint32_t>(std::atoi(argv[base + 2]))
+                     : m;
+  return FatTree::create(FatTreeParams{levels, m, w});
+}
+
+int cmd_info(int argc, char** argv) {
+  if (argc < 4) return usage();
+  auto tree_or = tree_from_args(argc, argv, 2);
+  if (!tree_or.ok()) {
+    std::cerr << tree_or.message() << "\n";
+    return 1;
+  }
+  const FatTree& tree = tree_or.value();
+  std::cout << "FT(l=" << tree.levels() << ", m=" << tree.child_arity()
+            << ", w=" << tree.parent_arity() << ")\n";
+  std::cout << "  processing elements : " << tree.node_count() << "\n";
+  std::cout << "  switches            : " << tree.total_switches() << "\n";
+  TextTable table({"level", "switches", "up cables", "label radices"});
+  for (std::uint32_t h = 0; h < tree.levels(); ++h) {
+    std::string radices;
+    const MixedRadix& sys = tree.label_system(h);
+    for (std::size_t i = 0; i < sys.digit_count(); ++i) {
+      if (i) radices += "x";
+      radices += std::to_string(sys.radix(sys.digit_count() - 1 - i));
+    }
+    if (radices.empty()) radices = "-";
+    table.add_row({std::to_string(h), std::to_string(tree.switches_at(h)),
+                   h + 1 < tree.levels() ? std::to_string(tree.cables_at(h))
+                                         : "-",
+                   radices});
+  }
+  table.print(std::cout);
+  const Status valid = validate_structure(tree);
+  std::cout << "  structure validation: "
+            << (valid.ok() ? "OK" : valid.message()) << "\n";
+  return valid.ok() ? 0 : 1;
+}
+
+int cmd_dot(int argc, char** argv) {
+  if (argc < 4) return usage();
+  auto tree_or = tree_from_args(argc, argv, 2);
+  if (!tree_or.ok()) {
+    std::cerr << tree_or.message() << "\n";
+    return 1;
+  }
+  if (tree_or.value().total_switches() > 512) {
+    std::cerr << "tree too large to draw usefully (>512 switches)\n";
+    return 1;
+  }
+  export_dot(tree_or.value(), std::cout);
+  return 0;
+}
+
+int cmd_schedule(int argc, char** argv) {
+  if (argc < 7) return usage();
+  auto tree_or = FatTree::create(FatTreeParams::symmetric(
+      static_cast<std::uint32_t>(std::atoi(argv[2])),
+      static_cast<std::uint32_t>(std::atoi(argv[3]))));
+  if (!tree_or.ok()) {
+    std::cerr << tree_or.message() << "\n";
+    return 1;
+  }
+  const auto pattern = pattern_names().find(argv[5]);
+  if (pattern == pattern_names().end()) {
+    std::cerr << "unknown pattern '" << argv[5] << "'\n";
+    return usage();
+  }
+  ExperimentConfig config;
+  config.scheduler = argv[4];
+  if (!make_scheduler(config.scheduler).ok()) {
+    std::cerr << make_scheduler(config.scheduler).message() << "\n";
+    return 1;
+  }
+  config.pattern = pattern->second;
+  config.repetitions = static_cast<std::size_t>(std::atoi(argv[6]));
+  config.seed = argc > 7 ? static_cast<std::uint64_t>(std::atoll(argv[7]))
+                         : 2006;
+  config.allow_residual = config.scheduler == "local-hold";
+  const ExperimentPoint point = run_experiment(tree_or.value(), config);
+  std::cout << config.scheduler << " on " << to_string(pattern->second)
+            << ", " << config.repetitions << " reps:\n";
+  std::cout << "  schedulability " << point.schedulability.ratio_string()
+            << "  (stddev " << TextTable::pct(point.schedulability.stddev)
+            << ")\n";
+  std::cout << "  granted " << point.total_granted << " / "
+            << point.total_requests << " requests\n";
+  return 0;
+}
+
+int cmd_sweep(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string scheduler = argv[2];
+  if (!make_scheduler(scheduler).ok()) {
+    std::cerr << make_scheduler(scheduler).message() << "\n";
+    return 1;
+  }
+  const std::size_t reps =
+      argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 100;
+  TextTable table({"levels", "arity", "nodes", "mean", "min", "max",
+                   "stddev"});
+  struct Family {
+    std::uint32_t levels;
+    std::vector<std::uint32_t> arities;
+  };
+  const std::vector<Family> families{
+      {2, {8, 16, 32, 48, 64}}, {3, {4, 6, 8, 12, 16}}, {4, {3, 4, 5, 6, 7}}};
+  for (const Family& family : families) {
+    for (const std::uint32_t w : family.arities) {
+      const FatTree tree = FatTree::symmetric(family.levels, w);
+      ExperimentConfig config;
+      config.scheduler = scheduler;
+      config.repetitions = reps;
+      config.seed = 2006 + w;
+      config.allow_residual = scheduler == "local-hold";
+      const ExperimentPoint point = run_experiment(tree, config);
+      table.add_row({std::to_string(family.levels), std::to_string(w),
+                     std::to_string(tree.node_count()),
+                     TextTable::num(point.schedulability.mean, 4),
+                     TextTable::num(point.schedulability.min, 4),
+                     TextTable::num(point.schedulability.max, 4),
+                     TextTable::num(point.schedulability.stddev, 4)});
+    }
+  }
+  table.print_csv(std::cout);
+  return 0;
+}
+
+int cmd_hw(int argc, char** argv) {
+  if (argc < 4) return usage();
+  auto tree_or = FatTree::create(FatTreeParams::symmetric(
+      static_cast<std::uint32_t>(std::atoi(argv[2])),
+      static_cast<std::uint32_t>(std::atoi(argv[3]))));
+  if (!tree_or.ok()) {
+    std::cerr << tree_or.message() << "\n";
+    return 1;
+  }
+  const FatTree& tree = tree_or.value();
+  if (tree.levels() < 2 || tree.parent_arity() > 64) {
+    std::cerr << "hardware model needs 2+ levels and w <= 64\n";
+    return 1;
+  }
+  const TimingModel timing;
+  const ResourceEstimate est = estimate_resources(tree);
+  std::cout << "Centralized scheduler hardware for FT(" << tree.levels()
+            << "," << tree.parent_arity() << "), " << tree.node_count()
+            << " nodes:\n";
+  std::cout << "  pipeline stages : " << est.pipeline_stages << "\n";
+  std::cout << "  block cycle     : "
+            << TextTable::num(timing.cycle_ns(tree.parent_arity()), 2)
+            << " ns (Fmax "
+            << TextTable::num(1000.0 / timing.cycle_ns(tree.parent_arity()),
+                              0)
+            << " MHz)\n";
+  std::cout << "  single request  : "
+            << TextTable::num(
+                   timing.request_latency_ns(tree.levels(),
+                                             tree.parent_arity()),
+                   2)
+            << " ns\n";
+  std::cout << "  full batch      : "
+            << TextTable::num(timing.batch_total_ns(tree.node_count(),
+                                                    tree.levels(),
+                                                    tree.parent_arity()) /
+                                  1000.0,
+                              3)
+            << " us (" << tree.node_count() << " requests)\n";
+  std::cout << "  memory          : " << est.memory_bits << " bits in "
+            << est.m4k_blocks << " M4K blocks\n";
+  std::cout << "  logic           : ~" << est.aluts << " ALUTs, "
+            << est.registers << " registers\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  if (command == "info") return cmd_info(argc, argv);
+  if (command == "dot") return cmd_dot(argc, argv);
+  if (command == "schedule") return cmd_schedule(argc, argv);
+  if (command == "sweep") return cmd_sweep(argc, argv);
+  if (command == "hw") return cmd_hw(argc, argv);
+  if (command == "schedulers") {
+    for (const std::string& name : scheduler_names()) {
+      std::cout << name << "\n";
+    }
+    return 0;
+  }
+  if (command == "patterns") {
+    for (const auto& [name, _] : pattern_names()) std::cout << name << "\n";
+    return 0;
+  }
+  return usage();
+}
