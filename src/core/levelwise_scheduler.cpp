@@ -1,5 +1,8 @@
 #include "core/levelwise_scheduler.hpp"
 
+#include <memory>
+#include <vector>
+
 #include "linkstate/transaction.hpp"
 
 namespace ftsched {
@@ -101,15 +104,14 @@ ScheduleResult LevelwiseScheduler::schedule_level_major(
     out.path.ancestor_level = H;
   }
 
-  // Per-(request, level) allocations, for the optional post-batch release of
-  // rejected requests' partial circuits.
-  struct Alloc {
-    std::uint32_t level;
-    std::uint64_t sigma;
-    std::uint64_t delta;
-    std::uint32_t port;
-  };
-  std::vector<std::vector<Alloc>> allocs(requests.size());
+  // One transaction per request holds its channel allocations, so a rejected
+  // request's partial circuit can be released (or deliberately kept, in the
+  // no-release ablation) after the whole batch has been swept.
+  std::vector<std::unique_ptr<Transaction>> tx;
+  tx.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    tx.push_back(std::make_unique<Transaction>(state));
+  }
 
   const std::uint32_t link_levels = tree.levels() - 1;
   std::vector<std::uint32_t> rr_hint;
@@ -128,8 +130,7 @@ ScheduleResult LevelwiseScheduler::schedule_level_major(
         out.fail_level = h;
         continue;
       }
-      state.occupy(h, lv.sigma, lv.delta, *port);
-      allocs[i].push_back(Alloc{h, lv.sigma, lv.delta, *port});
+      tx[i]->occupy(h, lv.sigma, lv.delta, *port);
       out.path.ports.push_back(*port);
       lv.sigma = tree.ascend(h, lv.sigma, *port);
       lv.delta = tree.ascend(h, lv.delta, *port);
@@ -145,16 +146,19 @@ ScheduleResult LevelwiseScheduler::schedule_level_major(
   // their partial channel allocations.
   for (std::size_t i = 0; i < requests.size(); ++i) {
     RequestOutcome& out = result.outcomes[i];
-    if (out.granted) continue;
+    if (out.granted) {
+      tx[i]->commit();
+      continue;
+    }
     out.path.ports.clear();
     out.path.ancestor_level = 0;
     if (out.reason != RejectReason::kLeafBusy) {
       leaves.release(requests[i].src, requests[i].dst);
     }
     if (options_.release_rejected) {
-      for (auto it = allocs[i].rbegin(); it != allocs[i].rend(); ++it) {
-        state.release(it->level, it->sigma, it->delta, it->port);
-      }
+      tx[i]->rollback();
+    } else {
+      tx[i]->commit();  // hardware-fidelity mode: partial allocation persists
     }
   }
   return result;

@@ -5,6 +5,8 @@
 #include <queue>
 #include <vector>
 
+#include "linkstate/transaction.hpp"
+
 namespace ftsched {
 
 namespace {
@@ -103,7 +105,7 @@ constexpr std::size_t kDummy = std::numeric_limits<std::size_t>::max();
 /// involved channel is free and the maximum vertex degree is <= w:
 /// pad with dummy edges to a w-regular bipartite multigraph, then peel one
 /// perfect matching per color (König). Grants EVERY pending request.
-void color_exact(const FatTree& tree, LinkState& state,
+void color_exact(const FatTree& tree, const LinkState& state, Transaction& tx,
                  std::span<const Request> requests,
                  const std::vector<std::size_t>& pending,
                  ScheduleResult& result) {
@@ -155,7 +157,7 @@ void color_exact(const FatTree& tree, LinkState& state,
       (void)left;
       edges[e].colored = true;
       if (edges[e].request == kDummy) continue;
-      state.occupy(0, edges[e].a, edges[e].b, p);
+      tx.occupy(0, edges[e].a, edges[e].b, p);
       RequestOutcome& out = result.outcomes[edges[e].request];
       out.granted = true;
       out.path.ancestor_level = 1;
@@ -166,7 +168,7 @@ void color_exact(const FatTree& tree, LinkState& state,
 
 /// Greedy color-by-color maximum matching, honoring arbitrary pre-occupied
 /// channels. Strong heuristic, not exact (list edge coloring is NP-hard).
-void color_greedy(const FatTree& tree, LinkState& state,
+void color_greedy(const FatTree& tree, const LinkState& state, Transaction& tx,
                   std::span<const Request> requests,
                   std::vector<std::size_t> pending, ScheduleResult& result,
                   LeafTracker& leaves) {
@@ -190,8 +192,8 @@ void color_greedy(const FatTree& tree, LinkState& state,
     for (const auto& [left, idx] : hk.solve()) {
       (void)left;
       const Request& r = requests[idx];
-      state.occupy(0, tree.leaf_switch(r.src).index,
-                   tree.leaf_switch(r.dst).index, p);
+      tx.occupy(0, tree.leaf_switch(r.src).index,
+                tree.leaf_switch(r.dst).index, p);
       RequestOutcome& out = result.outcomes[idx];
       out.granted = true;
       out.path.ancestor_level = 1;
@@ -255,11 +257,14 @@ ScheduleResult MatchingScheduler::schedule(const FatTree& tree,
   }
   const bool fresh =
       state.occupied_ulinks_at(0) == 0 && state.occupied_dlinks_at(0) == 0;
+  Transaction tx(state);
   if (fresh && max_degree <= w) {
-    color_exact(tree, state, requests, pending, result);
+    color_exact(tree, state, tx, requests, pending, result);
   } else {
-    color_greedy(tree, state, requests, std::move(pending), result, leaves);
+    color_greedy(tree, state, tx, requests, std::move(pending), result,
+                 leaves);
   }
+  tx.commit();
   return result;
 }
 

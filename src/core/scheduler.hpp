@@ -17,6 +17,7 @@
 #include "core/request.hpp"
 #include "linkstate/link_state.hpp"
 #include "topology/fat_tree.hpp"
+#include "util/contracts.hpp"
 #include "util/rng.hpp"
 
 namespace ftsched {

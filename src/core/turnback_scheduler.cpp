@@ -16,7 +16,7 @@ TurnbackScheduler::TurnbackScheduler(TurnbackOptions options)
 namespace {
 
 /// DFS driver for one request. Holds up-channels along the current branch
-/// directly in `state` and releases them on backtrack.
+/// through a Transaction and releases them entry-by-entry on backtrack.
 class TurnbackSearch {
  public:
   TurnbackSearch(const FatTree& tree, LinkState& state, std::uint64_t src_leaf,
@@ -24,6 +24,7 @@ class TurnbackSearch {
                  const TurnbackOptions& options, Xoshiro256ss& rng)
       : tree_(tree),
         state_(state),
+        tx_(state),
         dst_leaf_(dst_leaf),
         ancestor_(ancestor),
         options_(options),
@@ -40,11 +41,12 @@ class TurnbackSearch {
     const std::uint32_t outcome = descend_from(0);
     if (outcome == kSuccess) {
       ports = ports_;
+      tx_.commit();
       return true;
     }
     reason = reason_;
     fail_level = fail_level_;
-    return false;
+    return false;  // ~Transaction releases anything still held
   }
 
  private:
@@ -64,14 +66,14 @@ class TurnbackSearch {
       return h == 0 ? 0 : h - 1;
     }
     for (std::uint32_t p : candidates) {
-      state_.set_ulink(h, sigma_.back(), p, false);  // hold tentatively
+      tx_.occupy_up(h, sigma_.back(), p);  // hold tentatively
       ports_.push_back(p);
       sigma_.push_back(tree_.ascend(h, sigma_.back(), p));
       const std::uint32_t res = descend_from(h + 1);
       if (res == kSuccess) return kSuccess;
       sigma_.pop_back();
       ports_.pop_back();
-      state_.set_ulink(h, sigma_.back(), p, true);
+      tx_.release_last();
       if (probes_left_ == 0 || res < h) return res;  // cannot repair here
     }
     // All candidates exhausted; a different σ_h might still work.
@@ -91,8 +93,7 @@ class TurnbackSearch {
     // Free path found: occupy the downward channels (upward ones are already
     // held along the DFS branch).
     for (std::uint32_t h = ancestor_; h-- > 0;) {
-      state_.set_dlink(h, tree_.side_switch(dst_leaf_, h, ports_), ports_[h],
-                       false);
+      tx_.occupy_down(h, tree_.side_switch(dst_leaf_, h, ports_), ports_[h]);
     }
     return kSuccess;
   }
@@ -116,7 +117,8 @@ class TurnbackSearch {
   }
 
   const FatTree& tree_;
-  LinkState& state_;
+  LinkState& state_;  // read-only queries; all mutation goes through tx_
+  Transaction tx_;
   std::uint64_t dst_leaf_;
   std::uint32_t ancestor_;
   const TurnbackOptions& options_;

@@ -1,95 +1,359 @@
 #include "core/verifier.hpp"
 
 #include <set>
+#include <string>
 #include <vector>
 
-#include "topology/path.hpp"
-
 namespace ftsched {
+
+const std::string& VerifyReport::first() const {
+  static const std::string kEmpty;
+  return violations.empty() ? kEmpty : violations.front();
+}
+
+Status VerifyReport::status() const {
+  if (ok()) return Status();
+  std::string msg = violations.front();
+  if (violations.size() > 1) {
+    msg += " (+" + std::to_string(violations.size() - 1) + " more violations)";
+  }
+  return Status::error(std::move(msg));
+}
+
+std::string VerifyReport::to_string() const {
+  if (ok()) {
+    return "schedule verified: " + std::to_string(granted) + " granted, " +
+           std::to_string(rejected) + " rejected, " +
+           std::to_string(channels_checked) + " channels checked";
+  }
+  std::string out = std::to_string(violations.size()) + " violation(s):";
+  for (const std::string& v : violations) {
+    out += "\n  - " + v;
+  }
+  return out;
+}
+
+ScheduleVerifier::ScheduleVerifier(const FatTree& tree, VerifyOptions options)
+    : tree_(tree), options_(options) {}
+
+namespace {
+
+/// Base-m digits of a leaf-switch label, LSB first — the paper's t_0…t_{l-2}.
+/// Deliberately re-implemented here (not MixedRadix) so the verifier shares
+/// no arithmetic with the code it checks.
+std::vector<std::uint32_t> leaf_digits(std::uint64_t leaf, std::uint32_t m,
+                                       std::uint32_t count) {
+  std::vector<std::uint32_t> digits(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    digits[i] = static_cast<std::uint32_t>(leaf % m);
+    leaf /= m;
+  }
+  return digits;
+}
+
+/// Theorem 1, as pure digit arithmetic: the level-h switch on the side of
+/// `leaf` given port digits P_0…P_{h-1} has label
+///   [P_{h-1} … P_0]_w  followed by  [t_h … t_{l-2}]_m
+/// (digit 0 least significant, the low h digits in radix w, the rest radix m).
+std::uint64_t side_value(const std::vector<std::uint32_t>& t,
+                         const DigitVec& ports, std::uint32_t h,
+                         std::uint32_t m, std::uint32_t w) {
+  std::uint64_t value = 0;
+  std::uint64_t place = 1;
+  for (std::uint32_t i = 0; i < h; ++i) {
+    value += place * ports[h - 1 - i];
+    place *= w;
+  }
+  for (std::size_t j = h; j < t.size(); ++j) {
+    value += place * t[j];
+    place *= m;
+  }
+  return value;
+}
+
+}  // namespace
+
+std::vector<ChannelId> ScheduleVerifier::rederive_channels(
+    const Path& path) const {
+  const std::uint32_t m = tree_.child_arity();
+  const std::uint32_t w = tree_.parent_arity();
+  const std::uint32_t digit_count = tree_.levels() - 1;
+  const std::vector<std::uint32_t> s =
+      leaf_digits(path.src / m, m, digit_count);
+  const std::vector<std::uint32_t> d =
+      leaf_digits(path.dst / m, m, digit_count);
+  const std::uint32_t H = path.ancestor_level;
+
+  std::vector<ChannelId> channels;
+  channels.reserve(2 * static_cast<std::size_t>(H));
+  for (std::uint32_t h = 0; h < H; ++h) {
+    channels.push_back(ChannelId{
+        CableId{h, side_value(s, path.ports, h, m, w), path.ports[h]},
+        Direction::kUp});
+  }
+  for (std::uint32_t h = H; h-- > 0;) {
+    channels.push_back(ChannelId{
+        CableId{h, side_value(d, path.ports, h, m, w), path.ports[h]},
+        Direction::kDown});
+  }
+  return channels;
+}
+
+Status ScheduleVerifier::check_mirror(const PathExpansion& expansion,
+                                      std::uint32_t ancestor_level) {
+  const std::size_t H = ancestor_level;
+  if (expansion.channels.size() != 2 * H) {
+    return Status::error("expansion has " +
+                         std::to_string(expansion.channels.size()) +
+                         " channels for ancestor level " + std::to_string(H));
+  }
+  for (std::size_t h = 0; h < H; ++h) {
+    const ChannelId& up = expansion.channels[h];
+    const ChannelId& down = expansion.channels[2 * H - 1 - h];
+    if (up.direction != Direction::kUp || down.direction != Direction::kDown) {
+      return Status::error("expansion channel order is not up*H then down*H");
+    }
+    if (up.cable.level != h || down.cable.level != h) {
+      return Status::error("expansion levels do not mirror at position " +
+                           std::to_string(h));
+    }
+    if (up.cable.port != down.cable.port) {
+      return Status::error(
+          "up/down port sequences do not mirror (Theorem 2): level " +
+          std::to_string(h) + " ascends through port " +
+          std::to_string(up.cable.port) + " but descends through port " +
+          std::to_string(down.cable.port));
+    }
+  }
+  return Status();
+}
+
+VerifyReport ScheduleVerifier::verify(std::span<const Request> requests,
+                                      const ScheduleResult& result,
+                                      const LinkState* state_after,
+                                      const LinkState* state_before) const {
+  VerifyReport report;
+  auto add = [&](std::string msg) {
+    if (report.violations.size() < options_.max_violations) {
+      report.violations.push_back(std::move(msg));
+    }
+  };
+
+  if (result.outcomes.size() != requests.size()) {
+    add("result has " + std::to_string(result.outcomes.size()) +
+        " outcomes for " + std::to_string(requests.size()) + " requests");
+    return report;
+  }
+
+  const std::uint32_t link_levels = tree_.levels() - 1;
+  std::set<ChannelId> used_channels;
+  std::vector<bool> src_used(tree_.node_count(), false);
+  std::vector<bool> dst_used(tree_.node_count(), false);
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const RequestOutcome& out = result.outcomes[i];
+    const Request& r = requests[i];
+    ++report.requests_checked;
+
+    if (!out.granted) {
+      ++report.rejected;
+      if (out.reason == RejectReason::kNone) {
+        add("request " + std::to_string(i) +
+            " is rejected but carries no reject reason");
+      }
+      if (!out.path.ports.empty() || out.path.ancestor_level != 0) {
+        add("rejected request " + std::to_string(i) +
+            " retains path data (ports or ancestor level)");
+      }
+      if (out.reason != RejectReason::kNone &&
+          out.reason != RejectReason::kLeafBusy) {
+        if (out.fail_level >= link_levels) {
+          add("rejected request " + std::to_string(i) + " fails at level " +
+              std::to_string(out.fail_level) +
+              ", beyond the last inter-switch level");
+        }
+      }
+      continue;
+    }
+
+    ++report.granted;
+    if (out.path.src != r.src || out.path.dst != r.dst) {
+      add("outcome " + std::to_string(i) +
+          " carries a path for the wrong endpoints");
+      continue;
+    }
+    if (out.reason != RejectReason::kNone) {
+      add("request " + std::to_string(i) +
+          " is granted but carries reject reason '" +
+          std::string(to_string(out.reason)) + "'");
+    }
+    const Status legal = check_path_legal(tree_, out.path);
+    if (!legal.ok()) {
+      add("request " + std::to_string(i) + " (" + to_string(out.path) +
+          "): " + legal.message());
+      continue;  // the expansion below requires a legal path
+    }
+
+    const PathExpansion expansion = expand_path(tree_, out.path);
+
+    // Independent Theorem-1 re-derivation: the expansion produced by the
+    // topology layer must equal the one recomputed from raw digits.
+    const std::vector<ChannelId> rederived = rederive_channels(out.path);
+    if (rederived != expansion.channels) {
+      add("request " + std::to_string(i) + " (" + to_string(out.path) +
+          "): expansion diverges from the Theorem-1 digit re-derivation");
+    }
+
+    // Theorem 2: the port sequence must mirror between ascent and descent.
+    const Status mirror = check_mirror(expansion, out.path.ancestor_level);
+    if (!mirror.ok()) {
+      add("request " + std::to_string(i) + " (" + to_string(out.path) +
+          "): " + mirror.message());
+    }
+
+    if (src_used[r.src]) {
+      add("PE " + std::to_string(r.src) + " injects two granted circuits");
+    }
+    if (dst_used[r.dst]) {
+      add("PE " + std::to_string(r.dst) + " receives two granted circuits");
+    }
+    src_used[r.src] = true;
+    dst_used[r.dst] = true;
+
+    for (const ChannelId& ch : expansion.channels) {
+      ++report.channels_checked;
+      if (!used_channels.insert(ch).second) {
+        add("channel " + to_string(ch) +
+            " is claimed by two granted circuits (second: " +
+            to_string(out.path) + ")");
+      }
+    }
+  }
+
+  if (state_after == nullptr) return report;
+
+  const Status audit = state_after->audit();
+  if (!audit.ok()) add(audit.message());
+
+  // Expected occupancy: the state before the batch (fresh if not supplied)
+  // plus the union of granted circuits.
+  LinkState expected = state_before != nullptr ? *state_before
+                                               : LinkState(tree_);
+  for (const RequestOutcome& out : result.outcomes) {
+    if (!out.granted || !check_path_legal(tree_, out.path).ok()) continue;
+    for (const ChannelId& ch : rederive_channels(out.path)) {
+      const auto& c = ch.cable;
+      const bool free = ch.direction == Direction::kUp
+                            ? expected.ulink(c.level, c.lower_index, c.port)
+                            : expected.dlink(c.level, c.lower_index, c.port);
+      if (!free) {
+        add("channel " + to_string(ch) + " of granted circuit " +
+            to_string(out.path) + " was already occupied before the batch");
+        continue;
+      }
+      if (ch.direction == Direction::kUp) {
+        expected.set_ulink(c.level, c.lower_index, c.port, false);
+      } else {
+        expected.set_dlink(c.level, c.lower_index, c.port, false);
+      }
+    }
+  }
+
+  if (!options_.allow_residual_occupancy) {
+    if (!(expected == *state_after)) {
+      add("final link state differs from the union of granted circuits "
+          "(rejected requests left residue, or grants were not applied)");
+    }
+    return report;
+  }
+
+  // Relaxed (no-release ablation) mode: every granted channel must still be
+  // occupied …
+  for (const RequestOutcome& out : result.outcomes) {
+    if (!out.granted || !check_path_legal(tree_, out.path).ok()) continue;
+    for (const ChannelId& ch : rederive_channels(out.path)) {
+      const auto& c = ch.cable;
+      const bool free = ch.direction == Direction::kUp
+                            ? state_after->ulink(c.level, c.lower_index, c.port)
+                            : state_after->dlink(c.level, c.lower_index,
+                                                 c.port);
+      if (free) {
+        add("channel " + to_string(ch) + " of granted circuit " +
+            to_string(out.path) + " is not occupied in the final state");
+      }
+    }
+  }
+
+  // … and any residue beyond the granted union must be attributable,
+  // level by level, to the recorded failure levels: a request rejected at
+  // level h can hold up-channels only below h (levelwise and local ascent)
+  // and down-channels only between its failure level and its true ancestor
+  // level (local descent). Residue a rejection cannot explain means a
+  // leaked or double-counted reservation.
+  std::vector<std::uint64_t> up_bound(link_levels, 0);
+  std::vector<std::uint64_t> dn_bound(link_levels, 0);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const RequestOutcome& out = result.outcomes[i];
+    if (out.granted) continue;
+    const std::uint64_t src_leaf = tree_.leaf_switch(requests[i].src).index;
+    const std::uint64_t dst_leaf = tree_.leaf_switch(requests[i].dst).index;
+    const std::uint32_t H = tree_.common_ancestor_level(src_leaf, dst_leaf);
+    switch (out.reason) {
+      case RejectReason::kNoCommonPort:
+        for (std::uint32_t h = 0; h < out.fail_level && h < link_levels; ++h) {
+          ++up_bound[h];
+          ++dn_bound[h];
+        }
+        break;
+      case RejectReason::kNoLocalUplink:
+        for (std::uint32_t h = 0; h < out.fail_level && h < link_levels; ++h) {
+          ++up_bound[h];
+        }
+        break;
+      case RejectReason::kDownConflict:
+        for (std::uint32_t h = 0; h < H; ++h) ++up_bound[h];
+        for (std::uint32_t h = out.fail_level + 1; h < H; ++h) ++dn_bound[h];
+        break;
+      case RejectReason::kNone:
+      case RejectReason::kLeafBusy:
+        break;
+    }
+  }
+  for (std::uint32_t h = 0; h < link_levels; ++h) {
+    const std::uint64_t expected_u = expected.occupied_ulinks_at(h);
+    const std::uint64_t after_u = state_after->occupied_ulinks_at(h);
+    const std::uint64_t expected_d = expected.occupied_dlinks_at(h);
+    const std::uint64_t after_d = state_after->occupied_dlinks_at(h);
+    if (after_u < expected_u || after_d < expected_d) {
+      continue;  // already reported above as an unoccupied granted channel
+    }
+    if (after_u - expected_u > up_bound[h]) {
+      add("level " + std::to_string(h) + " holds " +
+          std::to_string(after_u - expected_u) +
+          " residual up-channels but the rejected requests account for at "
+          "most " +
+          std::to_string(up_bound[h]) +
+          " (a request rejected at level h may hold reservations only below "
+          "h)");
+    }
+    if (after_d - expected_d > dn_bound[h]) {
+      add("level " + std::to_string(h) + " holds " +
+          std::to_string(after_d - expected_d) +
+          " residual down-channels but the rejected requests account for at "
+          "most " +
+          std::to_string(dn_bound[h]));
+    }
+  }
+  return report;
+}
 
 Status verify_schedule(const FatTree& tree, std::span<const Request> requests,
                        const ScheduleResult& result,
                        const LinkState* state_after,
                        const VerifyOptions& options) {
-  if (result.outcomes.size() != requests.size()) {
-    return Status::error("result has " +
-                         std::to_string(result.outcomes.size()) +
-                         " outcomes for " + std::to_string(requests.size()) +
-                         " requests");
-  }
-
-  std::set<ChannelId> used_channels;
-  std::vector<bool> src_used(tree.node_count(), false);
-  std::vector<bool> dst_used(tree.node_count(), false);
-
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    const RequestOutcome& out = result.outcomes[i];
-    if (!out.granted) continue;
-    const Request& r = requests[i];
-    if (out.path.src != r.src || out.path.dst != r.dst) {
-      return Status::error("outcome " + std::to_string(i) +
-                           " carries a path for the wrong endpoints");
-    }
-    Status legal = check_path_legal(tree, out.path);
-    if (!legal.ok()) {
-      return Status::error("request " + std::to_string(i) + " (" +
-                           to_string(out.path) + "): " + legal.message());
-    }
-    if (src_used[r.src]) {
-      return Status::error("PE " + std::to_string(r.src) +
-                           " injects two granted circuits");
-    }
-    if (dst_used[r.dst]) {
-      return Status::error("PE " + std::to_string(r.dst) +
-                           " receives two granted circuits");
-    }
-    src_used[r.src] = true;
-    dst_used[r.dst] = true;
-
-    for (const ChannelId& ch : expand_path(tree, out.path).channels) {
-      if (!used_channels.insert(ch).second) {
-        return Status::error("channel " + to_string(ch) +
-                             " is claimed by two granted circuits (second: " +
-                             to_string(out.path) + ")");
-      }
-    }
-  }
-
-  if (state_after != nullptr) {
-    // Rebuild the expected occupancy from the granted circuits alone.
-    LinkState expected(tree);
-    for (const RequestOutcome& out : result.outcomes) {
-      if (out.granted) expected.occupy_path(tree, out.path);
-    }
-    Status audit = state_after->audit();
-    if (!audit.ok()) return audit;
-    if (options.allow_residual_occupancy) {
-      // Every channel a granted circuit needs must be occupied in
-      // state_after (it may hold extra residue from rejected requests).
-      for (const RequestOutcome& out : result.outcomes) {
-        if (!out.granted) continue;
-        for (const ChannelId& ch : expand_path(tree, out.path).channels) {
-          const bool free =
-              ch.direction == Direction::kUp
-                  ? state_after->ulink(ch.cable.level, ch.cable.lower_index,
-                                       ch.cable.port)
-                  : state_after->dlink(ch.cable.level, ch.cable.lower_index,
-                                       ch.cable.port);
-          if (free) {
-            return Status::error("channel " + to_string(ch) +
-                                 " of granted circuit " + to_string(out.path) +
-                                 " is not occupied in the final state");
-          }
-        }
-      }
-    } else if (!(expected == *state_after)) {
-      return Status::error(
-          "final link state differs from the union of granted circuits "
-          "(rejected requests left residue, or grants were not applied)");
-    }
-  }
-
-  return Status();
+  return ScheduleVerifier(tree, options)
+      .verify(requests, result, state_after)
+      .status();
 }
 
 }  // namespace ftsched

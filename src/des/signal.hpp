@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "des/simulator.hpp"
+#include "util/contracts.hpp"
 
 namespace ftsched {
 

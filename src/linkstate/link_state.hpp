@@ -18,6 +18,7 @@
 
 #include "topology/fat_tree.hpp"
 #include "topology/path.hpp"
+#include "util/contracts.hpp"
 #include "util/result.hpp"
 
 namespace ftsched {

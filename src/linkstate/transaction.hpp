@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "linkstate/link_state.hpp"
+#include "util/contracts.hpp"
 
 namespace ftsched {
 
@@ -48,6 +49,20 @@ class Transaction {
     FT_REQUIRE(state_.dlink(level, sw, port));
     state_.set_dlink(level, sw, port, false);
     entries_.push_back(Entry{level, sw, port, Direction::kDown});
+  }
+
+  /// Releases only the newest allocation — the backtracking step of DFS-style
+  /// schedulers (turnback), which undo one tentative hold at a time while
+  /// keeping the rest of the branch occupied.
+  void release_last() {
+    FT_REQUIRE(!entries_.empty());
+    const Entry e = entries_.back();
+    entries_.pop_back();
+    if (e.direction == Direction::kUp) {
+      state_.set_ulink(e.level, e.sw, e.port, true);
+    } else {
+      state_.set_dlink(e.level, e.sw, e.port, true);
+    }
   }
 
   /// Keeps all allocations; the transaction becomes inert.

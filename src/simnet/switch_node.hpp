@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "topology/ids.hpp"
+#include "util/contracts.hpp"
 #include "util/result.hpp"
 
 namespace ftsched {

@@ -33,8 +33,12 @@ namespace ftsched::detail {
   } while (false)
 
 #ifdef NDEBUG
-#define FT_ASSERT(cond) \
-  do {                  \
+// The condition stays in an unevaluated operand: it is still parsed and
+// type-checked (and everything it names counts as used, so release builds
+// get no unused-variable/unused-capture warnings), but generates no code.
+#define FT_ASSERT(cond)                 \
+  do {                                  \
+    (void)sizeof((cond) ? true : false); \
   } while (false)
 #else
 #define FT_ASSERT(cond)                                                      \

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/levelwise_scheduler.hpp"
+
 namespace ftsched {
 namespace {
 
@@ -17,6 +19,16 @@ ScheduleResult granted_result(const std::vector<Request>& batch,
     result.outcomes.push_back(out);
   }
   return result;
+}
+
+RequestOutcome rejected_outcome(const Request& r, RejectReason reason,
+                                std::uint32_t fail_level) {
+  RequestOutcome out;
+  out.granted = false;
+  out.reason = reason;
+  out.fail_level = fail_level;
+  out.path = Path{r.src, r.dst, 0, {}};
+  return out;
 }
 
 TEST(Verifier, AcceptsConsistentSchedule) {
@@ -97,8 +109,27 @@ TEST(Verifier, RejectsResidualOccupancyByDefault) {
   EXPECT_NE(s.message().find("residue"), std::string::npos);
 }
 
-TEST(Verifier, ResidualAllowedWhenRelaxed) {
+TEST(Verifier, ResidualAllowedWhenAttributableToRejection) {
   const FatTree tree = make_ft34();
+  // One granted circuit plus one request rejected at level 1, which in the
+  // no-release ablation legitimately keeps its level-0 pair occupied.
+  const std::vector<Request> batch{{0, 63}, {21, 37}};
+  const std::vector<Path> paths{{0, 63, 2, DigitVec{0, 0}}};
+  ScheduleResult result = granted_result({batch[0]}, paths);
+  result.outcomes.push_back(
+      rejected_outcome(batch[1], RejectReason::kNoCommonPort, 1));
+  LinkState state(tree);
+  state.occupy_path(tree, paths[0]);
+  state.occupy(0, 5, 9, 2);  // the rejected request's level-0 leftovers
+  VerifyOptions options;
+  options.allow_residual_occupancy = true;
+  EXPECT_TRUE(verify_schedule(tree, batch, result, &state, options).ok());
+}
+
+TEST(Verifier, RelaxedRejectsUnattributableResidue) {
+  const FatTree tree = make_ft34();
+  // No rejected request can explain the residue, so even relaxed mode must
+  // flag it as a leaked reservation.
   const std::vector<Request> batch{{0, 63}};
   const std::vector<Path> paths{{0, 63, 2, DigitVec{0, 0}}};
   LinkState state(tree);
@@ -106,10 +137,27 @@ TEST(Verifier, ResidualAllowedWhenRelaxed) {
   state.occupy(0, 5, 6, 2);
   VerifyOptions options;
   options.allow_residual_occupancy = true;
-  EXPECT_TRUE(
-      verify_schedule(tree, batch, granted_result(batch, paths), &state,
-                      options)
-          .ok());
+  const Status s = verify_schedule(tree, batch, granted_result(batch, paths),
+                                   &state, options);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("residual"), std::string::npos);
+}
+
+TEST(Verifier, RelaxedRejectsResidueAtOrAboveFailLevel) {
+  const FatTree tree = make_ft34();
+  // The request was rejected at level 1, so it may hold reservations only at
+  // level 0; residue at level 1 is a leak even in relaxed mode.
+  const std::vector<Request> batch{{21, 37}};
+  ScheduleResult result;
+  result.outcomes.push_back(
+      rejected_outcome(batch[0], RejectReason::kNoCommonPort, 1));
+  LinkState state(tree);
+  state.occupy(1, 3, 7, 0);  // residue ABOVE the failure level
+  VerifyOptions options;
+  options.allow_residual_occupancy = true;
+  const Status s = verify_schedule(tree, batch, result, &state, options);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("residual"), std::string::npos);
 }
 
 TEST(Verifier, RelaxedModeStillRequiresGrantsOccupied) {
@@ -129,13 +177,193 @@ TEST(Verifier, RejectedRequestsNeedNoPath) {
   const FatTree tree = make_ft34();
   const std::vector<Request> batch{{0, 63}};
   ScheduleResult result;
-  RequestOutcome out;
-  out.granted = false;
-  out.reason = RejectReason::kNoCommonPort;
-  out.path = Path{0, 63, 0, {}};
-  result.outcomes.push_back(out);
+  result.outcomes.push_back(
+      rejected_outcome(batch[0], RejectReason::kNoCommonPort, 0));
   LinkState state(tree);
   EXPECT_TRUE(verify_schedule(tree, batch, result, &state).ok());
+}
+
+// --- ScheduleVerifier: deep checks over deliberately corrupted schedules ---
+
+TEST(ScheduleVerifier, RejectsGrantedOutcomeCarryingRejectReason) {
+  const FatTree tree = make_ft34();
+  const std::vector<Request> batch{{0, 63}};
+  ScheduleResult result =
+      granted_result(batch, {{0, 63, 2, DigitVec{0, 0}}});
+  result.outcomes[0].reason = RejectReason::kNoCommonPort;  // corrupt
+  const VerifyReport report =
+      ScheduleVerifier(tree).verify(batch, result);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.first().find("granted but carries reject reason"),
+            std::string::npos);
+}
+
+TEST(ScheduleVerifier, RejectsRejectedOutcomeWithoutReason) {
+  const FatTree tree = make_ft34();
+  const std::vector<Request> batch{{0, 63}};
+  ScheduleResult result;
+  result.outcomes.push_back(
+      rejected_outcome(batch[0], RejectReason::kNone, 0));  // corrupt
+  const VerifyReport report = ScheduleVerifier(tree).verify(batch, result);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.first().find("no reject reason"), std::string::npos);
+}
+
+TEST(ScheduleVerifier, RejectsRejectedOutcomeRetainingPathData) {
+  const FatTree tree = make_ft34();
+  const std::vector<Request> batch{{0, 63}};
+  ScheduleResult result;
+  RequestOutcome out =
+      rejected_outcome(batch[0], RejectReason::kNoCommonPort, 1);
+  out.path.ports.push_back(0);  // corrupt: partial circuit left in outcome
+  out.path.ancestor_level = 2;
+  result.outcomes.push_back(out);
+  const VerifyReport report = ScheduleVerifier(tree).verify(batch, result);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.first().find("retains path data"), std::string::npos);
+}
+
+TEST(ScheduleVerifier, RejectsFailLevelBeyondTree) {
+  const FatTree tree = make_ft34();
+  const std::vector<Request> batch{{0, 63}};
+  ScheduleResult result;
+  result.outcomes.push_back(
+      rejected_outcome(batch[0], RejectReason::kNoCommonPort, 9));  // corrupt
+  const VerifyReport report = ScheduleVerifier(tree).verify(batch, result);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.first().find("beyond the last inter-switch level"),
+            std::string::npos);
+}
+
+TEST(ScheduleVerifier, ReportCollectsEveryViolation) {
+  const FatTree tree = make_ft34();
+  // Three independent corruptions: shared channel (two findings share one
+  // insert), duplicate source, rejected-without-reason.
+  const std::vector<Request> batch{{0, 63}, {1, 62}, {0, 40}, {5, 6}};
+  ScheduleResult result;
+  result.outcomes.push_back(granted_result({batch[0]},
+                                           {{0, 63, 2, DigitVec{0, 0}}})
+                                .outcomes[0]);
+  result.outcomes.push_back(granted_result({batch[1]},
+                                           {{1, 62, 2, DigitVec{0, 1}}})
+                                .outcomes[0]);
+  result.outcomes.push_back(granted_result({batch[2]},
+                                           {{0, 40, 2, DigitVec{1, 1}}})
+                                .outcomes[0]);
+  result.outcomes.push_back(
+      rejected_outcome(batch[3], RejectReason::kNone, 0));
+  const VerifyReport report = ScheduleVerifier(tree).verify(batch, result);
+  EXPECT_GE(report.violations.size(), 3u);
+  EXPECT_EQ(report.requests_checked, 4u);
+  EXPECT_EQ(report.granted, 3u);
+  EXPECT_EQ(report.rejected, 1u);
+  EXPECT_FALSE(report.status().ok());
+  EXPECT_NE(report.to_string().find("violation"), std::string::npos);
+}
+
+TEST(ScheduleVerifier, MirrorCheckDetectsCorruptedExpansion) {
+  const FatTree tree = make_ft34();
+  const Path path{0, 63, 2, DigitVec{1, 2}};
+  PathExpansion expansion = expand_path(tree, path);
+  ASSERT_TRUE(ScheduleVerifier::check_mirror(expansion, 2).ok());
+  // Corrupt the descent: level-0 down channel now uses a different port than
+  // the level-0 up channel — a Theorem-2 violation no Path can express.
+  expansion.channels.back().cable.port ^= 1u;
+  const Status s = ScheduleVerifier::check_mirror(expansion, 2);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("do not mirror"), std::string::npos);
+}
+
+TEST(ScheduleVerifier, MirrorCheckDetectsTruncatedExpansion) {
+  const FatTree tree = make_ft34();
+  PathExpansion expansion = expand_path(tree, Path{0, 63, 2, DigitVec{1, 2}});
+  expansion.channels.pop_back();
+  EXPECT_FALSE(ScheduleVerifier::check_mirror(expansion, 2).ok());
+}
+
+TEST(ScheduleVerifier, RederivationMatchesTopologyExpansion) {
+  // The verifier's private digit arithmetic and the topology layer's
+  // neighbor algebra must agree on every channel of every granted circuit,
+  // including slimmed (m != w) and fattened (w > m) trees.
+  const std::vector<FatTreeParams> shapes{
+      {2, 4, 4}, {3, 4, 4}, {4, 2, 2}, {3, 4, 2}, {3, 2, 4}};
+  for (const FatTreeParams& params : shapes) {
+    const FatTree tree = FatTree::create(params).value();
+    LevelwiseScheduler scheduler;
+    LinkState state(tree);
+    std::vector<Request> batch;
+    for (NodeId n = 0; n < tree.node_count(); ++n) {
+      batch.push_back(Request{n, (n + 5) % tree.node_count()});
+    }
+    const ScheduleResult result = scheduler.schedule(tree, batch, state);
+    const ScheduleVerifier verifier(tree);
+    ASSERT_GT(result.granted_count(), 0u);
+    for (const RequestOutcome& out : result.outcomes) {
+      if (!out.granted) continue;
+      EXPECT_EQ(verifier.rederive_channels(out.path),
+                expand_path(tree, out.path).channels)
+          << to_string(out.path);
+    }
+    EXPECT_TRUE(verifier.verify(batch, result, &state).ok());
+  }
+}
+
+TEST(ScheduleVerifier, BeforeAfterDeltaAccounting) {
+  const FatTree tree = make_ft34();
+  // A circuit from an earlier round stays up; the new batch must verify in
+  // STRICT mode when the pre-batch state is supplied …
+  const Path prior{8, 55, 2, DigitVec{2, 2}};
+  LinkState before(tree);
+  before.occupy_path(tree, prior);
+
+  const std::vector<Request> batch{{0, 63}};
+  const std::vector<Path> paths{{0, 63, 2, DigitVec{0, 0}}};
+  LinkState after = before;
+  after.occupy_path(tree, paths[0]);
+
+  const ScheduleResult result = granted_result(batch, paths);
+  const ScheduleVerifier verifier(tree);
+  EXPECT_TRUE(verifier.verify(batch, result, &after, &before).ok());
+  // … and must fail without it (the prior circuit looks like residue).
+  EXPECT_FALSE(verifier.verify(batch, result, &after).ok());
+}
+
+TEST(ScheduleVerifier, DetectsGrantOverPreoccupiedChannel) {
+  const FatTree tree = make_ft34();
+  // The batch "grants" a circuit through a channel that was already taken
+  // before the batch ran — a double allocation across rounds.
+  const Path prior{4, 55, 2, DigitVec{0, 2}};  // shares Ulink(0, 1, 0)
+  LinkState before(tree);
+  before.occupy_path(tree, prior);
+
+  const std::vector<Request> batch{{5, 62}};
+  const std::vector<Path> paths{{5, 62, 2, DigitVec{0, 1}}};
+  LinkState after = before;  // the corrupt grant was never applied cleanly
+
+  const VerifyReport report = ScheduleVerifier(tree).verify(
+      batch, granted_result(batch, paths), &after, &before);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("already occupied before the batch"),
+            std::string::npos);
+}
+
+TEST(ScheduleVerifier, CleanBatchReportsCoverage) {
+  const FatTree tree = make_ft34();
+  LevelwiseScheduler scheduler;
+  LinkState state(tree);
+  std::vector<Request> batch;
+  for (NodeId n = 0; n < tree.node_count(); ++n) {
+    batch.push_back(Request{n, (n + 17) % tree.node_count()});
+  }
+  const ScheduleResult result = scheduler.schedule(tree, batch, state);
+  const VerifyReport report =
+      ScheduleVerifier(tree).verify(batch, result, &state);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.requests_checked, batch.size());
+  EXPECT_EQ(report.granted + report.rejected, batch.size());
+  EXPECT_GT(report.channels_checked, 0u);
+  EXPECT_TRUE(report.status().ok());
+  EXPECT_NE(report.to_string().find("schedule verified"), std::string::npos);
 }
 
 }  // namespace

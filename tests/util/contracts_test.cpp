@@ -1,0 +1,70 @@
+// Death tests for the contract macros (util/contracts.hpp).
+//
+// These pin the *observable* contract-violation behavior that the rest of
+// the test suite relies on: FT_REQUIRE aborts in every build type with a
+// message naming the failed expression; FT_ASSERT aborts only when NDEBUG
+// is not defined, and in NDEBUG builds neither evaluates its condition nor
+// warns about variables used only inside it (the unevaluated-operand fix).
+#include "util/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftsched {
+namespace {
+
+int require_positive(int x) {
+  FT_REQUIRE(x > 0);
+  return x;
+}
+
+TEST(ContractsDeathTest, RequireAbortsOnViolation) {
+  EXPECT_DEATH(require_positive(-3), "precondition failed: x > 0");
+}
+
+TEST(ContractsDeathTest, RequireMessageNamesFileAndKind) {
+  EXPECT_DEATH(require_positive(0), "ftsched: precondition failed");
+}
+
+TEST(ContractsDeathTest, RequirePassesQuietly) {
+  EXPECT_EQ(require_positive(7), 7);
+}
+
+TEST(ContractsDeathTest, UnreachableAborts) {
+  EXPECT_DEATH(FT_UNREACHABLE(), "unreachable code reached");
+}
+
+#ifdef NDEBUG
+TEST(ContractsDeathTest, AssertCompiledOutUnderNdebug) {
+  // The condition must not even be evaluated: a side effect inside the
+  // macro would betray codegen where none is promised.
+  int evaluations = 0;
+  FT_ASSERT(++evaluations > 0);
+  EXPECT_EQ(evaluations, 0);
+
+  FT_ASSERT(false);  // and a false condition must not abort
+  SUCCEED();
+}
+
+TEST(ContractsDeathTest, AssertStillOdrUsesItsCondition) {
+  // Regression for the unused-variable fix: `threshold` is referenced only
+  // inside FT_ASSERT. This test building under -Werror (with -Wunused) IS
+  // the assertion; if the NDEBUG macro discarded its argument textually,
+  // this translation unit would fail to compile.
+  const int threshold = 5;
+  FT_ASSERT(threshold > 0);
+  SUCCEED();
+}
+#else
+TEST(ContractsDeathTest, AssertAbortsOnViolationInDebug) {
+  EXPECT_DEATH(FT_ASSERT(2 + 2 == 5), "assertion failed: 2 \\+ 2 == 5");
+}
+
+TEST(ContractsDeathTest, AssertEvaluatesConditionInDebug) {
+  int evaluations = 0;
+  FT_ASSERT(++evaluations > 0);
+  EXPECT_EQ(evaluations, 1);
+}
+#endif
+
+}  // namespace
+}  // namespace ftsched

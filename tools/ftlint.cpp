@@ -1,0 +1,374 @@
+// ftlint — repo-specific lint rules the generic tools cannot express.
+//
+// clang-tidy knows C++; it does not know that in THIS repository the whole
+// correctness argument rests on a handful of conventions derived from the
+// paper's Theorems 1–2:
+//
+//   no-raw-assert           Contract violations must abort through
+//                           FT_REQUIRE/FT_ASSERT (util/contracts.hpp), which
+//                           print the failing expression and location; a raw
+//                           assert() vanishes under NDEBUG and hides
+//                           over-grant bugs in release experiments.
+//   api-contract            Public API headers (src/*/[a-z_]*.hpp) validate
+//                           arguments with FT_REQUIRE — never raw assert —
+//                           so precondition checks survive every build type.
+//   transaction-discipline  Schedulers may mutate LinkState only through a
+//                           Transaction. A direct occupy/release/set_* call
+//                           in a scheduler can leak a reservation on an
+//                           early exit, silently invalidating the
+//                           schedulability numbers (the shared Ulink/Dlink
+//                           vectors are the paper's whole data structure).
+//   self-contained-header   Every header starts with #pragma once and
+//                           includes util/contracts.hpp directly when it
+//                           uses an FT_* macro (the compile-standalone check
+//                           lives in CMake as FTSCHED_HEADER_CHECK; this is
+//                           the fast textual half).
+//   no-raw-random           Experiments are reproducible only because all
+//                           randomness flows through the seeded
+//                           ftsched::Xoshiro256ss; std::rand/<random>
+//                           engines in src/ would break run-to-run equality
+//                           of every figure.
+//
+// Usage: ftlint [--expect <rule>] <file-or-dir>...
+//   Scans .hpp/.cpp files, prints "file:line: [rule] message" diagnostics,
+//   exits 1 if any finding (0 when clean). With --expect RULE it instead
+//   exits 0 iff at least one finding of RULE was produced — the fixture
+//   self-tests use this to pin each rule's trigger.
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True if `text[pos]` starts the exact identifier token `word` (not a
+/// substring of a longer identifier).
+bool token_at(std::string_view text, std::size_t pos, std::string_view word) {
+  if (text.compare(pos, word.size(), word) != 0) return false;
+  if (pos > 0 && is_ident_char(text[pos - 1])) return false;
+  const std::size_t end = pos + word.size();
+  return end >= text.size() || !is_ident_char(text[end]);
+}
+
+bool contains_token(std::string_view text, std::string_view word) {
+  for (std::size_t pos = text.find(word); pos != std::string_view::npos;
+       pos = text.find(word, pos + 1)) {
+    if (token_at(text, pos, word)) return true;
+  }
+  return false;
+}
+
+/// The identifier immediately before a `.` or `->` at `pos` (the receiver of
+/// a member call), or "" if the call has no simple identifier receiver.
+std::string receiver_before(std::string_view text, std::size_t pos) {
+  std::size_t i = pos;
+  if (i >= 2 && text[i - 1] == '>' && text[i - 2] == '-') {
+    i -= 2;
+  } else if (i >= 1 && text[i - 1] == '.') {
+    i -= 1;
+  } else {
+    return "";
+  }
+  std::size_t end = i;
+  while (i > 0 && is_ident_char(text[i - 1])) --i;
+  return std::string(text.substr(i, end - i));
+}
+
+/// One source file, with comments and string/char literals blanked out so
+/// rules never fire inside documentation or diagnostics text. `raw` keeps
+/// the original lines for the include-directive rules.
+struct Source {
+  std::vector<std::string> raw;
+  std::vector<std::string> code;  // comment/literal-stripped
+};
+
+Source load(const fs::path& path) {
+  Source src;
+  std::ifstream in(path);
+  std::string line;
+  bool in_block_comment = false;
+  while (std::getline(in, line)) {
+    src.raw.push_back(line);
+    std::string out;
+    out.reserve(line.size());
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (in_block_comment) {
+        if (line.compare(i, 2, "*/") == 0) {
+          in_block_comment = false;
+          ++i;
+        }
+        out.push_back(' ');
+        continue;
+      }
+      if (line.compare(i, 2, "//") == 0) break;
+      if (line.compare(i, 2, "/*") == 0) {
+        in_block_comment = true;
+        out.append("  ");
+        ++i;
+        continue;
+      }
+      if (line[i] == '"' || line[i] == '\'') {
+        const char quote = line[i];
+        out.push_back(quote);
+        ++i;
+        while (i < line.size()) {
+          if (line[i] == '\\') {
+            out.append("  ");
+            i += 2;
+            continue;
+          }
+          if (line[i] == quote) break;
+          out.push_back(' ');
+          ++i;
+        }
+        if (i < line.size()) out.push_back(quote);
+        continue;
+      }
+      out.push_back(line[i]);
+    }
+    src.code.push_back(std::move(out));
+  }
+  return src;
+}
+
+bool path_contains(const fs::path& path, std::string_view needle) {
+  return path.generic_string().find(needle) != std::string::npos;
+}
+
+class Linter {
+ public:
+  void scan_file(const fs::path& path) {
+    const std::string ext = path.extension().string();
+    if (ext != ".hpp" && ext != ".cpp") return;
+    const Source src = load(path);
+    const bool header = ext == ".hpp";
+    const std::string name = path.filename().string();
+
+    check_raw_assert(path, src, header);
+    if (path_contains(path, "core/") &&
+        name.find("scheduler") != std::string::npos) {
+      check_transaction_discipline(path, src);
+    }
+    if (header) check_self_contained(path, src, name);
+    if (name != "rng.hpp") check_raw_random(path, src);
+  }
+
+  void scan(const fs::path& path) {
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(path)) {
+        if (entry.is_regular_file()) scan_file(entry.path());
+      }
+    } else if (fs::is_regular_file(path, ec)) {
+      scan_file(path);
+    } else {
+      std::fprintf(stderr, "ftlint: cannot read %s\n", path.c_str());
+      io_error = true;
+    }
+  }
+
+  std::vector<Finding> findings;
+  bool io_error = false;
+
+ private:
+  void add(const fs::path& path, std::size_t line, std::string rule,
+           std::string message) {
+    findings.push_back(Finding{path.generic_string(), line, std::move(rule),
+                               std::move(message)});
+  }
+
+  void check_raw_assert(const fs::path& path, const Source& src, bool header) {
+    for (std::size_t i = 0; i < src.code.size(); ++i) {
+      const std::string& line = src.code[i];
+      if (line.find("#include <cassert>") != std::string::npos ||
+          line.find("#include <assert.h>") != std::string::npos) {
+        add(path, i + 1, header ? "api-contract" : "no-raw-assert",
+            "do not include <cassert>; contracts go through "
+            "util/contracts.hpp");
+        continue;
+      }
+      for (std::size_t pos = line.find("assert");
+           pos != std::string::npos; pos = line.find("assert", pos + 1)) {
+        if (!token_at(line, pos, "assert")) continue;
+        std::size_t after = pos + 6;
+        while (after < line.size() && line[after] == ' ') ++after;
+        if (after >= line.size() || line[after] != '(') continue;
+        if (header) {
+          add(path, i + 1, "api-contract",
+              "public API headers must validate arguments with FT_REQUIRE, "
+              "not raw assert (raw assert vanishes under NDEBUG)");
+        } else {
+          add(path, i + 1, "no-raw-assert",
+              "use FT_REQUIRE/FT_ASSERT from util/contracts.hpp instead of "
+              "raw assert");
+        }
+      }
+    }
+  }
+
+  void check_transaction_discipline(const fs::path& path, const Source& src) {
+    static constexpr std::string_view kMutators[] = {
+        "occupy",     "occupy_up",    "occupy_down", "occupy_path",
+        "release",    "release_path", "set_ulink",   "set_dlink"};
+    for (std::size_t i = 0; i < src.code.size(); ++i) {
+      const std::string& line = src.code[i];
+      for (const std::string_view mutator : kMutators) {
+        for (std::size_t pos = line.find(mutator); pos != std::string::npos;
+             pos = line.find(mutator, pos + 1)) {
+          if (!token_at(line, pos, mutator)) continue;
+          std::size_t after = pos + mutator.size();
+          while (after < line.size() && line[after] == ' ') ++after;
+          if (after >= line.size() || line[after] != '(') continue;
+          const std::string recv = receiver_before(line, pos);
+          if (recv == "state" || recv == "state_" ||
+              recv.find("link_state") != std::string::npos) {
+            add(path, i + 1, "transaction-discipline",
+                "schedulers must mutate LinkState through a Transaction "
+                "(rollback-safe), not via " +
+                    recv + "." + std::string(mutator) + "()");
+          }
+        }
+      }
+    }
+  }
+
+  void check_self_contained(const fs::path& path, const Source& src,
+                            const std::string& name) {
+    // Any occurrence in actual code counts (a comment mentioning the
+    // directive must not); ordering relative to includes is clang-tidy's
+    // problem, existence is ours.
+    bool saw_pragma_once = false;
+    for (const std::string& line : src.code) {
+      if (line.find("#pragma once") != std::string::npos) {
+        saw_pragma_once = true;
+        break;
+      }
+    }
+    if (!saw_pragma_once) {
+      add(path, 1, "self-contained-header",
+          "header is missing #pragma once");
+    }
+
+    if (name == "contracts.hpp") return;
+    bool uses_contract_macro = false;
+    for (const std::string& line : src.code) {
+      if (contains_token(line, "FT_REQUIRE") ||
+          contains_token(line, "FT_ASSERT") ||
+          contains_token(line, "FT_UNREACHABLE")) {
+        uses_contract_macro = true;
+        break;
+      }
+    }
+    if (!uses_contract_macro) return;
+    for (std::size_t i = 0; i < src.raw.size(); ++i) {
+      // The path is a string literal, so it is blanked in src.code; require
+      // a real include directive on the stripped line before trusting raw.
+      if (src.code[i].find("#include \"") == std::string::npos) continue;
+      if (src.raw[i].find("#include \"util/contracts.hpp\"") !=
+          std::string::npos) {
+        return;
+      }
+    }
+    add(path, 1, "self-contained-header",
+        "header uses FT_* contract macros but does not include "
+        "\"util/contracts.hpp\" directly (headers must be self-contained)");
+  }
+
+  void check_raw_random(const fs::path& path, const Source& src) {
+    static constexpr std::string_view kBanned[] = {
+        "rand", "srand", "random_device", "mt19937", "mt19937_64",
+        "minstd_rand", "default_random_engine", "ranlux24", "ranlux48"};
+    for (std::size_t i = 0; i < src.code.size(); ++i) {
+      const std::string& line = src.code[i];
+      if (line.find("#include <random>") != std::string::npos) {
+        add(path, i + 1, "no-raw-random",
+            "do not include <random>; all randomness must flow through "
+            "the seeded ftsched::Xoshiro256ss (util/rng.hpp) for "
+            "reproducible figures");
+        continue;
+      }
+      // <cstdlib> is fine (abort/size_t); skip so std::rand's declaration
+      // site does not double-report — call sites still fire below.
+      if (line.find("#include <cstdlib>") != std::string::npos) continue;
+      for (const std::string_view word : kBanned) {
+        for (std::size_t pos = line.find(word); pos != std::string::npos;
+             pos = line.find(word, pos + 1)) {
+          if (!token_at(line, pos, word)) continue;
+          add(path, i + 1, "no-raw-random",
+              "non-ftsched randomness '" + std::string(word) +
+                  "' breaks seeded reproducibility; use "
+                  "ftsched::Xoshiro256ss (util/rng.hpp)");
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<fs::path> paths;
+  std::string expect_rule;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--expect") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "ftlint: --expect needs a rule name\n");
+        return 2;
+      }
+      expect_rule = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr,
+                   "usage: ftlint [--expect <rule>] <file-or-dir>...\n"
+                   "rules: no-raw-assert api-contract transaction-discipline "
+                   "self-contained-header no-raw-random\n");
+      return 0;
+    } else {
+      paths.emplace_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "ftlint: no paths given (try --help)\n");
+    return 2;
+  }
+
+  Linter linter;
+  for (const fs::path& path : paths) linter.scan(path);
+  if (linter.io_error) return 2;
+
+  for (const Finding& f : linter.findings) {
+    std::fprintf(stderr, "%s:%zu: [%s] %s\n", f.file.c_str(), f.line,
+                 f.rule.c_str(), f.message.c_str());
+  }
+
+  if (!expect_rule.empty()) {
+    for (const Finding& f : linter.findings) {
+      if (f.rule == expect_rule) return 0;
+    }
+    std::fprintf(stderr, "ftlint: expected a '%s' finding, got none\n",
+                 expect_rule.c_str());
+    return 1;
+  }
+
+  if (!linter.findings.empty()) {
+    std::fprintf(stderr, "ftlint: %zu finding(s)\n", linter.findings.size());
+    return 1;
+  }
+  return 0;
+}

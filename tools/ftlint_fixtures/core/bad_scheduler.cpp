@@ -1,0 +1,25 @@
+// ftlint fixture: must trigger [transaction-discipline]. The path is
+// deliberately core/...scheduler.cpp so the rule's scope matches real
+// scheduler translation units. Not compiled.
+struct FakeState {
+  void occupy(int, int, int, int) {}
+  void release(int, int, int, int) {}
+  void set_ulink(int, int, int, bool) {}
+};
+
+void schedule_badly(FakeState& state) {
+  state.occupy(0, 1, 2, 3);     // direct mutation: leak on early exit
+  state.set_ulink(0, 1, 2, true);
+  FakeState* state_ = &state;
+  state_->release(0, 1, 2, 3);
+}
+
+void schedule_well(FakeState& state) {
+  // Reads and transaction-mediated calls must NOT fire:
+  // tx.occupy(...) has a non-state receiver.
+  struct Tx {
+    void occupy(int, int, int, int) {}
+  } tx;
+  tx.occupy(0, 1, 2, 3);
+  (void)state;
+}

@@ -1,0 +1,11 @@
+// ftlint fixture: must trigger [self-contained-header] — uses an FT_*
+// contract macro without including util/contracts.hpp directly.
+// Not compiled — consumed only by the ftlint self-tests.
+#pragma once
+
+#include "some/other_header.hpp"
+
+inline int checked(int x) {
+  FT_REQUIRE(x >= 0);
+  return x;
+}

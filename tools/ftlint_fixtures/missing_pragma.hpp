@@ -1,0 +1,5 @@
+// ftlint fixture: must trigger [self-contained-header] — the include guard
+// directive is absent.
+// Not compiled — consumed only by the ftlint self-tests.
+
+inline int identity(int x) { return x; }

@@ -1,0 +1,13 @@
+// ftlint fixture: must trigger [no-raw-assert].
+// Not compiled — consumed only by the ftlint self-tests.
+#include <assert.h>
+#include <cassert>
+
+int trip(int x) {
+  assert(x > 0);
+  // assert(inside a comment) must NOT fire.
+  const char* s = "assert(inside a string) must NOT fire";
+  (void)s;
+  static_assert(sizeof(int) >= 2, "static_assert must NOT fire");
+  return x;
+}

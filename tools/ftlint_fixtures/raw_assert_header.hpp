@@ -1,0 +1,10 @@
+// ftlint fixture: must trigger [api-contract] (raw assert in a public
+// header). Not compiled — consumed only by the ftlint self-tests.
+#pragma once
+
+#include <cassert>
+
+inline int clamp_level(int h, int levels) {
+  assert(h < levels);
+  return h;
+}

@@ -1,0 +1,9 @@
+// ftlint fixture: must trigger [no-raw-random]. Not compiled — consumed
+// only by the ftlint self-tests.
+#include <cstdlib>
+#include <random>
+
+int roll() {
+  std::mt19937 gen(std::random_device{}());
+  return static_cast<int>(gen() % 6u) + std::rand();
+}
