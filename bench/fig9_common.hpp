@@ -12,38 +12,66 @@
 // printed for completeness since the paper mentions "greedy or random".
 #pragma once
 
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "stats/runner.hpp"
 #include "util/table.hpp"
 
 namespace ftsched::bench {
 
+/// One scheduler's result at one tree size, with its wall time — the
+/// machine-readable BENCH_*.json carries throughput alongside the ratios.
+struct TimedPoint {
+  ExperimentPoint point;
+  double wall_ms = 0.0;
+
+  double requests_per_sec() const {
+    if (wall_ms <= 0.0) return 0.0;
+    return static_cast<double>(point.total_requests) / (wall_ms / 1000.0);
+  }
+};
+
 struct Fig9Row {
-  ExperimentPoint global;
-  ExperimentPoint local_random;
-  ExperimentPoint local_greedy;
+  TimedPoint global;
+  TimedPoint local_random;
+  TimedPoint local_greedy;
+  std::uint32_t levels = 0;
   std::uint64_t nodes = 0;
   std::uint32_t arity = 0;
 };
+
+inline TimedPoint run_timed(const FatTree& tree, ExperimentConfig& config) {
+  const auto start = std::chrono::steady_clock::now();
+  TimedPoint timed;
+  timed.point = run_experiment(tree, config);
+  timed.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  return timed;
+}
 
 inline Fig9Row run_point(std::uint32_t levels, std::uint32_t arity,
                          std::size_t reps, std::uint64_t seed) {
   const FatTree tree = FatTree::symmetric(levels, arity);
   Fig9Row row;
+  row.levels = levels;
   row.nodes = tree.node_count();
   row.arity = arity;
   ExperimentConfig config;
   config.repetitions = reps;
   config.seed = seed;
   config.scheduler = "levelwise";
-  row.global = run_experiment(tree, config);
+  row.global = run_timed(tree, config);
   config.scheduler = "local-random";
-  row.local_random = run_experiment(tree, config);
+  row.local_random = run_timed(tree, config);
   config.scheduler = "local";
-  row.local_greedy = run_experiment(tree, config);
+  row.local_greedy = run_timed(tree, config);
   return row;
 }
 
@@ -66,23 +94,23 @@ inline void print_sweep(const std::string& title, std::uint32_t levels,
                                      "improvement"});
   for (std::uint32_t w : arities) {
     const Fig9Row row = run_point(levels, w, reps, /*seed=*/2006 + w);
+    const Summary& global = row.global.point.schedulability;
+    const Summary& local_random = row.local_random.point.schedulability;
+    const Summary& local_greedy = row.local_greedy.point.schedulability;
     if (csv) {
       table.add_row({std::to_string(row.nodes), std::to_string(w),
-                     std::to_string(levels),
-                     TextTable::num(row.global.schedulability.mean, 4),
-                     TextTable::num(row.global.schedulability.min, 4),
-                     TextTable::num(row.global.schedulability.max, 4),
-                     TextTable::num(row.local_random.schedulability.mean, 4),
-                     TextTable::num(row.local_greedy.schedulability.mean, 4)});
+                     std::to_string(levels), TextTable::num(global.mean, 4),
+                     TextTable::num(global.min, 4),
+                     TextTable::num(global.max, 4),
+                     TextTable::num(local_random.mean, 4),
+                     TextTable::num(local_greedy.mean, 4)});
     } else {
-      const double improvement = (row.global.schedulability.mean -
-                                  row.local_random.schedulability.mean) /
-                                 row.local_random.schedulability.mean;
+      const double improvement =
+          (global.mean - local_random.mean) / local_random.mean;
       table.add_row({std::to_string(row.nodes) + " (" + std::to_string(w) +
                          "^" + std::to_string(levels) + ")",
-                     row.global.schedulability.ratio_string(),
-                     row.local_random.schedulability.ratio_string(),
-                     row.local_greedy.schedulability.ratio_string(),
+                     global.ratio_string(), local_random.ratio_string(),
+                     local_greedy.ratio_string(),
                      "+" + TextTable::pct(improvement)});
     }
     if (out) out->push_back(row);
@@ -95,11 +123,54 @@ inline void print_sweep(const std::string& title, std::uint32_t levels,
   }
 }
 
-/// Shared argv handling for the three sweep benches:
-/// [reps] [--csv] in any order.
+inline void write_timed_point(std::ostream& os, const char* scheduler,
+                              const TimedPoint& timed) {
+  const Summary& s = timed.point.schedulability;
+  os << '"' << scheduler << "\":{\"mean\":" << s.mean << ",\"min\":" << s.min
+     << ",\"max\":" << s.max << ",\"stddev\":" << s.stddev
+     << ",\"wall_ms\":" << timed.wall_ms
+     << ",\"requests_per_sec\":" << timed.requests_per_sec() << '}';
+}
+
+/// BENCH_*.json: one self-contained JSON document per bench —
+///   {"bench":..,"reps":..,"points":[{"levels":..,"arity":..,"nodes":..,
+///    "schedulers":{"<name>":{"mean","min","max","stddev","wall_ms",
+///    "requests_per_sec"},..}},..]}
+/// See docs/OBSERVABILITY.md for the schema contract CI validates.
+inline void write_bench_json(const std::string& path,
+                             const std::string& bench, std::size_t reps,
+                             const std::vector<Fig9Row>& rows) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "cannot open " << path << "\n";
+    return;
+  }
+  os << "{\"bench\":\"" << obs::json_escape(bench) << "\",\"reps\":" << reps
+     << ",\"points\":[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Fig9Row& row = rows[i];
+    if (i) os << ',';
+    os << "\n{\"levels\":" << row.levels << ",\"arity\":" << row.arity
+       << ",\"nodes\":" << row.nodes << ",\"schedulers\":{";
+    write_timed_point(os, "levelwise", row.global);
+    os << ',';
+    write_timed_point(os, "local-random", row.local_random);
+    os << ',';
+    write_timed_point(os, "local", row.local_greedy);
+    os << "}}";
+  }
+  os << "\n]}\n";
+  std::cout << "wrote " << path << "\n";
+}
+
+/// Shared argv handling for the sweep benches:
+/// [reps] [--csv] [--json[=FILE]] in any order. `--json` without a file
+/// writes BENCH_<bench>.json in the working directory.
 struct Fig9Args {
   std::size_t reps = 100;
   bool csv = false;
+  bool json = false;
+  std::string json_path;  // empty = default BENCH_<bench>.json
 };
 
 inline Fig9Args parse_fig9_args(int argc, char** argv) {
@@ -108,12 +179,33 @@ inline Fig9Args parse_fig9_args(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--csv") {
       args.csv = true;
+    } else if (arg == "--json") {
+      args.json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      args.json = true;
+      args.json_path = arg.substr(7);
     } else {
       args.reps = static_cast<std::size_t>(std::atoi(arg.c_str()));
     }
   }
   if (args.reps == 0) args.reps = 100;
   return args;
+}
+
+/// Runs a standard single-family sweep bench end to end (fig9a/b/c share
+/// exactly this shape): print the table, optionally drop BENCH_<name>.json.
+inline int run_sweep_bench(const std::string& bench, const std::string& title,
+                           std::uint32_t levels,
+                           const std::vector<std::uint32_t>& arities,
+                           const Fig9Args& args) {
+  std::vector<Fig9Row> rows;
+  print_sweep(title, levels, arities, args.reps, args.csv, &rows);
+  if (args.json) {
+    const std::string path =
+        args.json_path.empty() ? "BENCH_" + bench + ".json" : args.json_path;
+    write_bench_json(path, bench, args.reps, rows);
+  }
+  return 0;
 }
 
 }  // namespace ftsched::bench

@@ -10,8 +10,8 @@ using namespace ftsched;
 using namespace ftsched::bench;
 
 int main(int argc, char** argv) {
-  const std::size_t reps =
-      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 100;
+  const Fig9Args args = parse_fig9_args(argc, argv);
+  const std::size_t reps = args.reps;
 
   struct Family {
     std::uint32_t levels;
@@ -34,8 +34,8 @@ int main(int argc, char** argv) {
     double global_sum = 0;
     double local_sum = 0;
     for (const Fig9Row& row : rows) {
-      global_sum += row.global.schedulability.mean;
-      local_sum += row.local_random.schedulability.mean;
+      global_sum += row.global.point.schedulability.mean;
+      local_sum += row.local_random.point.schedulability.mean;
     }
     table.add_row({"G " + std::to_string(family.levels) + "-level",
                    TextTable::pct(global_sum /
@@ -52,13 +52,11 @@ int main(int argc, char** argv) {
   bool improvement_over_30 = true;
   for (const auto& rows : all_rows) {
     for (const Fig9Row& row : rows) {
-      if (row.global.schedulability.min <= row.local_random.schedulability.max) {
-        min_above_max = false;
-      }
+      const Summary& global = row.global.point.schedulability;
+      const Summary& local = row.local_random.point.schedulability;
+      if (global.min <= local.max) min_above_max = false;
       if (row.nodes > 500) {
-        const double improvement = (row.global.schedulability.mean -
-                                    row.local_random.schedulability.mean) /
-                                   row.local_random.schedulability.mean;
+        const double improvement = (global.mean - local.mean) / local.mean;
         if (improvement <= 0.30) improvement_over_30 = false;
       }
     }
@@ -68,17 +66,25 @@ int main(int argc, char** argv) {
   std::cout << "  improvement > 30% beyond 500 nodes        : "
             << (improvement_over_30 ? "HOLDS" : "VIOLATED") << "\n";
   for (const auto& rows : all_rows) {
-    const Fig9Row& smallest = rows.front();
-    const Fig9Row& largest = rows.back();
-    const double small_spread = smallest.global.schedulability.max -
-                                smallest.global.schedulability.min;
-    const double large_spread =
-        largest.global.schedulability.max - largest.global.schedulability.min;
-    std::cout << "  deviation (global) N=" << smallest.nodes << " -> N="
-              << largest.nodes << "              : "
+    const Summary& small = rows.front().global.point.schedulability;
+    const Summary& large = rows.back().global.point.schedulability;
+    const double small_spread = small.max - small.min;
+    const double large_spread = large.max - large.min;
+    std::cout << "  deviation (global) N=" << rows.front().nodes << " -> N="
+              << rows.back().nodes << "              : "
               << TextTable::pct(small_spread) << " -> "
               << TextTable::pct(large_spread)
               << (large_spread < small_spread ? "  (shrinks)" : "") << "\n";
+  }
+  if (args.json) {
+    std::vector<Fig9Row> flat;
+    for (const auto& rows : all_rows) {
+      flat.insert(flat.end(), rows.begin(), rows.end());
+    }
+    const std::string path = args.json_path.empty()
+                                 ? "BENCH_fig9d_average.json"
+                                 : args.json_path;
+    write_bench_json(path, "fig9d_average", reps, flat);
   }
   return 0;
 }

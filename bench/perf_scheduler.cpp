@@ -4,6 +4,9 @@
 // one AND + find-first per request-level)?
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "core/registry.hpp"
 #include "hw/pipeline.hpp"
 #include "workload/patterns.hpp"
@@ -112,4 +115,27 @@ BENCHMARK(BM_FirstAvailablePort);
 }  // namespace
 }  // namespace ftsched
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN: unless the caller already chose an output file,
+// drop the machine-readable BENCH_perf_scheduler.json next to the console
+// report, so CI and the perf-regression workflow always get JSON for free.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=BENCH_perf_scheduler.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,17 +1,29 @@
-// Trace workflow utility: generate a workload trace to a file, or replay a
-// trace through a chosen scheduler.
+// Trace workflow utility and living documentation for the observability API:
+// generate a workload trace to a file, or replay a trace through a chosen
+// scheduler with a SchedulerProbe and TraceWriter attached.
 //
 //   ./trace_scheduler generate <levels> <arity> <pattern> <seed> > trace.txt
-//   ./trace_scheduler run <levels> <arity> <scheduler> < trace.txt
+//   ./trace_scheduler run <levels> <arity> <scheduler>
+//       [--metrics-out=FILE] [--trace-out=FILE] < trace.txt
+//
+// The run mode prints the probe's JSON report (per-level rejections, reject
+// reasons, AND-popcount and port-pick histograms) instead of per-request
+// lines; --metrics-out dumps the same data as JSONL metrics and --trace-out
+// writes a Chrome trace-event file loadable in Perfetto / chrome://tracing.
 //
 // Patterns: random, reversal, rotation, transpose, complement, shift,
 // neighbor, hotspot. Schedulers: any registry name (see --help).
+#include <fstream>
+#include <functional>
 #include <iostream>
 #include <map>
 #include <string>
 
 #include "core/registry.hpp"
 #include "core/verifier.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sched_probe.hpp"
+#include "obs/trace.hpp"
 #include "workload/patterns.hpp"
 #include "workload/trace.hpp"
 
@@ -37,7 +49,8 @@ int usage() {
   std::cerr
       << "usage:\n"
       << "  trace_scheduler generate <levels> <arity> <pattern> <seed>\n"
-      << "  trace_scheduler run <levels> <arity> <scheduler>\n"
+      << "  trace_scheduler run <levels> <arity> <scheduler>"
+      << " [--metrics-out=FILE] [--trace-out=FILE]\n"
       << "patterns:";
   for (const auto& [name, _] : pattern_names()) std::cerr << " " << name;
   std::cerr << "\nschedulers:";
@@ -50,6 +63,18 @@ Result<FatTree> parse_tree(const char* levels, const char* arity) {
   return FatTree::create(FatTreeParams::symmetric(
       static_cast<std::uint32_t>(std::atoi(levels)),
       static_cast<std::uint32_t>(std::atoi(arity))));
+}
+
+bool write_file(const std::string& path,
+                const std::function<void(std::ostream&)>& body) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open " << path << "\n";
+    return false;
+  }
+  body(out);
+  std::cerr << "wrote " << path << "\n";
+  return true;
 }
 
 }  // namespace
@@ -74,7 +99,20 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  if (mode == "run" && argc == 5) {
+  if (mode == "run" && argc >= 5) {
+    // Optional obs flags come after the positional args.
+    std::string metrics_out;
+    std::string trace_out;
+    for (int i = 5; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--metrics-out=", 0) == 0) {
+        metrics_out = arg.substr(14);
+      } else if (arg.rfind("--trace-out=", 0) == 0) {
+        trace_out = arg.substr(12);
+      } else {
+        return usage();
+      }
+    }
     auto tree_or = parse_tree(argv[2], argv[3]);
     if (!tree_or.ok()) {
       std::cerr << tree_or.message() << "\n";
@@ -96,27 +134,49 @@ int main(int argc, char** argv) {
                 << " nodes, tree has " << tree.node_count() << "\n";
       return 1;
     }
+
+    // The whole observability API in four steps: attach a probe and a trace
+    // writer to the scheduler, run, then export.
+    obs::SchedulerProbe probe;
+    obs::TraceWriter tracer;
+    scheduler_or.value()->set_probe(&probe);
+    scheduler_or.value()->set_tracer(&tracer);
+
     LinkState state(tree);
-    const ScheduleResult result = scheduler_or.value()->schedule(
-        tree, trace_or.value().requests, state);
+    ScheduleResult result;
+    {
+      // User code can add its own spans around scheduler calls; they land in
+      // the same trace as the scheduler's internal batch/level spans.
+      obs::ScopedSpan span(&tracer, "trace_scheduler.run", "example");
+      result = scheduler_or.value()->schedule(
+          tree, trace_or.value().requests, state);
+    }
     const Status verified =
         verify_schedule(tree, trace_or.value().requests, result, &state);
     if (!verified.ok()) {
       std::cerr << "verification failed: " << verified.message() << "\n";
       return 1;
     }
-    for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
-      const RequestOutcome& out = result.outcomes[i];
-      if (out.granted) {
-        std::cout << "grant " << to_string(out.path) << "\n";
-      } else {
-        std::cout << "reject node " << out.path.src << " -> node "
-                  << out.path.dst << " (" << to_string(out.reason)
-                  << " at level " << out.fail_level << ")\n";
+
+    // The probe's JSON report replaces hand-rolled per-request printing.
+    probe.write_json(std::cout, reject_reason_name);
+    std::cout << "\n# schedulability " << result.granted_count() << "/"
+              << result.outcomes.size() << "\n";
+
+    if (!metrics_out.empty()) {
+      obs::MetricsRegistry registry;
+      probe.export_metrics(registry, reject_reason_name);
+      if (!write_file(metrics_out,
+                      [&](std::ostream& os) { registry.write_jsonl(os); })) {
+        return 1;
       }
     }
-    std::cout << "# schedulability " << result.granted_count() << "/"
-              << result.outcomes.size() << "\n";
+    if (!trace_out.empty()) {
+      if (!write_file(trace_out,
+                      [&](std::ostream& os) { tracer.write(os); })) {
+        return 1;
+      }
+    }
     return 0;
   }
 

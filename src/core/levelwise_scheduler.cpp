@@ -30,16 +30,36 @@ LevelwiseScheduler::LevelwiseScheduler(LevelwiseOptions options)
 std::optional<std::uint32_t> LevelwiseScheduler::pick_port(
     const LinkState& state, std::uint32_t level, std::uint64_t src_sw,
     std::uint64_t dst_sw, std::vector<std::uint32_t>& rr_hint) {
+  if (probe_) [[unlikely]] {
+    return pick_port_impl<true>(state, level, src_sw, dst_sw, rr_hint);
+  }
+  return pick_port_impl<false>(state, level, src_sw, dst_sw, rr_hint);
+}
+
+template <bool kProbed>
+std::optional<std::uint32_t> LevelwiseScheduler::pick_port_impl(
+    const LinkState& state, std::uint32_t level, std::uint64_t src_sw,
+    std::uint64_t dst_sw, std::vector<std::uint32_t>& rr_hint) {
+  if constexpr (kProbed) {
+    probe_->on_and_popcount(
+        level, state.available_port_count(level, src_sw, dst_sw));
+  }
+  const auto picked = [&](std::optional<std::uint32_t> port) {
+    if constexpr (kProbed) {
+      if (port) probe_->on_port_pick(level, *port);
+    }
+    return port;
+  };
   switch (options_.policy) {
     case PortPolicy::kFirstFit:
-      return state.first_available_port(level, src_sw, dst_sw);
+      return picked(state.first_available_port(level, src_sw, dst_sw));
     case PortPolicy::kRandom: {
       const std::uint32_t count =
           state.available_port_count(level, src_sw, dst_sw);
       if (count == 0) return std::nullopt;
-      return state.nth_available_port(
+      return picked(state.nth_available_port(
           level, src_sw, dst_sw,
-          static_cast<std::uint32_t>(rng_.below(count)));
+          static_cast<std::uint32_t>(rng_.below(count))));
     }
     case PortPolicy::kRoundRobin: {
       const std::uint32_t w = state.ports_per_switch();
@@ -49,7 +69,7 @@ std::optional<std::uint32_t> LevelwiseScheduler::pick_port(
         port = state.first_available_port(level, src_sw, dst_sw);
       }
       if (port) hint = (*port + 1) % w;
-      return port;
+      return picked(port);
     }
   }
   FT_UNREACHABLE();
@@ -78,6 +98,8 @@ struct Live {
 
 ScheduleResult LevelwiseScheduler::schedule_level_major(
     const FatTree& tree, std::span<const Request> requests, LinkState& state) {
+  if (probe_) probe_->on_batch_begin(requests.size());
+  obs::ScopedSpan batch_span(tracer_, name_, "sched.batch");
   ScheduleResult result;
   result.outcomes.resize(requests.size());
   LeafTracker leaves(tree.node_count());
@@ -85,23 +107,26 @@ ScheduleResult LevelwiseScheduler::schedule_level_major(
 
   // Admission: claim leaf channels, resolve intra-switch (H == 0) requests,
   // and initialize σ_0 / δ_0 for the rest.
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    const Request& r = requests[i];
-    RequestOutcome& out = result.outcomes[i];
-    out.path = Path{r.src, r.dst, 0, {}};
-    if (!leaves.try_claim(r.src, r.dst)) {
-      out.reason = RejectReason::kLeafBusy;
-      continue;
+  {
+    obs::ScopedSpan admission_span(tracer_, "admission", "sched.phase");
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      const Request& r = requests[i];
+      RequestOutcome& out = result.outcomes[i];
+      out.path = Path{r.src, r.dst, 0, {}};
+      if (!leaves.try_claim(r.src, r.dst)) {
+        out.reason = RejectReason::kLeafBusy;
+        continue;
+      }
+      const std::uint64_t src_leaf = tree.leaf_switch(r.src).index;
+      const std::uint64_t dst_leaf = tree.leaf_switch(r.dst).index;
+      const std::uint32_t H = tree.common_ancestor_level(src_leaf, dst_leaf);
+      if (H == 0) {
+        out.granted = true;  // circuit lives inside one leaf crossbar
+        continue;
+      }
+      live[i] = Live{src_leaf, dst_leaf, H, true};
+      out.path.ancestor_level = H;
     }
-    const std::uint64_t src_leaf = tree.leaf_switch(r.src).index;
-    const std::uint64_t dst_leaf = tree.leaf_switch(r.dst).index;
-    const std::uint32_t H = tree.common_ancestor_level(src_leaf, dst_leaf);
-    if (H == 0) {
-      out.granted = true;  // circuit lives inside one leaf crossbar
-      continue;
-    }
-    live[i] = Live{src_leaf, dst_leaf, H, true};
-    out.path.ancestor_level = H;
   }
 
   // One transaction per request holds its channel allocations, so a rejected
@@ -116,6 +141,9 @@ ScheduleResult LevelwiseScheduler::schedule_level_major(
   const std::uint32_t link_levels = tree.levels() - 1;
   std::vector<std::uint32_t> rr_hint;
   for (std::uint32_t h = 0; h < link_levels; ++h) {
+    std::string level_label;
+    if (tracer_) level_label = "level " + std::to_string(h);
+    obs::ScopedSpan level_span(tracer_, level_label, "sched.level");
     if (options_.policy == PortPolicy::kRoundRobin) {
       rr_hint.assign(state.rows_at(h), 0);
     }
@@ -156,16 +184,20 @@ ScheduleResult LevelwiseScheduler::schedule_level_major(
       leaves.release(requests[i].src, requests[i].dst);
     }
     if (options_.release_rejected) {
+      if (probe_) probe_->on_rollback(tx[i]->size());
       tx[i]->rollback();
     } else {
       tx[i]->commit();  // hardware-fidelity mode: partial allocation persists
     }
   }
+  if (probe_) record_outcomes(result);
   return result;
 }
 
 ScheduleResult LevelwiseScheduler::schedule_request_major(
     const FatTree& tree, std::span<const Request> requests, LinkState& state) {
+  if (probe_) probe_->on_batch_begin(requests.size());
+  obs::ScopedSpan batch_span(tracer_, name_, "sched.batch");
   ScheduleResult result;
   result.outcomes.reserve(requests.size());
   LeafTracker leaves(tree.node_count());
@@ -220,6 +252,7 @@ ScheduleResult LevelwiseScheduler::schedule_request_major(
       out.path.ancestor_level = 0;
       leaves.release(r.src, r.dst);
       if (options_.release_rejected) {
+        if (probe_) probe_->on_rollback(tx.size());
         tx.rollback();
       } else {
         tx.commit();  // hardware-fidelity mode: partial allocation persists
@@ -231,6 +264,7 @@ ScheduleResult LevelwiseScheduler::schedule_request_major(
     }
     result.outcomes.push_back(out);
   }
+  if (probe_) record_outcomes(result);
   return result;
 }
 

@@ -68,6 +68,14 @@ class LevelwiseScheduler final : public Scheduler {
                                          std::uint64_t dst_sw,
                                          std::vector<std::uint32_t>& rr_hint);
 
+  /// kProbed=false compiles to exactly the uninstrumented pick (direct
+  /// returns, no popcount) so an unattached probe costs one branch per pick,
+  /// not a slower codepath; kProbed=true adds the popcount/pick recording.
+  template <bool kProbed>
+  std::optional<std::uint32_t> pick_port_impl(
+      const LinkState& state, std::uint32_t level, std::uint64_t src_sw,
+      std::uint64_t dst_sw, std::vector<std::uint32_t>& rr_hint);
+
   LevelwiseOptions options_;
   Xoshiro256ss rng_;
   std::string name_;

@@ -13,14 +13,33 @@ LocalAdaptiveScheduler::LocalAdaptiveScheduler(LocalOptions options)
 std::optional<std::uint32_t> LocalAdaptiveScheduler::pick_local_port(
     const LinkState& state, std::uint32_t level, std::uint64_t src_sw,
     std::vector<std::uint32_t>& rr_hint) {
+  if (probe_) [[unlikely]] {
+    return pick_local_port_impl<true>(state, level, src_sw, rr_hint);
+  }
+  return pick_local_port_impl<false>(state, level, src_sw, rr_hint);
+}
+
+template <bool kProbed>
+std::optional<std::uint32_t> LocalAdaptiveScheduler::pick_local_port_impl(
+    const LinkState& state, std::uint32_t level, std::uint64_t src_sw,
+    std::vector<std::uint32_t>& rr_hint) {
+  if constexpr (kProbed) {
+    probe_->on_and_popcount(level, state.local_ulink_count(level, src_sw));
+  }
+  const auto picked = [&](std::optional<std::uint32_t> port) {
+    if constexpr (kProbed) {
+      if (port) probe_->on_port_pick(level, *port);
+    }
+    return port;
+  };
   switch (options_.policy) {
     case PortPolicy::kFirstFit:
-      return state.first_local_ulink(level, src_sw);
+      return picked(state.first_local_ulink(level, src_sw));
     case PortPolicy::kRandom: {
       const std::uint32_t count = state.local_ulink_count(level, src_sw);
       if (count == 0) return std::nullopt;
-      return state.nth_local_ulink(
-          level, src_sw, static_cast<std::uint32_t>(rng_.below(count)));
+      return picked(state.nth_local_ulink(
+          level, src_sw, static_cast<std::uint32_t>(rng_.below(count))));
     }
     case PortPolicy::kRoundRobin: {
       const std::uint32_t w = state.ports_per_switch();
@@ -28,7 +47,7 @@ std::optional<std::uint32_t> LocalAdaptiveScheduler::pick_local_port(
       auto port = state.next_local_ulink(level, src_sw, hint);
       if (!port) port = state.first_local_ulink(level, src_sw);
       if (port) hint = (*port + 1) % w;
-      return port;
+      return picked(port);
     }
   }
   FT_UNREACHABLE();
@@ -36,6 +55,8 @@ std::optional<std::uint32_t> LocalAdaptiveScheduler::pick_local_port(
 
 ScheduleResult LocalAdaptiveScheduler::schedule(
     const FatTree& tree, std::span<const Request> requests, LinkState& state) {
+  if (probe_) probe_->on_batch_begin(requests.size());
+  obs::ScopedSpan batch_span(tracer_, name_, "sched.batch");
   ScheduleResult result;
   result.outcomes.reserve(requests.size());
   LeafTracker leaves(tree.node_count());
@@ -109,6 +130,7 @@ ScheduleResult LocalAdaptiveScheduler::schedule(
       out.path.ancestor_level = 0;
       leaves.release(r.src, r.dst);
       if (options_.release_on_fail) {
+        if (probe_) probe_->on_rollback(tx.size());
         tx.rollback();
       } else {
         tx.commit();
@@ -119,6 +141,7 @@ ScheduleResult LocalAdaptiveScheduler::schedule(
     }
     result.outcomes.push_back(out);
   }
+  if (probe_) record_outcomes(result);
   return result;
 }
 

@@ -44,6 +44,13 @@ class LocalAdaptiveScheduler final : public Scheduler {
       const LinkState& state, std::uint32_t level, std::uint64_t src_sw,
       std::vector<std::uint32_t>& rr_hint);
 
+  /// kProbed=false compiles to exactly the uninstrumented pick, so an
+  /// unattached probe costs one branch per pick, not a slower codepath.
+  template <bool kProbed>
+  std::optional<std::uint32_t> pick_local_port_impl(
+      const LinkState& state, std::uint32_t level, std::uint64_t src_sw,
+      std::vector<std::uint32_t>& rr_hint);
+
   LocalOptions options_;
   Xoshiro256ss rng_;
   std::string name_;

@@ -218,6 +218,8 @@ ScheduleResult MatchingScheduler::schedule(const FatTree& tree,
                                            std::span<const Request> requests,
                                            LinkState& state) {
   FT_REQUIRE(tree.levels() == 2);
+  if (probe_) probe_->on_batch_begin(requests.size());
+  obs::ScopedSpan batch_span(tracer_, name(), "sched.batch");
   ScheduleResult result;
   result.outcomes.resize(requests.size());
   LeafTracker leaves(tree.node_count());
@@ -246,7 +248,10 @@ ScheduleResult MatchingScheduler::schedule(const FatTree& tree,
     ++deg_right[b];
     pending.push_back(i);
   }
-  if (pending.empty()) return result;
+  if (pending.empty()) {
+    if (probe_) record_outcomes(result);
+    return result;
+  }
 
   // Exact König edge coloring applies when no involved channel is occupied
   // and the degree bound holds; otherwise fall back to the greedy heuristic.
@@ -265,6 +270,16 @@ ScheduleResult MatchingScheduler::schedule(const FatTree& tree,
                  leaves);
   }
   tx.commit();
+  if (probe_) {
+    // The matching runs whole-batch, so per-grant picks are recovered from
+    // the outcomes (all circuits live on the single inter-switch level 0).
+    for (const RequestOutcome& out : result.outcomes) {
+      if (out.granted && !out.path.ports.empty()) {
+        probe_->on_port_pick(0, out.path.ports[0]);
+      }
+    }
+    record_outcomes(result);
+  }
   return result;
 }
 

@@ -18,6 +18,13 @@ std::string_view to_string(RejectReason reason) {
   FT_UNREACHABLE();
 }
 
+std::string_view reject_reason_name(std::uint8_t code) {
+  if (code > static_cast<std::uint8_t>(RejectReason::kLeafBusy)) {
+    return "unknown";
+  }
+  return to_string(static_cast<RejectReason>(code));
+}
+
 std::vector<std::uint64_t> ScheduleResult::failures_by_level() const {
   std::vector<std::uint64_t> histogram;
   for (const auto& o : outcomes) {

@@ -32,11 +32,18 @@ enum class RejectReason : std::uint8_t {
 
 std::string_view to_string(RejectReason reason);
 
+/// obs::ReasonNameFn adapter: names a raw probe reason code, "unknown" for
+/// values outside the RejectReason range.
+std::string_view reject_reason_name(std::uint8_t code);
+
 struct RequestOutcome {
   bool granted = false;
   Path path;                                  ///< valid iff granted
   RejectReason reason = RejectReason::kNone;
   std::uint32_t fail_level = 0;               ///< level of first failure
+
+  friend bool operator==(const RequestOutcome&,
+                         const RequestOutcome&) = default;
 };
 
 struct ScheduleResult {
@@ -58,6 +65,9 @@ struct ScheduleResult {
   /// Histogram of rejection levels (index = level of first failure);
   /// sized to the highest failing level + 1.
   std::vector<std::uint64_t> failures_by_level() const;
+
+  friend bool operator==(const ScheduleResult&,
+                         const ScheduleResult&) = default;
 };
 
 }  // namespace ftsched

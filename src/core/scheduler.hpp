@@ -16,6 +16,8 @@
 
 #include "core/request.hpp"
 #include "linkstate/link_state.hpp"
+#include "obs/sched_probe.hpp"
+#include "obs/trace.hpp"
 #include "topology/fat_tree.hpp"
 #include "util/contracts.hpp"
 #include "util/rng.hpp"
@@ -78,6 +80,39 @@ class Scheduler {
 
   /// Re-seeds any internal randomness (port policies, tie breaking).
   virtual void reseed(std::uint64_t seed) = 0;
+
+  /// Attaches an accounting probe (null detaches). The probe must outlive
+  /// every schedule() call made while attached. Probes observe, never steer:
+  /// an attached probe does not change any scheduling decision.
+  void set_probe(obs::SchedulerProbe* probe) { probe_ = probe; }
+  obs::SchedulerProbe* probe() const { return probe_; }
+
+  /// Attaches a trace-span sink (null detaches); same lifetime rule.
+  void set_tracer(obs::TraceWriter* tracer) { tracer_ = tracer; }
+  obs::TraceWriter* tracer() const { return tracer_; }
+
+ protected:
+  /// Uniform end-of-batch accounting: every outcome reports to the probe
+  /// exactly once — grants by ancestor level, rejections by first-failure
+  /// level and reason (admission failures land on level 0), leaf-channel
+  /// claim failures additionally on their own counter. Callers guard with
+  /// `if (probe_)`.
+  void record_outcomes(const ScheduleResult& result) {
+    for (const RequestOutcome& out : result.outcomes) {
+      if (out.granted) {
+        probe_->on_grant(out.path.ancestor_level);
+        continue;
+      }
+      probe_->on_reject(out.fail_level,
+                        static_cast<std::uint8_t>(out.reason));
+      if (out.reason == RejectReason::kLeafBusy) {
+        probe_->on_leaf_claim_fail();
+      }
+    }
+  }
+
+  obs::SchedulerProbe* probe_ = nullptr;
+  obs::TraceWriter* tracer_ = nullptr;
 };
 
 }  // namespace ftsched

@@ -21,6 +21,8 @@ DigitVec StaticDestinationScheduler::static_ports(const FatTree& tree,
 ScheduleResult StaticDestinationScheduler::schedule(
     const FatTree& tree, std::span<const Request> requests, LinkState& state) {
   FT_REQUIRE(tree.parent_arity() >= tree.child_arity());
+  if (probe_) probe_->on_batch_begin(requests.size());
+  obs::ScopedSpan batch_span(tracer_, name(), "sched.batch");
   ScheduleResult result;
   result.outcomes.reserve(requests.size());
   LeafTracker leaves(tree.node_count());
@@ -56,6 +58,7 @@ ScheduleResult StaticDestinationScheduler::schedule(
         break;
       }
       tx.occupy_up(h, sigma, ports[h]);
+      if (probe_) probe_->on_port_pick(h, ports[h]);
       sigma = tree.ascend(h, sigma, ports[h]);
     }
     if (!rejected) {
@@ -76,6 +79,7 @@ ScheduleResult StaticDestinationScheduler::schedule(
 
     if (rejected) {
       leaves.release(r.src, r.dst);
+      if (probe_) probe_->on_rollback(tx.size());
       // tx rolls back on destruction
     } else {
       out.granted = true;
@@ -85,6 +89,7 @@ ScheduleResult StaticDestinationScheduler::schedule(
     }
     result.outcomes.push_back(out);
   }
+  if (probe_) record_outcomes(result);
   return result;
 }
 

@@ -21,14 +21,16 @@ class TurnbackSearch {
  public:
   TurnbackSearch(const FatTree& tree, LinkState& state, std::uint64_t src_leaf,
                  std::uint64_t dst_leaf, std::uint32_t ancestor,
-                 const TurnbackOptions& options, Xoshiro256ss& rng)
+                 const TurnbackOptions& options, Xoshiro256ss& rng,
+                 obs::SchedulerProbe* probe)
       : tree_(tree),
         state_(state),
         tx_(state),
         dst_leaf_(dst_leaf),
         ancestor_(ancestor),
         options_(options),
-        rng_(rng) {
+        rng_(rng),
+        probe_(probe) {
     sigma_.push_back(src_leaf);
   }
 
@@ -46,6 +48,7 @@ class TurnbackSearch {
     }
     reason = reason_;
     fail_level = fail_level_;
+    if (probe_) probe_->on_rollback(tx_.size());
     return false;  // ~Transaction releases anything still held
   }
 
@@ -59,6 +62,10 @@ class TurnbackSearch {
     if (h == ancestor_) return try_descent();
 
     const std::vector<std::uint32_t> candidates = candidate_ports(h);
+    if (probe_) {
+      probe_->on_and_popcount(h,
+                              static_cast<std::uint32_t>(candidates.size()));
+    }
     if (candidates.empty()) {
       // No locally free up-port: only a different σ_h (i.e. a choice at a
       // lower level) can help.
@@ -67,12 +74,14 @@ class TurnbackSearch {
     }
     for (std::uint32_t p : candidates) {
       tx_.occupy_up(h, sigma_.back(), p);  // hold tentatively
+      if (probe_) probe_->on_port_pick(h, p);
       ports_.push_back(p);
       sigma_.push_back(tree_.ascend(h, sigma_.back(), p));
       const std::uint32_t res = descend_from(h + 1);
       if (res == kSuccess) return kSuccess;
       sigma_.pop_back();
       ports_.pop_back();
+      if (probe_) probe_->on_rollback(1);
       tx_.release_last();
       if (probes_left_ == 0 || res < h) return res;  // cannot repair here
     }
@@ -123,6 +132,7 @@ class TurnbackSearch {
   std::uint32_t ancestor_;
   const TurnbackOptions& options_;
   Xoshiro256ss& rng_;
+  obs::SchedulerProbe* probe_;
 
   SmallVec<std::uint64_t, kMaxTreeLevels> sigma_;  // σ_0 … σ_h along branch
   DigitVec ports_;
@@ -136,6 +146,8 @@ class TurnbackSearch {
 ScheduleResult TurnbackScheduler::schedule(const FatTree& tree,
                                            std::span<const Request> requests,
                                            LinkState& state) {
+  if (probe_) probe_->on_batch_begin(requests.size());
+  obs::ScopedSpan batch_span(tracer_, name_, "sched.batch");
   ScheduleResult result;
   result.outcomes.reserve(requests.size());
   LeafTracker leaves(tree.node_count());
@@ -157,7 +169,8 @@ ScheduleResult TurnbackScheduler::schedule(const FatTree& tree,
       continue;
     }
 
-    TurnbackSearch search(tree, state, src_leaf, dst_leaf, H, options_, rng_);
+    TurnbackSearch search(tree, state, src_leaf, dst_leaf, H, options_, rng_,
+                          probe_);
     DigitVec ports;
     if (search.run(ports, out.reason, out.fail_level)) {
       out.granted = true;
@@ -168,6 +181,7 @@ ScheduleResult TurnbackScheduler::schedule(const FatTree& tree,
     }
     result.outcomes.push_back(out);
   }
+  if (probe_) record_outcomes(result);
   return result;
 }
 

@@ -17,6 +17,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "util/contracts.hpp"
 
 namespace ftsched {
@@ -58,6 +59,12 @@ class Simulator {
 
   std::uint64_t events_processed() const { return events_processed_; }
 
+  /// Attaches a trace sink (null detaches); must outlive subsequent run()
+  /// calls. Events land on the kPidDes track with ts = simulated time, so
+  /// the trace viewer shows the simulation's own clock, not wall time.
+  void set_tracer(obs::TraceWriter* tracer) { tracer_ = tracer; }
+  obs::TraceWriter* tracer() const { return tracer_; }
+
  private:
   struct Event {
     SimTime time;
@@ -79,6 +86,7 @@ class Simulator {
   std::uint64_t events_processed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::vector<std::function<void()>> pending_updates_;
+  obs::TraceWriter* tracer_ = nullptr;
 };
 
 }  // namespace ftsched

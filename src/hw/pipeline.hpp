@@ -23,6 +23,7 @@
 
 #include "core/request.hpp"
 #include "hw/link_memory.hpp"
+#include "obs/trace.hpp"
 #include "topology/fat_tree.hpp"
 
 namespace ftsched {
@@ -100,9 +101,17 @@ class LevelwisePipeline {
   /// Clears memories and counters.
   void reset();
 
+  /// Attaches a trace sink (null detaches); must outlive schedule() calls.
+  /// Each busy block-cycle becomes a 1-cycle span on the kPidHw track
+  /// (ts = block-cycle number, tid = pipeline stage), so the viewer shows
+  /// the fill/drain pattern of the pipeline.
+  void set_tracer(obs::TraceWriter* tracer) { tracer_ = tracer; }
+  obs::TraceWriter* tracer() const { return tracer_; }
+
  private:
   const FatTree& tree_;
   std::vector<PBlock> blocks_;
+  obs::TraceWriter* tracer_ = nullptr;
 };
 
 }  // namespace ftsched

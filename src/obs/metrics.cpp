@@ -1,0 +1,143 @@
+#include "obs/metrics.hpp"
+
+#include <array>
+#include <ostream>
+
+namespace ftsched::obs {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(static_cast<unsigned char>(c) >> 4) & 0xf];
+          out += kHex[static_cast<unsigned char>(c) & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Histogram::reset() {
+  counts_.assign(counts_.size(), 0);
+  underflow_ = 0;
+  overflow_ = 0;
+  count_ = 0;
+  sum_ = 0.0;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_create(std::string_view name,
+                                                        Kind kind) {
+  const auto it = index_.find(name);
+  if (it != index_.end()) {
+    Entry& entry = entries_[it->second];
+    FT_REQUIRE(entry.kind == kind);  // one name, one metric kind
+    return entry;
+  }
+  Entry entry;
+  entry.name = std::string(name);
+  entry.kind = kind;
+  entries_.push_back(std::move(entry));
+  index_.emplace(entries_.back().name, entries_.size() - 1);
+  return entries_.back();
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  Entry& entry = find_or_create(name, Kind::kCounter);
+  if (!entry.counter) entry.counter = std::make_unique<Counter>();
+  return *entry.counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  Entry& entry = find_or_create(name, Kind::kGauge);
+  if (!entry.gauge) entry.gauge = std::make_unique<Gauge>();
+  return *entry.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, double lo,
+                                      double hi, std::size_t bins) {
+  Entry& entry = find_or_create(name, Kind::kHistogram);
+  if (!entry.histogram) {
+    entry.histogram = std::make_unique<Histogram>(lo, hi, bins);
+  } else {
+    FT_REQUIRE(entry.histogram->lo() == lo && entry.histogram->hi() == hi &&
+               entry.histogram->bins() == bins);
+  }
+  return *entry.histogram;
+}
+
+void MetricsRegistry::write_jsonl(std::ostream& os) const {
+  for (const Entry& e : entries_) {
+    os << "{\"metric\":\"" << json_escape(e.name) << "\",";
+    switch (e.kind) {
+      case Kind::kCounter:
+        os << "\"type\":\"counter\",\"value\":" << e.counter->value();
+        break;
+      case Kind::kGauge:
+        os << "\"type\":\"gauge\",\"value\":" << e.gauge->value();
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *e.histogram;
+        os << "\"type\":\"histogram\",\"lo\":" << h.lo() << ",\"hi\":"
+           << h.hi() << ",\"bins\":[";
+        for (std::size_t i = 0; i < h.bins(); ++i) {
+          if (i) os << ',';
+          os << h.bin(i);
+        }
+        os << "],\"underflow\":" << h.underflow() << ",\"overflow\":"
+           << h.overflow() << ",\"count\":" << h.count() << ",\"sum\":"
+           << h.sum();
+        break;
+      }
+    }
+    os << "}\n";
+  }
+}
+
+void MetricsRegistry::write_csv(std::ostream& os) const {
+  os << "metric,type,key,value\n";
+  for (const Entry& e : entries_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        os << e.name << ",counter,value," << e.counter->value() << "\n";
+        break;
+      case Kind::kGauge:
+        os << e.name << ",gauge,value," << e.gauge->value() << "\n";
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *e.histogram;
+        os << e.name << ",histogram,underflow," << h.underflow() << "\n";
+        for (std::size_t i = 0; i < h.bins(); ++i) {
+          os << e.name << ",histogram,bin" << i << "," << h.bin(i) << "\n";
+        }
+        os << e.name << ",histogram,overflow," << h.overflow() << "\n";
+        os << e.name << ",histogram,count," << h.count() << "\n";
+        os << e.name << ",histogram,sum," << h.sum() << "\n";
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace ftsched::obs

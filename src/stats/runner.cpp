@@ -9,6 +9,8 @@ ExperimentPoint run_experiment(const FatTree& tree,
   FT_REQUIRE(config.repetitions > 0);
   auto scheduler = make_scheduler(config.scheduler, config.seed);
   FT_REQUIRE(scheduler.ok());
+  scheduler.value()->set_probe(config.probe);
+  scheduler.value()->set_tracer(config.tracer);
 
   LinkState state(tree);
   ExperimentPoint point;
@@ -30,17 +32,17 @@ ExperimentPoint run_experiment(const FatTree& tree,
     if (config.verify) {
       const Status ok = verify_schedule(tree, batch, result, &state,
                                         VerifyOptions{config.allow_residual});
-      if (!ok.ok()) {
-        std::fprintf(stderr, "verification failed (%s, rep %zu): %s\n",
-                     config.scheduler.c_str(), rep, ok.message().c_str());
-        FT_REQUIRE(ok.ok());
-      }
+      FT_REQUIRE_MSG(ok.ok(), ok.message().c_str());
     }
     ratios.push_back(result.schedulability_ratio());
     point.total_requests += result.outcomes.size();
     point.total_granted += result.granted_count();
   }
   point.schedulability = Summary::from(ratios);
+  if (config.probe) {
+    point.reject_by_level = config.probe->reject_by_level();
+    point.total_rejected = config.probe->rejects();
+  }
   return point;
 }
 

@@ -9,9 +9,12 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/registry.hpp"
 #include "core/verifier.hpp"
+#include "obs/sched_probe.hpp"
+#include "obs/trace.hpp"
 #include "stats/summary.hpp"
 #include "workload/patterns.hpp"
 
@@ -27,12 +30,26 @@ struct ExperimentConfig {
   /// Set for schedulers deliberately run in no-release mode ("local-hold"):
   /// relaxes the final-state check to subset semantics.
   bool allow_residual = false;
+
+  /// Optional accounting probe, attached to the scheduler for the whole
+  /// experiment (all repetitions accumulate into it); must outlive the
+  /// run_experiment call. Null = no probing, no overhead beyond a branch.
+  obs::SchedulerProbe* probe = nullptr;
+  /// Optional trace sink, same lifetime rule. Every repetition's batch spans
+  /// land in it, so keep repetitions small when tracing.
+  obs::TraceWriter* tracer = nullptr;
 };
 
 struct ExperimentPoint {
   Summary schedulability;
   std::uint64_t total_requests = 0;
   std::uint64_t total_granted = 0;
+
+  /// Probe aggregates, filled only when config.probe was attached:
+  /// rejections by first-failure level (index = level) and their sum, which
+  /// by the probe's reporting contract equals total_requests - total_granted.
+  std::vector<std::uint64_t> reject_by_level;
+  std::uint64_t total_rejected = 0;
 };
 
 /// Runs one experiment point. Aborts (contract) on unknown scheduler name —

@@ -10,8 +10,12 @@
 namespace ftsched {
 
 Summary Summary::from(std::span<const double> samples) {
-  FT_REQUIRE(!samples.empty());
+  // An empty sample set is a valid (if degenerate) experiment outcome — a
+  // bench point with zero repetitions, a filtered series that matched
+  // nothing. It summarizes to the all-zero Summary rather than aborting, so
+  // aggregation pipelines need no special case; count == 0 marks it.
   Summary s;
+  if (samples.empty()) return s;
   s.count = samples.size();
   s.min = samples[0];
   s.max = samples[0];

@@ -19,6 +19,8 @@ struct Summary {
   double max = 0.0;
   double stddev = 0.0;  ///< sample standard deviation (n-1)
 
+  /// Empty input yields the all-zero Summary (count == 0), no NaNs —
+  /// degenerate series summarize without a special case at the call site.
   static Summary from(std::span<const double> samples);
 
   /// Half-width of the normal-approximation CI at ~95% (1.96 s / sqrt(n)).

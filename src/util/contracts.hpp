@@ -22,6 +22,15 @@ namespace ftsched::detail {
   std::abort();
 }
 
+[[noreturn]] inline void contract_failure_msg(const char* kind,
+                                              const char* cond,
+                                              const char* msg,
+                                              const char* file, int line) {
+  std::fprintf(stderr, "ftsched: %s failed: %s — %s (%s:%d)\n", kind, cond,
+               msg, file, line);
+  std::abort();
+}
+
 }  // namespace ftsched::detail
 
 #define FT_REQUIRE(cond)                                                  \
@@ -30,6 +39,16 @@ namespace ftsched::detail {
       ::ftsched::detail::contract_failure("precondition", #cond, __FILE__, \
                                           __LINE__);                      \
     }                                                                     \
+  } while (false)
+
+// Precondition with a runtime-formatted diagnostic (a Status message, a
+// scheduler name); `msg` must be a const char* that outlives the call.
+#define FT_REQUIRE_MSG(cond, msg)                                          \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::ftsched::detail::contract_failure_msg("precondition", #cond, (msg), \
+                                              __FILE__, __LINE__);         \
+    }                                                                      \
   } while (false)
 
 #ifdef NDEBUG

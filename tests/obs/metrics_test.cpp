@@ -1,0 +1,161 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "json_check.hpp"
+
+namespace ftsched::obs {
+namespace {
+
+TEST(Counter, AddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, WrapsModulo2To64) {
+  Counter c;
+  c.add(std::numeric_limits<std::uint64_t>::max());
+  c.add(2);  // unsigned wrap, defined behavior
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(Gauge, LastWriteWins) {
+  Gauge g;
+  g.set(2.5);
+  g.set(-7.0);
+  EXPECT_DOUBLE_EQ(g.value(), -7.0);
+}
+
+TEST(Histogram, BinBoundariesUnderflowOverflow) {
+  Histogram h(0.0, 10.0, 10);  // bins [0,1) [1,2) ... [9,10)
+  h.observe(-0.001);           // underflow: x < lo
+  h.observe(0.0);              // bin 0: lo is inclusive
+  h.observe(0.999);            // still bin 0
+  h.observe(1.0);              // bin 1: edges belong to the upper bucket
+  h.observe(9.999);            // bin 9
+  h.observe(10.0);             // overflow: hi is exclusive
+  h.observe(100.0);            // overflow
+
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.bin(0), 2u);
+  EXPECT_EQ(h.bin(1), 1u);
+  EXPECT_EQ(h.bin(9), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.count(), 7u);
+  // Every observation lands somewhere: buckets + under + over == count.
+  std::uint64_t total = h.underflow() + h.overflow();
+  for (std::size_t i = 0; i < h.bins(); ++i) total += h.bin(i);
+  EXPECT_EQ(total, h.count());
+}
+
+TEST(Histogram, FloatEdgeJustBelowHiStaysInLastBin) {
+  // (x - lo) / width can round up to exactly bins() for x slightly below hi;
+  // the clamp must keep it in the last real bucket, not drop or overflow it.
+  Histogram h(0.0, 0.3, 3);
+  h.observe(std::nextafter(0.3, 0.0));
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_EQ(h.bin(2), 1u);
+}
+
+TEST(Histogram, SumAccumulatesAllObservations) {
+  Histogram h(0.0, 1.0, 4);
+  h.observe(-1.0);  // under and overflow still count toward sum
+  h.observe(0.5);
+  h.observe(2.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 1.5);
+}
+
+TEST(MetricsRegistry, SameNameReturnsSameInstance) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("sched.grants");
+  Counter& b = reg.counter("sched.grants");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistry, HistogramShapeIsPinnedAtFirstRegistration) {
+  MetricsRegistry reg;
+  Histogram& a = reg.histogram("sched.popcount", 0.0, 8.0, 8);
+  Histogram& b = reg.histogram("sched.popcount", 0.0, 8.0, 8);
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(MetricsRegistryDeath, KindMismatchRejected) {
+  MetricsRegistry reg;
+  reg.counter("x");
+  EXPECT_DEATH(reg.gauge("x"), "precondition");
+}
+
+TEST(MetricsRegistryDeath, HistogramShapeMismatchRejected) {
+  MetricsRegistry reg;
+  reg.histogram("h", 0.0, 1.0, 10);
+  EXPECT_DEATH(reg.histogram("h", 0.0, 2.0, 10), "precondition");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(MetricsRegistry, JsonlLinesAllParse) {
+  MetricsRegistry reg;
+  reg.counter("sched.grants").add(7);
+  reg.gauge("sched.ratio").set(0.875);
+  Histogram& h = reg.histogram("sched.popcount", 0.0, 4.0, 4);
+  h.observe(-1.0);
+  h.observe(1.5);
+  h.observe(9.0);
+
+  std::ostringstream os;
+  reg.write_jsonl(os);
+  const std::string text = os.str();
+  std::size_t lines = 0;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string_view line(text.data() + start, end - start);
+    if (!line.empty()) {
+      EXPECT_TRUE(ftsched::test::json_valid(line)) << "line: " << line;
+      ++lines;
+    }
+    start = end + 1;
+  }
+  EXPECT_EQ(lines, 3u);  // one object per metric
+  EXPECT_NE(text.find("\"metric\":\"sched.grants\""), std::string::npos);
+  EXPECT_NE(text.find("\"type\":\"histogram\""), std::string::npos);
+}
+
+TEST(MetricsRegistry, CsvHasHeaderAndHistogramRows) {
+  MetricsRegistry reg;
+  reg.counter("n").add(2);
+  Histogram& h = reg.histogram("h", 0.0, 2.0, 2);
+  h.observe(0.5);
+  std::ostringstream os;
+  reg.write_csv(os);
+  const std::string text = os.str();
+  EXPECT_EQ(text.rfind("metric,type,key,value\n", 0), 0u);
+  EXPECT_NE(text.find("n,counter,value,2"), std::string::npos);
+  EXPECT_NE(text.find("h,histogram,bin0,1"), std::string::npos);
+  EXPECT_NE(text.find("h,histogram,underflow,0"), std::string::npos);
+  EXPECT_NE(text.find("h,histogram,count,1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftsched::obs

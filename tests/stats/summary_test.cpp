@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cmath>
 
 namespace ftsched {
 namespace {
@@ -88,8 +89,29 @@ TEST(PercentileDeath, EmptyOrBadQuantileRejected) {
   EXPECT_DEATH(percentile(samples, 1.5), "precondition");
 }
 
-TEST(SummaryDeath, EmptyRejected) {
-  EXPECT_DEATH(Summary::from(std::span<const double>{}), "precondition");
+TEST(Summary, EmptyIsAllZeroNoNan) {
+  const Summary s = Summary::from(std::span<const double>{});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_half_width(), 0.0);
+  // No NaNs anywhere the formatter touches.
+  EXPECT_EQ(s.ratio_string(), "0.0% [0.0%, 0.0%]");
+}
+
+TEST(Summary, TwoSamplesCi95Finite) {
+  const std::array<double, 2> samples{0.4, 0.6};
+  const Summary s = Summary::from(samples);
+  EXPECT_GT(s.ci95_half_width(), 0.0);
+  EXPECT_FALSE(std::isnan(s.ci95_half_width()));
+}
+
+TEST(Percentile, ExtremeQuantilesOfPair) {
+  const std::array<double, 2> samples{2.0, 1.0};
+  EXPECT_DOUBLE_EQ(percentile(samples, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(samples, 1.0), 2.0);
 }
 
 }  // namespace

@@ -28,6 +28,15 @@
 //                           ftsched::Xoshiro256ss; std::rand/<random>
 //                           engines in src/ would break run-to-run equality
 //                           of every figure.
+//   no-raw-io               Library code in src/ must not print: raw
+//                           std::cout/std::cerr or printf-family calls
+//                           bypass the structured outputs (obs/ exporters,
+//                           util/table) and corrupt machine-read CSV/JSON
+//                           streams. Contract failures report through
+//                           FT_REQUIRE_MSG; expected failures return Status.
+//                           Exempt: obs/ (the exporters), util/table
+//                           (the table/CSV printer), util/contracts.hpp
+//                           (the abort path itself).
 //
 // Usage: ftlint [--expect <rule>] <file-or-dir>...
 //   Scans .hpp/.cpp files, prints "file:line: [rule] message" diagnostics,
@@ -167,6 +176,11 @@ class Linter {
     }
     if (header) check_self_contained(path, src, name);
     if (name != "rng.hpp") check_raw_random(path, src);
+    if (path_contains(path, "src/") && !path_contains(path, "obs/") &&
+        name != "table.hpp" && name != "table.cpp" &&
+        name != "contracts.hpp") {
+      check_raw_io(path, src);
+    }
   }
 
   void scan(const fs::path& path) {
@@ -290,6 +304,37 @@ class Linter {
         "\"util/contracts.hpp\" directly (headers must be self-contained)");
   }
 
+  void check_raw_io(const fs::path& path, const Source& src) {
+    for (std::size_t i = 0; i < src.code.size(); ++i) {
+      const std::string& line = src.code[i];
+      for (const std::string_view stream : {"cout", "cerr"}) {
+        if (contains_token(line, stream)) {
+          add(path, i + 1, "no-raw-io",
+              "library code must not write to std::" + std::string(stream) +
+                  "; return a Status, take an std::ostream&, or export "
+                  "through obs/");
+        }
+      }
+      // printf-family call sites only (a declaration or mention without a
+      // following '(' does not fire).
+      static constexpr std::string_view kPrinters[] = {"printf", "fprintf",
+                                                       "puts", "fputs"};
+      for (const std::string_view fn : kPrinters) {
+        for (std::size_t pos = line.find(fn); pos != std::string::npos;
+             pos = line.find(fn, pos + 1)) {
+          if (!token_at(line, pos, fn)) continue;
+          std::size_t after = pos + fn.size();
+          while (after < line.size() && line[after] == ' ') ++after;
+          if (after >= line.size() || line[after] != '(') continue;
+          add(path, i + 1, "no-raw-io",
+              "library code must not call " + std::string(fn) +
+                  "(); contract failures go through FT_REQUIRE_MSG, data "
+                  "through obs/ exporters or util/table");
+        }
+      }
+    }
+  }
+
   void check_raw_random(const fs::path& path, const Source& src) {
     static constexpr std::string_view kBanned[] = {
         "rand", "srand", "random_device", "mt19937", "mt19937_64",
@@ -337,7 +382,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: ftlint [--expect <rule>] <file-or-dir>...\n"
                    "rules: no-raw-assert api-contract transaction-discipline "
-                   "self-contained-header no-raw-random\n");
+                   "self-contained-header no-raw-random no-raw-io\n");
       return 0;
     } else {
       paths.emplace_back(arg);

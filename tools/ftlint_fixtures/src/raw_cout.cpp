@@ -1,0 +1,17 @@
+// Fixture: library code printing directly. Must trip `no-raw-io` — the
+// `src/` path component puts this file in the rule's scope, exactly like a
+// real library source. A comment mentioning std::cout must NOT fire, and
+// neither must the string "printf(" below (literals are stripped).
+#include <cstdio>
+#include <iostream>
+
+namespace ftsched {
+
+inline void report_progress(int done, int total) {
+  std::cout << "progress " << done << "/" << total << "\n";  // bad
+  std::cerr << "still running\n";                            // bad
+  std::printf("done %d\n", done);                            // bad
+  std::fputs("text that says printf( inside a literal", stderr);  // bad call
+}
+
+}  // namespace ftsched

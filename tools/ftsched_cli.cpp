@@ -2,21 +2,34 @@
 //
 //   ftsched info <levels> <m> [w]          topology summary + validation
 //   ftsched dot <levels> <m> [w]           Graphviz dump (small trees)
-//   ftsched schedule <levels> <w> <scheduler> <pattern> <reps> [seed]
+//   ftsched schedule <levels> <w[:w2]> <scheduler> <pattern> <reps> [seed]
 //                                          schedulability experiment
+//                                          (m:w selects an asymmetric tree,
+//                                          e.g. `schedule 3 4:2 ...`)
 //   ftsched sweep <scheduler> [reps]       the paper's full Figure-9 grid,
 //                                          CSV on stdout
 //   ftsched hw <levels> <w>                hardware timing + resources
 //   ftsched schedulers                     list registry names
 //   ftsched patterns                       list traffic pattern names
+//
+// Observability flags (schedule command, may appear anywhere):
+//   --probe                attach a SchedulerProbe; prints per-level
+//                          rejection counts after the summary
+//   --metrics-out=FILE     write probe metrics as JSON lines (implies --probe)
+//   --trace-out=FILE       write a Chrome trace (chrome://tracing, Perfetto)
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "core/registry.hpp"
 #include "hw/resources.hpp"
 #include "hw/timing_model.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sched_probe.hpp"
+#include "obs/trace.hpp"
 #include "stats/runner.hpp"
 #include "topology/dot.hpp"
 #include "topology/validate.hpp"
@@ -45,11 +58,20 @@ int usage() {
                "patterns> ...\n"
                "  info <levels> <m> [w]\n"
                "  dot <levels> <m> [w]\n"
-               "  schedule <levels> <w> <scheduler> <pattern> <reps> [seed]\n"
+               "  schedule <levels> <m[:w]> <scheduler> <pattern> <reps>"
+               " [seed]\n"
+               "           [--probe] [--metrics-out=FILE] [--trace-out=FILE]\n"
                "  sweep <scheduler> [reps]\n"
                "  hw <levels> <w>\n";
   return 2;
 }
+
+/// Observability options, extracted from argv before positional parsing.
+struct ObsFlags {
+  std::string metrics_out;
+  std::string trace_out;
+  bool probe = false;
+};
 
 Result<FatTree> tree_from_args(int argc, char** argv, int base) {
   const auto levels = static_cast<std::uint32_t>(std::atoi(argv[base]));
@@ -108,11 +130,19 @@ int cmd_dot(int argc, char** argv) {
   return 0;
 }
 
-int cmd_schedule(int argc, char** argv) {
+int cmd_schedule(int argc, char** argv, const ObsFlags& flags) {
   if (argc < 7) return usage();
-  auto tree_or = FatTree::create(FatTreeParams::symmetric(
-      static_cast<std::uint32_t>(std::atoi(argv[2])),
-      static_cast<std::uint32_t>(std::atoi(argv[3]))));
+  // Arity is `m` (symmetric, w = m) or `m:w` (asymmetric, e.g. FT(3,4,2)
+  // via `schedule 3 4:2 ...`).
+  const std::string arity = argv[3];
+  const std::size_t colon = arity.find(':');
+  const auto levels = static_cast<std::uint32_t>(std::atoi(argv[2]));
+  const auto m = static_cast<std::uint32_t>(std::atoi(arity.c_str()));
+  const auto w =
+      colon == std::string::npos
+          ? m
+          : static_cast<std::uint32_t>(std::atoi(arity.c_str() + colon + 1));
+  auto tree_or = FatTree::create(FatTreeParams{levels, m, w});
   if (!tree_or.ok()) {
     std::cerr << tree_or.message() << "\n";
     return 1;
@@ -133,6 +163,13 @@ int cmd_schedule(int argc, char** argv) {
   config.seed = argc > 7 ? static_cast<std::uint64_t>(std::atoll(argv[7]))
                          : 2006;
   config.allow_residual = config.scheduler == "local-hold";
+
+  obs::SchedulerProbe probe;
+  obs::TraceWriter tracer;
+  const bool probing = flags.probe || !flags.metrics_out.empty();
+  if (probing) config.probe = &probe;
+  if (!flags.trace_out.empty()) config.tracer = &tracer;
+
   const ExperimentPoint point = run_experiment(tree_or.value(), config);
   std::cout << config.scheduler << " on " << to_string(pattern->second)
             << ", " << config.repetitions << " reps:\n";
@@ -141,6 +178,36 @@ int cmd_schedule(int argc, char** argv) {
             << ")\n";
   std::cout << "  granted " << point.total_granted << " / "
             << point.total_requests << " requests\n";
+  if (probing) {
+    std::cout << "  rejected " << point.total_rejected
+              << " requests, by first-failure level:";
+    if (point.reject_by_level.empty()) std::cout << " (none)";
+    for (std::size_t h = 0; h < point.reject_by_level.size(); ++h) {
+      std::cout << "  L" << h << "=" << point.reject_by_level[h];
+    }
+    std::cout << "\n";
+  }
+  if (!flags.metrics_out.empty()) {
+    std::ofstream out(flags.metrics_out);
+    if (!out) {
+      std::cerr << "cannot open " << flags.metrics_out << "\n";
+      return 1;
+    }
+    obs::MetricsRegistry registry;
+    probe.export_metrics(registry, reject_reason_name);
+    registry.write_jsonl(out);
+    std::cout << "  metrics -> " << flags.metrics_out << "\n";
+  }
+  if (!flags.trace_out.empty()) {
+    std::ofstream out(flags.trace_out);
+    if (!out) {
+      std::cerr << "cannot open " << flags.trace_out << "\n";
+      return 1;
+    }
+    tracer.write(out);
+    std::cout << "  trace   -> " << flags.trace_out << " (" << tracer.size()
+              << " events)\n";
+  }
   return 0;
 }
 
@@ -231,11 +298,28 @@ int cmd_hw(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Pull the observability flags out of argv first, so the positional
+  // commands see a flag-free argument list.
+  ObsFlags flags;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--probe") {
+      flags.probe = true;
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      flags.metrics_out = arg.substr(14);
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      flags.trace_out = arg.substr(12);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
   if (argc < 2) return usage();
   const std::string command = argv[1];
   if (command == "info") return cmd_info(argc, argv);
   if (command == "dot") return cmd_dot(argc, argv);
-  if (command == "schedule") return cmd_schedule(argc, argv);
+  if (command == "schedule") return cmd_schedule(argc, argv, flags);
   if (command == "sweep") return cmd_sweep(argc, argv);
   if (command == "hw") return cmd_hw(argc, argv);
   if (command == "schedulers") {
