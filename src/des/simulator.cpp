@@ -23,6 +23,7 @@ std::uint64_t Simulator::run(std::uint64_t limit) {
     const SimTime t = queue_.top().time;
     FT_ASSERT(t >= now_);
     now_ = t;
+    notify_tick(t);
     if (tracer_) {
       tracer_->counter("des.queue", "des", t,
                        static_cast<double>(queue_.size()), obs::kPidDes);
@@ -56,6 +57,7 @@ std::uint64_t Simulator::run_until(SimTime until) {
     }
     const SimTime t = queue_.top().time;
     now_ = t;
+    notify_tick(t);
     if (tracer_) {
       tracer_->counter("des.queue", "des", t,
                        static_cast<double>(queue_.size()), obs::kPidDes);

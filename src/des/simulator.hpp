@@ -65,6 +65,15 @@ class Simulator {
   void set_tracer(obs::TraceWriter* tracer) { tracer_ = tracer; }
   obs::TraceWriter* tracer() const { return tracer_; }
 
+  /// Opt-in per-timestamp hook: `hook(t)` fires once for every distinct
+  /// simulated time the kernel advances to, before that time's first event
+  /// dispatch — the sampling point DES-driven telemetry wants (e.g. capture
+  /// LinkState occupancy at every tick). Pass {} to detach; the unhooked
+  /// run loop pays one predicted branch per timestamp.
+  void set_tick_hook(std::function<void(SimTime)> hook) {
+    tick_hook_ = std::move(hook);
+  }
+
  private:
   struct Event {
     SimTime time;
@@ -81,12 +90,24 @@ class Simulator {
   /// Applies pending Signal updates (one delta boundary).
   void flush_updates();
 
+  /// Fires tick_hook_ when `t` is a timestamp it has not seen yet.
+  void notify_tick(SimTime t) {
+    if (!tick_hook_) return;
+    if (hook_fired_ && t == last_hook_time_) return;
+    hook_fired_ = true;
+    last_hook_time_ = t;
+    tick_hook_(t);
+  }
+
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::vector<std::function<void()>> pending_updates_;
   obs::TraceWriter* tracer_ = nullptr;
+  std::function<void(SimTime)> tick_hook_;
+  SimTime last_hook_time_ = 0;
+  bool hook_fired_ = false;
 };
 
 }  // namespace ftsched

@@ -1,0 +1,35 @@
+#include "linkstate/telemetry.hpp"
+
+namespace ftsched {
+
+std::vector<obs::LinkLevelShape> telemetry_shape(const LinkState& state) {
+  std::vector<obs::LinkLevelShape> shape;
+  shape.reserve(state.link_levels());
+  for (std::uint32_t h = 0; h < state.link_levels(); ++h) {
+    shape.push_back(
+        obs::LinkLevelShape{state.rows_at(h), state.ports_per_switch()});
+  }
+  return shape;
+}
+
+void sample_link_state(const LinkState& state, std::uint64_t t,
+                       obs::LinkTelemetry& telemetry) {
+  if (!telemetry.configured()) telemetry.configure(telemetry_shape(state));
+  FT_REQUIRE(telemetry.levels() == state.link_levels());
+  telemetry.begin_sample(t);
+  const std::uint32_t w = state.ports_per_switch();
+  for (std::uint32_t h = 0; h < state.link_levels(); ++h) {
+    for (std::uint64_t sw = 0; sw < state.rows_at(h); ++sw) {
+      for (std::uint32_t port = 0; port < w; ++port) {
+        // LinkState bit semantics: 1 = available; telemetry wants busy.
+        telemetry.record_channel(h, sw, port, obs::ChannelDir::kUp,
+                                 !state.ulink(h, sw, port));
+        telemetry.record_channel(h, sw, port, obs::ChannelDir::kDown,
+                                 !state.dlink(h, sw, port));
+      }
+    }
+  }
+  telemetry.end_sample();
+}
+
+}  // namespace ftsched

@@ -1,0 +1,30 @@
+// LinkState -> LinkTelemetry sampling glue.
+//
+// obs::LinkTelemetry is deliberately blind to LinkState (obs depends only on
+// util); this header is where the two meet. One sample walks every channel
+// of every inter-switch level and records BUSY = not available — a faulted
+// cable (linkstate/faults.hpp) is indistinguishable from a scheduled one by
+// design, which is exactly how degradation studies want the utilization
+// picture to look.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linkstate/link_state.hpp"
+#include "obs/link_telemetry.hpp"
+#include "util/contracts.hpp"
+
+namespace ftsched {
+
+/// The telemetry shape of `state`: one LinkLevelShape per inter-switch
+/// level, (rows at the level, ports per switch).
+std::vector<obs::LinkLevelShape> telemetry_shape(const LinkState& state);
+
+/// Records one full fabric snapshot at time `t`. Configures `telemetry` on
+/// first use; a telemetry collector already configured for a different
+/// fabric shape is a contract violation.
+void sample_link_state(const LinkState& state, std::uint64_t t,
+                       obs::LinkTelemetry& telemetry);
+
+}  // namespace ftsched

@@ -1,0 +1,182 @@
+// LinkTelemetry — per-link and per-level fabric occupancy over time.
+//
+// The probe (sched_probe.hpp) answers WHERE requests die; this collector
+// answers WHERE THE FABRIC FILLS UP: which levels saturate first, how the
+// occupancy of individual switches is distributed, and which concrete
+// channels are busiest — the contention picture the level-wise AND is
+// designed to avoid. A sample is one full snapshot of the fabric at a
+// caller-supplied time (a batch index in the stats runner, a protocol cycle
+// in DistributedSetupSim, a fabric cycle in PacketSim); the collector keeps
+//   * a utilization time series (occupied channel counts per level per
+//     direction at every kept sample),
+//   * per-level saturation histograms (how many channels of one switch row
+//     are occupied — exact integer bins, 0 … ports),
+//   * per-channel busy-sample counters, reducible to a most-contended
+//     top-K.
+// The collector is deliberately generic: it never touches LinkState.
+// linkstate/telemetry.hpp provides the LinkState sampler; PacketSim feeds
+// its input-FIFO backlog through the same interface. Hooks in instrumented
+// code are null-guarded pointers, so the unprobed path pays one predicted
+// branch and the collector compiles out of nothing.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/contracts.hpp"
+
+namespace ftsched::obs {
+
+/// Which directed channel of a (level, row, port) slot a sample refers to.
+enum class ChannelDir : std::uint8_t { kUp, kDown };
+
+std::string_view to_string(ChannelDir dir);
+
+/// Shape of one sampled level: `rows` switch rows of `ports` channels per
+/// direction. For LinkState this is (switches at the level, w); for
+/// PacketSim it is (switches at the level, input ports).
+struct LinkLevelShape {
+  std::uint64_t rows = 0;
+  std::uint32_t ports = 0;
+
+  friend bool operator==(const LinkLevelShape&, const LinkLevelShape&) =
+      default;
+};
+
+/// One kept time-series entry: occupied channel counts per level.
+struct LinkUtilizationPoint {
+  std::uint64_t t = 0;
+  std::vector<std::uint64_t> up_occupied;    ///< index = level
+  std::vector<std::uint64_t> down_occupied;  ///< index = level
+};
+
+/// One row of the most-contended reduction.
+struct ContendedLink {
+  std::uint32_t level = 0;
+  std::uint64_t row = 0;
+  std::uint32_t port = 0;
+  ChannelDir dir = ChannelDir::kUp;
+  std::uint64_t busy_samples = 0;
+};
+
+struct LinkTelemetryOptions {
+  /// Keep every Nth sample in the time series (per-channel counters and
+  /// saturation histograms still accumulate on every sample). Long packet
+  /// runs use this to bound the series without losing the aggregates.
+  std::uint64_t series_every = 1;
+  /// Default K for top_contended() and the JSONL export.
+  std::size_t top_k = 8;
+};
+
+class LinkTelemetry {
+ public:
+  explicit LinkTelemetry(LinkTelemetryOptions options = {});
+
+  /// Sizes every per-level structure. First call wins; calling again with
+  /// the identical shape is a no-op, a different shape is a contract
+  /// violation (one collector, one fabric).
+  void configure(std::vector<LinkLevelShape> shape);
+  bool configured() const { return !shape_.empty(); }
+  const std::vector<LinkLevelShape>& shape() const { return shape_; }
+  std::uint32_t levels() const {
+    return static_cast<std::uint32_t>(shape_.size());
+  }
+
+  // --- Sampling -------------------------------------------------------------
+  // One snapshot = begin_sample, any number of record_channel calls (busy
+  // channels only matter; idle calls return immediately), end_sample.
+  // `t` values must be nondecreasing across samples.
+
+  void begin_sample(std::uint64_t t);
+
+  void record_channel(std::uint32_t level, std::uint64_t row,
+                      std::uint32_t port, ChannelDir dir, bool busy) {
+    FT_ASSERT(in_sample_);
+    FT_ASSERT(level < shape_.size());
+    FT_ASSERT(row < shape_[level].rows);
+    FT_ASSERT(port < shape_[level].ports);
+    if (!busy) return;
+    PerLevel& lvl = levels_[level];
+    const std::size_t channel = row * shape_[level].ports + port;
+    if (dir == ChannelDir::kUp) {
+      ++lvl.busy_up[channel];
+      ++lvl.row_up[row];
+      ++lvl.cur_up;
+    } else {
+      ++lvl.busy_down[channel];
+      ++lvl.row_down[row];
+      ++lvl.cur_down;
+    }
+  }
+
+  void end_sample();
+
+  // --- Reductions -----------------------------------------------------------
+
+  std::uint64_t samples() const { return samples_; }
+  const std::vector<LinkUtilizationPoint>& series() const { return series_; }
+
+  /// Occupied-channels-per-row histogram for a level and direction: exact
+  /// integer bins over [0, ports + 1), one observation per row per sample.
+  const Histogram& saturation(std::uint32_t level, ChannelDir dir) const;
+
+  /// Samples during which the channel was busy.
+  std::uint64_t busy_samples(std::uint32_t level, std::uint64_t row,
+                             std::uint32_t port, ChannelDir dir) const;
+
+  /// Mean busy fraction over all samples and channels of the level.
+  double utilization(std::uint32_t level, ChannelDir dir) const;
+
+  /// The `k` busiest channels, most-busy first; ties break on
+  /// (level, row, port, up-before-down) so the order is deterministic.
+  /// k = 0 uses options.top_k.
+  std::vector<ContendedLink> top_contended(std::size_t k = 0) const;
+
+  /// Drops all samples and counters; the configured shape stays.
+  void reset();
+
+  // --- Export ---------------------------------------------------------------
+
+  /// Registers under the `fabric.` prefix: `fabric.samples` (counter),
+  /// `fabric.util.level<h>.<dir>` (gauge, lifetime mean utilization),
+  /// `fabric.occupied.level<h>.<dir>` (gauge, last sample's occupied count),
+  /// and `fabric.saturation.level<h>.<dir>.occ<n>` (counter per exact
+  /// occupancy bin). See docs/OBSERVABILITY.md.
+  void export_metrics(MetricsRegistry& registry) const;
+
+  /// Compact self-describing JSON-lines time series. First line is a header
+  ///   {"type":"link_telemetry","version":1,"samples":N,"series_every":E,
+  ///    "levels":[{"level":0,"rows":R,"ports":P},...]}
+  /// followed by one {"type":"sample","t":..,"u":[..],"d":[..]} per kept
+  /// sample (occupied counts per level) and trailing reduction lines:
+  /// {"type":"utilization",...}, {"type":"saturation",...} per level per
+  /// direction, and {"type":"top_contended","links":[...]}.
+  void write_series_jsonl(std::ostream& os) const;
+
+ private:
+  struct PerLevel {
+    std::vector<std::uint64_t> busy_up;    ///< per channel, busy samples
+    std::vector<std::uint64_t> busy_down;
+    std::vector<std::uint32_t> row_up;     ///< per row, this sample's count
+    std::vector<std::uint32_t> row_down;
+    std::uint64_t cur_up = 0;              ///< this sample's occupied total
+    std::uint64_t cur_down = 0;
+    std::uint64_t last_up = 0;             ///< previous end_sample's totals
+    std::uint64_t last_down = 0;
+    std::vector<Histogram> saturation;     ///< [0] = up, [1] = down
+  };
+
+  LinkTelemetryOptions options_;
+  std::vector<LinkLevelShape> shape_;
+  std::vector<PerLevel> levels_;
+  std::vector<LinkUtilizationPoint> series_;
+  std::uint64_t samples_ = 0;
+  std::uint64_t current_t_ = 0;
+  bool in_sample_ = false;
+  bool have_sample_ = false;
+};
+
+}  // namespace ftsched::obs

@@ -39,6 +39,36 @@ std::string json_escape(std::string_view text) {
   return out;
 }
 
+double Histogram::percentile(double q) const {
+  FT_REQUIRE(q >= 0.0 && q <= 1.0);
+  FT_REQUIRE(count_ > 0);
+  // Estimated value of the k-th (0-based) order statistic: walk the
+  // cumulative counts to the bucket holding rank k, then spread that
+  // bucket's n observations uniformly across its width (the j-th of n sits
+  // at fraction (j + 0.5) / n). Underflow/overflow buckets have no width to
+  // interpolate in; their observations clamp to the nearest edge.
+  const auto order_stat = [this](std::uint64_t k) -> double {
+    if (k < underflow_) return lo_;
+    std::uint64_t cum = underflow_;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      if (k < cum + counts_[i]) {
+        const double within =
+            (static_cast<double>(k - cum) + 0.5) /
+            static_cast<double>(counts_[i]);
+        return lo_ + width_ * (static_cast<double>(i) + within);
+      }
+      cum += counts_[i];
+    }
+    return hi_;
+  };
+  const double rank = q * static_cast<double>(count_ - 1);
+  const auto lower = static_cast<std::uint64_t>(rank);
+  const double fraction = rank - static_cast<double>(lower);
+  const double at_lower = order_stat(lower);
+  if (fraction == 0.0 || lower + 1 >= count_) return at_lower;
+  return at_lower + fraction * (order_stat(lower + 1) - at_lower);
+}
+
 void Histogram::reset() {
   counts_.assign(counts_.size(), 0);
   underflow_ = 0;

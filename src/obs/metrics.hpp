@@ -98,6 +98,15 @@ class Histogram {
   std::uint64_t count() const { return count_; }
   double sum() const { return sum_; }
 
+  /// Estimated q-quantile (q in [0, 1]) of the observed distribution, with
+  /// `stats::percentile` semantics (type 7: rank q·(n-1), linear
+  /// interpolation between adjacent order statistics). Order statistics are
+  /// reconstructed from the bins by spreading each bin's observations
+  /// uniformly across its width; underflow observations are clamped to
+  /// lo() and overflow observations to hi() (their true values are not
+  /// retained). Requires count() > 0.
+  double percentile(double q) const;
+
   void reset();
 
  private:

@@ -7,6 +7,33 @@
 
 namespace ftsched::obs {
 
+TraceWriter::TraceWriter() {
+  set_process_name(kPidSched, "sched (wall us)");
+  set_process_name(kPidDes, "des (sim ticks)");
+  set_process_name(kPidHw, "hw (block cycles)");
+}
+
+void TraceWriter::set_process_name(std::uint32_t pid, std::string_view name) {
+  for (TraceMetadata& meta : metadata_) {
+    if (!meta.thread && meta.pid == pid) {
+      meta.name = std::string(name);
+      return;
+    }
+  }
+  metadata_.push_back(TraceMetadata{pid, 0, false, std::string(name)});
+}
+
+void TraceWriter::set_thread_name(std::uint32_t pid, std::uint32_t tid,
+                                  std::string_view name) {
+  for (TraceMetadata& meta : metadata_) {
+    if (meta.thread && meta.pid == pid && meta.tid == tid) {
+      meta.name = std::string(name);
+      return;
+    }
+  }
+  metadata_.push_back(TraceMetadata{pid, tid, true, std::string(name)});
+}
+
 void TraceWriter::complete(std::string_view name, std::string_view cat,
                            std::uint64_t ts_us, std::uint64_t dur_us,
                            std::uint32_t pid, std::uint32_t tid) {
@@ -31,6 +58,16 @@ void TraceWriter::counter(std::string_view name, std::string_view cat,
 void TraceWriter::write(std::ostream& os) const {
   os << "{\"traceEvents\":[";
   bool first = true;
+  // Metadata first: viewers apply track names on sight, so naming before
+  // the payload keeps every row labelled from the first event.
+  for (const TraceMetadata& meta : metadata_) {
+    if (!first) os << ',';
+    first = false;
+    os << "\n{\"name\":\""
+       << (meta.thread ? "thread_name" : "process_name")
+       << "\",\"ph\":\"M\",\"pid\":" << meta.pid << ",\"tid\":" << meta.tid
+       << ",\"args\":{\"name\":\"" << json_escape(meta.name) << "\"}}";
+  }
   for (const TraceEvent& e : events_) {
     if (!first) os << ',';
     first = false;

@@ -41,8 +41,21 @@ struct TraceEvent {
   double value = 0.0;        ///< counter events only
 };
 
+/// Viewer metadata ("ph":"M"): names the pid/tid tracks so Perfetto shows
+/// "sched (wall us)" instead of a raw pid number.
+struct TraceMetadata {
+  std::uint32_t pid = 0;
+  std::uint32_t tid = 0;
+  bool thread = false;  ///< false = process_name, true = thread_name
+  std::string name;
+};
+
 class TraceWriter {
  public:
+  /// Pre-names the three standard clock-domain tracks (kPidSched/kPidDes/
+  /// kPidHw); set_process_name overrides them.
+  TraceWriter();
+
   void complete(std::string_view name, std::string_view cat,
                 std::uint64_t ts_us, std::uint64_t dur_us,
                 std::uint32_t pid = kPidSched, std::uint32_t tid = 0);
@@ -53,9 +66,21 @@ class TraceWriter {
                std::uint64_t ts_us, double value,
                std::uint32_t pid = kPidSched);
 
+  /// Names a pid track (replaces an earlier name for the same pid). Rendered
+  /// as a {"ph":"M","name":"process_name"} metadata event ahead of the
+  /// event stream, so viewers label the track.
+  void set_process_name(std::uint32_t pid, std::string_view name);
+
+  /// Names a (pid, tid) row within a track ({"ph":"M","name":"thread_name"}).
+  void set_thread_name(std::uint32_t pid, std::uint32_t tid,
+                       std::string_view name);
+
+  /// size()/empty()/events() cover payload events only; track names live in
+  /// metadata() and survive clear().
   std::size_t size() const { return events_.size(); }
   bool empty() const { return events_.empty(); }
   const std::vector<TraceEvent>& events() const { return events_; }
+  const std::vector<TraceMetadata>& metadata() const { return metadata_; }
   void clear() { events_.clear(); }
 
   /// Renders {"traceEvents":[...],"displayTimeUnit":"ms"} — a single valid
@@ -68,6 +93,7 @@ class TraceWriter {
 
  private:
   std::vector<TraceEvent> events_;
+  std::vector<TraceMetadata> metadata_;
 };
 
 /// RAII wall-clock span: records a complete event from construction to

@@ -81,11 +81,28 @@ PacketSimReport PacketSim::run() {
   PacketSimReport report;
   std::uint64_t window_deliveries = 0;
   std::uint64_t latency_sum = 0;
-  std::uint64_t occupancy_samples = 0;
-  std::uint64_t occupancy_sum = 0;
   std::uint64_t total_queues = 0;
   for (std::uint32_t h = 0; h < levels; ++h) {
     total_queues += tree_.switches_at(h) * (m + (h + 1 < levels ? w : 0));
+  }
+
+  // Normalized fabric fill per measure cycle. The run-local histogram keeps
+  // the report's avg_queue_occupancy scoped to this run even when an
+  // attached registry (which accumulates across runs) mirrors the samples.
+  obs::Histogram occupancy(0.0, 1.0, 20);
+  obs::Histogram* registry_occupancy =
+      options_.metrics
+          ? &options_.metrics->histogram("simnet.queue.occupancy", 0.0, 1.0,
+                                         20)
+          : nullptr;
+
+  if (options_.telemetry && !options_.telemetry->configured()) {
+    std::vector<obs::LinkLevelShape> shape;
+    for (std::uint32_t h = 0; h < levels; ++h) {
+      shape.push_back(obs::LinkLevelShape{
+          tree_.switches_at(h), m + (h + 1 < levels ? w : 0)});
+    }
+    options_.telemetry->configure(std::move(shape));
   }
 
   // Per-switch, per-output round-robin grant pointers and the rotating
@@ -298,8 +315,26 @@ PacketSimReport PacketSim::run() {
           for (const auto& q : sw.in) filled += q.size();
         }
       }
-      occupancy_sum += filled;
-      ++occupancy_samples;
+      const double fill = static_cast<double>(filled) /
+                          (static_cast<double>(total_queues) *
+                           static_cast<double>(options_.queue_capacity));
+      occupancy.observe(fill);
+      if (registry_occupancy) registry_occupancy->observe(fill);
+      if (options_.telemetry) {
+        options_.telemetry->begin_sample(cycle);
+        for (std::uint32_t h = 0; h < levels; ++h) {
+          for (std::uint64_t i = 0; i < tree_.switches_at(h); ++i) {
+            const auto& in = fabric[h][i].in;
+            const auto ports = static_cast<std::uint32_t>(in.size());
+            for (std::uint32_t p = 0; p < ports; ++p) {
+              options_.telemetry->record_channel(h, i, p,
+                                                 obs::ChannelDir::kUp,
+                                                 !in[p].empty());
+            }
+          }
+        }
+        options_.telemetry->end_sample();
+      }
     }
   }
 
@@ -311,12 +346,9 @@ PacketSimReport PacketSim::run() {
       static_cast<double>(window_deliveries) /
       (static_cast<double>(tree_.node_count()) *
        static_cast<double>(options_.measure_cycles));
-  if (occupancy_samples > 0) {
+  if (occupancy.count() > 0) {
     report.avg_queue_occupancy =
-        static_cast<double>(occupancy_sum) /
-        (static_cast<double>(occupancy_samples) *
-         static_cast<double>(total_queues) *
-         static_cast<double>(options_.queue_capacity));
+        occupancy.sum() / static_cast<double>(occupancy.count());
   }
   return report;
 }

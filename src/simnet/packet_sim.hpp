@@ -24,6 +24,8 @@
 #include <deque>
 #include <vector>
 
+#include "obs/link_telemetry.hpp"
+#include "obs/metrics.hpp"
 #include "topology/fat_tree.hpp"
 #include "util/rng.hpp"
 
@@ -50,6 +52,18 @@ struct PacketSimOptions {
   /// random permutation partner (false).
   bool uniform_destinations = true;
   std::uint64_t seed = 0x9acce7ULL;
+  /// Optional metrics sink: mirrors every occupancy sample (normalized
+  /// fabric fill per measure cycle) into the `simnet.queue.occupancy`
+  /// histogram (20 bins over [0, 1)). The registry accumulates across
+  /// run() calls; the report's avg_queue_occupancy stays per-run. Must
+  /// outlive the simulation.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Optional fabric telemetry, sampled once per measure cycle (t = cycle):
+  /// every switch input FIFO is one channel on the up series, busy = FIFO
+  /// non-empty (the down series is unused in packet mode — a packet fabric
+  /// has no directed channel reservations to distinguish). Shape: per tree
+  /// level, (switches, input ports). Must outlive run().
+  obs::LinkTelemetry* telemetry = nullptr;
 };
 
 struct PacketSimReport {

@@ -3,6 +3,8 @@
 #include <map>
 #include <tuple>
 
+#include "linkstate/telemetry.hpp"
+
 namespace ftsched {
 
 DistributedSetupSim::DistributedSetupSim(const FatTree& tree,
@@ -243,6 +245,12 @@ SetupSimReport DistributedSetupSim::run(std::span<const Request> requests,
         out.path.ports.clear();
         out.path.ancestor_level = 0;
       }
+    }
+
+    // Cycle boundary: the fabric now holds every channel claimed up to and
+    // including this cycle, minus the teardown wave's releases.
+    if (options_.telemetry) {
+      sample_link_state(state, cycle, *options_.telemetry);
     }
 
     ++cycle;

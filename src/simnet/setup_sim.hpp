@@ -27,6 +27,7 @@
 #include "core/request.hpp"
 #include "core/scheduler.hpp"
 #include "linkstate/link_state.hpp"
+#include "obs/link_telemetry.hpp"
 #include "topology/fat_tree.hpp"
 #include "util/rng.hpp"
 
@@ -43,6 +44,11 @@ struct SetupSimOptions {
   /// Safety valve: abort the run after this many cycles (a correct run
   /// quiesces within ~attempts · (2·levels + teardown chain)).
   std::uint64_t max_cycles = 1u << 20;
+  /// Optional fabric telemetry: the LinkState is sampled at the end of
+  /// every protocol cycle (t = cycle), so the series shows tokens claiming
+  /// and tearing down channels as the setup race unfolds. Must outlive
+  /// run(); null = no sampling, one branch per cycle.
+  obs::LinkTelemetry* telemetry = nullptr;
 };
 
 struct SetupSimReport {

@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "linkstate/telemetry.hpp"
+
 namespace ftsched {
 
 ExperimentPoint run_experiment(const FatTree& tree,
@@ -29,6 +31,9 @@ ExperimentPoint run_experiment(const FatTree& tree,
     state.reset();
     const ScheduleResult result =
         scheduler.value()->schedule(tree, batch, state);
+    // Batch boundary: the granted circuits of this repetition are exactly
+    // what occupies the fabric now.
+    if (config.telemetry) sample_link_state(state, rep, *config.telemetry);
     if (config.verify) {
       const Status ok = verify_schedule(tree, batch, result, &state,
                                         VerifyOptions{config.allow_residual});

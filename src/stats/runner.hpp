@@ -13,6 +13,7 @@
 
 #include "core/registry.hpp"
 #include "core/verifier.hpp"
+#include "obs/link_telemetry.hpp"
 #include "obs/sched_probe.hpp"
 #include "obs/trace.hpp"
 #include "stats/summary.hpp"
@@ -38,6 +39,11 @@ struct ExperimentConfig {
   /// Optional trace sink, same lifetime rule. Every repetition's batch spans
   /// land in it, so keep repetitions small when tracing.
   obs::TraceWriter* tracer = nullptr;
+  /// Optional fabric telemetry, same lifetime rule. The post-schedule
+  /// LinkState of every repetition is sampled at t = repetition index (one
+  /// batch-boundary snapshot per batch), so the series shows how full each
+  /// level ends up across the experiment. Null = no sampling, one branch.
+  obs::LinkTelemetry* telemetry = nullptr;
 };
 
 struct ExperimentPoint {

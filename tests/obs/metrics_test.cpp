@@ -76,6 +76,93 @@ TEST(Histogram, SumAccumulatesAllObservations) {
   EXPECT_DOUBLE_EQ(h.sum(), 1.5);
 }
 
+TEST(HistogramPercentile, MatchesUniformSpreadWithinBins) {
+  // 10 observations spread one per bin of [0,10): the estimator places the
+  // j-th of n bucket observations at lo + width*(bin + (j+0.5)/n), so each
+  // order statistic sits at bin_center = bin + 0.5.
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.observe(static_cast<double>(i) + 0.25);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.5);   // first order statistic
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 9.5);   // last order statistic
+  // Median of 10 values: halfway between the 4th and 5th order statistics
+  // (type-7 interpolation), i.e. between bin centers 4.5 and 5.5.
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 5.0);
+}
+
+TEST(HistogramPercentile, SingleObservationEveryQuantile) {
+  Histogram h(0.0, 4.0, 4);
+  h.observe(2.5);  // bin 2, center 2.5
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 2.5);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 2.5);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 2.5);
+}
+
+TEST(HistogramPercentile, InterpolatesAcrossBins) {
+  Histogram h(0.0, 2.0, 2);  // bins [0,1) and [1,2)
+  h.observe(0.5);            // order stat 0 -> 0.5 (sole obs of bin 0)
+  h.observe(1.5);            // order stat 1 -> 1.5
+  // rank(q=0.25) = 0.25 between the two statistics.
+  EXPECT_DOUBLE_EQ(h.percentile(0.25), 0.75);
+  EXPECT_DOUBLE_EQ(h.percentile(0.75), 1.25);
+}
+
+TEST(HistogramPercentile, UnderflowHeavyClampsToLo) {
+  // 9 of 10 observations below lo: every quantile up to 80% must report
+  // lo exactly (underflow has no width to interpolate in), and the max must
+  // come from the one real bucket.
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 9; ++i) h.observe(-5.0);
+  h.observe(7.5);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.8), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 7.5);  // sole obs of bin 7: center 7.5
+}
+
+TEST(HistogramPercentile, OverflowHeavyClampsToHi) {
+  Histogram h(0.0, 10.0, 10);
+  h.observe(2.5);
+  for (int i = 0; i < 9; ++i) h.observe(99.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 2.5);  // sole obs of bin 2: center 2.5
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 10.0);
+}
+
+TEST(HistogramPercentile, AllUnderflowAndAllOverflow) {
+  Histogram lo_only(0.0, 1.0, 4);
+  lo_only.observe(-3.0);
+  lo_only.observe(-4.0);
+  EXPECT_DOUBLE_EQ(lo_only.percentile(0.5), 0.0);
+  Histogram hi_only(0.0, 1.0, 4);
+  hi_only.observe(2.0);
+  EXPECT_DOUBLE_EQ(hi_only.percentile(0.5), 1.0);
+}
+
+TEST(HistogramPercentile, MonotoneInQ) {
+  Histogram h(0.0, 8.0, 8);
+  h.observe(-1.0);
+  h.observe(0.5);
+  h.observe(0.6);
+  h.observe(3.2);
+  h.observe(3.9);
+  h.observe(7.7);
+  h.observe(12.0);
+  double prev = h.percentile(0.0);
+  for (int i = 1; i <= 20; ++i) {
+    const double cur = h.percentile(static_cast<double>(i) / 20.0);
+    EXPECT_GE(cur, prev) << "q=" << i / 20.0;
+    prev = cur;
+  }
+}
+
+TEST(HistogramPercentileDeath, EmptyAndOutOfRangeRejected) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_DEATH(h.percentile(0.5), "precondition");  // no observations
+  h.observe(0.5);
+  EXPECT_DEATH(h.percentile(-0.1), "precondition");
+  EXPECT_DEATH(h.percentile(1.1), "precondition");
+}
+
 TEST(MetricsRegistry, SameNameReturnsSameInstance) {
   MetricsRegistry reg;
   Counter& a = reg.counter("sched.grants");

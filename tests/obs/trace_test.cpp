@@ -105,6 +105,73 @@ TEST(ScopedSpan, NestedSpansBothRecorded) {
   EXPECT_LE(w.events()[1].ts_us, w.events()[0].ts_us);
 }
 
+TEST(TraceMetadata, StandardTracksArePrenamed) {
+  TraceWriter w;
+  ASSERT_EQ(w.metadata().size(), 3u);
+  EXPECT_EQ(w.metadata()[0].pid, kPidSched);
+  EXPECT_FALSE(w.metadata()[0].thread);
+  EXPECT_EQ(w.metadata()[0].name, "sched (wall us)");
+  EXPECT_EQ(w.metadata()[1].pid, kPidDes);
+  EXPECT_EQ(w.metadata()[2].pid, kPidHw);
+  // Pre-named tracks do not count as payload events.
+  EXPECT_TRUE(w.empty());
+  EXPECT_EQ(w.size(), 0u);
+}
+
+TEST(TraceMetadata, SetProcessNameReplacesExistingEntry) {
+  TraceWriter w;
+  w.set_process_name(kPidDes, "simnet cycles");
+  ASSERT_EQ(w.metadata().size(), 3u);  // replaced, not appended
+  EXPECT_EQ(w.metadata()[1].name, "simnet cycles");
+  w.set_process_name(7, "custom");
+  ASSERT_EQ(w.metadata().size(), 4u);
+  EXPECT_EQ(w.metadata()[3].pid, 7u);
+}
+
+TEST(TraceMetadata, ThreadNamesKeyOnPidAndTid) {
+  TraceWriter w;
+  w.set_thread_name(kPidHw, 0, "stage crossbar");
+  w.set_thread_name(kPidHw, 1, "stage memory");
+  w.set_thread_name(kPidHw, 0, "stage crossbar!");  // same key: replace
+  ASSERT_EQ(w.metadata().size(), 5u);
+  EXPECT_TRUE(w.metadata()[3].thread);
+  EXPECT_EQ(w.metadata()[3].tid, 0u);
+  EXPECT_EQ(w.metadata()[3].name, "stage crossbar!");
+  EXPECT_EQ(w.metadata()[4].tid, 1u);
+}
+
+TEST(TraceMetadata, RendersMetadataEventsAheadOfStream) {
+  TraceWriter w;
+  w.set_thread_name(kPidHw, 2, "stage \"output\"");
+  w.complete("span", "cat", 0, 1);
+  std::ostringstream os;
+  w.write(os);
+  const std::string text = os.str();
+  EXPECT_TRUE(ftsched::test::json_valid(text)) << text;
+  const auto meta_pos = text.find("\"ph\":\"M\"");
+  const auto span_pos = text.find("\"ph\":\"X\"");
+  ASSERT_NE(meta_pos, std::string::npos);
+  ASSERT_NE(span_pos, std::string::npos);
+  EXPECT_LT(meta_pos, span_pos);
+  EXPECT_NE(text.find("\"name\":\"process_name\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"thread_name\""), std::string::npos);
+  // Name payloads are escaped and carried in args.
+  EXPECT_NE(text.find("\"args\":{\"name\":\"stage \\\"output\\\"\"}"),
+            std::string::npos);
+}
+
+TEST(TraceMetadata, SurvivesClear) {
+  TraceWriter w;
+  w.set_thread_name(kPidSched, 1, "worker");
+  w.instant("x", "c", 1);
+  w.clear();
+  EXPECT_TRUE(w.empty());
+  ASSERT_EQ(w.metadata().size(), 4u);
+  std::ostringstream os;
+  w.write(os);
+  EXPECT_NE(os.str().find("\"name\":\"worker\""), std::string::npos);
+}
+
 TEST(TraceWriter, WallClockIsMonotonic) {
   const std::uint64_t a = TraceWriter::wall_now_us();
   const std::uint64_t b = TraceWriter::wall_now_us();

@@ -4,6 +4,7 @@
 
 #include "core/local_scheduler.hpp"
 #include "core/verifier.hpp"
+#include "obs/link_telemetry.hpp"
 #include "workload/patterns.hpp"
 
 namespace ftsched {
@@ -173,6 +174,55 @@ TEST(SetupSim, RetriedGrantsHaveHigherLatency) {
   }
   // A retried token pays at least one teardown + relaunch beyond 2(l-1).
   EXPECT_GT(max_latency, 4u);
+}
+
+TEST(SetupSim, TelemetrySamplesEveryProtocolCycle) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  obs::LinkTelemetry telemetry;
+  SetupSimOptions options;
+  options.telemetry = &telemetry;
+  DistributedSetupSim sim(tree, options);
+  LinkState state(tree);
+  const Request request{0, 63};  // H = 2: 4 protocol cycles
+  const SetupSimReport report = sim.run({&request, 1}, state);
+  ASSERT_TRUE(report.result.outcomes[0].granted);
+
+  EXPECT_EQ(telemetry.samples(), report.cycles);
+  EXPECT_EQ(telemetry.levels(), state.link_levels());
+  // The final sample shows exactly the completed circuit's channels.
+  const auto& last = telemetry.series().back();
+  std::uint64_t occupied = 0;
+  for (std::uint32_t h = 0; h < state.link_levels(); ++h) {
+    occupied += last.up_occupied[h] + last.down_occupied[h];
+    EXPECT_EQ(last.up_occupied[h], state.occupied_ulinks_at(h));
+    EXPECT_EQ(last.down_occupied[h], state.occupied_dlinks_at(h));
+  }
+  EXPECT_EQ(occupied, state.total_occupied());
+  // Occupancy during the ascent is visible: the first sample already holds
+  // the first reserved up channel.
+  EXPECT_GE(telemetry.series().front().up_occupied[0], 1u);
+}
+
+TEST(SetupSim, TelemetryDoesNotChangeProtocolOutcome) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  const std::vector<Request> batch{
+      {tree.node_at(0, 0), tree.node_at(8, 0)},
+      {tree.node_at(1, 0), tree.node_at(8, 1)}};
+  DistributedSetupSim bare(tree);
+  LinkState state_a(tree);
+  const SetupSimReport a = bare.run(batch, state_a);
+
+  obs::LinkTelemetry telemetry;
+  SetupSimOptions options;
+  options.telemetry = &telemetry;
+  DistributedSetupSim sampled(tree, options);
+  LinkState state_b(tree);
+  const SetupSimReport b = sampled.run(batch, state_b);
+
+  EXPECT_EQ(a.result, b.result);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.teardowns, b.teardowns);
+  EXPECT_EQ(state_a, state_b);
 }
 
 TEST(SetupSim, LeafConflictsRejectedBeforeSimulation) {

@@ -1,0 +1,1065 @@
+// ftreport — offline analysis and regression gate for the observability
+// outputs this repository emits (docs/OBSERVABILITY.md documents every
+// producer).
+//
+// Report mode: ingest any subset of the artifacts and render one Markdown
+// report (optionally a flat CSV as well):
+//
+//   ftreport report [--metrics FILE.jsonl] [--telemetry FILE.jsonl]
+//                   [--trace FILE.json] [--bench BENCH_*.json]
+//                   [--out report.md] [--csv report.csv]
+//
+//   * --bench      fig9-schema schedulability table per sweep point
+//   * --metrics    MetricsRegistry JSONL: scheduling totals, rejection
+//                  breakdown by level and by reason, fabric utilization
+//   * --telemetry  LinkTelemetry series JSONL: per-level utilization,
+//                  level x stage occupancy heatmap (stages = tenths of the
+//                  sample window), saturation histograms, top contended links
+//   * --trace      Chrome trace JSON: duration-span rollups by name
+//
+// Regression mode: diff two benchmark JSON files and exit nonzero when the
+// candidate got worse — the CI bench gate:
+//
+//   ftreport --baseline old.json --candidate new.json [--threshold 5%]
+//            [--perf]
+//
+// Two schemas are auto-detected. The repo's fig9 schema ({"bench","reps",
+// "points":[...]}) gates on the schedulability `mean` (deterministic for a
+// fixed seed, so tight thresholds are safe across machines); --perf
+// additionally gates on `requests_per_sec` (machine-dependent — only
+// meaningful when both files come from the same box). google-benchmark
+// JSON ({"benchmarks":[...]}) gates on `items_per_second` when present,
+// else `real_time`. A benchmark present in the baseline but missing from
+// the candidate is a failure; new candidate entries are reported but pass.
+//
+// Exit codes: 0 = ok / no regression, 1 = regression or missing benchmark,
+// 2 = usage or parse error.
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+// --- Minimal JSON ----------------------------------------------------------
+// Recursive-descent parser for the subset of RFC 8259 the repo's writers
+// emit (they never produce exotic numbers, and escapes beyond \uXXXX basic
+// plane are absent). Objects keep insertion order so report tables follow
+// the producer's ordering.
+
+struct JsonValue {
+  enum class Type : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* find(std::string_view key) const {
+    if (type != Type::kObject) return nullptr;
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  double num_or(double fallback) const {
+    return type == Type::kNumber ? number : fallback;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  bool parse(JsonValue& out, std::string& error) {
+    skip_ws();
+    if (!parse_value(out, error)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      error = "trailing content at offset " + std::to_string(pos_);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+  bool fail(std::string& error, const std::string& what) {
+    error = what + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  bool parse_value(JsonValue& out, std::string& error) {
+    if (pos_ >= text_.size()) return fail(error, "unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return parse_object(out, error);
+      case '[':
+        return parse_array(out, error);
+      case '"':
+        out.type = JsonValue::Type::kString;
+        return parse_string(out.str, error);
+      case 't':
+        if (text_.compare(pos_, 4, "true") != 0) return fail(error, "bad literal");
+        pos_ += 4;
+        out.type = JsonValue::Type::kBool;
+        out.boolean = true;
+        return true;
+      case 'f':
+        if (text_.compare(pos_, 5, "false") != 0) return fail(error, "bad literal");
+        pos_ += 5;
+        out.type = JsonValue::Type::kBool;
+        out.boolean = false;
+        return true;
+      case 'n':
+        if (text_.compare(pos_, 4, "null") != 0) return fail(error, "bad literal");
+        pos_ += 4;
+        out.type = JsonValue::Type::kNull;
+        return true;
+      default:
+        return parse_number(out, error);
+    }
+  }
+
+  bool parse_object(JsonValue& out, std::string& error) {
+    out.type = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return fail(error, "expected object key");
+      }
+      std::string key;
+      if (!parse_string(key, error)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return fail(error, "expected ':'");
+      }
+      ++pos_;
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value, error)) return false;
+      out.object.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail(error, "unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail(error, "expected ',' or '}'");
+    }
+  }
+
+  bool parse_array(JsonValue& out, std::string& error) {
+    out.type = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value, error)) return false;
+      out.array.push_back(std::move(value));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail(error, "unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail(error, "expected ',' or ']'");
+    }
+  }
+
+  bool parse_string(std::string& out, std::string& error) {
+    ++pos_;  // opening '"'
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail(error, "bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail(error, "bad \\u escape");
+          }
+          // UTF-8 encode the basic-plane code point (the repo's writers
+          // only escape control characters, all below U+0800).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return fail(error, "bad escape");
+      }
+    }
+    return fail(error, "unterminated string");
+  }
+
+  bool parse_number(JsonValue& out, std::string& error) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail(error, "expected value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    out.number = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      pos_ = start;
+      return fail(error, "bad number");
+    }
+    out.type = JsonValue::Type::kNumber;
+    return true;
+  }
+};
+
+bool parse_file(const std::string& path, JsonValue& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "ftreport: cannot open " << path << "\n";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  std::string error;
+  if (!JsonParser(text).parse(out, error)) {
+    std::cerr << "ftreport: " << path << ": " << error << "\n";
+    return false;
+  }
+  return true;
+}
+
+/// Parses a JSON-lines file: one JsonValue per non-empty line.
+bool parse_jsonl_file(const std::string& path, std::vector<JsonValue>& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "ftreport: cannot open " << path << "\n";
+    return false;
+  }
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    JsonValue value;
+    std::string error;
+    if (!JsonParser(line).parse(value, error)) {
+      std::cerr << "ftreport: " << path << ":" << lineno << ": " << error
+                << "\n";
+      return false;
+    }
+    out.push_back(std::move(value));
+  }
+  return true;
+}
+
+// --- Formatting helpers ----------------------------------------------------
+
+std::string fmt(double v, int precision = 4) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  std::string s = os.str();
+  // Trim trailing zeros (but keep one digit after the point).
+  const auto dot = s.find('.');
+  if (dot != std::string::npos) {
+    auto last = s.find_last_not_of('0');
+    if (last == dot) ++last;
+    s.erase(last + 1);
+  }
+  return s;
+}
+
+std::string fmt_pct(double fraction) { return fmt(fraction * 100.0, 1) + "%"; }
+
+/// Five-step cell shading for the Markdown heatmap (text-only, renders in
+/// any viewer).
+std::string_view shade(double fraction) {
+  if (fraction >= 0.8) return "#### ";
+  if (fraction >= 0.6) return "###  ";
+  if (fraction >= 0.4) return "##   ";
+  if (fraction >= 0.2) return "#    ";
+  return ".    ";
+}
+
+// --- CLI arguments ---------------------------------------------------------
+
+struct Args {
+  std::map<std::string, std::string> flags;
+  std::vector<std::string> positional;
+};
+
+/// Accepts --flag=value, --flag value, and bare --flag (stored as "1").
+bool parse_args(const std::vector<std::string>& argv,
+                const std::vector<std::string>& value_flags, Args& out) {
+  const auto takes_value = [&](const std::string& name) {
+    return std::find(value_flags.begin(), value_flags.end(), name) !=
+           value_flags.end();
+  };
+  for (std::size_t i = 0; i < argv.size(); ++i) {
+    const std::string& arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      out.positional.push_back(arg);
+      continue;
+    }
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      out.flags[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      continue;
+    }
+    const std::string name = arg.substr(2);
+    if (takes_value(name)) {
+      if (i + 1 >= argv.size()) {
+        std::cerr << "ftreport: --" << name << " needs a value\n";
+        return false;
+      }
+      out.flags[name] = argv[++i];
+    } else {
+      out.flags[name] = "1";
+    }
+  }
+  return true;
+}
+
+void usage(std::ostream& os) {
+  os << "usage:\n"
+     << "  ftreport report [--metrics FILE.jsonl] [--telemetry FILE.jsonl]\n"
+     << "                  [--trace FILE.json] [--bench BENCH.json]\n"
+     << "                  [--out report.md] [--csv report.csv]\n"
+     << "  ftreport --baseline OLD.json --candidate NEW.json\n"
+     << "           [--threshold PCT[%]] [--perf]\n"
+     << "exit: 0 ok, 1 regression/missing benchmark, 2 usage or parse error\n";
+}
+
+// --- Regression gate -------------------------------------------------------
+
+struct Comparison {
+  std::string name;    ///< benchmark identity (point + scheduler, or gbench name)
+  std::string metric;  ///< which field was compared
+  double baseline = 0.0;
+  double candidate = 0.0;
+  bool higher_is_better = true;
+  bool missing = false;  ///< in baseline but absent from candidate
+};
+
+bool is_regression(const Comparison& c, double threshold_pct) {
+  if (c.missing) return true;
+  const double slack = threshold_pct / 100.0;
+  if (c.baseline == 0.0) {
+    // Nothing to lose; only a sign flip in a lower-is-better metric could
+    // regress, which no producer emits.
+    return false;
+  }
+  if (c.higher_is_better) return c.candidate < c.baseline * (1.0 - slack);
+  return c.candidate > c.baseline * (1.0 + slack);
+}
+
+double delta_pct(const Comparison& c) {
+  if (c.baseline == 0.0) return 0.0;
+  return (c.candidate - c.baseline) / c.baseline * 100.0;
+}
+
+/// fig9 schema: gate every (point, scheduler) pair on the schedulability
+/// mean; with `perf` also on requests_per_sec.
+bool compare_fig9(const JsonValue& base, const JsonValue& cand, bool perf,
+                  std::vector<Comparison>& out) {
+  const JsonValue* base_points = base.find("points");
+  const JsonValue* cand_points = cand.find("points");
+  if (!base_points || base_points->type != JsonValue::Type::kArray ||
+      !cand_points || cand_points->type != JsonValue::Type::kArray) {
+    std::cerr << "ftreport: fig9 schema: missing \"points\" array\n";
+    return false;
+  }
+  const auto point_key = [](const JsonValue& point) {
+    const JsonValue* levels = point.find("levels");
+    const JsonValue* arity = point.find("arity");
+    return "levels=" + fmt(levels ? levels->num_or(0) : 0, 0) +
+           " arity=" + fmt(arity ? arity->num_or(0) : 0, 0);
+  };
+  for (const JsonValue& bp : base_points->array) {
+    const std::string key = point_key(bp);
+    const JsonValue* cp = nullptr;
+    for (const JsonValue& candidate_point : cand_points->array) {
+      if (point_key(candidate_point) == key) {
+        cp = &candidate_point;
+        break;
+      }
+    }
+    const JsonValue* base_scheds = bp.find("schedulers");
+    if (!base_scheds || base_scheds->type != JsonValue::Type::kObject) continue;
+    const JsonValue* cand_scheds = cp ? cp->find("schedulers") : nullptr;
+    for (const auto& [sched, base_stats] : base_scheds->object) {
+      const JsonValue* cand_stats =
+          cand_scheds ? cand_scheds->find(sched) : nullptr;
+      const auto emit = [&](const char* field, bool higher_better) {
+        const JsonValue* bv = base_stats.find(field);
+        if (!bv || bv->type != JsonValue::Type::kNumber) return;
+        Comparison c;
+        c.name = key + " " + sched;
+        c.metric = field;
+        c.baseline = bv->number;
+        c.higher_is_better = higher_better;
+        const JsonValue* cv = cand_stats ? cand_stats->find(field) : nullptr;
+        if (!cv || cv->type != JsonValue::Type::kNumber) {
+          c.missing = true;
+        } else {
+          c.candidate = cv->number;
+        }
+        out.push_back(std::move(c));
+      };
+      emit("mean", true);
+      if (perf) emit("requests_per_sec", true);
+    }
+  }
+  return true;
+}
+
+/// google-benchmark schema: gate on items_per_second when both sides have
+/// it, otherwise real_time.
+bool compare_gbench(const JsonValue& base, const JsonValue& cand,
+                    std::vector<Comparison>& out) {
+  const JsonValue* base_benches = base.find("benchmarks");
+  const JsonValue* cand_benches = cand.find("benchmarks");
+  if (!base_benches || base_benches->type != JsonValue::Type::kArray ||
+      !cand_benches || cand_benches->type != JsonValue::Type::kArray) {
+    std::cerr << "ftreport: google-benchmark schema: missing \"benchmarks\"\n";
+    return false;
+  }
+  for (const JsonValue& bb : base_benches->array) {
+    const JsonValue* bname = bb.find("name");
+    if (!bname || bname->type != JsonValue::Type::kString) continue;
+    // Aggregate rows (mean/median/stddev repetitions) carry run_type
+    // "aggregate"; plain runs compare directly.
+    const JsonValue* cb = nullptr;
+    for (const JsonValue& candidate_bench : cand_benches->array) {
+      const JsonValue* cname = candidate_bench.find("name");
+      if (cname && cname->type == JsonValue::Type::kString &&
+          cname->str == bname->str) {
+        cb = &candidate_bench;
+        break;
+      }
+    }
+    Comparison c;
+    c.name = bname->str;
+    const JsonValue* base_items = bb.find("items_per_second");
+    const JsonValue* cand_items = cb ? cb->find("items_per_second") : nullptr;
+    if (base_items && base_items->type == JsonValue::Type::kNumber &&
+        (!cb || (cand_items && cand_items->type == JsonValue::Type::kNumber))) {
+      c.metric = "items_per_second";
+      c.higher_is_better = true;
+      c.baseline = base_items->number;
+      if (cand_items) c.candidate = cand_items->number;
+      c.missing = cb == nullptr;
+    } else {
+      const JsonValue* base_time = bb.find("real_time");
+      if (!base_time || base_time->type != JsonValue::Type::kNumber) continue;
+      c.metric = "real_time";
+      c.higher_is_better = false;
+      c.baseline = base_time->number;
+      const JsonValue* cand_time = cb ? cb->find("real_time") : nullptr;
+      if (cand_time && cand_time->type == JsonValue::Type::kNumber) {
+        c.candidate = cand_time->number;
+      } else {
+        c.missing = true;
+      }
+    }
+    out.push_back(std::move(c));
+  }
+  return true;
+}
+
+int run_regression(const Args& args) {
+  const auto base_it = args.flags.find("baseline");
+  const auto cand_it = args.flags.find("candidate");
+  if (base_it == args.flags.end() || cand_it == args.flags.end()) {
+    usage(std::cerr);
+    return 2;
+  }
+  double threshold = 5.0;
+  if (const auto it = args.flags.find("threshold"); it != args.flags.end()) {
+    std::string t = it->second;
+    if (!t.empty() && t.back() == '%') t.pop_back();
+    char* end = nullptr;
+    threshold = std::strtod(t.c_str(), &end);
+    if (t.empty() || end != t.c_str() + t.size() || threshold < 0.0) {
+      std::cerr << "ftreport: bad --threshold '" << it->second << "'\n";
+      return 2;
+    }
+  }
+  const bool perf = args.flags.count("perf") > 0;
+
+  JsonValue base, cand;
+  if (!parse_file(base_it->second, base) ||
+      !parse_file(cand_it->second, cand)) {
+    return 2;
+  }
+
+  std::vector<Comparison> comparisons;
+  if (base.find("points")) {
+    if (!compare_fig9(base, cand, perf, comparisons)) return 2;
+  } else if (base.find("benchmarks")) {
+    if (!compare_gbench(base, cand, comparisons)) return 2;
+  } else {
+    std::cerr << "ftreport: " << base_it->second
+              << ": neither fig9 (\"points\") nor google-benchmark"
+                 " (\"benchmarks\") schema\n";
+    return 2;
+  }
+  if (comparisons.empty()) {
+    std::cerr << "ftreport: baseline contains no comparable benchmarks\n";
+    return 2;
+  }
+
+  std::cout << "# Bench regression gate\n\n"
+            << "baseline:  " << base_it->second << "\n"
+            << "candidate: " << cand_it->second << "\n"
+            << "threshold: " << fmt(threshold, 2) << "%\n\n"
+            << "| benchmark | metric | baseline | candidate | delta | status |\n"
+            << "|---|---|---:|---:|---:|---|\n";
+  std::size_t regressions = 0;
+  for (const Comparison& c : comparisons) {
+    const bool bad = is_regression(c, threshold);
+    if (bad) ++regressions;
+    std::cout << "| " << c.name << " | " << c.metric << " | "
+              << fmt(c.baseline) << " | "
+              << (c.missing ? std::string("-") : fmt(c.candidate)) << " | "
+              << (c.missing ? std::string("-") : fmt(delta_pct(c), 2) + "%")
+              << " | "
+              << (c.missing ? "MISSING" : (bad ? "REGRESSED" : "ok"))
+              << " |\n";
+  }
+  std::cout << "\n"
+            << (comparisons.size() - regressions) << "/" << comparisons.size()
+            << " benchmarks within threshold\n";
+  if (regressions > 0) {
+    std::cout << "FAIL: " << regressions << " regression"
+              << (regressions == 1 ? "" : "s") << " detected\n";
+    return 1;
+  }
+  std::cout << "PASS\n";
+  return 0;
+}
+
+// --- Report mode -----------------------------------------------------------
+
+/// Flat CSV sink: section,key,value — one row per fact the Markdown report
+/// states, for spreadsheet ingestion.
+struct CsvSink {
+  std::ostringstream rows;
+  void add(const std::string& section, const std::string& key, double value) {
+    rows << section << "," << key << "," << fmt(value, 6) << "\n";
+  }
+};
+
+void report_bench(const JsonValue& bench, std::ostream& md, CsvSink& csv) {
+  md << "## Schedulability (bench sweep)\n\n";
+  const JsonValue* name = bench.find("bench");
+  const JsonValue* reps = bench.find("reps");
+  if (name && name->type == JsonValue::Type::kString) {
+    md << "bench `" << name->str << "`";
+    if (reps) md << ", " << fmt(reps->num_or(0), 0) << " repetitions";
+    md << "\n\n";
+  }
+  const JsonValue* points = bench.find("points");
+  if (!points || points->type != JsonValue::Type::kArray ||
+      points->array.empty()) {
+    md << "_no sweep points_\n\n";
+    return;
+  }
+  // Column set = union of scheduler names across points, in first-seen order.
+  std::vector<std::string> scheds;
+  for (const JsonValue& point : points->array) {
+    if (const JsonValue* s = point.find("schedulers")) {
+      for (const auto& [sched_name, stats] : s->object) {
+        (void)stats;
+        if (std::find(scheds.begin(), scheds.end(), sched_name) ==
+            scheds.end()) {
+          scheds.push_back(sched_name);
+        }
+      }
+    }
+  }
+  md << "| nodes | levels | arity |";
+  for (const std::string& s : scheds) md << " " << s << " |";
+  md << "\n|---:|---:|---:|";
+  for (std::size_t i = 0; i < scheds.size(); ++i) md << "---:|";
+  md << "\n";
+  for (const JsonValue& point : points->array) {
+    const double nodes = point.find("nodes") ? point.find("nodes")->num_or(0) : 0;
+    const double levels = point.find("levels") ? point.find("levels")->num_or(0) : 0;
+    const double arity = point.find("arity") ? point.find("arity")->num_or(0) : 0;
+    md << "| " << fmt(nodes, 0) << " | " << fmt(levels, 0) << " | "
+       << fmt(arity, 0) << " |";
+    const JsonValue* s = point.find("schedulers");
+    for (const std::string& sched : scheds) {
+      const JsonValue* stats = s ? s->find(sched) : nullptr;
+      const JsonValue* mean = stats ? stats->find("mean") : nullptr;
+      if (mean && mean->type == JsonValue::Type::kNumber) {
+        md << " " << fmt(mean->number) << " |";
+        csv.add("bench", "levels" + fmt(levels, 0) + ".arity" + fmt(arity, 0) +
+                             "." + sched + ".mean",
+                mean->number);
+      } else {
+        md << " - |";
+      }
+    }
+    md << "\n";
+  }
+  md << "\n";
+}
+
+void report_metrics(const std::vector<JsonValue>& lines, std::ostream& md,
+                    CsvSink& csv) {
+  md << "## Scheduler metrics\n\n";
+  const auto value_of = [&](std::string_view metric) -> const JsonValue* {
+    for (const JsonValue& line : lines) {
+      const JsonValue* name = line.find("metric");
+      if (name && name->type == JsonValue::Type::kString &&
+          name->str == metric) {
+        return line.find("value");
+      }
+    }
+    return nullptr;
+  };
+  const auto counter = [&](std::string_view metric) {
+    const JsonValue* v = value_of(metric);
+    return v ? v->num_or(0.0) : 0.0;
+  };
+
+  const double requests = counter("sched.requests");
+  const double grants = counter("sched.grants");
+  const double rejects = counter("sched.rejects");
+  md << "| total | value |\n|---|---:|\n"
+     << "| batches | " << fmt(counter("sched.batches"), 0) << " |\n"
+     << "| requests | " << fmt(requests, 0) << " |\n"
+     << "| grants | " << fmt(grants, 0) << " |\n"
+     << "| rejects | " << fmt(rejects, 0) << " |\n";
+  if (requests > 0) {
+    md << "| schedulability | " << fmt_pct(grants / requests) << " |\n";
+    csv.add("metrics", "schedulability", grants / requests);
+  }
+  md << "\n";
+  csv.add("metrics", "requests", requests);
+  csv.add("metrics", "grants", grants);
+  csv.add("metrics", "rejects", rejects);
+
+  // Prefix-grouped breakdowns straight off the metric names.
+  const auto breakdown = [&](const std::string& prefix,
+                             const std::string& title,
+                             const std::string& csv_prefix) {
+    std::vector<std::pair<std::string, double>> items;
+    for (const JsonValue& line : lines) {
+      const JsonValue* name = line.find("metric");
+      if (!name || name->type != JsonValue::Type::kString) continue;
+      if (name->str.rfind(prefix, 0) != 0) continue;
+      const std::string label = name->str.substr(prefix.size());
+      // Keep flat children only — "sched.reject.level0" yes,
+      // "sched.reject.reason.x" is a different prefix's child.
+      if (label.find('.') != std::string::npos) continue;
+      const JsonValue* v = line.find("value");
+      items.emplace_back(label, v ? v->num_or(0.0) : 0.0);
+    }
+    if (items.empty()) return;
+    md << "### " << title << "\n\n| key | count | share |\n|---|---:|---:|\n";
+    double total = 0;
+    for (const auto& [label, v] : items) total += v;
+    for (const auto& [label, v] : items) {
+      md << "| " << label << " | " << fmt(v, 0) << " | "
+         << (total > 0 ? fmt_pct(v / total) : "-") << " |\n";
+      csv.add("metrics", csv_prefix + "." + label, v);
+    }
+    md << "\n";
+  };
+  breakdown("sched.reject.level", "Rejections by level (level of first failure)",
+            "reject.level");
+  breakdown("sched.reject.reason.", "Rejections by reason", "reject.reason");
+  breakdown("sched.grant.ancestor", "Grants by common-ancestor level",
+            "grant.ancestor");
+
+  // Fabric utilization gauges exported by LinkTelemetry, if present.
+  std::vector<std::pair<std::string, double>> fabric;
+  for (const JsonValue& line : lines) {
+    const JsonValue* name = line.find("metric");
+    if (!name || name->type != JsonValue::Type::kString) continue;
+    if (name->str.rfind("fabric.util.", 0) != 0) continue;
+    const JsonValue* v = line.find("value");
+    fabric.emplace_back(name->str.substr(12), v ? v->num_or(0.0) : 0.0);
+  }
+  if (!fabric.empty()) {
+    md << "### Fabric utilization (from metrics export)\n\n"
+       << "| level.dir | utilization |\n|---|---:|\n";
+    for (const auto& [label, v] : fabric) {
+      md << "| " << label << " | " << fmt_pct(v) << " |\n";
+      csv.add("metrics", "fabric.util." + label, v);
+    }
+    md << "\n";
+  }
+}
+
+void report_telemetry(const std::vector<JsonValue>& lines, std::ostream& md,
+                      CsvSink& csv) {
+  md << "## Fabric link telemetry\n\n";
+  const JsonValue* header = nullptr;
+  std::vector<const JsonValue*> samples;
+  const JsonValue* utilization = nullptr;
+  std::vector<const JsonValue*> saturations;
+  const JsonValue* top = nullptr;
+  for (const JsonValue& line : lines) {
+    const JsonValue* type = line.find("type");
+    if (!type || type->type != JsonValue::Type::kString) continue;
+    if (type->str == "link_telemetry") header = &line;
+    else if (type->str == "sample") samples.push_back(&line);
+    else if (type->str == "utilization") utilization = &line;
+    else if (type->str == "saturation") saturations.push_back(&line);
+    else if (type->str == "top_contended") top = &line;
+  }
+  if (!header) {
+    md << "_no link_telemetry header line_\n\n";
+    return;
+  }
+  const JsonValue* levels = header->find("levels");
+  const std::size_t level_count =
+      levels && levels->type == JsonValue::Type::kArray ? levels->array.size()
+                                                        : 0;
+  const JsonValue* total = header->find("samples");
+  md << fmt(total ? total->num_or(0) : 0, 0) << " samples, " << level_count
+     << " link levels\n\n";
+
+  // Channel capacity per level (rows * ports) normalizes occupied counts.
+  std::vector<double> capacity(level_count, 0.0);
+  for (std::size_t h = 0; h < level_count; ++h) {
+    const JsonValue& shape = levels->array[h];
+    const JsonValue* rows = shape.find("rows");
+    const JsonValue* ports = shape.find("ports");
+    capacity[h] = (rows ? rows->num_or(0) : 0) * (ports ? ports->num_or(0) : 0);
+  }
+
+  if (utilization) {
+    md << "### Utilization by level\n\n"
+       << "| level | up | down |\n|---:|---:|---:|\n";
+    const JsonValue* up = utilization->find("u");
+    const JsonValue* down = utilization->find("d");
+    for (std::size_t h = 0; h < level_count; ++h) {
+      const double u = up && h < up->array.size() ? up->array[h].num_or(0) : 0;
+      const double d =
+          down && h < down->array.size() ? down->array[h].num_or(0) : 0;
+      md << "| " << h << " | " << fmt_pct(u) << " | " << fmt_pct(d) << " |\n";
+      csv.add("telemetry", "util.level" + std::to_string(h) + ".up", u);
+      csv.add("telemetry", "util.level" + std::to_string(h) + ".down", d);
+    }
+    md << "\n";
+  }
+
+  // Level x stage heatmap: the sample series cut into ten equal stages,
+  // mean occupancy fraction (up + down over both capacities) per cell.
+  if (!samples.empty()) {
+    const std::size_t stages = std::min<std::size_t>(10, samples.size());
+    std::vector<std::vector<double>> sum(level_count,
+                                         std::vector<double>(stages, 0.0));
+    std::vector<std::size_t> stage_n(stages, 0);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      const std::size_t stage = i * stages / samples.size();
+      ++stage_n[stage];
+      const JsonValue* up = samples[i]->find("u");
+      const JsonValue* down = samples[i]->find("d");
+      for (std::size_t h = 0; h < level_count; ++h) {
+        double occupied = 0.0, cap = 0.0;
+        if (up && h < up->array.size()) {
+          occupied += up->array[h].num_or(0);
+          cap += capacity[h];
+        }
+        if (down && h < down->array.size()) {
+          occupied += down->array[h].num_or(0);
+          cap += capacity[h];
+        }
+        if (cap > 0) sum[h][stage] += occupied / cap;
+      }
+    }
+    md << "### Occupancy heatmap (level x stage)\n\n"
+       << "Stages are tenths of the sampled window; cells show mean fabric"
+          " fill (`#### ` >= 80%, `.    ` < 20%).\n\n| level |";
+    for (std::size_t s = 0; s < stages; ++s) md << " s" << s << " |";
+    md << "\n|---:|";
+    for (std::size_t s = 0; s < stages; ++s) md << "---|";
+    md << "\n";
+    for (std::size_t h = 0; h < level_count; ++h) {
+      md << "| " << h << " |";
+      for (std::size_t s = 0; s < stages; ++s) {
+        const double mean = stage_n[s] ? sum[h][s] / static_cast<double>(stage_n[s]) : 0.0;
+        md << " " << shade(mean) << "|";
+        csv.add("telemetry",
+                "heat.level" + std::to_string(h) + ".s" + std::to_string(s),
+                mean);
+      }
+      md << "\n";
+    }
+    md << "\n";
+  }
+
+  if (!saturations.empty()) {
+    md << "### Saturation histograms (occupied channels per row sample)\n\n"
+       << "| level | dir | bins (occ0..occN) |\n|---:|---|---|\n";
+    for (const JsonValue* s : saturations) {
+      const JsonValue* level = s->find("level");
+      const JsonValue* dir = s->find("dir");
+      const JsonValue* bins = s->find("bins");
+      md << "| " << fmt(level ? level->num_or(0) : 0, 0) << " | "
+         << (dir && dir->type == JsonValue::Type::kString ? dir->str : "?")
+         << " | ";
+      if (bins && bins->type == JsonValue::Type::kArray) {
+        for (std::size_t i = 0; i < bins->array.size(); ++i) {
+          if (i) md << " ";
+          md << fmt(bins->array[i].num_or(0), 0);
+        }
+      }
+      md << " |\n";
+    }
+    md << "\n";
+  }
+
+  if (top) {
+    const JsonValue* links = top->find("links");
+    if (links && links->type == JsonValue::Type::kArray &&
+        !links->array.empty()) {
+      md << "### Most contended links\n\n"
+         << "| level | row | port | dir | busy samples |\n"
+         << "|---:|---:|---:|---|---:|\n";
+      for (const JsonValue& link : links->array) {
+        md << "| " << fmt(link.find("level") ? link.find("level")->num_or(0) : 0, 0)
+           << " | " << fmt(link.find("row") ? link.find("row")->num_or(0) : 0, 0)
+           << " | " << fmt(link.find("port") ? link.find("port")->num_or(0) : 0, 0)
+           << " | "
+           << (link.find("dir") &&
+                       link.find("dir")->type == JsonValue::Type::kString
+                   ? link.find("dir")->str
+                   : "?")
+           << " | " << fmt(link.find("busy") ? link.find("busy")->num_or(0) : 0, 0)
+           << " |\n";
+      }
+      md << "\n";
+    }
+  }
+}
+
+void report_trace(const JsonValue& trace, std::ostream& md, CsvSink& csv) {
+  md << "## Trace span rollups\n\n";
+  const JsonValue* events = trace.find("traceEvents");
+  if (!events || events->type != JsonValue::Type::kArray) {
+    md << "_no traceEvents array_\n\n";
+    return;
+  }
+  struct Rollup {
+    std::size_t count = 0;
+    double total_us = 0.0;
+    double max_us = 0.0;
+  };
+  std::map<std::string, Rollup> spans;
+  std::size_t instants = 0, counters = 0;
+  for (const JsonValue& event : events->array) {
+    const JsonValue* ph = event.find("ph");
+    if (!ph || ph->type != JsonValue::Type::kString) continue;
+    if (ph->str == "i" || ph->str == "I") {
+      ++instants;
+      continue;
+    }
+    if (ph->str == "C") {
+      ++counters;
+      continue;
+    }
+    if (ph->str != "X") continue;
+    const JsonValue* name = event.find("name");
+    const JsonValue* dur = event.find("dur");
+    if (!name || name->type != JsonValue::Type::kString) continue;
+    Rollup& r = spans[name->str];
+    ++r.count;
+    const double d = dur ? dur->num_or(0.0) : 0.0;
+    r.total_us += d;
+    r.max_us = std::max(r.max_us, d);
+  }
+  if (spans.empty()) {
+    md << "_no duration spans_\n\n";
+    return;
+  }
+  // Sort by total time, heaviest first.
+  std::vector<std::pair<std::string, Rollup>> rows(spans.begin(), spans.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.second.total_us != b.second.total_us) {
+      return a.second.total_us > b.second.total_us;
+    }
+    return a.first < b.first;
+  });
+  md << "| span | count | total (us) | mean (us) | max (us) |\n"
+     << "|---|---:|---:|---:|---:|\n";
+  for (const auto& [name, r] : rows) {
+    md << "| " << name << " | " << r.count << " | " << fmt(r.total_us, 1)
+       << " | " << fmt(r.total_us / static_cast<double>(r.count), 2) << " | "
+       << fmt(r.max_us, 1) << " |\n";
+    csv.add("trace", name + ".total_us", r.total_us);
+    csv.add("trace", name + ".count", static_cast<double>(r.count));
+  }
+  md << "\n" << instants << " instant events, " << counters
+     << " counter samples\n\n";
+}
+
+int run_report(const Args& args) {
+  const auto flag = [&](const char* name) -> std::string {
+    const auto it = args.flags.find(name);
+    return it == args.flags.end() ? std::string() : it->second;
+  };
+  const std::string metrics_path = flag("metrics");
+  const std::string telemetry_path = flag("telemetry");
+  const std::string trace_path = flag("trace");
+  const std::string bench_path = flag("bench");
+  if (metrics_path.empty() && telemetry_path.empty() && trace_path.empty() &&
+      bench_path.empty()) {
+    std::cerr << "ftreport: report needs at least one input\n";
+    usage(std::cerr);
+    return 2;
+  }
+
+  std::ostringstream md;
+  CsvSink csv;
+  csv.rows << "section,key,value\n";
+  md << "# ftsched observability report\n\n";
+
+  if (!bench_path.empty()) {
+    JsonValue bench;
+    if (!parse_file(bench_path, bench)) return 2;
+    report_bench(bench, md, csv);
+  }
+  if (!metrics_path.empty()) {
+    std::vector<JsonValue> lines;
+    if (!parse_jsonl_file(metrics_path, lines)) return 2;
+    report_metrics(lines, md, csv);
+  }
+  if (!telemetry_path.empty()) {
+    std::vector<JsonValue> lines;
+    if (!parse_jsonl_file(telemetry_path, lines)) return 2;
+    report_telemetry(lines, md, csv);
+  }
+  if (!trace_path.empty()) {
+    JsonValue trace;
+    if (!parse_file(trace_path, trace)) return 2;
+    report_trace(trace, md, csv);
+  }
+
+  const std::string out_path = flag("out");
+  if (out_path.empty()) {
+    std::cout << md.str();
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "ftreport: cannot open " << out_path << "\n";
+      return 2;
+    }
+    out << md.str();
+    std::cout << "report -> " << out_path << "\n";
+  }
+  const std::string csv_path = flag("csv");
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
+    if (!out) {
+      std::cerr << "ftreport: cannot open " << csv_path << "\n";
+      return 2;
+    }
+    out << csv.rows.str();
+    std::cout << "csv -> " << csv_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> raw(argv + 1, argv + argc);
+  if (raw.empty() || raw[0] == "--help" || raw[0] == "-h") {
+    usage(raw.empty() ? std::cerr : std::cout);
+    return raw.empty() ? 2 : 0;
+  }
+  static const std::vector<std::string> kValueFlags = {
+      "baseline", "candidate", "threshold", "metrics",
+      "telemetry", "trace",    "bench",     "out",
+      "csv"};
+  if (raw[0] == "report") {
+    Args args;
+    if (!parse_args({raw.begin() + 1, raw.end()}, kValueFlags, args)) return 2;
+    return run_report(args);
+  }
+  Args args;
+  if (!parse_args(raw, kValueFlags, args)) return 2;
+  if (!args.positional.empty()) {
+    std::cerr << "ftreport: unknown command '" << args.positional.front()
+              << "'\n";
+    usage(std::cerr);
+    return 2;
+  }
+  return run_regression(args);
+}

@@ -17,6 +17,9 @@
 //                          rejection counts after the summary
 //   --metrics-out=FILE     write probe metrics as JSON lines (implies --probe)
 //   --trace-out=FILE       write a Chrome trace (chrome://tracing, Perfetto)
+//   --telemetry-out=FILE   sample per-link fabric occupancy at every batch
+//                          boundary and write the time-series JSONL
+//                          (ftreport ingests it; see docs/OBSERVABILITY.md)
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -27,6 +30,7 @@
 #include "core/registry.hpp"
 #include "hw/resources.hpp"
 #include "hw/timing_model.hpp"
+#include "obs/link_telemetry.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sched_probe.hpp"
 #include "obs/trace.hpp"
@@ -70,6 +74,7 @@ int usage() {
 struct ObsFlags {
   std::string metrics_out;
   std::string trace_out;
+  std::string telemetry_out;
   bool probe = false;
 };
 
@@ -166,9 +171,11 @@ int cmd_schedule(int argc, char** argv, const ObsFlags& flags) {
 
   obs::SchedulerProbe probe;
   obs::TraceWriter tracer;
+  obs::LinkTelemetry telemetry;
   const bool probing = flags.probe || !flags.metrics_out.empty();
   if (probing) config.probe = &probe;
   if (!flags.trace_out.empty()) config.tracer = &tracer;
+  if (!flags.telemetry_out.empty()) config.telemetry = &telemetry;
 
   const ExperimentPoint point = run_experiment(tree_or.value(), config);
   std::cout << config.scheduler << " on " << to_string(pattern->second)
@@ -195,8 +202,19 @@ int cmd_schedule(int argc, char** argv, const ObsFlags& flags) {
     }
     obs::MetricsRegistry registry;
     probe.export_metrics(registry, reject_reason_name);
+    if (!flags.telemetry_out.empty()) telemetry.export_metrics(registry);
     registry.write_jsonl(out);
     std::cout << "  metrics -> " << flags.metrics_out << "\n";
+  }
+  if (!flags.telemetry_out.empty()) {
+    std::ofstream out(flags.telemetry_out);
+    if (!out) {
+      std::cerr << "cannot open " << flags.telemetry_out << "\n";
+      return 1;
+    }
+    telemetry.write_series_jsonl(out);
+    std::cout << "  telemetry -> " << flags.telemetry_out << " ("
+              << telemetry.samples() << " samples)\n";
   }
   if (!flags.trace_out.empty()) {
     std::ofstream out(flags.trace_out);
@@ -310,6 +328,8 @@ int main(int argc, char** argv) {
       flags.metrics_out = arg.substr(14);
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       flags.trace_out = arg.substr(12);
+    } else if (arg.rfind("--telemetry-out=", 0) == 0) {
+      flags.telemetry_out = arg.substr(16);
     } else {
       argv[kept++] = argv[i];
     }
