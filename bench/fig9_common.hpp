@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "stats/runner.hpp"
 #include "util/table.hpp"
@@ -57,7 +58,8 @@ inline TimedPoint run_timed(const FatTree& tree, ExperimentConfig& config) {
 }
 
 inline Fig9Row run_point(std::uint32_t levels, std::uint32_t arity,
-                         std::size_t reps, std::uint64_t seed) {
+                         std::size_t reps, std::uint64_t seed,
+                         std::size_t threads = 1) {
   const FatTree tree = FatTree::symmetric(levels, arity);
   Fig9Row row;
   row.levels = levels;
@@ -66,6 +68,7 @@ inline Fig9Row run_point(std::uint32_t levels, std::uint32_t arity,
   ExperimentConfig config;
   config.repetitions = reps;
   config.seed = seed;
+  config.threads = threads;
   config.scheduler = "levelwise";
   row.global = run_timed(tree, config);
   config.scheduler = "local-random";
@@ -78,7 +81,8 @@ inline Fig9Row run_point(std::uint32_t levels, std::uint32_t arity,
 inline void print_sweep(const std::string& title, std::uint32_t levels,
                         const std::vector<std::uint32_t>& arities,
                         std::size_t reps, bool csv = false,
-                        std::vector<Fig9Row>* out = nullptr) {
+                        std::vector<Fig9Row>* out = nullptr,
+                        std::size_t threads = 1) {
   if (!csv) {
     std::cout << title << "\n";
     std::cout << "(avg [min, max] over " << reps
@@ -93,7 +97,7 @@ inline void print_sweep(const std::string& title, std::uint32_t levels,
                                      "Local (random)", "Local (greedy)",
                                      "improvement"});
   for (std::uint32_t w : arities) {
-    const Fig9Row row = run_point(levels, w, reps, /*seed=*/2006 + w);
+    const Fig9Row row = run_point(levels, w, reps, /*seed=*/2006 + w, threads);
     const Summary& global = row.global.point.schedulability;
     const Summary& local_random = row.local_random.point.schedulability;
     const Summary& local_greedy = row.local_greedy.point.schedulability;
@@ -133,20 +137,23 @@ inline void write_timed_point(std::ostream& os, const char* scheduler,
 }
 
 /// BENCH_*.json: one self-contained JSON document per bench —
-///   {"bench":..,"reps":..,"points":[{"levels":..,"arity":..,"nodes":..,
-///    "schedulers":{"<name>":{"mean","min","max","stddev","wall_ms",
-///    "requests_per_sec"},..}},..]}
-/// See docs/OBSERVABILITY.md for the schema contract CI validates.
+///   {"bench":..,"reps":..,"threads":..,"points":[{"levels":..,"arity":..,
+///    "nodes":..,"schedulers":{"<name>":{"mean","min","max","stddev",
+///    "wall_ms","requests_per_sec"},..}},..]}
+/// `threads` records the repetition fan-out the numbers were measured with;
+/// the ratio fields are thread-count-invariant, the wall-clock fields are
+/// not. See docs/OBSERVABILITY.md for the schema contract CI validates.
 inline void write_bench_json(const std::string& path,
                              const std::string& bench, std::size_t reps,
-                             const std::vector<Fig9Row>& rows) {
+                             const std::vector<Fig9Row>& rows,
+                             std::size_t threads = 1) {
   std::ofstream os(path);
   if (!os) {
     std::cerr << "cannot open " << path << "\n";
     return;
   }
   os << "{\"bench\":\"" << obs::json_escape(bench) << "\",\"reps\":" << reps
-     << ",\"points\":[";
+     << ",\"threads\":" << threads << ",\"points\":[";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Fig9Row& row = rows[i];
     if (i) os << ',';
@@ -164,13 +171,16 @@ inline void write_bench_json(const std::string& path,
 }
 
 /// Shared argv handling for the sweep benches:
-/// [reps] [--csv] [--json[=FILE]] in any order. `--json` without a file
-/// writes BENCH_<bench>.json in the working directory.
+/// [reps] [--csv] [--json[=FILE]] [--threads=N] in any order. `--json`
+/// without a file writes BENCH_<bench>.json in the working directory.
 struct Fig9Args {
   std::size_t reps = 100;
   bool csv = false;
   bool json = false;
   std::string json_path;  // empty = default BENCH_<bench>.json
+  /// Repetition fan-out width (--threads=N; 0 = all hardware threads).
+  /// Ratios are bit-identical at any width — only wall_ms moves.
+  std::size_t threads = 1;
 };
 
 inline Fig9Args parse_fig9_args(int argc, char** argv) {
@@ -184,6 +194,10 @@ inline Fig9Args parse_fig9_args(int argc, char** argv) {
     } else if (arg.rfind("--json=", 0) == 0) {
       args.json = true;
       args.json_path = arg.substr(7);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      const long n = std::atol(arg.c_str() + 10);
+      args.threads = n <= 0 ? exec::hardware_threads()
+                            : static_cast<std::size_t>(n);
     } else {
       args.reps = static_cast<std::size_t>(std::atoi(arg.c_str()));
     }
@@ -199,11 +213,12 @@ inline int run_sweep_bench(const std::string& bench, const std::string& title,
                            const std::vector<std::uint32_t>& arities,
                            const Fig9Args& args) {
   std::vector<Fig9Row> rows;
-  print_sweep(title, levels, arities, args.reps, args.csv, &rows);
+  print_sweep(title, levels, arities, args.reps, args.csv, &rows,
+              args.threads);
   if (args.json) {
     const std::string path =
         args.json_path.empty() ? "BENCH_" + bench + ".json" : args.json_path;
-    write_bench_json(path, bench, args.reps, rows);
+    write_bench_json(path, bench, args.reps, rows, args.threads);
   }
   return 0;
 }

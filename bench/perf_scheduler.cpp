@@ -9,6 +9,7 @@
 
 #include "core/registry.hpp"
 #include "hw/pipeline.hpp"
+#include "stats/runner.hpp"
 #include "workload/patterns.hpp"
 
 namespace ftsched {
@@ -63,6 +64,29 @@ BENCHMARK(BM_Levelwise)
 BENCHMARK(BM_Local)->Args({2, 64})->Args({3, 16})->Args({4, 7});
 BENCHMARK(BM_Turnback)->Args({3, 8})->Args({3, 16});
 BENCHMARK(BM_Matching2)->Args({2, 16})->Args({2, 64});
+
+// End-to-end experiment engine at varying fan-out widths: the paper grid's
+// unit of work (one fig9b point: schedule + verify, 100 permutations) as a
+// function of --threads. On a single-core host the >1 widths measure pure
+// pool overhead; on a real machine they trace the scaling curve recorded in
+// docs/PERFORMANCE.md. Results are bit-identical across widths (tested by
+// Runner.* determinism tests), so every width does the same work.
+void BM_ExperimentEngine(benchmark::State& state) {
+  const FatTree& tree = tree_for(3, 8);
+  ExperimentConfig config;
+  config.scheduler = "levelwise";
+  config.repetitions = 32;
+  config.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_experiment(tree, config));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(config.repetitions * tree.node_count()));
+  state.counters["threads"] = static_cast<double>(config.threads);
+}
+BENCHMARK(BM_ExperimentEngine)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_PipelineSchedule(benchmark::State& state) {
   const auto w = static_cast<std::uint32_t>(state.range(0));

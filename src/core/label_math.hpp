@@ -1,0 +1,47 @@
+// Shared Theorem-1 label arithmetic for the scheduler hot paths.
+//
+// Every scheduler family walks the same mixed-radix label space: a switch at
+// level h is labelled σ_h = Pval_h + w^h·⌊leaf/m^h⌋, where Pval_h is the
+// value of the already-chosen port-digit prefix P_{h-1}…P_0 (base w) and the
+// tail is the leaf's remaining base-m digits. These helpers let the hot loops
+// carry (Pval, leaf_rest) incrementally —
+//   Pval ← port + w·Pval,  rest ← rest / m
+// — instead of calling FatTree::ascend / side_switch, which decompose and
+// recompose the full digit vector per hop. The identities are exercised
+// head-to-head against the FatTree walkers by the reference-diff tests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "topology/fat_tree.hpp"
+
+namespace ftsched {
+
+/// wpow[h] = parent_arity^h for h in [0, tree.levels()] — the weight of the
+/// leaf-rest tail in a level-h label.
+inline std::array<std::uint64_t, kMaxTreeLevels + 1> parent_arity_powers(
+    const FatTree& tree) {
+  std::array<std::uint64_t, kMaxTreeLevels + 1> wpow{};
+  wpow[0] = 1;
+  for (std::uint32_t h = 0; h < tree.levels(); ++h) {
+    wpow[h + 1] = wpow[h] * tree.parent_arity();
+  }
+  return wpow;
+}
+
+/// Lowest level at which two leaf switches share an ancestor: the number of
+/// base-m truncations until the labels coincide. Division-only equivalent of
+/// FatTree::common_ancestor_level (which decomposes both labels).
+inline std::uint32_t meet_level(std::uint64_t leaf_a, std::uint64_t leaf_b,
+                                std::uint64_t m) {
+  std::uint32_t level = 0;
+  while (leaf_a != leaf_b) {
+    ++level;
+    leaf_a /= m;
+    leaf_b /= m;
+  }
+  return level;
+}
+
+}  // namespace ftsched

@@ -1,8 +1,10 @@
 #include "core/levelwise_scheduler.hpp"
 
-#include <memory>
+#include <array>
+#include <deque>
 #include <vector>
 
+#include "core/label_math.hpp"
 #include "linkstate/transaction.hpp"
 
 namespace ftsched {
@@ -84,18 +86,6 @@ ScheduleResult LevelwiseScheduler::schedule(const FatTree& tree,
   return schedule_request_major(tree, requests, state);
 }
 
-namespace {
-
-/// Per-request mutable scheduling state shared by both orders.
-struct Live {
-  std::uint64_t sigma = 0;  ///< σ_h — source-side switch at current level
-  std::uint64_t delta = 0;  ///< δ_h — destination-side switch at current level
-  std::uint32_t ancestor = 0;
-  bool alive = false;       ///< still ascending (not granted, not rejected)
-};
-
-}  // namespace
-
 ScheduleResult LevelwiseScheduler::schedule_level_major(
     const FatTree& tree, std::span<const Request> requests, LinkState& state) {
   if (probe_) probe_->on_batch_begin(requests.size());
@@ -103,7 +93,22 @@ ScheduleResult LevelwiseScheduler::schedule_level_major(
   ScheduleResult result;
   result.outcomes.resize(requests.size());
   LeafTracker leaves(tree.node_count());
-  std::vector<Live> live(requests.size());
+
+  const std::uint64_t m = tree.child_arity();
+  const std::uint64_t w = tree.parent_arity();
+  const auto wpow = parent_arity_powers(tree);
+
+  // Batch precomputation: decompose every request's labels ONCE — σ_0/δ_0,
+  // the remainder quotients, and the meet level — into flat per-request
+  // arrays the level sweeps touch contiguously. The per-level work then
+  // reduces to the incremental digit shift (see the header's scratch note).
+  sigma_.resize(requests.size());
+  delta_.resize(requests.size());
+  pval_.resize(requests.size());
+  src_rest_.resize(requests.size());
+  dst_rest_.resize(requests.size());
+  ancestor_.resize(requests.size());
+  live_.clear();
 
   // Admission: claim leaf channels, resolve intra-switch (H == 0) requests,
   // and initialize σ_0 / δ_0 for the rest.
@@ -119,55 +124,69 @@ ScheduleResult LevelwiseScheduler::schedule_level_major(
       }
       const std::uint64_t src_leaf = tree.leaf_switch(r.src).index;
       const std::uint64_t dst_leaf = tree.leaf_switch(r.dst).index;
-      const std::uint32_t H = tree.common_ancestor_level(src_leaf, dst_leaf);
+      const std::uint32_t H = meet_level(src_leaf, dst_leaf, m);
       if (H == 0) {
         out.granted = true;  // circuit lives inside one leaf crossbar
         continue;
       }
-      live[i] = Live{src_leaf, dst_leaf, H, true};
+      sigma_[i] = src_leaf;
+      delta_[i] = dst_leaf;
+      pval_[i] = 0;
+      src_rest_[i] = src_leaf;
+      dst_rest_[i] = dst_leaf;
+      ancestor_[i] = H;
+      live_.push_back(i);
       out.path.ancestor_level = H;
     }
   }
 
   // One transaction per request holds its channel allocations, so a rejected
   // request's partial circuit can be released (or deliberately kept, in the
-  // no-release ablation) after the whole batch has been swept.
-  std::vector<std::unique_ptr<Transaction>> tx;
-  tx.reserve(requests.size());
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    tx.push_back(std::make_unique<Transaction>(state));
-  }
+  // no-release ablation) after the whole batch has been swept. A deque keeps
+  // the elements block-allocated (Transaction is immovable) without one heap
+  // allocation per request.
+  std::deque<Transaction> tx;
+  for (std::size_t i = 0; i < requests.size(); ++i) tx.emplace_back(state);
 
   const std::uint32_t link_levels = tree.levels() - 1;
-  std::vector<std::uint32_t> rr_hint;
   for (std::uint32_t h = 0; h < link_levels; ++h) {
+    // With no request left in flight the remaining sweeps are no-ops; skip
+    // them unless a tracer expects every level's span.
+    if (live_.empty() && !tracer_) break;
     std::string level_label;
     if (tracer_) level_label = "level " + std::to_string(h);
     obs::ScopedSpan level_span(tracer_, level_label, "sched.level");
     if (options_.policy == PortPolicy::kRoundRobin) {
-      rr_hint.assign(state.rows_at(h), 0);
+      rr_hint_.assign(state.rows_at(h), 0);
     }
-    for (std::size_t i = 0; i < requests.size(); ++i) {
-      Live& lv = live[i];
-      if (!lv.alive || lv.ancestor <= h) continue;
+    const std::uint64_t wnext = wpow[h + 1];
+    std::size_t kept = 0;
+    for (const std::size_t i : live_) {
       RequestOutcome& out = result.outcomes[i];
-      const auto port = pick_port(state, h, lv.sigma, lv.delta, rr_hint);
+      const auto port = pick_port(state, h, sigma_[i], delta_[i], rr_hint_);
       if (!port) {
-        lv.alive = false;
         out.reason = RejectReason::kNoCommonPort;
         out.fail_level = h;
-        continue;
+        continue;  // dropped from the live list
       }
-      tx[i]->occupy(h, lv.sigma, lv.delta, *port);
+      tx[i].occupy(h, sigma_[i], delta_[i], *port);
       out.path.ports.push_back(*port);
-      lv.sigma = tree.ascend(h, lv.sigma, *port);
-      lv.delta = tree.ascend(h, lv.delta, *port);
-      if (out.path.ports.size() == lv.ancestor) {
-        FT_ASSERT(lv.sigma == lv.delta);  // Theorem 2: sides meet at level H
-        lv.alive = false;
+      // Theorem-1 digit shift, incrementally: new port digit in front,
+      // one source digit consumed on each side.
+      pval_[i] = *port + w * pval_[i];
+      src_rest_[i] /= m;
+      dst_rest_[i] /= m;
+      if (out.path.ports.size() == ancestor_[i]) {
+        // Theorem 2: sides meet at level H (σ_H == δ_H ⇔ equal remainders).
+        FT_ASSERT(src_rest_[i] == dst_rest_[i]);
         out.granted = true;
+        continue;  // dropped from the live list
       }
+      sigma_[i] = pval_[i] + wnext * src_rest_[i];
+      delta_[i] = pval_[i] + wnext * dst_rest_[i];
+      live_[kept++] = i;
     }
+    live_.resize(kept);
   }
 
   // Cleanup: rejected requests release their leaf claims and (optionally)
@@ -175,7 +194,7 @@ ScheduleResult LevelwiseScheduler::schedule_level_major(
   for (std::size_t i = 0; i < requests.size(); ++i) {
     RequestOutcome& out = result.outcomes[i];
     if (out.granted) {
-      tx[i]->commit();
+      tx[i].commit();
       continue;
     }
     out.path.ports.clear();
@@ -184,10 +203,10 @@ ScheduleResult LevelwiseScheduler::schedule_level_major(
       leaves.release(requests[i].src, requests[i].dst);
     }
     if (options_.release_rejected) {
-      if (probe_) probe_->on_rollback(tx[i]->size());
-      tx[i]->rollback();
+      if (probe_) probe_->on_rollback(tx[i].size());
+      tx[i].rollback();
     } else {
-      tx[i]->commit();  // hardware-fidelity mode: partial allocation persists
+      tx[i].commit();  // hardware-fidelity mode: partial allocation persists
     }
   }
   if (probe_) record_outcomes(result);
@@ -202,14 +221,20 @@ ScheduleResult LevelwiseScheduler::schedule_request_major(
   result.outcomes.reserve(requests.size());
   LeafTracker leaves(tree.node_count());
 
+  const std::uint64_t m = tree.child_arity();
+  const std::uint64_t w = tree.parent_arity();
+  const auto wpow = parent_arity_powers(tree);
+
   const std::uint32_t link_levels = tree.levels() - 1;
-  std::vector<std::vector<std::uint32_t>> rr_hint(link_levels);
+  rr_hint_by_level_.resize(link_levels);
   if (options_.policy == PortPolicy::kRoundRobin) {
     for (std::uint32_t h = 0; h < link_levels; ++h) {
-      rr_hint[h].assign(state.rows_at(h), 0);
+      rr_hint_by_level_[h].assign(state.rows_at(h), 0);
     }
   } else {
-    for (std::uint32_t h = 0; h < link_levels; ++h) rr_hint[h].assign(1, 0);
+    for (std::uint32_t h = 0; h < link_levels; ++h) {
+      rr_hint_by_level_[h].assign(1, 0);
+    }
   }
 
   for (const Request& r : requests) {
@@ -222,7 +247,7 @@ ScheduleResult LevelwiseScheduler::schedule_request_major(
     }
     const std::uint64_t src_leaf = tree.leaf_switch(r.src).index;
     const std::uint64_t dst_leaf = tree.leaf_switch(r.dst).index;
-    const std::uint32_t H = tree.common_ancestor_level(src_leaf, dst_leaf);
+    const std::uint32_t H = meet_level(src_leaf, dst_leaf, m);
     if (H == 0) {
       out.granted = true;
       result.outcomes.push_back(out);
@@ -233,9 +258,12 @@ ScheduleResult LevelwiseScheduler::schedule_request_major(
     Transaction tx(state);
     std::uint64_t sigma = src_leaf;
     std::uint64_t delta = dst_leaf;
+    std::uint64_t pval = 0;
+    std::uint64_t src_rest = src_leaf;
+    std::uint64_t dst_rest = dst_leaf;
     bool rejected = false;
     for (std::uint32_t h = 0; h < H; ++h) {
-      const auto port = pick_port(state, h, sigma, delta, rr_hint[h]);
+      const auto port = pick_port(state, h, sigma, delta, rr_hint_by_level_[h]);
       if (!port) {
         out.reason = RejectReason::kNoCommonPort;
         out.fail_level = h;
@@ -244,8 +272,12 @@ ScheduleResult LevelwiseScheduler::schedule_request_major(
       }
       tx.occupy(h, sigma, delta, *port);
       out.path.ports.push_back(*port);
-      sigma = tree.ascend(h, sigma, *port);
-      delta = tree.ascend(h, delta, *port);
+      // Theorem-1 digit shift, incrementally (see schedule_level_major).
+      pval = *port + w * pval;
+      src_rest /= m;
+      dst_rest /= m;
+      sigma = pval + wpow[h + 1] * src_rest;
+      delta = pval + wpow[h + 1] * dst_rest;
     }
     if (rejected) {
       out.path.ports.clear();

@@ -1,5 +1,8 @@
 #include "core/local_scheduler.hpp"
 
+#include <array>
+
+#include "core/label_math.hpp"
 #include "linkstate/transaction.hpp"
 
 namespace ftsched {
@@ -61,14 +64,20 @@ ScheduleResult LocalAdaptiveScheduler::schedule(
   result.outcomes.reserve(requests.size());
   LeafTracker leaves(tree.node_count());
 
+  const std::uint64_t m = tree.child_arity();
+  const std::uint64_t w = tree.parent_arity();
+  const auto wpow = parent_arity_powers(tree);
+
   const std::uint32_t link_levels = tree.levels() - 1;
-  std::vector<std::vector<std::uint32_t>> rr_hint(link_levels);
+  rr_hint_by_level_.resize(link_levels);
   if (options_.policy == PortPolicy::kRoundRobin) {
     for (std::uint32_t h = 0; h < link_levels; ++h) {
-      rr_hint[h].assign(state.rows_at(h), 0);
+      rr_hint_by_level_[h].assign(state.rows_at(h), 0);
     }
   } else {
-    for (std::uint32_t h = 0; h < link_levels; ++h) rr_hint[h].assign(1, 0);
+    for (std::uint32_t h = 0; h < link_levels; ++h) {
+      rr_hint_by_level_[h].assign(1, 0);
+    }
   }
 
   for (const Request& r : requests) {
@@ -81,7 +90,7 @@ ScheduleResult LocalAdaptiveScheduler::schedule(
     }
     const std::uint64_t src_leaf = tree.leaf_switch(r.src).index;
     const std::uint64_t dst_leaf = tree.leaf_switch(r.dst).index;
-    const std::uint32_t H = tree.common_ancestor_level(src_leaf, dst_leaf);
+    const std::uint32_t H = meet_level(src_leaf, dst_leaf, m);
     if (H == 0) {
       out.granted = true;
       result.outcomes.push_back(out);
@@ -93,10 +102,18 @@ ScheduleResult LocalAdaptiveScheduler::schedule(
     bool rejected = false;
 
     // Ascent: pick a locally free up-port at each level; the destination
-    // side's availability is invisible here — that is the point.
+    // side's availability is invisible here — that is the point. The
+    // destination-side switch δ_h = Pval_h + w^h·⌊dst/m^h⌋ is fully
+    // determined by the ports chosen so far (Theorem 2), so it is recorded
+    // on the way up and the descent below never has to recompose it.
     std::uint64_t sigma = src_leaf;
+    std::uint64_t pval = 0;
+    std::uint64_t src_rest = src_leaf;
+    std::uint64_t dst_rest = dst_leaf;
+    std::array<std::uint64_t, kMaxTreeLevels> delta_at{};
     for (std::uint32_t h = 0; h < H; ++h) {
-      const auto port = pick_local_port(state, h, sigma, rr_hint[h]);
+      delta_at[h] = pval + wpow[h] * dst_rest;
+      const auto port = pick_local_port(state, h, sigma, rr_hint_by_level_[h]);
       if (!port) {
         out.reason = RejectReason::kNoLocalUplink;
         out.fail_level = h;
@@ -105,7 +122,10 @@ ScheduleResult LocalAdaptiveScheduler::schedule(
       }
       tx.occupy_up(h, sigma, *port);
       out.path.ports.push_back(*port);
-      sigma = tree.ascend(h, sigma, *port);
+      pval = *port + w * pval;
+      src_rest /= m;
+      dst_rest /= m;
+      sigma = pval + wpow[h + 1] * src_rest;
     }
 
     // Descent: the downward path is forced by Theorem 2; the first occupied
@@ -113,8 +133,7 @@ ScheduleResult LocalAdaptiveScheduler::schedule(
     // kills the request.
     if (!rejected) {
       for (std::uint32_t h = H; h-- > 0;) {
-        const std::uint64_t delta =
-            tree.side_switch(dst_leaf, h, out.path.ports);
+        const std::uint64_t delta = delta_at[h];
         if (!state.dlink(h, delta, out.path.ports[h])) {
           out.reason = RejectReason::kDownConflict;
           out.fail_level = h;

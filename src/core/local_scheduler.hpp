@@ -54,6 +54,10 @@ class LocalAdaptiveScheduler final : public Scheduler {
   LocalOptions options_;
   Xoshiro256ss rng_;
   std::string name_;
+
+  /// Per-batch round-robin cursors (one row per switch at each level),
+  /// hoisted out of schedule() so steady-state batches allocate nothing.
+  std::vector<std::vector<std::uint32_t>> rr_hint_by_level_;
 };
 
 }  // namespace ftsched

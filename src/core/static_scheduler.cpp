@@ -1,5 +1,8 @@
 #include "core/static_scheduler.hpp"
 
+#include <array>
+
+#include "core/label_math.hpp"
 #include "linkstate/transaction.hpp"
 
 namespace ftsched {
@@ -8,12 +11,14 @@ DigitVec StaticDestinationScheduler::static_ports(const FatTree& tree,
                                                   NodeId dst,
                                                   std::uint32_t ancestor) {
   FT_REQUIRE(dst < tree.node_count());
-  const MixedRadix node_system =
-      MixedRadix::uniform(tree.child_arity(), tree.levels());
-  const DigitVec digits = node_system.decompose(dst);
+  FT_REQUIRE(ancestor <= tree.levels());
+  // P_h = (dst / m^h) mod m, peeled digit by digit — no MixedRadix needed.
+  const std::uint64_t m = tree.child_arity();
+  std::uint64_t rest = dst;
   DigitVec ports;
   for (std::uint32_t h = 0; h < ancestor; ++h) {
-    ports.push_back(digits[h]);
+    ports.push_back(static_cast<std::uint32_t>(rest % m));
+    rest /= m;
   }
   return ports;
 }
@@ -27,6 +32,10 @@ ScheduleResult StaticDestinationScheduler::schedule(
   result.outcomes.reserve(requests.size());
   LeafTracker leaves(tree.node_count());
 
+  const std::uint64_t m = tree.child_arity();
+  const std::uint64_t w = tree.parent_arity();
+  const auto wpow = parent_arity_powers(tree);
+
   for (const Request& r : requests) {
     RequestOutcome out;
     out.path = Path{r.src, r.dst, 0, {}};
@@ -37,7 +46,7 @@ ScheduleResult StaticDestinationScheduler::schedule(
     }
     const std::uint64_t src_leaf = tree.leaf_switch(r.src).index;
     const std::uint64_t dst_leaf = tree.leaf_switch(r.dst).index;
-    const std::uint32_t H = tree.common_ancestor_level(src_leaf, dst_leaf);
+    const std::uint32_t H = meet_level(src_leaf, dst_leaf, m);
     if (H == 0) {
       out.granted = true;
       result.outcomes.push_back(out);
@@ -47,10 +56,17 @@ ScheduleResult StaticDestinationScheduler::schedule(
 
     // The whole path is forced; only the up side can be contended (see
     // header: a down collision implies an identical destination PE).
+    // δ_h = Pval_h + w^h·⌊dst/m^h⌋ is recorded during the ascent so the
+    // descent never recomposes labels (same trick as the local scheduler).
     Transaction tx(state);
     bool rejected = false;
     std::uint64_t sigma = src_leaf;
+    std::uint64_t pval = 0;
+    std::uint64_t src_rest = src_leaf;
+    std::uint64_t dst_rest = dst_leaf;
+    std::array<std::uint64_t, kMaxTreeLevels> delta_at{};
     for (std::uint32_t h = 0; h < H; ++h) {
+      delta_at[h] = pval + wpow[h] * dst_rest;
       if (!state.ulink(h, sigma, ports[h])) {
         out.reason = RejectReason::kNoCommonPort;
         out.fail_level = h;
@@ -59,11 +75,14 @@ ScheduleResult StaticDestinationScheduler::schedule(
       }
       tx.occupy_up(h, sigma, ports[h]);
       if (probe_) probe_->on_port_pick(h, ports[h]);
-      sigma = tree.ascend(h, sigma, ports[h]);
+      pval = ports[h] + w * pval;
+      src_rest /= m;
+      dst_rest /= m;
+      sigma = pval + wpow[h + 1] * src_rest;
     }
     if (!rejected) {
       for (std::uint32_t h = H; h-- > 0;) {
-        const std::uint64_t delta = tree.side_switch(dst_leaf, h, ports);
+        const std::uint64_t delta = delta_at[h];
         // Among this scheduler's own circuits the channel is free by the
         // destination-uniqueness theorem; it can still be held externally
         // (pre-occupied state, faults), which is an honest rejection.

@@ -1,7 +1,10 @@
 #include "core/turnback_scheduler.hpp"
 
 #include <algorithm>
+#include <array>
+#include <vector>
 
+#include "core/label_math.hpp"
 #include "linkstate/transaction.hpp"
 
 namespace ftsched {
@@ -17,21 +20,37 @@ namespace {
 
 /// DFS driver for one request. Holds up-channels along the current branch
 /// through a Transaction and releases them entry-by-entry on backtrack.
+/// Labels along the branch are carried incrementally (see label_math.hpp):
+/// the σ and Pval stacks grow/shrink with the DFS, and the per-request
+/// ⌊leaf/m^h⌋ remainders are fixed arrays filled once in the constructor,
+/// so neither the walk nor the descent ever decomposes a label.
 class TurnbackSearch {
  public:
   TurnbackSearch(const FatTree& tree, LinkState& state, std::uint64_t src_leaf,
                  std::uint64_t dst_leaf, std::uint32_t ancestor,
                  const TurnbackOptions& options, Xoshiro256ss& rng,
-                 obs::SchedulerProbe* probe)
-      : tree_(tree),
-        state_(state),
+                 obs::SchedulerProbe* probe,
+                 std::vector<std::vector<std::uint32_t>>& scratch)
+      : state_(state),
         tx_(state),
-        dst_leaf_(dst_leaf),
         ancestor_(ancestor),
         options_(options),
         rng_(rng),
-        probe_(probe) {
+        probe_(probe),
+        scratch_(scratch),
+        w_(tree.parent_arity()),
+        wpow_(parent_arity_powers(tree)) {
+    const std::uint64_t m = tree.child_arity();
+    std::uint64_t s = src_leaf;
+    std::uint64_t d = dst_leaf;
+    for (std::uint32_t h = 0; h <= ancestor_; ++h) {
+      src_rest_[h] = s;
+      dst_rest_[h] = d;
+      s /= m;
+      d /= m;
+    }
     sigma_.push_back(src_leaf);
+    pval_.push_back(0);
   }
 
   /// On success, `ports` is filled and all channels (up and down) are
@@ -61,7 +80,7 @@ class TurnbackSearch {
   std::uint32_t descend_from(std::uint32_t h) {
     if (h == ancestor_) return try_descent();
 
-    const std::vector<std::uint32_t> candidates = candidate_ports(h);
+    const std::vector<std::uint32_t>& candidates = candidate_ports(h);
     if (probe_) {
       probe_->on_and_popcount(h,
                               static_cast<std::uint32_t>(candidates.size()));
@@ -76,10 +95,12 @@ class TurnbackSearch {
       tx_.occupy_up(h, sigma_.back(), p);  // hold tentatively
       if (probe_) probe_->on_port_pick(h, p);
       ports_.push_back(p);
-      sigma_.push_back(tree_.ascend(h, sigma_.back(), p));
+      pval_.push_back(p + w_ * pval_.back());
+      sigma_.push_back(pval_.back() + wpow_[h + 1] * src_rest_[h + 1]);
       const std::uint32_t res = descend_from(h + 1);
       if (res == kSuccess) return kSuccess;
       sigma_.pop_back();
+      pval_.pop_back();
       ports_.pop_back();
       if (probe_) probe_->on_rollback(1);
       tx_.release_last();
@@ -93,8 +114,7 @@ class TurnbackSearch {
     FT_ASSERT(probes_left_ > 0);
     --probes_left_;
     for (std::uint32_t h = ancestor_; h-- > 0;) {
-      const std::uint64_t delta = tree_.side_switch(dst_leaf_, h, ports_);
-      if (!state_.dlink(h, delta, ports_[h])) {
+      if (!state_.dlink(h, delta_at(h), ports_[h])) {
         note_failure(RejectReason::kDownConflict, h);
         return h;  // only levels <= h can repair this conflict
       }
@@ -102,13 +122,20 @@ class TurnbackSearch {
     // Free path found: occupy the downward channels (upward ones are already
     // held along the DFS branch).
     for (std::uint32_t h = ancestor_; h-- > 0;) {
-      tx_.occupy_down(h, tree_.side_switch(dst_leaf_, h, ports_), ports_[h]);
+      tx_.occupy_down(h, delta_at(h), ports_[h]);
     }
     return kSuccess;
   }
 
-  std::vector<std::uint32_t> candidate_ports(std::uint32_t h) {
-    std::vector<std::uint32_t> candidates;
+  /// Destination-side switch at level h for the ports currently held:
+  /// δ_h = Pval_h + w^h·⌊dst/m^h⌋ (Theorem 2).
+  std::uint64_t delta_at(std::uint32_t h) const {
+    return pval_[h] + wpow_[h] * dst_rest_[h];
+  }
+
+  const std::vector<std::uint32_t>& candidate_ports(std::uint32_t h) {
+    std::vector<std::uint32_t>& candidates = scratch_[h];
+    candidates.clear();
     const std::uint64_t sw = sigma_.back();
     for (auto p = state_.first_local_ulink(h, sw); p;
          p = state_.next_local_ulink(h, sw, *p + 1)) {
@@ -125,16 +152,20 @@ class TurnbackSearch {
     fail_level_ = level;
   }
 
-  const FatTree& tree_;
   LinkState& state_;  // read-only queries; all mutation goes through tx_
   Transaction tx_;
-  std::uint64_t dst_leaf_;
   std::uint32_t ancestor_;
   const TurnbackOptions& options_;
   Xoshiro256ss& rng_;
   obs::SchedulerProbe* probe_;
+  std::vector<std::vector<std::uint32_t>>& scratch_;
 
+  std::uint64_t w_;
+  std::array<std::uint64_t, kMaxTreeLevels + 1> wpow_;
+  std::array<std::uint64_t, kMaxTreeLevels + 1> src_rest_{};
+  std::array<std::uint64_t, kMaxTreeLevels + 1> dst_rest_{};
   SmallVec<std::uint64_t, kMaxTreeLevels> sigma_;  // σ_0 … σ_h along branch
+  SmallVec<std::uint64_t, kMaxTreeLevels> pval_;   // Pval_0 … Pval_h
   DigitVec ports_;
   std::uint32_t probes_left_ = 0;
   RejectReason reason_ = RejectReason::kNoLocalUplink;
@@ -152,6 +183,9 @@ ScheduleResult TurnbackScheduler::schedule(const FatTree& tree,
   result.outcomes.reserve(requests.size());
   LeafTracker leaves(tree.node_count());
 
+  const std::uint64_t m = tree.child_arity();
+  candidate_scratch_.resize(tree.levels() - 1);
+
   for (const Request& r : requests) {
     RequestOutcome out;
     out.path = Path{r.src, r.dst, 0, {}};
@@ -162,7 +196,7 @@ ScheduleResult TurnbackScheduler::schedule(const FatTree& tree,
     }
     const std::uint64_t src_leaf = tree.leaf_switch(r.src).index;
     const std::uint64_t dst_leaf = tree.leaf_switch(r.dst).index;
-    const std::uint32_t H = tree.common_ancestor_level(src_leaf, dst_leaf);
+    const std::uint32_t H = meet_level(src_leaf, dst_leaf, m);
     if (H == 0) {
       out.granted = true;
       result.outcomes.push_back(out);
@@ -170,7 +204,7 @@ ScheduleResult TurnbackScheduler::schedule(const FatTree& tree,
     }
 
     TurnbackSearch search(tree, state, src_leaf, dst_leaf, H, options_, rng_,
-                          probe_);
+                          probe_, candidate_scratch_);
     DigitVec ports;
     if (search.run(ports, out.reason, out.fail_level)) {
       out.granted = true;

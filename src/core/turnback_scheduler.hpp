@@ -45,6 +45,11 @@ class TurnbackScheduler final : public Scheduler {
   TurnbackOptions options_;
   Xoshiro256ss rng_;
   std::string name_;
+
+  /// Per-level candidate lists for the DFS, reused across requests and
+  /// batches. The search holds exactly one active depth per level (h
+  /// strictly increases along a branch), so per-level slots never alias.
+  std::vector<std::vector<std::uint32_t>> candidate_scratch_;
 };
 
 }  // namespace ftsched

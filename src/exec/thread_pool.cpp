@@ -1,0 +1,70 @@
+#include "exec/thread_pool.hpp"
+
+#include "util/contracts.hpp"
+
+namespace ftsched::exec {
+
+std::size_t hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+ThreadPool::ThreadPool(std::size_t thread_count) : thread_count_(thread_count) {
+  FT_REQUIRE(thread_count >= 1);
+  workers_.reserve(thread_count - 1);
+  for (std::size_t k = 1; k < thread_count; ++k) {
+    workers_.emplace_back([this, k] { worker_loop(k); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::run(const std::function<void(std::size_t)>& job) {
+  FT_REQUIRE(job != nullptr);
+  if (thread_count_ == 1) {
+    job(0);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    FT_REQUIRE_MSG(job_ == nullptr, "ThreadPool::run is not reentrant");
+    job_ = &job;
+    ++generation_;
+    pending_ = thread_count_ - 1;
+  }
+  wake_.notify_all();
+  job(0);  // the caller is worker 0
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [this] { return pending_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock,
+                 [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    (*job)(worker_index);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --pending_;
+    }
+    done_.notify_one();
+  }
+}
+
+}  // namespace ftsched::exec

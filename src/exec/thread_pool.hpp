@@ -1,0 +1,126 @@
+// exec — deterministic multi-core execution primitives.
+//
+// The experiment engine's parallelism is STATIC: work is split into exactly
+// thread_count() contiguous chunks, chunk k always runs on worker k, and
+// reductions fold partial results in chunk order. Nothing observable depends
+// on thread scheduling, so any computation built from these primitives is
+// bit-identical at every thread count — the property the stats runner's
+// determinism contract (docs/PERFORMANCE.md) rests on. Compare work-stealing
+// pools, where chunk→thread assignment (and therefore any per-thread
+// accumulator) varies run to run.
+//
+// This is the only place in src/ allowed to touch <thread>; everything else
+// must go through the pool (enforced by ftlint's no-raw-thread rule), so
+// determinism and TSan coverage stay centralized.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace ftsched::exec {
+
+/// The machine's advertised concurrency (>= 1 even when unknown). A hint for
+/// callers picking a default thread count; never consulted internally, so
+/// explicit thread counts stay reproducible across machines.
+std::size_t hardware_threads();
+
+/// Half-open index range of one static chunk.
+struct ChunkRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  std::size_t size() const { return end - begin; }
+  bool empty() const { return begin == end; }
+};
+
+/// Splits [0, count) into `chunks` contiguous ranges; the first count%chunks
+/// ranges hold one extra element. Pure arithmetic — chunk k's range depends
+/// only on (count, chunks, k), never on timing.
+constexpr ChunkRange chunk_range(std::size_t count, std::size_t chunks,
+                                 std::size_t k) {
+  const std::size_t base = count / chunks;
+  const std::size_t extra = count % chunks;
+  const std::size_t begin = k * base + (k < extra ? k : extra);
+  return ChunkRange{begin, begin + base + (k < extra ? 1 : 0)};
+}
+
+/// Fixed-size pool of thread_count() - 1 workers plus the calling thread.
+/// run(job) invokes job(k) once for every k in [0, thread_count()): job 0 on
+/// the caller, job k on worker k, and returns after all complete — one
+/// barrier per run, no task queue. A pool of 1 never spawns a thread and
+/// run() degenerates to a plain call, so single-threaded users pay nothing.
+///
+/// Jobs must not throw (the repo's contracts abort, they never unwind) and
+/// must not call run() reentrantly.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t thread_count);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return thread_count_; }
+
+  void run(const std::function<void(std::size_t)>& job);
+
+ private:
+  void worker_loop(std::size_t worker_index);
+
+  std::size_t thread_count_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  const std::function<void(std::size_t)>* job_ = nullptr;  // guarded by mutex_
+  std::uint64_t generation_ = 0;                           // guarded by mutex_
+  std::size_t pending_ = 0;                                // guarded by mutex_
+  bool stop_ = false;                                      // guarded by mutex_
+};
+
+/// Statically-chunked parallel for: fn(i) for every i in [0, count), chunk k
+/// on thread k. fn must only touch state disjoint per index (or per chunk).
+template <typename Fn>
+void parallel_for(ThreadPool& pool, std::size_t count, Fn&& fn) {
+  if (count == 0) return;
+  const std::size_t chunks = pool.thread_count();
+  pool.run([&](std::size_t k) {
+    const ChunkRange r = chunk_range(count, chunks, k);
+    for (std::size_t i = r.begin; i < r.end; ++i) fn(i);
+  });
+}
+
+/// map(i) into slot i of a pre-sized vector — each thread writes disjoint
+/// slots, so the result is positionally deterministic. T must be default-
+/// constructible and movable.
+template <typename T, typename MapFn>
+std::vector<T> parallel_map(ThreadPool& pool, std::size_t count, MapFn&& map) {
+  std::vector<T> out(count);
+  parallel_for(pool, count, [&](std::size_t i) { out[i] = map(i); });
+  return out;
+}
+
+/// Deterministic reduce: maps in parallel, then folds the mapped values in
+/// INDEX order on the calling thread. The fold order never depends on which
+/// thread finished first, so non-commutative reductions (floating-point
+/// sums, ordered merges) give the same answer at every thread count.
+template <typename T, typename U, typename MapFn, typename ReduceFn>
+T parallel_reduce(ThreadPool& pool, std::size_t count, T init, MapFn&& map,
+                  ReduceFn&& reduce) {
+  std::vector<U> mapped =
+      parallel_map<U>(pool, count, std::forward<MapFn>(map));
+  T acc = std::move(init);
+  for (std::size_t i = 0; i < count; ++i) {
+    acc = reduce(std::move(acc), std::move(mapped[i]));
+  }
+  return acc;
+}
+
+}  // namespace ftsched::exec

@@ -172,6 +172,45 @@ void LinkTelemetry::reset() {
   have_sample_ = false;
 }
 
+void LinkTelemetry::merge_shard(const LinkTelemetry& other) {
+  FT_REQUIRE(!in_sample_);
+  FT_REQUIRE(!other.in_sample_);
+  if (!other.configured()) {
+    FT_REQUIRE(other.samples_ == 0);
+    return;
+  }
+  FT_REQUIRE_MSG(other.options_.series_every == 1,
+                 "merge_shard: shards must keep every sample");
+  FT_REQUIRE(other.series_.size() == other.samples_);
+  configure(other.shape_);
+
+  // Replay the shard's kept samples (all of them, series_every == 1) as if
+  // recorded here: this collector's series_every applies to the combined
+  // sample ordinal, reproducing exactly the sequential kept-sample set.
+  for (const LinkUtilizationPoint& point : other.series_) {
+    FT_REQUIRE(!have_sample_ || point.t >= current_t_);
+    if (samples_ % options_.series_every == 0) series_.push_back(point);
+    ++samples_;
+    current_t_ = point.t;
+    have_sample_ = true;
+  }
+
+  for (std::size_t h = 0; h < levels_.size(); ++h) {
+    PerLevel& into = levels_[h];
+    const PerLevel& from = other.levels_[h];
+    for (std::size_t c = 0; c < into.busy_up.size(); ++c) {
+      into.busy_up[c] += from.busy_up[c];
+      into.busy_down[c] += from.busy_down[c];
+    }
+    into.saturation[0].merge_from(from.saturation[0]);
+    into.saturation[1].merge_from(from.saturation[1]);
+    if (other.have_sample_) {
+      into.last_up = from.last_up;
+      into.last_down = from.last_down;
+    }
+  }
+}
+
 void LinkTelemetry::export_metrics(MetricsRegistry& registry) const {
   registry.counter("fabric.samples").add(samples_);
   for (std::uint32_t h = 0; h < levels_.size(); ++h) {

@@ -138,6 +138,17 @@ class LinkTelemetry {
   /// Drops all samples and counters; the configured shape stays.
   void reset();
 
+  /// Folds a shard collector into this one, exactly as if the shard's
+  /// samples had been recorded here, in order, after everything already
+  /// recorded. The shard must keep every sample (series_every == 1) so this
+  /// collector can apply its own series_every to the combined sample
+  /// ordinals — that makes a chunk-ordered merge of per-thread shards
+  /// bit-identical to sequential recording. Requires: identical shape (an
+  /// unconfigured target adopts the shard's), nondecreasing t across the
+  /// merge boundary, and neither collector mid-sample. An empty,
+  /// unconfigured shard is a no-op.
+  void merge_shard(const LinkTelemetry& other);
+
   // --- Export ---------------------------------------------------------------
 
   /// Registers under the `fabric.` prefix: `fabric.samples` (counter),

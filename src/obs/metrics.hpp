@@ -107,6 +107,25 @@ class Histogram {
   /// retained). Requires count() > 0.
   double percentile(double q) const;
 
+  /// Adds `other`'s observations into this histogram, bin by bin. Requires
+  /// identical bin edges — merging differently-shaped histograms would
+  /// silently misattribute counts. Exact: merging shards recorded separately
+  /// equals recording every observation into one histogram (the sum_ is a
+  /// double, but addition order per bin-merge is fixed, so merged results
+  /// are deterministic for a fixed merge order).
+  void merge_from(const Histogram& other) {
+    FT_REQUIRE(lo_ == other.lo_);
+    FT_REQUIRE(hi_ == other.hi_);
+    FT_REQUIRE(counts_.size() == other.counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      counts_[i] += other.counts_[i];
+    }
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+
   void reset();
 
  private:

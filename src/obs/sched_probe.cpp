@@ -20,6 +20,37 @@ void SchedulerProbe::reset() {
   pick_by_level_.clear();
 }
 
+namespace {
+
+void add_vec(std::vector<std::uint64_t>& into,
+             const std::vector<std::uint64_t>& from) {
+  if (into.size() < from.size()) into.resize(from.size(), 0);
+  for (std::size_t i = 0; i < from.size(); ++i) into[i] += from[i];
+}
+
+void add_nested(std::vector<std::vector<std::uint64_t>>& into,
+                const std::vector<std::vector<std::uint64_t>>& from) {
+  if (into.size() < from.size()) into.resize(from.size());
+  for (std::size_t i = 0; i < from.size(); ++i) add_vec(into[i], from[i]);
+}
+
+}  // namespace
+
+void SchedulerProbe::merge_from(const SchedulerProbe& other) {
+  batches_ += other.batches_;
+  requests_ += other.requests_;
+  grants_ += other.grants_;
+  rejects_ += other.rejects_;
+  leaf_claim_failures_ += other.leaf_claim_failures_;
+  rollbacks_ += other.rollbacks_;
+  rollback_entries_ += other.rollback_entries_;
+  add_vec(grant_by_ancestor_, other.grant_by_ancestor_);
+  add_vec(reject_by_level_, other.reject_by_level_);
+  add_vec(reject_by_reason_, other.reject_by_reason_);
+  add_nested(popcount_by_level_, other.popcount_by_level_);
+  add_nested(pick_by_level_, other.pick_by_level_);
+}
+
 void SchedulerProbe::export_metrics(MetricsRegistry& registry,
                                     ReasonNameFn reason_name) const {
   registry.counter("sched.batches").add(batches_);

@@ -103,6 +103,13 @@ class SchedulerProbe {
 
   void reset();
 
+  /// Adds `other`'s counts into this probe, slot by slot (vectors grow to
+  /// the larger length). Everything the probe records is a sum of per-event
+  /// increments, so merging per-thread shards — in any order — equals having
+  /// recorded all events into one probe. The parallel experiment runner
+  /// gives each thread a private shard and folds them in repetition order.
+  void merge_from(const SchedulerProbe& other);
+
   // --- Export ---------------------------------------------------------------
 
   /// Registers everything under the `sched.` prefix (counters plus one

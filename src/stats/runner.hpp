@@ -32,6 +32,17 @@ struct ExperimentConfig {
   /// relaxes the final-state check to subset semantics.
   bool allow_residual = false;
 
+  /// Worker threads for the repetition fan-out. Repetitions already draw
+  /// from independent per-repetition seed streams, so they are partitioned
+  /// into `threads` contiguous chunks, each run on a private scheduler
+  /// clone + LinkState with private probe/telemetry shards, and the shards
+  /// are merged back in repetition order — every ExperimentPoint field is
+  /// bit-identical to the sequential run at any thread count (tested; see
+  /// docs/PERFORMANCE.md for the argument). Clamped to repetitions. A
+  /// tracer forces sequential execution: TraceWriter is single-threaded and
+  /// span order is part of the trace contract.
+  std::size_t threads = 1;
+
   /// Optional accounting probe, attached to the scheduler for the whole
   /// experiment (all repetitions accumulate into it); must outlive the
   /// run_experiment call. Null = no probing, no overhead beyond a branch.

@@ -28,6 +28,14 @@
 //                           ftsched::Xoshiro256ss; std::rand/<random>
 //                           engines in src/ would break run-to-run equality
 //                           of every figure.
+//   no-raw-thread           All threading in src/ goes through the
+//                           exec::ThreadPool (src/exec), whose chunked
+//                           fan-out and in-order merge are what keep
+//                           parallel experiment results bit-identical to
+//                           sequential ones. A raw std::thread/std::async
+//                           elsewhere has no determinism story and escapes
+//                           the TSan-stressed pool. Exempt: src/exec (the
+//                           one place allowed to touch <thread>).
 //   no-raw-io               Library code in src/ must not print: raw
 //                           std::cout/std::cerr or printf-family calls
 //                           bypass the structured outputs (obs/ exporters,
@@ -180,6 +188,9 @@ class Linter {
         name != "table.hpp" && name != "table.cpp" &&
         name != "contracts.hpp") {
       check_raw_io(path, src);
+    }
+    if (path_contains(path, "src/") && !path_contains(path, "exec/")) {
+      check_raw_thread(path, src);
     }
   }
 
@@ -335,6 +346,37 @@ class Linter {
     }
   }
 
+  void check_raw_thread(const fs::path& path, const Source& src) {
+    // Qualified names only (`std::thread`, not every identifier `thread`):
+    // config fields like `threads` and the pool's own callers stay clean.
+    static constexpr std::string_view kBanned[] = {
+        "thread", "jthread", "async", "future", "promise", "packaged_task"};
+    for (std::size_t i = 0; i < src.code.size(); ++i) {
+      const std::string& line = src.code[i];
+      for (const std::string_view header : {"<thread>", "<future>"}) {
+        if (line.find("#include " + std::string(header)) !=
+            std::string::npos) {
+          add(path, i + 1, "no-raw-thread",
+              "do not include " + std::string(header) +
+                  " outside src/exec; parallelism goes through "
+                  "exec::ThreadPool so results stay deterministic");
+        }
+      }
+      for (std::size_t pos = line.find("std::"); pos != std::string::npos;
+           pos = line.find("std::", pos + 1)) {
+        const std::size_t word_at = pos + 5;
+        for (const std::string_view word : kBanned) {
+          if (token_at(line, word_at, word)) {
+            add(path, i + 1, "no-raw-thread",
+                "raw std::" + std::string(word) +
+                    " outside src/exec has no determinism contract; use "
+                    "exec::ThreadPool / exec::parallel_for instead");
+          }
+        }
+      }
+    }
+  }
+
   void check_raw_random(const fs::path& path, const Source& src) {
     static constexpr std::string_view kBanned[] = {
         "rand", "srand", "random_device", "mt19937", "mt19937_64",
@@ -382,7 +424,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: ftlint [--expect <rule>] <file-or-dir>...\n"
                    "rules: no-raw-assert api-contract transaction-discipline "
-                   "self-contained-header no-raw-random no-raw-io\n");
+                   "self-contained-header no-raw-random no-raw-io "
+                   "no-raw-thread\n");
       return 0;
     } else {
       paths.emplace_back(arg);

@@ -1,0 +1,17 @@
+// Fixture: raw threading primitives outside src/exec must trip
+// no-raw-thread. (This file is never compiled; it only feeds ftlint.)
+#include <thread>
+
+#include <vector>
+
+namespace ftsched {
+
+void fan_out_badly(std::size_t n) {
+  std::vector<std::thread> workers;
+  for (std::size_t i = 0; i < n; ++i) {
+    workers.emplace_back([] {});
+  }
+  for (std::thread& t : workers) t.join();
+}
+
+}  // namespace ftsched

@@ -20,6 +20,11 @@
 //   --telemetry-out=FILE   sample per-link fabric occupancy at every batch
 //                          boundary and write the time-series JSONL
 //                          (ftreport ingests it; see docs/OBSERVABILITY.md)
+//
+// Execution flags (schedule and sweep commands):
+//   --threads=N            fan repetitions over N worker threads (0 = all
+//                          hardware threads). Results are bit-identical at
+//                          any thread count; see docs/PERFORMANCE.md.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -28,6 +33,7 @@
 #include <vector>
 
 #include "core/registry.hpp"
+#include "exec/thread_pool.hpp"
 #include "hw/resources.hpp"
 #include "hw/timing_model.hpp"
 #include "obs/link_telemetry.hpp"
@@ -65,17 +71,22 @@ int usage() {
                "  schedule <levels> <m[:w]> <scheduler> <pattern> <reps>"
                " [seed]\n"
                "           [--probe] [--metrics-out=FILE] [--trace-out=FILE]\n"
-               "  sweep <scheduler> [reps]\n"
+               "           [--threads=N]\n"
+               "  sweep <scheduler> [reps] [--threads=N]\n"
                "  hw <levels> <w>\n";
   return 2;
 }
 
-/// Observability options, extracted from argv before positional parsing.
+/// Non-positional options, extracted from argv before positional parsing.
 struct ObsFlags {
   std::string metrics_out;
   std::string trace_out;
   std::string telemetry_out;
   bool probe = false;
+  /// Worker threads for the repetition fan-out (schedule/sweep commands).
+  /// 0 = use every hardware thread. Results are bit-identical at any value;
+  /// see docs/PERFORMANCE.md.
+  std::size_t threads = 1;
 };
 
 Result<FatTree> tree_from_args(int argc, char** argv, int base) {
@@ -168,6 +179,7 @@ int cmd_schedule(int argc, char** argv, const ObsFlags& flags) {
   config.seed = argc > 7 ? static_cast<std::uint64_t>(std::atoll(argv[7]))
                          : 2006;
   config.allow_residual = config.scheduler == "local-hold";
+  config.threads = flags.threads;
 
   obs::SchedulerProbe probe;
   obs::TraceWriter tracer;
@@ -229,7 +241,7 @@ int cmd_schedule(int argc, char** argv, const ObsFlags& flags) {
   return 0;
 }
 
-int cmd_sweep(int argc, char** argv) {
+int cmd_sweep(int argc, char** argv, const ObsFlags& flags) {
   if (argc < 3) return usage();
   const std::string scheduler = argv[2];
   if (!make_scheduler(scheduler).ok()) {
@@ -254,6 +266,7 @@ int cmd_sweep(int argc, char** argv) {
       config.repetitions = reps;
       config.seed = 2006 + w;
       config.allow_residual = scheduler == "local-hold";
+      config.threads = flags.threads;
       const ExperimentPoint point = run_experiment(tree, config);
       table.add_row({std::to_string(family.levels), std::to_string(w),
                      std::to_string(tree.node_count()),
@@ -330,6 +343,10 @@ int main(int argc, char** argv) {
       flags.trace_out = arg.substr(12);
     } else if (arg.rfind("--telemetry-out=", 0) == 0) {
       flags.telemetry_out = arg.substr(16);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      const long n = std::atol(arg.c_str() + 10);
+      flags.threads = n <= 0 ? exec::hardware_threads()
+                             : static_cast<std::size_t>(n);
     } else {
       argv[kept++] = argv[i];
     }
@@ -340,7 +357,7 @@ int main(int argc, char** argv) {
   if (command == "info") return cmd_info(argc, argv);
   if (command == "dot") return cmd_dot(argc, argv);
   if (command == "schedule") return cmd_schedule(argc, argv, flags);
-  if (command == "sweep") return cmd_sweep(argc, argv);
+  if (command == "sweep") return cmd_sweep(argc, argv, flags);
   if (command == "hw") return cmd_hw(argc, argv);
   if (command == "schedulers") {
     for (const std::string& name : scheduler_names()) {
