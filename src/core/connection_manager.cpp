@@ -1,6 +1,9 @@
 #include "core/connection_manager.hpp"
 
+#include <algorithm>
+
 #include "linkstate/transaction.hpp"
+#include "topology/path.hpp"
 
 namespace ftsched {
 
@@ -58,6 +61,46 @@ std::optional<ConnectionId> ConnectionManager::open(const Request& request) {
   return id;
 }
 
+BatchOpenResult ConnectionManager::open_batch(
+    const std::vector<Request>& requests, Scheduler& scheduler) {
+  BatchOpenResult out;
+  out.schedule.outcomes.resize(requests.size());
+  out.ids.assign(requests.size(), std::nullopt);
+
+  // Pre-filter endpoints already held by open circuits: the scheduler's own
+  // per-batch LeafTracker starts empty, so standing claims must be enforced
+  // here. Intra-batch endpoint conflicts stay the scheduler's business.
+  std::vector<Request> batch;
+  std::vector<std::size_t> batch_index;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const Request& r = requests[i];
+    FT_REQUIRE(r.src < tree_.node_count());
+    FT_REQUIRE(r.dst < tree_.node_count());
+    if (!leaves_.can_claim(r.src, r.dst)) {
+      out.schedule.outcomes[i].granted = false;
+      out.schedule.outcomes[i].reason = RejectReason::kLeafBusy;
+      continue;
+    }
+    batch.push_back(r);
+    batch_index.push_back(i);
+  }
+
+  ScheduleResult batch_result = scheduler.schedule(tree_, batch, state_);
+  FT_REQUIRE(batch_result.outcomes.size() == batch.size());
+  for (std::size_t b = 0; b < batch.size(); ++b) {
+    const std::size_t i = batch_index[b];
+    out.schedule.outcomes[i] = std::move(batch_result.outcomes[b]);
+    if (!out.schedule.outcomes[i].granted) continue;
+    const bool claimed = leaves_.try_claim(batch[b].src, batch[b].dst);
+    FT_ASSERT(claimed);  // pre-filter + scheduler tracker guarantee this
+    (void)claimed;
+    const ConnectionId id = next_id_++;
+    connections_.emplace(id, out.schedule.outcomes[i].path);
+    out.ids[i] = id;
+  }
+  return out;
+}
+
 Status ConnectionManager::close(ConnectionId id) {
   auto it = connections_.find(id);
   if (it == connections_.end()) {
@@ -73,6 +116,34 @@ void ConnectionManager::clear() {
   state_.reset();
   leaves_.reset();
   connections_.clear();
+}
+
+std::vector<Revocation> ConnectionManager::fail_cable(const CableId& cable) {
+  // Mask the cable first: victim releases of its channels then park in the
+  // fault shadow instead of re-advertising a dead link.
+  state_.fail_cable(cable.level, cable.lower_index, cable.port);
+
+  std::vector<Revocation> victims;
+  for (const auto& [id, path] : connections_) {
+    if (path_crosses_cable(tree_, path, cable)) {
+      victims.push_back(Revocation{id, Request{path.src, path.dst}});
+    }
+  }
+  // unordered_map iteration order is not deterministic; the re-enqueue order
+  // must be.
+  std::sort(victims.begin(), victims.end(),
+            [](const Revocation& a, const Revocation& b) { return a.id < b.id; });
+  for (const Revocation& v : victims) {
+    auto it = connections_.find(v.id);
+    state_.release_path(tree_, it->second);
+    leaves_.release(v.request.src, v.request.dst);
+    connections_.erase(it);
+  }
+  return victims;
+}
+
+void ConnectionManager::repair_cable(const CableId& cable) {
+  state_.repair_cable(cable.level, cable.lower_index, cable.port);
 }
 
 const Path* ConnectionManager::find(ConnectionId id) const {

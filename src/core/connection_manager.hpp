@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "core/request.hpp"
 #include "core/scheduler.hpp"
@@ -21,6 +22,23 @@
 namespace ftsched {
 
 using ConnectionId = std::uint64_t;
+
+/// A circuit torn down by a cable failure: enough information for a fabric
+/// manager to re-enqueue the victim.
+struct Revocation {
+  ConnectionId id = 0;
+  Request request;
+};
+
+/// Result of open_batch: a ScheduleResult aligned with the input requests
+/// (so batch semantics match the one-shot schedulers bit for bit) plus the
+/// connection id of every grant.
+struct BatchOpenResult {
+  ScheduleResult schedule;
+  std::vector<std::optional<ConnectionId>> ids;  ///< parallel to requests
+
+  std::uint64_t granted_count() const { return schedule.granted_count(); }
+};
 
 class ConnectionManager {
  public:
@@ -35,11 +53,35 @@ class ConnectionManager {
   /// already in use by an open connection.
   std::optional<ConnectionId> open(const Request& request);
 
+  /// Opens a whole batch through `scheduler` (any registry scheduler that
+  /// allocates on top of the live state — all of them do). Requests whose
+  /// endpoints collide with an already-open circuit are pre-rejected with
+  /// kLeafBusy; the rest are scheduled as ONE batch, so on an empty fabric
+  /// the grant set is bit-identical to a standalone scheduler run — the
+  /// property the fault-rate-0 degradation baseline relies on. Grants are
+  /// registered as open connections.
+  BatchOpenResult open_batch(const std::vector<Request>& requests,
+                             Scheduler& scheduler);
+
   /// Releases a circuit's channels. Fails if the id is unknown.
   Status close(ConnectionId id);
 
   /// Releases everything.
   void clear();
+
+  // --- Fault handling -------------------------------------------------------
+
+  /// Fails the cable in the link state and revokes every open circuit that
+  /// crosses it (Theorem-1/2 digit test, no path expansion): victims'
+  /// channels are released (the failed cable's own channels park in the
+  /// fault shadow), their leaf claims are dropped, and they are returned in
+  /// ascending ConnectionId order — the deterministic re-enqueue order.
+  /// The cable must not already be faulted.
+  std::vector<Revocation> fail_cable(const CableId& cable);
+
+  /// Repairs a previously failed cable; channels nobody holds become
+  /// available again. The cable must currently be faulted.
+  void repair_cable(const CableId& cable);
 
   std::size_t active_count() const { return connections_.size(); }
   const LinkState& state() const { return state_; }

@@ -48,6 +48,11 @@ class LeafTracker {
     return true;
   }
 
+  /// Whether try_claim(src, dst) would succeed, without claiming.
+  bool can_claim(NodeId src, NodeId dst) const {
+    return !injection_[src] && !ejection_[dst];
+  }
+
   void release(NodeId src, NodeId dst) {
     FT_REQUIRE(injection_[src] && ejection_[dst]);
     injection_[src] = false;

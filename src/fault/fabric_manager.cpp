@@ -1,0 +1,270 @@
+#include "fault/fabric_manager.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "topology/path.hpp"
+
+namespace ftsched {
+
+namespace {
+
+std::uint64_t jitter_seed(std::uint64_t seed) {
+  std::uint64_t state = seed ^ 0xfab71c0ffULL;
+  return splitmix64(state);
+}
+
+}  // namespace
+
+FabricManager::FabricManager(const FatTree& tree, Simulator& sim,
+                             FabricOptions options)
+    : tree_(tree),
+      sim_(sim),
+      options_(std::move(options)),
+      manager_(tree),
+      queue_(options_.max_pending),
+      jitter_rng_(jitter_seed(options_.seed)) {
+  auto scheduler = make_scheduler(options_.scheduler, options_.seed);
+  FT_REQUIRE_MSG(scheduler.ok(), "unknown scheduler for FabricManager");
+  scheduler_ = std::move(scheduler).value();
+}
+
+void FabricManager::reseed(std::uint64_t seed) {
+  scheduler_->reseed(seed);
+  jitter_rng_ = Xoshiro256ss(jitter_seed(seed));
+}
+
+void FabricManager::install(const FaultTimeline& timeline) {
+  for (const FaultEvent& event : timeline.events()) {
+    FT_REQUIRE_MSG(event.time <= options_.horizon,
+                   "fault event beyond the horizon");
+    const CableId cable = event.cable;
+    if (event.fail) {
+      sim_.schedule_at(event.time, [this, cable] { on_fail(cable); });
+    } else {
+      sim_.schedule_at(event.time, [this, cable] { on_repair(cable); });
+    }
+  }
+}
+
+void FabricManager::submit(std::vector<Request> requests, SimTime t) {
+  FT_REQUIRE(t <= options_.horizon);
+  std::vector<RetryEntry> entries;
+  entries.reserve(requests.size());
+  for (Request& r : requests) {
+    RetryEntry entry;
+    entry.request = r;
+    entry.seq = next_seq_++;
+    entry.eligible_at = t;
+    entry.first_submit = t;
+    entries.push_back(entry);
+  }
+  stats_.submitted += entries.size();
+  granted_ever_.resize(next_seq_, false);
+  sim_.schedule_at(t, [this, batch = std::move(entries)]() mutable {
+    run_batch(std::move(batch));
+  });
+}
+
+void FabricManager::run_batch(std::vector<RetryEntry> entries) {
+  if (entries.empty()) return;
+  const SimTime now = sim_.now();
+  std::vector<Request> requests;
+  requests.reserve(entries.size());
+  for (const RetryEntry& e : entries) requests.push_back(e.request);
+
+  const BatchOpenResult result = manager_.open_batch(requests, *scheduler_);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    RetryEntry& entry = entries[i];
+    const RequestOutcome& outcome = result.schedule.outcomes[i];
+    if (outcome.granted) {
+      ++stats_.grants;
+      conn_seq_.emplace(*result.ids[i], entry.seq);
+      if (!granted_ever_[entry.seq]) {
+        granted_ever_[entry.seq] = true;
+        ++stats_.ever_granted;
+      }
+      if (!entry.victim && entry.attempts == 0) {
+        ++stats_.first_attempt_granted;
+      }
+      if (entry.victim) {
+        ++stats_.recovered;
+        const SimTime latency = now - entry.revoked_at;
+        stats_.recovery_latency.push_back(static_cast<double>(latency));
+        if (options_.tracer) {
+          options_.tracer->complete("fault.recover", "fault", entry.revoked_at,
+                                    latency, obs::kPidDes);
+        }
+      }
+      if (now > entry.first_submit) {
+        stats_.retry_latency.push_back(
+            static_cast<double>(now - entry.first_submit));
+      }
+    } else {
+      handle_reject(std::move(entry));
+    }
+  }
+  if (options_.deep_verify) verify_invariants();
+}
+
+void FabricManager::handle_reject(RetryEntry entry) {
+  const std::uint32_t attempt = entry.attempts + 1;
+  const std::optional<std::uint64_t> delay =
+      options_.retry.delay_for(attempt, jitter_rng_);
+  if (!delay) {
+    ++stats_.permanent_rejects;
+    return;
+  }
+  const SimTime eligible = sim_.now() + *delay;
+  if (eligible > options_.horizon) {
+    ++stats_.abandoned;
+    return;
+  }
+  entry.attempts = attempt;
+  entry.eligible_at = eligible;
+  if (!queue_.admit(entry)) {
+    ++stats_.shed;
+    return;
+  }
+  ++stats_.retries;
+  sim_.schedule_at(eligible, [this] { drain_due(); });
+}
+
+void FabricManager::drain_due() {
+  // Every due entry drains in admission order, including entries whose own
+  // wake-up event has not fired yet — same-timestamp retries form one batch
+  // and later duplicate wake-ups find an empty queue.
+  run_batch(queue_.take_due(sim_.now()));
+}
+
+void FabricManager::on_fail(const CableId& cable) {
+  ++stats_.fail_events;
+  const auto [it, inserted] = failed_cables_.insert(cable);
+  FT_REQUIRE_MSG(inserted, "cable failed twice without repair");
+  (void)it;
+  if (options_.tracer) {
+    options_.tracer->instant("fault.cable_fail", "fault", sim_.now(),
+                             obs::kPidDes);
+  }
+  const std::vector<Revocation> victims = manager_.fail_cable(cable);
+  stats_.victims += victims.size();
+  const SimTime now = sim_.now();
+  for (const Revocation& v : victims) {
+    auto seq_it = conn_seq_.find(v.id);
+    FT_REQUIRE(seq_it != conn_seq_.end());
+    RetryEntry entry;
+    entry.request = v.request;
+    entry.seq = seq_it->second;
+    entry.attempts = 0;  // victims were healthy: fresh retry budget
+    entry.first_submit = now;
+    entry.revoked_at = now;
+    entry.victim = true;
+    conn_seq_.erase(seq_it);
+    handle_reject(std::move(entry));
+  }
+  if (options_.deep_verify) verify_invariants();
+}
+
+void FabricManager::on_repair(const CableId& cable) {
+  ++stats_.repair_events;
+  const std::size_t erased = failed_cables_.erase(cable);
+  FT_REQUIRE_MSG(erased == 1, "repair of a cable that is not down");
+  if (options_.tracer) {
+    options_.tracer->instant("fault.cable_repair", "fault", sim_.now(),
+                             obs::kPidDes);
+  }
+  manager_.repair_cable(cable);
+  if (options_.deep_verify) verify_invariants();
+}
+
+void FabricManager::verify_invariants() const {
+  const LinkState& live = manager_.state();
+  const Status audit = live.audit();
+  FT_REQUIRE_MSG(audit.ok(), audit.message().c_str());
+
+  // Every failed cable still masked, both channels unavailable; no open
+  // circuit crosses one.
+  std::vector<std::pair<ConnectionId, const Path*>> open;
+  for (const auto& [id, seq] : conn_seq_) {
+    const Path* path = manager_.find(id);
+    FT_REQUIRE(path != nullptr);
+    open.emplace_back(id, path);
+  }
+  std::sort(open.begin(), open.end());
+  for (const CableId& cable : failed_cables_) {
+    FT_REQUIRE_MSG(
+        live.cable_faulted(cable.level, cable.lower_index, cable.port),
+        "failed cable lost its fault mark");
+    FT_REQUIRE_MSG(!live.ulink(cable.level, cable.lower_index, cable.port) &&
+                       !live.dlink(cable.level, cable.lower_index, cable.port),
+                   "faulted cable advertises availability");
+    for (const auto& [id, path] : open) {
+      FT_REQUIRE_MSG(!path_crosses_cable(tree_, *path, cable),
+                     "open circuit crosses a faulted cable");
+    }
+  }
+
+  // Residue: rebuilding from scratch — faults first, then every open
+  // circuit — must land on the live state exactly. This is the
+  // "revocation releases exactly the victim's channels" check.
+  LinkState expected(tree_);
+  for (const CableId& cable : failed_cables_) {
+    expected.fail_cable(cable.level, cable.lower_index, cable.port);
+  }
+  for (const auto& [id, path] : open) {
+    expected.occupy_path(tree_, *path);
+  }
+  FT_REQUIRE_MSG(expected == live,
+                 "link state residue differs from re-derivation");
+}
+
+void FabricManager::export_metrics(obs::MetricsRegistry& registry) const {
+  registry.counter("fault.submitted").add(stats_.submitted);
+  registry.counter("fault.first_attempt_granted")
+      .add(stats_.first_attempt_granted);
+  registry.counter("fault.ever_granted").add(stats_.ever_granted);
+  registry.counter("fault.grants").add(stats_.grants);
+  registry.counter("fault.fail_events").add(stats_.fail_events);
+  registry.counter("fault.repair_events").add(stats_.repair_events);
+  registry.counter("fault.victims").add(stats_.victims);
+  registry.counter("fault.recovered").add(stats_.recovered);
+  registry.counter("fault.retries").add(stats_.retries);
+  registry.counter("fault.shed").add(stats_.shed);
+  registry.counter("fault.permanent_rejects").add(stats_.permanent_rejects);
+  registry.counter("fault.abandoned").add(stats_.abandoned);
+  registry.counter("fault.open_circuits").add(manager_.active_count());
+  auto& recovery = registry.histogram(
+      "fault.recovery_latency", 0.0,
+      static_cast<double>(options_.horizon) + 1.0, 32);
+  for (double v : stats_.recovery_latency) recovery.observe(v);
+  auto& retry = registry.histogram(
+      "fault.retry_latency", 0.0, static_cast<double>(options_.horizon) + 1.0,
+      32);
+  for (double v : stats_.retry_latency) retry.observe(v);
+}
+
+double FabricManager::first_attempt_ratio() const {
+  if (stats_.submitted == 0) return 1.0;
+  return static_cast<double>(stats_.first_attempt_granted) /
+         static_cast<double>(stats_.submitted);
+}
+
+double FabricManager::ever_granted_ratio() const {
+  if (stats_.submitted == 0) return 1.0;
+  return static_cast<double>(stats_.ever_granted) /
+         static_cast<double>(stats_.submitted);
+}
+
+double FabricManager::open_ratio() const {
+  if (stats_.submitted == 0) return 1.0;
+  return static_cast<double>(manager_.active_count()) /
+         static_cast<double>(stats_.submitted);
+}
+
+double FabricManager::recovery_success_ratio() const {
+  if (stats_.victims == 0) return 1.0;
+  return static_cast<double>(stats_.recovered) /
+         static_cast<double>(stats_.victims);
+}
+
+}  // namespace ftsched

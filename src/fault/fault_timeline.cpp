@@ -1,0 +1,95 @@
+#include "fault/fault_timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "topology/ids.hpp"
+#include "util/rng.hpp"
+
+namespace ftsched {
+
+Result<FaultTimeline> FaultTimeline::from_script(
+    std::vector<FaultEvent> events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.time < b.time;
+                   });
+  // Per-cable alternation: fail, repair, fail, … at strictly increasing
+  // times. `true` in the map means the cable is currently down.
+  std::map<CableId, std::pair<bool, SimTime>> down;
+  for (const FaultEvent& e : events) {
+    auto [it, fresh] = down.try_emplace(e.cable, false, SimTime{0});
+    auto& [is_down, last_time] = it->second;
+    if (!fresh && e.time <= last_time) {
+      return Result<FaultTimeline>::error(
+          "fault script: events for " + to_string(e.cable) +
+          " must have strictly increasing times");
+    }
+    if (e.fail == is_down) {
+      return Result<FaultTimeline>::error(
+          "fault script: " + to_string(e.cable) +
+          (e.fail ? " fails while already down" : " repaired while up"));
+    }
+    is_down = e.fail;
+    last_time = e.time;
+  }
+  FaultTimeline timeline;
+  timeline.events_ = std::move(events);
+  return Result<FaultTimeline>(std::move(timeline));
+}
+
+FaultTimeline FaultTimeline::from_mtbf(const FatTree& tree, double mtbf,
+                                       double mttr, SimTime horizon,
+                                       std::uint64_t seed) {
+  FT_REQUIRE(mtbf > 0.0);
+  FT_REQUIRE(mttr > 0.0);
+  Xoshiro256ss rng(seed);
+  auto exponential = [&rng](double mean) {
+    // uniform01() ∈ [0, 1) so the log argument is in (0, 1].
+    return -mean * std::log(1.0 - rng.uniform01());
+  };
+  auto quantize = [](double dt) {
+    const double clamped = std::max(1.0, dt);
+    return static_cast<SimTime>(clamped);
+  };
+
+  FaultTimeline timeline;
+  for (std::uint32_t h = 0; h + 1 < tree.levels(); ++h) {
+    for (std::uint64_t sw = 0; sw < tree.switches_at(h); ++sw) {
+      for (std::uint32_t p = 0; p < tree.parent_arity(); ++p) {
+        const CableId cable{h, sw, p};
+        SimTime t = 0;
+        while (true) {
+          t += quantize(exponential(mtbf));
+          if (t > horizon) break;
+          timeline.events_.push_back(FaultEvent{t, cable, true});
+          t += quantize(exponential(mttr));
+          if (t > horizon) break;  // stays down past the horizon
+          timeline.events_.push_back(FaultEvent{t, cable, false});
+        }
+      }
+    }
+  }
+  // Stable by time: same-time events keep cable generation order, so the
+  // timeline is one deterministic function of (tree, mtbf, mttr, seed).
+  std::stable_sort(timeline.events_.begin(), timeline.events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.time < b.time;
+                   });
+  return timeline;
+}
+
+double FaultTimeline::mtbf_for_fault_rate(double rate, SimTime horizon) {
+  FT_REQUIRE(rate > 0.0 && rate < 1.0);
+  FT_REQUIRE(horizon >= 1);
+  return -static_cast<double>(horizon) / std::log(1.0 - rate);
+}
+
+std::uint64_t FaultTimeline::fail_count() const {
+  std::uint64_t n = 0;
+  for (const FaultEvent& e : events_) n += e.fail ? 1 : 0;
+  return n;
+}
+
+}  // namespace ftsched

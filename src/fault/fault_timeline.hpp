@@ -1,0 +1,59 @@
+// FaultTimeline — when cables die and when they come back.
+//
+// Replaces one-shot apply_faults with a schedule of fail/repair events the
+// DES Simulator drives through the FabricManager while circuits are live.
+// Timelines come from an explicit script (tests, reproducing an incident)
+// or from per-cable exponential MTBF/MTTR sampling (degradation sweeps).
+// Generation is deterministic per seed and independent of thread count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "des/simulator.hpp"
+#include "topology/fat_tree.hpp"
+#include "util/contracts.hpp"
+#include "util/result.hpp"
+
+namespace ftsched {
+
+struct FaultEvent {
+  SimTime time = 0;
+  CableId cable;
+  bool fail = true;  ///< false = repair
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+class FaultTimeline {
+ public:
+  FaultTimeline() = default;
+
+  /// Validates and adopts an explicit script: per cable the events must
+  /// alternate fail/repair starting with fail, at strictly increasing
+  /// times. Events are stably ordered by time (ties keep script order).
+  static Result<FaultTimeline> from_script(std::vector<FaultEvent> events);
+
+  /// Samples each cable's life independently: exponential time-to-failure
+  /// with mean `mtbf`, exponential time-to-repair with mean `mttr`,
+  /// alternating until `horizon`. Delays are quantized to >= 1 tick, and
+  /// the first failure lands at t >= 1 so a batch submitted at t = 0 always
+  /// sees a healthy fabric. Both means must be > 0.
+  static FaultTimeline from_mtbf(const FatTree& tree, double mtbf, double mttr,
+                                 SimTime horizon, std::uint64_t seed);
+
+  /// MTBF such that a cable fails at least once within `horizon` with
+  /// probability `rate` (0 < rate < 1): -horizon / ln(1 - rate).
+  static double mtbf_for_fault_rate(double rate, SimTime horizon);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+  /// Number of fail events (the repair count is events() minus this).
+  std::uint64_t fail_count() const;
+
+ private:
+  std::vector<FaultEvent> events_;  // ordered by time, stable
+};
+
+}  // namespace ftsched

@@ -4,6 +4,18 @@
 
 namespace ftsched {
 
+namespace {
+
+// Canonical plan order: sorted, no duplicates. Duplicate cables in a plan
+// would make apply_faults abort on the second occurrence (double failure),
+// so generators never emit them.
+void canonicalize(std::vector<CableId>& cables) {
+  std::sort(cables.begin(), cables.end());
+  cables.erase(std::unique(cables.begin(), cables.end()), cables.end());
+}
+
+}  // namespace
+
 FaultPlan random_cable_faults(const FatTree& tree, double rate,
                               std::uint64_t seed) {
   FT_REQUIRE(rate >= 0.0 && rate <= 1.0);
@@ -18,6 +30,7 @@ FaultPlan random_cable_faults(const FatTree& tree, double rate,
       }
     }
   }
+  canonicalize(plan.failed_cables);
   return plan;
 }
 
@@ -35,32 +48,28 @@ FaultPlan exact_cable_faults(const FatTree& tree, std::uint64_t count,
   Xoshiro256ss rng(seed);
   rng.shuffle(all.begin(), all.end());
   all.resize(count);
-  // Deterministic order independent of the shuffle tail.
-  std::sort(all.begin(), all.end());
+  canonicalize(all);
   return FaultPlan{std::move(all)};
 }
 
 void apply_faults(LinkState& state, const FaultPlan& plan) {
   for (const CableId& cable : plan.failed_cables) {
-    FT_REQUIRE(state.ulink(cable.level, cable.lower_index, cable.port));
-    FT_REQUIRE(state.dlink(cable.level, cable.lower_index, cable.port));
-    state.set_ulink(cable.level, cable.lower_index, cable.port, false);
-    state.set_dlink(cable.level, cable.lower_index, cable.port, false);
+    // fail_cable validates level/switch/port ranges and rejects double
+    // failure with diagnosable messages.
+    state.fail_cable(cable.level, cable.lower_index, cable.port);
   }
 }
 
 void clear_faults(LinkState& state, const FaultPlan& plan) {
   for (const CableId& cable : plan.failed_cables) {
-    FT_REQUIRE(!state.ulink(cable.level, cable.lower_index, cable.port));
-    FT_REQUIRE(!state.dlink(cable.level, cable.lower_index, cable.port));
-    state.set_ulink(cable.level, cable.lower_index, cable.port, true);
-    state.set_dlink(cable.level, cable.lower_index, cable.port, true);
+    state.repair_cable(cable.level, cable.lower_index, cable.port);
   }
 }
 
 bool faults_still_marked(const LinkState& state, const FaultPlan& plan) {
   for (const CableId& cable : plan.failed_cables) {
-    if (state.ulink(cable.level, cable.lower_index, cable.port) ||
+    if (!state.cable_faulted(cable.level, cable.lower_index, cable.port) ||
+        state.ulink(cable.level, cable.lower_index, cable.port) ||
         state.dlink(cable.level, cable.lower_index, cable.port)) {
       return false;
     }

@@ -5,8 +5,17 @@
 // faulted cable permanently occupied is exactly how a centralized fabric
 // manager masks dead links — no scheduler changes needed, and the
 // degradation benches measure how gracefully each algorithm routes around
-// damage. apply_faults() / clear_faults() are idempotent-free (they demand
-// the expected prior state) so double application is caught, not absorbed.
+// damage.
+//
+// Faults are owned by LinkState's fault overlay (fail_cable/repair_cable):
+// a faulted channel reads permanently busy, a release by a circuit that held
+// it at failure time parks in the overlay's shadow, and repair restores
+// exactly the channels nobody holds. That makes clear_faults safe to call on
+// a live fabric — repairing a cable whose channel was re-occupied by a
+// revoked-then-rescheduled circuit is well-defined, not an abort.
+// apply_faults() / clear_faults() still demand the expected fault state
+// (not-yet-faulted / currently-faulted) so double application is caught,
+// not absorbed.
 #pragma once
 
 #include <vector>
@@ -22,24 +31,28 @@ struct FaultPlan {
 };
 
 /// Draws each inter-switch cable independently with probability `rate`.
+/// The plan lists every cable at most once, in sorted order.
 FaultPlan random_cable_faults(const FatTree& tree, double rate,
                               std::uint64_t seed);
 
-/// Exactly `count` distinct cables, uniformly chosen.
+/// Exactly `count` distinct cables, uniformly chosen, in sorted order.
 FaultPlan exact_cable_faults(const FatTree& tree, std::uint64_t count,
                              std::uint64_t seed);
 
-/// Marks every cable in the plan unavailable in both directions. Every
-/// affected channel must currently be available.
+/// Fails every cable in the plan (LinkState::fail_cable). CableIds outside
+/// the fabric's dimensions and cables that are already faulted abort with a
+/// diagnosable message instead of corrupting state.
 void apply_faults(LinkState& state, const FaultPlan& plan);
 
-/// Restores the channels (e.g. repaired cables). Every affected channel must
-/// currently be occupied.
+/// Repairs every cable in the plan (LinkState::repair_cable). Channels that
+/// are still held by live circuits stay occupied; everything else becomes
+/// available again. Every cable must currently be faulted.
 void clear_faults(LinkState& state, const FaultPlan& plan);
 
-/// True if no granted circuit could ever cross a faulted cable: every
-/// channel of the plan is still occupied in `state`. Used by tests after a
-/// scheduling run.
+/// True if no granted circuit could ever cross a faulted cable: every cable
+/// of the plan is still faulted in `state` and both of its channels read
+/// unavailable. Used by tests after a scheduling run and by the fault
+/// timeline invariant checks.
 bool faults_still_marked(const LinkState& state, const FaultPlan& plan);
 
 }  // namespace ftsched

@@ -19,6 +19,10 @@ LinkState::LinkState(const FatTree& tree)
 }
 
 void LinkState::reset() {
+  f_.clear();
+  su_.clear();
+  sd_.clear();
+  faulted_ = 0;
   for (std::uint32_t h = 0; h < link_levels_; ++h) {
     u_[h].assign(rows_[h] * row_words_, 0);
     d_[h].assign(rows_[h] * row_words_, 0);
@@ -54,8 +58,85 @@ void LinkState::set_bit(std::vector<Matrix>& mats, std::uint32_t level,
   }
 }
 
+void LinkState::ensure_overlay() {
+  if (!f_.empty()) return;
+  f_.resize(link_levels_);
+  su_.resize(link_levels_);
+  sd_.resize(link_levels_);
+  for (std::uint32_t h = 0; h < link_levels_; ++h) {
+    f_[h].assign(rows_[h] * row_words_, 0);
+    su_[h].assign(rows_[h] * row_words_, 0);
+    sd_[h].assign(rows_[h] * row_words_, 0);
+  }
+}
+
+bool LinkState::cable_faulted(std::uint32_t level, std::uint64_t sw,
+                              std::uint32_t port) const {
+  if (f_.empty()) return false;
+  return test(f_, level, sw, port);
+}
+
+void LinkState::park_release(std::vector<Matrix>& shadow, std::uint32_t level,
+                             std::uint64_t sw, std::uint32_t port) {
+  FT_REQUIRE_MSG(!test(shadow, level, sw, port),
+                 "double release of a faulted channel");
+  set_bit(shadow, level, sw, port, true);
+}
+
+void LinkState::fail_cable(std::uint32_t level, std::uint64_t sw,
+                           std::uint32_t port) {
+  FT_REQUIRE_MSG(level < link_levels_, "fail_cable: level out of range");
+  FT_REQUIRE_MSG(sw < rows_[level], "fail_cable: switch out of range");
+  FT_REQUIRE_MSG(port < w_, "fail_cable: port out of range");
+  ensure_overlay();
+  FT_REQUIRE_MSG(!test(f_, level, sw, port),
+                 "fail_cable: cable already faulted");
+  // Park the current availability; force both channels effectively busy.
+  if (ulink(level, sw, port)) {
+    set_bit(su_, level, sw, port, true);
+    set_bit(u_, level, sw, port, false);
+    ++occupied_u_[level];
+  }
+  if (dlink(level, sw, port)) {
+    set_bit(sd_, level, sw, port, true);
+    set_bit(d_, level, sw, port, false);
+    ++occupied_d_[level];
+  }
+  set_bit(f_, level, sw, port, true);
+  ++faulted_;
+}
+
+void LinkState::repair_cable(std::uint32_t level, std::uint64_t sw,
+                             std::uint32_t port) {
+  FT_REQUIRE_MSG(level < link_levels_, "repair_cable: level out of range");
+  FT_REQUIRE_MSG(sw < rows_[level], "repair_cable: switch out of range");
+  FT_REQUIRE_MSG(port < w_, "repair_cable: port out of range");
+  FT_REQUIRE_MSG(!f_.empty() && test(f_, level, sw, port),
+                 "repair_cable: cable is not faulted");
+  set_bit(f_, level, sw, port, false);
+  --faulted_;
+  // A shadow bit means nobody holds the channel: restore it. A clear shadow
+  // bit means a circuit still held it at failure time and never released —
+  // the channel stays occupied by that holder.
+  if (test(su_, level, sw, port)) {
+    set_bit(su_, level, sw, port, false);
+    set_bit(u_, level, sw, port, true);
+    --occupied_u_[level];
+  }
+  if (test(sd_, level, sw, port)) {
+    set_bit(sd_, level, sw, port, false);
+    set_bit(d_, level, sw, port, true);
+    --occupied_d_[level];
+  }
+}
+
 void LinkState::set_ulink(std::uint32_t level, std::uint64_t sw,
                           std::uint32_t port, bool available) {
+  if (cable_faulted(level, sw, port)) {
+    FT_REQUIRE_MSG(available, "cannot occupy a channel on a faulted cable");
+    park_release(su_, level, sw, port);
+    return;
+  }
   const bool was = ulink(level, sw, port);
   if (was == available) return;
   set_bit(u_, level, sw, port, available);
@@ -64,6 +145,11 @@ void LinkState::set_ulink(std::uint32_t level, std::uint64_t sw,
 
 void LinkState::set_dlink(std::uint32_t level, std::uint64_t sw,
                           std::uint32_t port, bool available) {
+  if (cable_faulted(level, sw, port)) {
+    FT_REQUIRE_MSG(available, "cannot occupy a channel on a faulted cable");
+    park_release(sd_, level, sw, port);
+    return;
+  }
   const bool was = dlink(level, sw, port);
   if (was == available) return;
   set_bit(d_, level, sw, port, available);
@@ -190,12 +276,23 @@ void LinkState::occupy(std::uint32_t level, std::uint64_t src_sw,
 
 void LinkState::release(std::uint32_t level, std::uint64_t src_sw,
                         std::uint64_t dst_sw, std::uint32_t port) {
-  FT_REQUIRE(!ulink(level, src_sw, port));
-  FT_REQUIRE(!dlink(level, dst_sw, port));
-  set_bit(u_, level, src_sw, port, true);
-  set_bit(d_, level, dst_sw, port, true);
-  --occupied_u_[level];
-  --occupied_d_[level];
+  // Either side's cable may have failed since the channel was granted; a
+  // release then parks in the shadow so the channel stays effectively busy
+  // until repair.
+  if (cable_faulted(level, src_sw, port)) {
+    park_release(su_, level, src_sw, port);
+  } else {
+    FT_REQUIRE(!ulink(level, src_sw, port));
+    set_bit(u_, level, src_sw, port, true);
+    --occupied_u_[level];
+  }
+  if (cable_faulted(level, dst_sw, port)) {
+    park_release(sd_, level, dst_sw, port);
+  } else {
+    FT_REQUIRE(!dlink(level, dst_sw, port));
+    set_bit(d_, level, dst_sw, port, true);
+    --occupied_d_[level];
+  }
 }
 
 void LinkState::occupy_path(const FatTree& tree, const Path& path) {
@@ -264,7 +361,56 @@ Status LinkState::audit() const {
                            std::to_string(h));
     }
   }
+  if (!f_.empty()) {
+    std::uint64_t fault_bits = 0;
+    for (std::uint32_t h = 0; h < link_levels_; ++h) {
+      for (std::uint64_t wd = 0; wd < rows_[h] * row_words_; ++wd) {
+        fault_bits += bits::popcount(f_[h][wd]);
+        if ((f_[h][wd] & (u_[h][wd] | d_[h][wd])) != 0) {
+          return Status::error("faulted channel reads available at level " +
+                               std::to_string(h));
+        }
+        if (((su_[h][wd] | sd_[h][wd]) & ~f_[h][wd]) != 0) {
+          return Status::error("shadow bit without fault bit at level " +
+                               std::to_string(h));
+        }
+      }
+    }
+    if (fault_bits != faulted_) {
+      return Status::error("faulted-cable counter drift");
+    }
+  } else if (faulted_ != 0) {
+    return Status::error("faulted-cable counter without overlay");
+  }
   return Status();
+}
+
+namespace {
+
+// The overlay is lazily allocated, so an absent matrix set means all-zero.
+bool overlay_equal(const std::vector<std::vector<std::uint64_t>>& a,
+                   const std::vector<std::vector<std::uint64_t>>& b) {
+  auto all_zero = [](const std::vector<std::vector<std::uint64_t>>& m) {
+    for (const auto& level : m) {
+      for (std::uint64_t word : level) {
+        if (word != 0) return false;
+      }
+    }
+    return true;
+  };
+  if (a.empty()) return all_zero(b);
+  if (b.empty()) return all_zero(a);
+  return a == b;
+}
+
+}  // namespace
+
+bool operator==(const LinkState& a, const LinkState& b) {
+  return a.link_levels_ == b.link_levels_ && a.w_ == b.w_ &&
+         a.rows_ == b.rows_ && a.u_ == b.u_ && a.d_ == b.d_ &&
+         a.occupied_u_ == b.occupied_u_ && a.occupied_d_ == b.occupied_d_ &&
+         a.faulted_ == b.faulted_ && overlay_equal(a.f_, b.f_) &&
+         overlay_equal(a.su_, b.su_) && overlay_equal(a.sd_, b.sd_);
 }
 
 }  // namespace ftsched

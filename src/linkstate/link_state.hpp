@@ -111,17 +111,47 @@ class LinkState {
   /// True if every channel the path needs is currently available.
   bool path_available(const FatTree& tree, const Path& path) const;
 
+  // --- Fault overlay --------------------------------------------------------
+  //
+  // A cable (level, sw, port) carries one up and one down channel, both
+  // indexed by the same coordinates. Failing a cable forces both channels
+  // effectively unavailable: schedulers see them as permanently busy through
+  // the ordinary row operations, so the hot path needs no fault branch.
+  // The pre-failure availability is parked in shadow matrices; a release by
+  // the surviving holder of a faulted channel lands in the shadow too, so
+  // repair_cable restores exactly the channels nobody holds — repair is a
+  // total operation no matter how revocation and rescheduling interleaved.
+
+  /// Marks both channels of the cable unavailable. The cable must not
+  /// already be faulted (double failure is a caller bug).
+  void fail_cable(std::uint32_t level, std::uint64_t sw, std::uint32_t port);
+
+  /// Clears the fault and restores each channel that is not held by a
+  /// circuit. The cable must currently be faulted.
+  void repair_cable(std::uint32_t level, std::uint64_t sw, std::uint32_t port);
+
+  bool cable_faulted(std::uint32_t level, std::uint64_t sw,
+                     std::uint32_t port) const;
+
+  /// Number of cables currently faulted.
+  std::uint64_t faulted_cables() const { return faulted_; }
+
   // --- Accounting & integrity -----------------------------------------------
 
   std::uint64_t occupied_ulinks_at(std::uint32_t level) const;
   std::uint64_t occupied_dlinks_at(std::uint32_t level) const;
   std::uint64_t total_occupied() const;
 
-  /// Verifies internal counters against the bitmaps; a failure indicates a
-  /// bug in occupy/release sequencing.
+  /// Verifies internal counters against the bitmaps (and, when faults are
+  /// present, the overlay invariants: faulted channels read busy, shadow
+  /// bits only under fault bits); a failure indicates a bug in
+  /// occupy/release/fail/repair sequencing.
   Status audit() const;
 
-  friend bool operator==(const LinkState&, const LinkState&) = default;
+  /// Value equality over effective availability, occupancy, and the fault
+  /// overlay. The overlay is allocated lazily, so an empty overlay compares
+  /// equal to an allocated all-zero one.
+  friend bool operator==(const LinkState& a, const LinkState& b);
 
  private:
   using Matrix = std::vector<std::uint64_t>;  // one per level, rows flattened
@@ -139,6 +169,15 @@ class LinkState {
   void set_bit(std::vector<Matrix>& mats, std::uint32_t level,
                std::uint64_t sw, std::uint32_t port, bool value);
 
+  /// Allocates the fault/shadow matrices on first failure; reset() frees
+  /// them again so fault-free runs never pay for the overlay.
+  void ensure_overlay();
+
+  /// Records a release of a faulted channel into `shadow` (aborts on double
+  /// release).
+  void park_release(std::vector<Matrix>& shadow, std::uint32_t level,
+                    std::uint64_t sw, std::uint32_t port);
+
   std::uint32_t link_levels_ = 0;
   std::uint32_t w_ = 0;
   std::uint64_t row_words_ = 0;
@@ -147,6 +186,12 @@ class LinkState {
   std::vector<Matrix> d_;
   std::vector<std::uint64_t> occupied_u_;
   std::vector<std::uint64_t> occupied_d_;
+  // Fault overlay (empty until the first fail_cable): f_ marks faulted
+  // cables; su_/sd_ park the availability the fault displaced.
+  std::vector<Matrix> f_;
+  std::vector<Matrix> su_;
+  std::vector<Matrix> sd_;
+  std::uint64_t faulted_ = 0;
 };
 
 }  // namespace ftsched

@@ -18,6 +18,7 @@ struct Token {
     kAscending,
     kDescending,
     kTearingDown,
+    kWaiting,  ///< torn down, pacing a RetryPolicy delay before relaunch
     kGranted,
     kDead,
   };
@@ -35,12 +36,14 @@ struct Token {
   std::uint32_t down_claimed = 0;  ///< down channels held (levels H-1 …)
   std::uint64_t start_cycle = 0;
   std::uint32_t attempts = 1;      ///< launches so far (this one included)
+  std::uint64_t relaunch_at = 0;   ///< kWaiting: first cycle it may ascend
 };
 
 bool active(const Token& t) {
   return t.state == Token::State::kAscending ||
          t.state == Token::State::kDescending ||
-         t.state == Token::State::kTearingDown;
+         t.state == Token::State::kTearingDown ||
+         t.state == Token::State::kWaiting;
 }
 
 }  // namespace
@@ -89,6 +92,13 @@ SetupSimReport DistributedSetupSim::run(std::span<const Request> requests,
 
   while (any_active()) {
     FT_REQUIRE(cycle < options_.max_cycles);
+
+    // ---- Phase 0: release waiting tokens whose backoff has elapsed. ------
+    for (Token& t : tokens) {
+      if (t.state == Token::State::kWaiting && cycle >= t.relaunch_at) {
+        t.state = Token::State::kAscending;
+      }
+    }
 
     // ---- Phase 1: collect intents against the cycle-start state. --------
     // Ascending: per-switch list of contenders. Descending: per-channel.
@@ -228,11 +238,24 @@ SetupSimReport DistributedSetupSim::run(std::span<const Request> requests,
         state.set_ulink(h, t.up_switches[h], t.ports[h], true);
         t.ports.pop_back();
         t.up_switches.pop_back();
-      } else if (t.attempts < options_.max_attempts) {
-        // Relaunch from the source next cycle.
+      } else if (std::optional<std::uint64_t> delay =
+                     options_.relaunch
+                         ? options_.relaunch->delay_for(t.attempts, rng_)
+                         : (t.attempts < options_.max_attempts
+                                ? std::optional<std::uint64_t>(0)
+                                : std::nullopt)) {
+        // Relaunch from the source — next cycle by default, or after the
+        // RetryPolicy's backoff when one is configured. The delay is drawn
+        // exactly once per relaunch (attempt numbers are 1-based retry
+        // counts), so jittered policies stay deterministic per seed.
         ++t.attempts;
         ++report.retries;
-        t.state = Token::State::kAscending;
+        if (*delay > 0) {
+          t.state = Token::State::kWaiting;
+          t.relaunch_at = cycle + 1 + *delay;
+        } else {
+          t.state = Token::State::kAscending;
+        }
         t.level = 0;
         t.sigma = t.src_leaf;
         // start_cycle is intentionally NOT reset: setup latency measures

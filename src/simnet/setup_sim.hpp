@@ -22,10 +22,12 @@
 // the cross-check between the two engines is one of the integration tests.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "core/request.hpp"
 #include "core/scheduler.hpp"
+#include "fault/retry_policy.hpp"
 #include "linkstate/link_state.hpp"
 #include "obs/link_telemetry.hpp"
 #include "topology/fat_tree.hpp"
@@ -41,6 +43,13 @@ struct SetupSimOptions {
   /// the practical protocol: by the time a loser has torn down, earlier
   /// winners have settled and later attempts see the true residual fabric.
   std::uint32_t max_attempts = 1;
+  /// When set, relaunches are paced by the fault layer's RetryPolicy instead
+  /// of max_attempts: a torn-down token waits delay_for(retry#) cycles at
+  /// its source before re-entering the race, and gives up when the policy
+  /// says so (the policy's max_retries replaces max_attempts). Spacing the
+  /// losers out drains convoys that immediate relaunch re-creates. Unset
+  /// (the default) preserves the relaunch-next-cycle behavior above.
+  std::optional<RetryPolicy> relaunch;
   /// Safety valve: abort the run after this many cycles (a correct run
   /// quiesces within ~attempts · (2·levels + teardown chain)).
   std::uint64_t max_cycles = 1u << 20;

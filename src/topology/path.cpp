@@ -67,6 +67,18 @@ Status check_path_legal(const FatTree& tree, const Path& path) {
   return Status();
 }
 
+bool path_crosses_cable(const FatTree& tree, const Path& path,
+                        const CableId& cable) {
+  if (cable.level >= path.ancestor_level) return false;
+  if (path.ports[cable.level] != cable.port) return false;
+  const std::uint64_t src_leaf = tree.leaf_switch(path.src).index;
+  const std::uint64_t dst_leaf = tree.leaf_switch(path.dst).index;
+  return tree.side_switch(src_leaf, cable.level, path.ports) ==
+             cable.lower_index ||
+         tree.side_switch(dst_leaf, cable.level, path.ports) ==
+             cable.lower_index;
+}
+
 std::string to_string(const Path& path) {
   std::string out = "node " + std::to_string(path.src) + " -> node " +
                     std::to_string(path.dst) + " via P=(";

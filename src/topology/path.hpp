@@ -43,6 +43,16 @@ PathExpansion expand_path(const FatTree& tree, const Path& path);
 /// diagnostic on the first violation.
 Status check_path_legal(const FatTree& tree, const Path& path);
 
+/// True if the circuit uses either channel of `cable` — the crossing test a
+/// fabric manager runs when a cable dies. Pure Theorem-1/2 digit
+/// arithmetic: the circuit crosses iff cable.level < H, the port digit
+/// matches P_{cable.level}, and the cable's lower switch is the circuit's
+/// σ_{level} (upward channel) or δ_{level} (downward channel). No expansion
+/// or path storage needed. The path must be legal; the cable need not exist
+/// on `tree` (an out-of-range cable simply never matches).
+bool path_crosses_cable(const FatTree& tree, const Path& path,
+                        const CableId& cable);
+
 /// Human-readable rendering: "node 3 -> node 95 via P=(0,1,0)".
 std::string to_string(const Path& path);
 

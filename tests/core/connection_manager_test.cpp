@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "core/registry.hpp"
 #include "core/verifier.hpp"
+#include "workload/patterns.hpp"
 
 namespace ftsched {
 namespace {
@@ -120,6 +122,134 @@ TEST(ConnectionManager, ChurnKeepsStateConsistent) {
   }
   for (ConnectionId id : open_ids) ASSERT_TRUE(manager.close(id).ok());
   EXPECT_EQ(manager.state().total_occupied(), 0u);
+}
+
+TEST(ConnectionManagerBatch, EmptyFabricBatchMatchesStandaloneScheduler) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  Xoshiro256ss rng(21);
+  const auto batch = generate_pattern(tree, TrafficPattern::kRandomPermutation,
+                                      rng, WorkloadOptions{});
+
+  auto standalone = make_scheduler("levelwise", 2006);
+  ASSERT_TRUE(standalone.ok());
+  LinkState reference(tree);
+  const ScheduleResult expected =
+      standalone.value()->schedule(tree, batch, reference);
+
+  auto managed = make_scheduler("levelwise", 2006);
+  ASSERT_TRUE(managed.ok());
+  ConnectionManager manager(tree);
+  const BatchOpenResult result = manager.open_batch(batch, *managed.value());
+
+  ASSERT_EQ(result.schedule.outcomes.size(), expected.outcomes.size());
+  for (std::size_t i = 0; i < expected.outcomes.size(); ++i) {
+    EXPECT_EQ(result.schedule.outcomes[i], expected.outcomes[i]) << i;
+    EXPECT_EQ(result.ids[i].has_value(), expected.outcomes[i].granted) << i;
+  }
+  EXPECT_EQ(manager.active_count(), expected.granted_count());
+  EXPECT_EQ(manager.state(), reference);
+}
+
+TEST(ConnectionManagerBatch, OpenEndpointsPreFilteredAsLeafBusy) {
+  const FatTree tree = FatTree::symmetric(2, 4);
+  ConnectionManager manager(tree);
+  const auto held = manager.open(Request{0, 4});
+  ASSERT_TRUE(held.has_value());
+
+  auto scheduler = make_scheduler("levelwise", 1);
+  ASSERT_TRUE(scheduler.ok());
+  const BatchOpenResult result =
+      manager.open_batch({{0, 8}, {8, 4}, {5, 9}}, *scheduler.value());
+  EXPECT_FALSE(result.schedule.outcomes[0].granted);  // src 0 claimed
+  EXPECT_EQ(result.schedule.outcomes[0].reason, RejectReason::kLeafBusy);
+  EXPECT_FALSE(result.schedule.outcomes[1].granted);  // dst 4 claimed
+  EXPECT_EQ(result.schedule.outcomes[1].reason, RejectReason::kLeafBusy);
+  EXPECT_TRUE(result.schedule.outcomes[2].granted);
+  EXPECT_EQ(result.granted_count(), 1u);
+}
+
+TEST(ConnectionManagerFault, FailCableRevokesExactlyCrossingCircuits) {
+  const FatTree tree = FatTree::symmetric(2, 4);
+  ConnectionManager manager(tree);
+  // Circuit A ascends from leaf switch 0, circuit B from leaf switch 2.
+  const auto a = manager.open(Request{0, 4});
+  const auto b = manager.open(Request{8, 12});
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  const Path* path_a = manager.find(*a);
+  ASSERT_NE(path_a, nullptr);
+  const std::uint32_t port_a = path_a->ports[0];
+  const CableId dead{0, 0, port_a};
+
+  // fail_cable erases circuit A, so path_a is dangling past this point.
+  const std::vector<Revocation> victims = manager.fail_cable(dead);
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(victims[0].id, *a);
+  EXPECT_EQ(victims[0].request, (Request{0, 4}));
+  EXPECT_EQ(manager.active_count(), 1u);
+  EXPECT_NE(manager.find(*b), nullptr);
+  EXPECT_EQ(manager.find(*a), nullptr);
+  EXPECT_TRUE(manager.state().cable_faulted(0, 0, port_a));
+}
+
+TEST(ConnectionManagerFault, RevokeRescheduleRepairLeavesNoResidue) {
+  // The clear_faults hazard, end to end: a victim's replacement circuit may
+  // re-occupy a channel of the failed cable's switch; repairing the cable
+  // afterwards must restore exactly the channels nobody holds, and closing
+  // everything must land on the pristine state.
+  const FatTree tree = FatTree::symmetric(2, 4);
+  ConnectionManager manager(tree);
+  auto scheduler = make_scheduler("levelwise", 7);
+  ASSERT_TRUE(scheduler.ok());
+
+  const BatchOpenResult opened =
+      manager.open_batch({{0, 4}, {1, 5}, {2, 6}}, *scheduler.value());
+  ASSERT_EQ(opened.granted_count(), 3u);
+
+  const Path* victim_path = manager.find(*opened.ids[0]);
+  ASSERT_NE(victim_path, nullptr);
+  const CableId dead{0, 0, victim_path->ports[0]};
+  const std::vector<Revocation> victims = manager.fail_cable(dead);
+  ASSERT_EQ(victims.size(), 1u);
+
+  // Reschedule the victim while the cable is still down: the scheduler must
+  // route it over one of leaf switch 0's three surviving up-cables.
+  const BatchOpenResult retried =
+      manager.open_batch({victims[0].request}, *scheduler.value());
+  ASSERT_EQ(retried.granted_count(), 1u);
+  const Path* new_path = manager.find(*retried.ids[0]);
+  ASSERT_NE(new_path, nullptr);
+  EXPECT_NE(new_path->ports[0], dead.port);
+
+  manager.repair_cable(dead);
+  EXPECT_FALSE(manager.state().cable_faulted(0, 0, dead.port));
+
+  // Close every circuit: the state must be exactly pristine.
+  EXPECT_TRUE(manager.close(*retried.ids[0]).ok());
+  EXPECT_TRUE(manager.close(*opened.ids[1]).ok());
+  EXPECT_TRUE(manager.close(*opened.ids[2]).ok());
+  EXPECT_EQ(manager.active_count(), 0u);
+  EXPECT_EQ(manager.state(), LinkState(tree));
+  EXPECT_TRUE(manager.state().audit().ok());
+}
+
+TEST(ConnectionManagerFault, RepairBeforeCloseKeepsHeldChannelsOccupied) {
+  const FatTree tree = FatTree::symmetric(2, 4);
+  ConnectionManager manager(tree);
+  const auto id = manager.open(Request{0, 4});
+  ASSERT_TRUE(id.has_value());
+  const Path* path = manager.find(*id);
+  ASSERT_NE(path, nullptr);
+  const std::uint32_t port = path->ports[0];
+
+  // Fail a cable the circuit does NOT cross, then repair it: the circuit's
+  // own channels must be untouched throughout.
+  const CableId other{0, 0, (port + 1) % tree.parent_arity()};
+  EXPECT_TRUE(manager.fail_cable(other).empty());
+  manager.repair_cable(other);
+  EXPECT_NE(manager.find(*id), nullptr);
+  EXPECT_FALSE(manager.state().ulink(0, 0, port));
+  EXPECT_TRUE(manager.close(*id).ok());
+  EXPECT_EQ(manager.state(), LinkState(tree));
 }
 
 }  // namespace

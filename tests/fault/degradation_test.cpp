@@ -1,0 +1,139 @@
+#include "fault/degradation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/runner.hpp"
+
+namespace ftsched {
+namespace {
+
+void expect_same_summary(const Summary& a, const Summary& b) {
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.mean, b.mean);  // bit-identical, not approximately equal
+  EXPECT_EQ(a.min, b.min);
+  EXPECT_EQ(a.max, b.max);
+  EXPECT_EQ(a.stddev, b.stddev);
+}
+
+TEST(Degradation, RateZeroReproducesOneShotEngineBitForBit) {
+  // The fig_degradation baseline anchor: at fault intensity zero the
+  // first-attempt schedulability summary must equal run_experiment's — same
+  // workload seeds, same scheduler seeds, one batch on a healthy fabric.
+  const FatTree tree = FatTree::symmetric(3, 4);
+
+  ExperimentConfig baseline;
+  baseline.repetitions = 20;
+  const ExperimentPoint expected = run_experiment(tree, baseline);
+
+  DegradationConfig config;
+  config.repetitions = 20;
+  config.retry = RetryPolicy::none();
+  const DegradationPoint point = run_degradation(tree, config);
+
+  expect_same_summary(point.schedulability, expected.schedulability);
+  EXPECT_EQ(point.total_requests, expected.total_requests);
+  EXPECT_EQ(point.fail_events, 0u);
+  EXPECT_EQ(point.victims, 0u);
+  EXPECT_EQ(point.retries, 0u);
+  // With no retries nothing changes after the first attempt.
+  expect_same_summary(point.ever_granted, point.schedulability);
+  expect_same_summary(point.open_ratio, point.schedulability);
+  EXPECT_DOUBLE_EQ(point.recovery_success_ratio(), 1.0);
+}
+
+TEST(Degradation, RateZeroAnchorSurvivesRetries) {
+  // Late retries at rate 0 can genuinely succeed (level-major rollbacks
+  // leave the final state roomier than any mid-batch state), so open/ever
+  // ratios may climb — but the first-attempt anchor must not move.
+  const FatTree tree = FatTree::symmetric(3, 4);
+
+  ExperimentConfig baseline;
+  baseline.repetitions = 10;
+  const ExperimentPoint expected = run_experiment(tree, baseline);
+
+  DegradationConfig config;
+  config.repetitions = 10;
+  config.retry = RetryPolicy::backoff(1, 2.0, 64, 8);
+  const DegradationPoint point = run_degradation(tree, config);
+
+  expect_same_summary(point.schedulability, expected.schedulability);
+  EXPECT_GE(point.ever_granted.mean, point.schedulability.mean);
+  EXPECT_GE(point.open_ratio.mean, point.schedulability.mean);
+}
+
+TEST(Degradation, ThreadFanOutIsBitIdentical) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  DegradationConfig config;
+  config.repetitions = 12;
+  config.fault_rate = 0.5;
+  config.horizon = 300;
+
+  config.threads = 1;
+  const DegradationPoint sequential = run_degradation(tree, config);
+  config.threads = 4;
+  const DegradationPoint four = run_degradation(tree, config);
+  config.threads = 8;
+  const DegradationPoint eight = run_degradation(tree, config);
+
+  for (const DegradationPoint* p : {&four, &eight}) {
+    expect_same_summary(p->schedulability, sequential.schedulability);
+    expect_same_summary(p->open_ratio, sequential.open_ratio);
+    expect_same_summary(p->ever_granted, sequential.ever_granted);
+    EXPECT_EQ(p->total_requests, sequential.total_requests);
+    EXPECT_EQ(p->fail_events, sequential.fail_events);
+    EXPECT_EQ(p->repair_events, sequential.repair_events);
+    EXPECT_EQ(p->victims, sequential.victims);
+    EXPECT_EQ(p->recovered, sequential.recovered);
+    EXPECT_EQ(p->retries, sequential.retries);
+    EXPECT_EQ(p->shed, sequential.shed);
+    EXPECT_EQ(p->permanent_rejects, sequential.permanent_rejects);
+    EXPECT_EQ(p->abandoned, sequential.abandoned);
+    EXPECT_EQ(p->recovery_latency, sequential.recovery_latency);
+    EXPECT_EQ(p->retry_latency, sequential.retry_latency);
+  }
+}
+
+TEST(Degradation, NonzeroRateDegradesAndRecovers) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  DegradationConfig config;
+  config.repetitions = 4;
+  config.fault_rate = 0.8;
+  config.horizon = 300;
+  config.deep_verify = true;  // invariant bundle after every event
+  const DegradationPoint point = run_degradation(tree, config);
+
+  EXPECT_GT(point.fail_events, 0u);
+  EXPECT_GE(point.victims, point.recovered);
+  EXPECT_GE(point.recovery_success_ratio(), 0.0);
+  EXPECT_LE(point.recovery_success_ratio(), 1.0);
+  EXPECT_EQ(point.recovery_latency.size(), point.recovered);
+  for (double v : point.recovery_latency) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, static_cast<double>(config.horizon));
+  }
+}
+
+TEST(Degradation, ExplicitMtbfOverridesRate) {
+  const FatTree tree = FatTree::symmetric(2, 4);
+  DegradationConfig config;
+  config.repetitions = 3;
+  config.fault_rate = 0.0;  // ignored: mtbf is explicit
+  config.mtbf = 40.0;
+  config.mttr = 10.0;
+  config.horizon = 200;
+  const DegradationPoint point = run_degradation(tree, config);
+  EXPECT_GT(point.fail_events, 0u);
+}
+
+TEST(DegradationDeath, InvalidConfigRejected) {
+  const FatTree tree = FatTree::symmetric(2, 4);
+  DegradationConfig config;
+  config.repetitions = 0;
+  EXPECT_DEATH((void)run_degradation(tree, config), "precondition");
+  config.repetitions = 1;
+  config.scheduler = "no-such-scheduler";
+  EXPECT_DEATH((void)run_degradation(tree, config), "precondition");
+}
+
+}  // namespace
+}  // namespace ftsched

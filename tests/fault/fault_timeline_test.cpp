@@ -1,0 +1,116 @@
+#include "fault/fault_timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace ftsched {
+namespace {
+
+TEST(FaultTimeline, ScriptSortsByTime) {
+  const CableId a{0, 0, 0};
+  const CableId b{0, 1, 0};
+  auto timeline = FaultTimeline::from_script({
+      FaultEvent{9, b, true},
+      FaultEvent{2, a, true},
+      FaultEvent{5, a, false},
+  });
+  ASSERT_TRUE(timeline.ok()) << timeline.message();
+  const auto& events = timeline.value().events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].time, 2u);
+  EXPECT_EQ(events[1].time, 5u);
+  EXPECT_EQ(events[2].time, 9u);
+  EXPECT_EQ(timeline.value().fail_count(), 2u);
+}
+
+TEST(FaultTimeline, ScriptRejectsRepairWhileUp) {
+  const auto timeline =
+      FaultTimeline::from_script({FaultEvent{5, CableId{0, 0, 0}, false}});
+  ASSERT_FALSE(timeline.ok());
+  EXPECT_NE(timeline.message().find("repaired while up"), std::string::npos);
+}
+
+TEST(FaultTimeline, ScriptRejectsDoubleFail) {
+  const CableId c{0, 0, 0};
+  const auto timeline = FaultTimeline::from_script(
+      {FaultEvent{5, c, true}, FaultEvent{7, c, true}});
+  ASSERT_FALSE(timeline.ok());
+  EXPECT_NE(timeline.message().find("already down"), std::string::npos);
+}
+
+TEST(FaultTimeline, ScriptRejectsSameTimeEventsOnOneCable) {
+  const CableId c{0, 0, 0};
+  const auto timeline = FaultTimeline::from_script(
+      {FaultEvent{5, c, true}, FaultEvent{5, c, false}});
+  ASSERT_FALSE(timeline.ok());
+  EXPECT_NE(timeline.message().find("strictly increasing"), std::string::npos);
+}
+
+TEST(FaultTimeline, ScriptAllowsIndependentCablesAtOneTime) {
+  const auto timeline = FaultTimeline::from_script(
+      {FaultEvent{5, CableId{0, 0, 0}, true},
+       FaultEvent{5, CableId{0, 1, 2}, true}});
+  EXPECT_TRUE(timeline.ok());
+}
+
+TEST(FaultTimeline, FromMtbfDeterministicPerSeed) {
+  const FatTree tree = FatTree::symmetric(2, 4);
+  const auto a = FaultTimeline::from_mtbf(tree, 50.0, 20.0, 200, 1);
+  const auto b = FaultTimeline::from_mtbf(tree, 50.0, 20.0, 200, 1);
+  const auto c = FaultTimeline::from_mtbf(tree, 50.0, 20.0, 200, 2);
+  EXPECT_EQ(a.events(), b.events());
+  EXPECT_NE(a.events(), c.events());
+  EXPECT_FALSE(a.empty());
+}
+
+TEST(FaultTimeline, FromMtbfRespectsHorizonAndStartsAfterZero) {
+  const FatTree tree = FatTree::symmetric(2, 4);
+  const auto timeline = FaultTimeline::from_mtbf(tree, 10.0, 5.0, 100, 3);
+  for (const FaultEvent& e : timeline.events()) {
+    EXPECT_GE(e.time, 1u);  // a batch at t = 0 always sees a healthy fabric
+    EXPECT_LE(e.time, 100u);
+  }
+}
+
+TEST(FaultTimeline, FromMtbfEventsFormAValidScript) {
+  // Alternation and strict monotonicity per cable are exactly what
+  // from_script validates — the sampler must satisfy its own contract.
+  const FatTree tree = FatTree::symmetric(3, 4);
+  const auto timeline = FaultTimeline::from_mtbf(tree, 30.0, 10.0, 500, 7);
+  auto revalidated = FaultTimeline::from_script(timeline.events());
+  ASSERT_TRUE(revalidated.ok()) << revalidated.message();
+  EXPECT_EQ(revalidated.value().events(), timeline.events());
+}
+
+TEST(FaultTimeline, MtbfForFaultRateHitsTargetFraction) {
+  const FatTree tree = FatTree::symmetric(2, 16);  // 256 cables
+  const SimTime horizon = 1000;
+  const double rate = 0.3;
+  const double mtbf = FaultTimeline::mtbf_for_fault_rate(rate, horizon);
+  const auto timeline =
+      FaultTimeline::from_mtbf(tree, mtbf, 100.0, horizon, 9);
+  std::set<CableId> failed;
+  for (const FaultEvent& e : timeline.events()) {
+    if (e.fail) failed.insert(e.cable);
+  }
+  const double fraction =
+      static_cast<double>(failed.size()) / static_cast<double>(256);
+  EXPECT_NEAR(fraction, rate, 0.07);
+}
+
+TEST(FaultTimelineDeath, InvalidParametersRejected) {
+  const FatTree tree = FatTree::symmetric(2, 4);
+  EXPECT_DEATH((void)FaultTimeline::from_mtbf(tree, 0.0, 5.0, 100, 1),
+               "precondition");
+  EXPECT_DEATH((void)FaultTimeline::from_mtbf(tree, 5.0, 0.0, 100, 1),
+               "precondition");
+  EXPECT_DEATH((void)FaultTimeline::mtbf_for_fault_rate(0.0, 100),
+               "precondition");
+  EXPECT_DEATH((void)FaultTimeline::mtbf_for_fault_rate(1.0, 100),
+               "precondition");
+}
+
+}  // namespace
+}  // namespace ftsched

@@ -1,0 +1,104 @@
+#include "fault/retry_policy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftsched {
+namespace {
+
+TEST(RetryPolicy, NoneNeverRetries) {
+  Xoshiro256ss rng(1);
+  const RetryPolicy p = RetryPolicy::none();
+  EXPECT_FALSE(p.delay_for(1, rng).has_value());
+}
+
+TEST(RetryPolicy, ImmediateIsZeroUntilBudgetExhausted) {
+  Xoshiro256ss rng(1);
+  const RetryPolicy p = RetryPolicy::immediate(3);
+  EXPECT_EQ(p.delay_for(1, rng), 0u);
+  EXPECT_EQ(p.delay_for(3, rng), 0u);
+  EXPECT_FALSE(p.delay_for(4, rng).has_value());
+}
+
+TEST(RetryPolicy, FixedIsConstant) {
+  Xoshiro256ss rng(1);
+  const RetryPolicy p = RetryPolicy::fixed(7, 2);
+  EXPECT_EQ(p.delay_for(1, rng), 7u);
+  EXPECT_EQ(p.delay_for(2, rng), 7u);
+  EXPECT_FALSE(p.delay_for(3, rng).has_value());
+}
+
+TEST(RetryPolicy, BackoffDoublesAndCaps) {
+  Xoshiro256ss rng(1);
+  const RetryPolicy p = RetryPolicy::backoff(2, 2.0, 16, 10);
+  EXPECT_EQ(p.delay_for(1, rng), 2u);
+  EXPECT_EQ(p.delay_for(2, rng), 4u);
+  EXPECT_EQ(p.delay_for(3, rng), 8u);
+  EXPECT_EQ(p.delay_for(4, rng), 16u);
+  EXPECT_EQ(p.delay_for(5, rng), 16u);  // capped
+  EXPECT_FALSE(p.delay_for(11, rng).has_value());
+}
+
+TEST(RetryPolicy, JitterBoundedAndDeterministicPerSeed) {
+  const RetryPolicy p = RetryPolicy::backoff(10, 2.0, 100, 5, 0.5);
+  Xoshiro256ss a(42);
+  Xoshiro256ss b(42);
+  for (std::uint32_t attempt = 1; attempt <= 5; ++attempt) {
+    const auto da = p.delay_for(attempt, a);
+    const auto db = p.delay_for(attempt, b);
+    ASSERT_TRUE(da.has_value());
+    EXPECT_EQ(da, db);  // same seed, same schedule
+    const std::uint64_t base = std::min<std::uint64_t>(100, 10u << (attempt - 1));
+    EXPECT_GE(*da, base);
+    EXPECT_LE(*da, base + base / 2);
+  }
+}
+
+TEST(RetryPolicy, JitterFreePoliciesLeaveRngUntouched) {
+  Xoshiro256ss used(9);
+  Xoshiro256ss untouched(9);
+  const RetryPolicy p = RetryPolicy::backoff(1, 2.0, 64, 8, 0.0);
+  (void)p.delay_for(1, used);
+  (void)p.delay_for(2, used);
+  EXPECT_EQ(used(), untouched());
+}
+
+TEST(RetryPolicy, ParseRoundTrips) {
+  for (const char* spec :
+       {"none", "immediate:4", "fixed:5:3", "backoff:2:6", "backoff:2:6:0.25"}) {
+    const auto parsed = parse_retry_policy(spec);
+    ASSERT_TRUE(parsed.ok()) << spec << ": " << parsed.message();
+    const auto again = parse_retry_policy(parsed.value().spec());
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again.value().kind, parsed.value().kind);
+    EXPECT_EQ(again.value().base_delay, parsed.value().base_delay);
+    EXPECT_EQ(again.value().max_retries, parsed.value().max_retries);
+  }
+}
+
+TEST(RetryPolicy, ParseDefaults) {
+  const auto p = parse_retry_policy("backoff:3");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().kind, RetryPolicy::Kind::kBackoff);
+  EXPECT_EQ(p.value().base_delay, 3u);
+  EXPECT_EQ(p.value().max_retries, 8u);
+  EXPECT_EQ(p.value().max_delay, 192u);  // 64 · base
+}
+
+TEST(RetryPolicy, ParseRejectsGarbage) {
+  EXPECT_FALSE(parse_retry_policy("").ok());
+  EXPECT_FALSE(parse_retry_policy("sometimes").ok());
+  EXPECT_FALSE(parse_retry_policy("fixed").ok());
+  EXPECT_FALSE(parse_retry_policy("fixed:0").ok());
+  EXPECT_FALSE(parse_retry_policy("fixed:abc").ok());
+  EXPECT_FALSE(parse_retry_policy("backoff:1:2:3:4").ok());
+  EXPECT_FALSE(parse_retry_policy("none:1").ok());
+}
+
+TEST(RetryPolicyDeath, ZeroAttemptRejected) {
+  Xoshiro256ss rng(1);
+  const RetryPolicy p = RetryPolicy::immediate(1);
+  EXPECT_DEATH((void)p.delay_for(0, rng), "precondition");
+}
+
+}  // namespace
+}  // namespace ftsched

@@ -1,0 +1,74 @@
+#include "fault/retry_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftsched {
+namespace {
+
+RetryEntry entry(std::uint64_t seq, SimTime eligible) {
+  RetryEntry e;
+  e.request = Request{seq, seq + 1};
+  e.seq = seq;
+  e.eligible_at = eligible;
+  return e;
+}
+
+TEST(RetryQueue, TakeDueReturnsSeqOrder) {
+  RetryQueue q;
+  EXPECT_TRUE(q.admit(entry(2, 5)));
+  EXPECT_TRUE(q.admit(entry(0, 5)));
+  EXPECT_TRUE(q.admit(entry(1, 5)));
+  const auto due = q.take_due(5);
+  ASSERT_EQ(due.size(), 3u);
+  EXPECT_EQ(due[0].seq, 0u);
+  EXPECT_EQ(due[1].seq, 1u);
+  EXPECT_EQ(due[2].seq, 2u);
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(RetryQueue, FutureEntriesStayQueued) {
+  RetryQueue q;
+  EXPECT_TRUE(q.admit(entry(0, 3)));
+  EXPECT_TRUE(q.admit(entry(1, 10)));
+  auto due = q.take_due(3);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].seq, 0u);
+  EXPECT_EQ(q.pending(), 1u);
+  due = q.take_due(10);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].seq, 1u);
+}
+
+TEST(RetryQueue, EmptyDrainIsEmpty) {
+  RetryQueue q;
+  EXPECT_TRUE(q.take_due(100).empty());
+}
+
+TEST(RetryQueue, AdmissionGateSheds) {
+  RetryQueue q(2);
+  EXPECT_TRUE(q.admit(entry(0, 1)));
+  EXPECT_TRUE(q.admit(entry(1, 1)));
+  EXPECT_FALSE(q.admit(entry(2, 1)));  // gate closed
+  EXPECT_EQ(q.shed(), 1u);
+  EXPECT_EQ(q.pending(), 2u);
+  (void)q.take_due(1);
+  EXPECT_TRUE(q.admit(entry(3, 2)));  // space again
+}
+
+TEST(RetryQueue, PeakPendingTracksHighWater) {
+  RetryQueue q;
+  EXPECT_TRUE(q.admit(entry(0, 1)));
+  EXPECT_TRUE(q.admit(entry(1, 1)));
+  (void)q.take_due(1);
+  EXPECT_TRUE(q.admit(entry(2, 2)));
+  EXPECT_EQ(q.peak_pending(), 2u);
+}
+
+TEST(RetryQueueDeath, DuplicateSeqRejected) {
+  RetryQueue q;
+  EXPECT_TRUE(q.admit(entry(4, 1)));
+  EXPECT_DEATH((void)q.admit(entry(4, 2)), "duplicate seq");
+}
+
+}  // namespace
+}  // namespace ftsched

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 namespace ftsched {
@@ -68,14 +69,106 @@ TEST(Faults, ClearRestores) {
   EXPECT_TRUE(state.audit().ok());
 }
 
-TEST(Faults, StillMarkedDetectsLeaks) {
+TEST(Faults, StillMarkedDetectsRepair) {
   const FatTree tree = make_ft34();
   LinkState state(tree);
-  const FaultPlan plan{{CableId{0, 0, 0}}};
+  const FaultPlan plan{{CableId{0, 0, 0}, CableId{0, 1, 1}}};
   apply_faults(state, plan);
   EXPECT_TRUE(faults_still_marked(state, plan));
-  state.set_ulink(0, 0, 0, true);  // someone wrongly released it
+  state.repair_cable(0, 0, 0);  // repaired → the full plan is no longer marked
   EXPECT_FALSE(faults_still_marked(state, plan));
+  EXPECT_TRUE(faults_still_marked(state, FaultPlan{{CableId{0, 1, 1}}}));
+}
+
+TEST(FaultsDeath, WrongReleaseOfFaultedChannelAborts) {
+  const FatTree tree = make_ft34();
+  LinkState state(tree);
+  apply_faults(state, FaultPlan{{CableId{0, 0, 0}}});
+  // The channel was free when the cable failed, so nobody holds it; a
+  // release is a double release and must abort, not leak availability.
+  EXPECT_DEATH(state.set_ulink(0, 0, 0, true), "double release");
+}
+
+TEST(Faults, GeneratorsEmitSortedDistinctPlans) {
+  const FatTree tree = make_ft34();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    for (const FaultPlan& plan : {random_cable_faults(tree, 0.3, seed),
+                                  exact_cable_faults(tree, 12, seed)}) {
+      EXPECT_TRUE(std::is_sorted(plan.failed_cables.begin(),
+                                 plan.failed_cables.end()));
+      EXPECT_EQ(std::adjacent_find(plan.failed_cables.begin(),
+                                   plan.failed_cables.end()),
+                plan.failed_cables.end());
+    }
+  }
+}
+
+// Satellite regression: repairing a cable whose channel was re-occupied by a
+// revoked-then-rescheduled circuit must not abort, and must leave the
+// channel with its new holder.
+TEST(Faults, RepairWithLiveOccupancyIsSafe) {
+  const FatTree tree = make_ft34();
+  LinkState state(tree);
+  // A circuit holds the channel, then the cable fails underneath it.
+  state.set_ulink(0, 2, 1, false);
+  state.set_dlink(0, 2, 1, false);
+  state.fail_cable(0, 2, 1);
+  // The victim is revoked: its release parks in the shadow.
+  state.set_ulink(0, 2, 1, true);
+  state.set_dlink(0, 2, 1, true);
+  EXPECT_FALSE(state.ulink(0, 2, 1));  // still fault-masked
+  ASSERT_TRUE(state.audit().ok());
+  // Repair restores both channels — no abort, channel free again.
+  state.repair_cable(0, 2, 1);
+  EXPECT_TRUE(state.ulink(0, 2, 1));
+  EXPECT_TRUE(state.dlink(0, 2, 1));
+  EXPECT_EQ(state.total_occupied(), 0u);
+  EXPECT_TRUE(state.audit().ok());
+  EXPECT_TRUE(state == LinkState(tree));
+}
+
+TEST(Faults, RepairLeavesHeldChannelOccupied) {
+  const FatTree tree = make_ft34();
+  LinkState state(tree);
+  // Circuit holds only the down channel when the cable fails and never
+  // releases it (it does not cross the cable upward).
+  state.set_dlink(0, 4, 3, false);
+  state.fail_cable(0, 4, 3);
+  state.repair_cable(0, 4, 3);
+  EXPECT_TRUE(state.ulink(0, 4, 3));    // restored: nobody held it
+  EXPECT_FALSE(state.dlink(0, 4, 3));   // still owned by the circuit
+  EXPECT_TRUE(state.audit().ok());
+  state.set_dlink(0, 4, 3, true);
+  EXPECT_TRUE(state == LinkState(tree));
+}
+
+TEST(Faults, ResetClearsOverlay) {
+  const FatTree tree = make_ft34();
+  LinkState state(tree);
+  apply_faults(state, exact_cable_faults(tree, 6, 9));
+  state.reset();
+  EXPECT_EQ(state.faulted_cables(), 0u);
+  EXPECT_EQ(state.total_occupied(), 0u);
+  EXPECT_TRUE(state.audit().ok());
+  EXPECT_TRUE(state == LinkState(tree));
+}
+
+TEST(FaultsDeath, OutOfRangeCableRejected) {
+  const FatTree tree = make_ft34();
+  LinkState state(tree);
+  EXPECT_DEATH(apply_faults(state, FaultPlan{{CableId{9, 0, 0}}}),
+               "level out of range");
+  EXPECT_DEATH(apply_faults(state, FaultPlan{{CableId{0, 1u << 20, 0}}}),
+               "switch out of range");
+  EXPECT_DEATH(apply_faults(state, FaultPlan{{CableId{0, 0, 77}}}),
+               "port out of range");
+}
+
+TEST(FaultsDeath, OccupyFaultedChannelRejected) {
+  const FatTree tree = make_ft34();
+  LinkState state(tree);
+  state.fail_cable(1, 0, 0);
+  EXPECT_DEATH(state.set_ulink(1, 0, 0, false), "faulted cable");
 }
 
 TEST(FaultsDeath, DoubleApplyRejected) {

@@ -158,6 +158,85 @@ TEST(SetupSim, MoreAttemptsNeverGrantFewer) {
   }
 }
 
+TEST(SetupSim, RelaunchPolicyImmediateMatchesMaxAttempts) {
+  // immediate(R) is the policy spelling of max_attempts = R + 1: every
+  // relaunch happens the cycle after teardown, so the whole run — grants,
+  // retries, latencies — is identical.
+  const FatTree tree = FatTree::symmetric(3, 8);
+  LinkState a(tree);
+  LinkState b(tree);
+  Xoshiro256ss rng(43);
+  const auto batch = random_permutation(tree.node_count(), rng);
+  SetupSimOptions plain;
+  plain.max_attempts = 4;
+  SetupSimOptions policy;
+  policy.relaunch = RetryPolicy::immediate(/*max_retries=*/3);
+  const SetupSimReport lhs = DistributedSetupSim(tree, plain).run(batch, a);
+  const SetupSimReport rhs = DistributedSetupSim(tree, policy).run(batch, b);
+  EXPECT_EQ(lhs.result.granted_count(), rhs.result.granted_count());
+  EXPECT_EQ(lhs.retries, rhs.retries);
+  EXPECT_EQ(lhs.teardowns, rhs.teardowns);
+  EXPECT_EQ(lhs.cycles, rhs.cycles);
+  EXPECT_EQ(lhs.setup_latency, rhs.setup_latency);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(SetupSim, RelaunchPolicyNoneMeansSingleAttempt) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  SetupSimOptions options;
+  options.max_attempts = 8;  // must be ignored once a policy is set
+  options.relaunch = RetryPolicy::none();
+  DistributedSetupSim sim(tree, options);
+  LinkState state(tree);
+  const std::vector<Request> batch{
+      {tree.node_at(0, 0), tree.node_at(8, 0)},
+      {tree.node_at(1, 0), tree.node_at(8, 1)}};
+  const SetupSimReport report = sim.run(batch, state);
+  EXPECT_EQ(report.result.granted_count(), 1u);
+  EXPECT_EQ(report.retries, 0u);
+  EXPECT_TRUE(verify_schedule(tree, batch, report.result, &state).ok());
+}
+
+TEST(SetupSim, RelaunchBackoffDelaysButStillRecovers) {
+  // The Fig. 4 loser relaunches after a fixed 5-cycle wait instead of the
+  // next cycle: it still grants, and the run takes at least that much
+  // longer than the immediate-relaunch one.
+  const FatTree tree = FatTree::symmetric(3, 4);
+  const std::vector<Request> batch{
+      {tree.node_at(0, 0), tree.node_at(8, 0)},
+      {tree.node_at(1, 0), tree.node_at(8, 1)}};
+  SetupSimOptions immediate;
+  immediate.max_attempts = 2;
+  SetupSimOptions delayed;
+  delayed.relaunch = RetryPolicy::fixed(/*delay=*/5, /*max_retries=*/1);
+  LinkState a(tree);
+  LinkState b(tree);
+  const SetupSimReport fast = DistributedSetupSim(tree, immediate).run(batch, a);
+  const SetupSimReport slow = DistributedSetupSim(tree, delayed).run(batch, b);
+  ASSERT_EQ(fast.result.granted_count(), 2u);
+  EXPECT_EQ(slow.result.granted_count(), 2u);
+  EXPECT_EQ(slow.retries, 1u);
+  EXPECT_GE(slow.cycles, fast.cycles + 5);
+  EXPECT_TRUE(verify_schedule(tree, batch, slow.result, &b).ok());
+}
+
+TEST(SetupSim, RelaunchBackoffIsDeterministicPerSeed) {
+  const FatTree tree = FatTree::symmetric(3, 8);
+  LinkState a(tree);
+  LinkState b(tree);
+  Xoshiro256ss rng(44);
+  const auto batch = random_permutation(tree.node_count(), rng);
+  SetupSimOptions options;
+  options.relaunch =
+      RetryPolicy::backoff(1, 2.0, 16, /*max_retries=*/4, /*jitter=*/0.5);
+  const SetupSimReport lhs = DistributedSetupSim(tree, options).run(batch, a);
+  const SetupSimReport rhs = DistributedSetupSim(tree, options).run(batch, b);
+  EXPECT_EQ(lhs.result.granted_count(), rhs.result.granted_count());
+  EXPECT_EQ(lhs.cycles, rhs.cycles);
+  EXPECT_EQ(lhs.setup_latency, rhs.setup_latency);
+  EXPECT_TRUE(a == b);
+}
+
 TEST(SetupSim, RetriedGrantsHaveHigherLatency) {
   const FatTree tree = FatTree::symmetric(3, 4);
   SetupSimOptions options;

@@ -116,6 +116,49 @@ TEST(Path, IdRendering) {
             "Dlink(1,4,0)");
 }
 
+// The digit-arithmetic crossing test must agree with the expansion's
+// materialized channel list for every legal (path, cable) pair.
+TEST(Path, CrossesCableMatchesExpansion) {
+  const FatTree tree = make_ft34();
+  std::uint64_t crossings = 0;
+  for (NodeId src = 0; src < tree.node_count(); src += 7) {
+    for (NodeId dst = 1; dst < tree.node_count(); dst += 5) {
+      if (src == dst) continue;
+      const std::uint32_t H = tree.common_ancestor_level(
+          tree.leaf_switch(src).index, tree.leaf_switch(dst).index);
+      Path path{src, dst, H, DigitVec{}};
+      for (std::uint32_t h = 0; h < H; ++h) {
+        path.ports.push_back(
+            static_cast<std::uint32_t>((src + dst + h) % tree.parent_arity()));
+      }
+      ASSERT_TRUE(check_path_legal(tree, path).ok());
+      std::set<CableId> used;
+      for (const ChannelId& ch : expand_path(tree, path).channels) {
+        used.insert(ch.cable);
+      }
+      for (std::uint32_t h = 0; h + 1 < tree.levels(); ++h) {
+        for (std::uint64_t sw = 0; sw < tree.switches_at(h); ++sw) {
+          for (std::uint32_t p = 0; p < tree.parent_arity(); ++p) {
+            const CableId cable{h, sw, p};
+            EXPECT_EQ(path_crosses_cable(tree, path, cable),
+                      used.count(cable) != 0)
+                << to_string(path) << " vs " << to_string(cable);
+            crossings += used.count(cable);
+          }
+        }
+      }
+    }
+  }
+  EXPECT_GT(crossings, 0u);  // the sweep exercised real crossings
+}
+
+TEST(Path, CrossesCableIgnoresOutOfRangeCable) {
+  const FatTree tree = make_ft34();
+  Path path{0, 63, 2, DigitVec{1, 2}};
+  EXPECT_FALSE(path_crosses_cable(tree, path, CableId{5, 0, 1}));
+  EXPECT_FALSE(path_crosses_cable(tree, path, CableId{0, 1u << 30, 1}));
+}
+
 TEST(PathDeath, ExpandIllegalPathAborts) {
   const FatTree tree = make_ft34();
   Path path{0, 63, 1, DigitVec{0}};

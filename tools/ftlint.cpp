@@ -36,6 +36,19 @@
 //                           elsewhere has no determinism story and escapes
 //                           the TSan-stressed pool. Exempt: src/exec (the
 //                           one place allowed to touch <thread>).
+//   linkstate-authority     LinkState channel mutators (occupy/release/
+//                           set_ulink/set_dlink/occupy_path/release_path/
+//                           fail_cable/repair_cable) may be called only from
+//                           src/core, src/fault, and src/linkstate — the
+//                           layers that own circuit and fault bookkeeping —
+//                           plus src/simnet (the clocked setup protocol
+//                           drives channels cycle by cycle by design). A
+//                           mutation anywhere else bypasses the
+//                           ConnectionManager/FabricManager residue
+//                           invariants and can silently corrupt every
+//                           fault-recovery number. reset() is exempt: the
+//                           experiment runners wipe state between
+//                           repetitions.
 //   no-raw-io               Library code in src/ must not print: raw
 //                           std::cout/std::cerr or printf-family calls
 //                           bypass the structured outputs (obs/ exporters,
@@ -192,6 +205,11 @@ class Linter {
     if (path_contains(path, "src/") && !path_contains(path, "exec/")) {
       check_raw_thread(path, src);
     }
+    if (path_contains(path, "src/") && !path_contains(path, "core/") &&
+        !path_contains(path, "fault/") && !path_contains(path, "linkstate/") &&
+        !path_contains(path, "simnet/")) {
+      check_linkstate_authority(path, src);
+    }
   }
 
   void scan(const fs::path& path) {
@@ -315,6 +333,38 @@ class Linter {
         "\"util/contracts.hpp\" directly (headers must be self-contained)");
   }
 
+  void check_linkstate_authority(const fs::path& path, const Source& src) {
+    // Same receiver heuristic as transaction-discipline: only calls on
+    // something that is plainly the shared link state fire (LeafTracker /
+    // LinkMemory receivers like `leaves` or `memory` stay clean). reset()
+    // is deliberately absent — the stats runners wipe state per repetition.
+    static constexpr std::string_view kMutators[] = {
+        "occupy",       "occupy_up",  "occupy_down", "occupy_path",
+        "release",      "release_path", "set_ulink", "set_dlink",
+        "fail_cable",   "repair_cable"};
+    for (std::size_t i = 0; i < src.code.size(); ++i) {
+      const std::string& line = src.code[i];
+      for (const std::string_view mutator : kMutators) {
+        for (std::size_t pos = line.find(mutator); pos != std::string::npos;
+             pos = line.find(mutator, pos + 1)) {
+          if (!token_at(line, pos, mutator)) continue;
+          std::size_t after = pos + mutator.size();
+          while (after < line.size() && line[after] == ' ') ++after;
+          if (after >= line.size() || line[after] != '(') continue;
+          const std::string recv = receiver_before(line, pos);
+          if (recv == "state" || recv == "state_" ||
+              recv.find("link_state") != std::string::npos) {
+            add(path, i + 1, "linkstate-authority",
+                "LinkState channels may be mutated only by src/core, "
+                "src/fault, src/linkstate, and src/simnet; " +
+                    recv + "." + std::string(mutator) +
+                    "() here bypasses the circuit/fault residue invariants");
+          }
+        }
+      }
+    }
+  }
+
   void check_raw_io(const fs::path& path, const Source& src) {
     for (std::size_t i = 0; i < src.code.size(); ++i) {
       const std::string& line = src.code[i];
@@ -425,7 +475,7 @@ int main(int argc, char** argv) {
                    "usage: ftlint [--expect <rule>] <file-or-dir>...\n"
                    "rules: no-raw-assert api-contract transaction-discipline "
                    "self-contained-header no-raw-random no-raw-io "
-                   "no-raw-thread\n");
+                   "no-raw-thread linkstate-authority\n");
       return 0;
     } else {
       paths.emplace_back(arg);

@@ -1,0 +1,13 @@
+// Fixture: trips linkstate-authority — a module outside src/core, src/fault,
+// src/linkstate, and src/simnet mutating LinkState channels directly.
+#include "linkstate/link_state.hpp"
+
+namespace ftsched {
+
+void poke_fabric(LinkState& state) {
+  state.set_ulink(0, 0, 0, false);
+  state.fail_cable(0, 0, 1);
+  state.release(0, 0, 2, /*up=*/true);
+}
+
+}  // namespace ftsched

@@ -23,17 +23,32 @@
 //   ftreport --baseline old.json --candidate new.json [--threshold 5%]
 //            [--perf]
 //
-// Two schemas are auto-detected. The repo's fig9 schema ({"bench","reps",
+// Three schemas are auto-detected. The repo's fig9 schema ({"bench","reps",
 // "points":[...]}) gates on the schedulability `mean` (deterministic for a
 // fixed seed, so tight thresholds are safe across machines); --perf
 // additionally gates on `requests_per_sec` (machine-dependent — only
-// meaningful when both files come from the same box). google-benchmark
-// JSON ({"benchmarks":[...]}) gates on `items_per_second` when present,
-// else `real_time`. A benchmark present in the baseline but missing from
-// the candidate is a failure; new candidate entries are reported but pass.
+// meaningful when both files come from the same box). The degradation
+// schema (points carry "fault_rate") gates each (point, rate) on the
+// schedulability / open_ratio / ever_granted means and the recovery success
+// ratio. google-benchmark JSON ({"benchmarks":[...]}) gates on
+// `items_per_second` when present, else `real_time`. A benchmark present in
+// the baseline but missing from the candidate is a failure; new candidate
+// entries are reported but pass.
 //
-// Exit codes: 0 = ok / no regression, 1 = regression or missing benchmark,
-// 2 = usage or parse error.
+// Anchor mode: pin the degradation engine's fault-free baseline to the
+// one-shot fig9 bench — the two must agree bit for bit (same seeds, same
+// scheduler), and the degradation file must be internally consistent
+// (ratios in [0,1], victims >= recovered, latency percentiles ordered):
+//
+//   ftreport anchor --degradation BENCH_degradation.json
+//            --fig9 BENCH_fig9a_twolevel.json [--scheduler levelwise]
+//
+// Rate-0 points whose (levels, arity) appear in the fig9 file must match
+// that scheduler's mean/min/max/stddev exactly; any tolerance would hide a
+// seed-derivation drift.
+//
+// Exit codes: 0 = ok / no regression, 1 = regression, missing benchmark, or
+// anchor mismatch, 2 = usage or parse error.
 #include <algorithm>
 #include <cctype>
 #include <cstdint>
@@ -396,7 +411,10 @@ void usage(std::ostream& os) {
      << "                  [--out report.md] [--csv report.csv]\n"
      << "  ftreport --baseline OLD.json --candidate NEW.json\n"
      << "           [--threshold PCT[%]] [--perf]\n"
-     << "exit: 0 ok, 1 regression/missing benchmark, 2 usage or parse error\n";
+     << "  ftreport anchor --degradation BENCH_degradation.json\n"
+     << "           --fig9 BENCH_fig9*.json [--scheduler levelwise]\n"
+     << "exit: 0 ok, 1 regression/missing benchmark/anchor mismatch,\n"
+     << "      2 usage or parse error\n";
 }
 
 // --- Regression gate -------------------------------------------------------
@@ -477,6 +495,82 @@ bool compare_fig9(const JsonValue& base, const JsonValue& cand, bool perf,
       };
       emit("mean", true);
       if (perf) emit("requests_per_sec", true);
+    }
+  }
+  return true;
+}
+
+bool points_have_fault_rate(const JsonValue& doc) {
+  const JsonValue* points = doc.find("points");
+  if (!points || points->type != JsonValue::Type::kArray ||
+      points->array.empty()) {
+    return false;
+  }
+  return points->array.front().find("fault_rate") != nullptr;
+}
+
+/// Degradation schema: every (levels, arity, fault_rate) point gates on the
+/// three service-level means and the recovery success ratio. All four are
+/// deterministic per seed, so the default threshold is safe cross-machine.
+bool compare_degradation(const JsonValue& base, const JsonValue& cand,
+                         std::vector<Comparison>& out) {
+  const JsonValue* base_points = base.find("points");
+  const JsonValue* cand_points = cand.find("points");
+  if (!base_points || base_points->type != JsonValue::Type::kArray ||
+      !cand_points || cand_points->type != JsonValue::Type::kArray) {
+    std::cerr << "ftreport: degradation schema: missing \"points\" array\n";
+    return false;
+  }
+  const auto point_key = [](const JsonValue& point) {
+    const JsonValue* levels = point.find("levels");
+    const JsonValue* arity = point.find("arity");
+    const JsonValue* rate = point.find("fault_rate");
+    return "levels=" + fmt(levels ? levels->num_or(0) : 0, 0) +
+           " arity=" + fmt(arity ? arity->num_or(0) : 0, 0) +
+           " rate=" + fmt(rate ? rate->num_or(0) : 0, 2);
+  };
+  for (const JsonValue& bp : base_points->array) {
+    const std::string key = point_key(bp);
+    const JsonValue* cp = nullptr;
+    for (const JsonValue& candidate_point : cand_points->array) {
+      if (point_key(candidate_point) == key) {
+        cp = &candidate_point;
+        break;
+      }
+    }
+    const auto emit_mean = [&](const char* section) {
+      const JsonValue* bs = bp.find(section);
+      const JsonValue* bv = bs ? bs->find("mean") : nullptr;
+      if (!bv || bv->type != JsonValue::Type::kNumber) return;
+      Comparison c;
+      c.name = key;
+      c.metric = std::string(section) + ".mean";
+      c.baseline = bv->number;
+      const JsonValue* cs = cp ? cp->find(section) : nullptr;
+      const JsonValue* cv = cs ? cs->find("mean") : nullptr;
+      if (!cv || cv->type != JsonValue::Type::kNumber) {
+        c.missing = true;
+      } else {
+        c.candidate = cv->number;
+      }
+      out.push_back(std::move(c));
+    };
+    emit_mean("schedulability");
+    emit_mean("open_ratio");
+    emit_mean("ever_granted");
+    const JsonValue* bv = bp.find("recovery_success_ratio");
+    if (bv && bv->type == JsonValue::Type::kNumber) {
+      Comparison c;
+      c.name = key;
+      c.metric = "recovery_success_ratio";
+      c.baseline = bv->number;
+      const JsonValue* cv = cp ? cp->find("recovery_success_ratio") : nullptr;
+      if (!cv || cv->type != JsonValue::Type::kNumber) {
+        c.missing = true;
+      } else {
+        c.candidate = cv->number;
+      }
+      out.push_back(std::move(c));
     }
   }
   return true;
@@ -563,7 +657,9 @@ int run_regression(const Args& args) {
   }
 
   std::vector<Comparison> comparisons;
-  if (base.find("points")) {
+  if (points_have_fault_rate(base)) {
+    if (!compare_degradation(base, cand, comparisons)) return 2;
+  } else if (base.find("points")) {
     if (!compare_fig9(base, cand, perf, comparisons)) return 2;
   } else if (base.find("benchmarks")) {
     if (!compare_gbench(base, cand, comparisons)) return 2;
@@ -676,6 +772,71 @@ void report_bench(const JsonValue& bench, std::ostream& md, CsvSink& csv) {
   md << "\n";
 }
 
+/// Degradation sweep: one row per (topology, fault rate) with the three
+/// service levels, recovery counters, and retry-latency percentiles.
+void report_degradation(const JsonValue& bench, std::ostream& md,
+                        CsvSink& csv) {
+  md << "## Fault degradation sweep\n\n";
+  const JsonValue* reps = bench.find("reps");
+  const JsonValue* horizon = bench.find("horizon");
+  const JsonValue* retry = bench.find("retry");
+  md << "bench `degradation`";
+  if (reps) md << ", " << fmt(reps->num_or(0), 0) << " repetitions";
+  if (horizon) md << ", horizon " << fmt(horizon->num_or(0), 0);
+  if (retry && retry->type == JsonValue::Type::kString) {
+    md << ", retry `" << retry->str << "`";
+  }
+  md << "\n\n";
+  const JsonValue* points = bench.find("points");
+  if (!points || points->type != JsonValue::Type::kArray ||
+      points->array.empty()) {
+    md << "_no sweep points_\n\n";
+    return;
+  }
+  md << "| nodes | rate | first-attempt | open | ever granted | victims |"
+        " recovered | recovery | retry p50/p90/p99 |\n"
+        "|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n";
+  for (const JsonValue& point : points->array) {
+    const auto num = [&](const char* key) {
+      const JsonValue* v = point.find(key);
+      return v ? v->num_or(0.0) : 0.0;
+    };
+    const auto mean_of = [&](const char* section) {
+      const JsonValue* s = point.find(section);
+      const JsonValue* m = s ? s->find("mean") : nullptr;
+      return m ? m->num_or(0.0) : 0.0;
+    };
+    const double rate = num("fault_rate");
+    const std::string key_prefix =
+        "levels" + fmt(num("levels"), 0) + ".arity" + fmt(num("arity"), 0) +
+        ".rate" + fmt(rate, 2);
+    md << "| " << fmt(num("nodes"), 0) << " | " << fmt(rate, 2) << " | "
+       << fmt_pct(mean_of("schedulability")) << " | "
+       << fmt_pct(mean_of("open_ratio")) << " | "
+       << fmt_pct(mean_of("ever_granted")) << " | " << fmt(num("victims"), 0)
+       << " | " << fmt(num("recovered"), 0) << " | "
+       << fmt_pct(num("recovery_success_ratio")) << " | ";
+    const JsonValue* lat = point.find("retry_latency");
+    const JsonValue* lat_count = lat ? lat->find("count") : nullptr;
+    if (lat && lat_count && lat_count->num_or(0) > 0) {
+      md << fmt(lat->find("p50") ? lat->find("p50")->num_or(0) : 0, 1) << "/"
+         << fmt(lat->find("p90") ? lat->find("p90")->num_or(0) : 0, 1) << "/"
+         << fmt(lat->find("p99") ? lat->find("p99")->num_or(0) : 0, 1);
+    } else {
+      md << "-";
+    }
+    md << " |\n";
+    csv.add("degradation", key_prefix + ".schedulability",
+            mean_of("schedulability"));
+    csv.add("degradation", key_prefix + ".open_ratio", mean_of("open_ratio"));
+    csv.add("degradation", key_prefix + ".ever_granted",
+            mean_of("ever_granted"));
+    csv.add("degradation", key_prefix + ".recovery_success_ratio",
+            num("recovery_success_ratio"));
+  }
+  md << "\n";
+}
+
 void report_metrics(const std::vector<JsonValue>& lines, std::ostream& md,
                     CsvSink& csv) {
   md << "## Scheduler metrics\n\n";
@@ -743,6 +904,39 @@ void report_metrics(const std::vector<JsonValue>& lines, std::ostream& md,
   breakdown("sched.reject.reason.", "Rejections by reason", "reject.reason");
   breakdown("sched.grant.ancestor", "Grants by common-ancestor level",
             "grant.ancestor");
+
+  // Fault-recovery counters exported by FabricManager, if present.
+  const double submitted = counter("fault.submitted");
+  if (submitted > 0) {
+    const double victims = counter("fault.victims");
+    const double recovered = counter("fault.recovered");
+    md << "### Fault recovery (FabricManager)\n\n| counter | value |\n"
+          "|---|---:|\n"
+       << "| submitted | " << fmt(submitted, 0) << " |\n"
+       << "| first-attempt granted | "
+       << fmt(counter("fault.first_attempt_granted"), 0) << " |\n"
+       << "| ever granted | " << fmt(counter("fault.ever_granted"), 0)
+       << " |\n"
+       << "| open at end | " << fmt(counter("fault.open_circuits"), 0)
+       << " |\n"
+       << "| fail / repair events | " << fmt(counter("fault.fail_events"), 0)
+       << " / " << fmt(counter("fault.repair_events"), 0) << " |\n"
+       << "| victims | " << fmt(victims, 0) << " |\n"
+       << "| recovered | " << fmt(recovered, 0) << " |\n"
+       << "| retries | " << fmt(counter("fault.retries"), 0) << " |\n"
+       << "| shed / permanent / abandoned | "
+       << fmt(counter("fault.shed"), 0) << " / "
+       << fmt(counter("fault.permanent_rejects"), 0) << " / "
+       << fmt(counter("fault.abandoned"), 0) << " |\n";
+    if (victims > 0) {
+      md << "| recovery success | " << fmt_pct(recovered / victims) << " |\n";
+      csv.add("metrics", "fault.recovery_success", recovered / victims);
+    }
+    md << "\n";
+    csv.add("metrics", "fault.submitted", submitted);
+    csv.add("metrics", "fault.victims", victims);
+    csv.add("metrics", "fault.recovered", recovered);
+  }
 
   // Fabric utilization gauges exported by LinkTelemetry, if present.
   std::vector<std::pair<std::string, double>> fabric;
@@ -993,7 +1187,11 @@ int run_report(const Args& args) {
   if (!bench_path.empty()) {
     JsonValue bench;
     if (!parse_file(bench_path, bench)) return 2;
-    report_bench(bench, md, csv);
+    if (points_have_fault_rate(bench)) {
+      report_degradation(bench, md, csv);
+    } else {
+      report_bench(bench, md, csv);
+    }
   }
   if (!metrics_path.empty()) {
     std::vector<JsonValue> lines;
@@ -1036,6 +1234,158 @@ int run_report(const Args& args) {
   return 0;
 }
 
+// --- Anchor mode -----------------------------------------------------------
+
+/// Validates a degradation sweep against its fault-free anchor: every rate-0
+/// point whose (levels, arity) appears in the fig9 file must reproduce that
+/// scheduler's summary bit-for-bit, and every point must be internally
+/// consistent (ratios in [0,1], victims >= recovered, ordered percentiles).
+int run_anchor(const Args& args) {
+  const auto deg_it = args.flags.find("degradation");
+  const auto fig9_it = args.flags.find("fig9");
+  if (deg_it == args.flags.end() || fig9_it == args.flags.end()) {
+    usage(std::cerr);
+    return 2;
+  }
+  std::string scheduler = "levelwise";
+  if (const auto it = args.flags.find("scheduler"); it != args.flags.end()) {
+    scheduler = it->second;
+  }
+  JsonValue deg, fig9;
+  if (!parse_file(deg_it->second, deg) || !parse_file(fig9_it->second, fig9)) {
+    return 2;
+  }
+  const JsonValue* deg_points = deg.find("points");
+  if (!points_have_fault_rate(deg)) {
+    std::cerr << "ftreport: " << deg_it->second
+              << ": not a degradation sweep (no \"fault_rate\" points)\n";
+    return 2;
+  }
+  const JsonValue* fig9_points = fig9.find("points");
+  if (!fig9_points || fig9_points->type != JsonValue::Type::kArray) {
+    std::cerr << "ftreport: " << fig9_it->second
+              << ": not a fig9 sweep (no \"points\")\n";
+    return 2;
+  }
+
+  std::size_t failures = 0;
+  std::size_t anchored = 0;
+  const auto fail = [&](const std::string& where, const std::string& what) {
+    std::cout << "FAIL " << where << ": " << what << "\n";
+    ++failures;
+  };
+
+  for (const JsonValue& point : deg_points->array) {
+    const auto num = [&](const char* key) {
+      const JsonValue* v = point.find(key);
+      return v ? v->num_or(0.0) : 0.0;
+    };
+    const double levels = num("levels");
+    const double arity = num("arity");
+    const double rate = num("fault_rate");
+    const std::string where = "levels=" + fmt(levels, 0) +
+                              " arity=" + fmt(arity, 0) +
+                              " rate=" + fmt(rate, 2);
+
+    // Internal consistency: service levels are ratios, recovery cannot
+    // exceed the victim count, percentiles must be ordered.
+    for (const char* section : {"schedulability", "open_ratio",
+                                "ever_granted"}) {
+      const JsonValue* s = point.find(section);
+      if (!s) {
+        fail(where, std::string("missing \"") + section + "\" summary");
+        continue;
+      }
+      for (const char* stat : {"mean", "min", "max"}) {
+        const JsonValue* v = s->find(stat);
+        const double x = v ? v->num_or(-1.0) : -1.0;
+        if (x < 0.0 || x > 1.0) {
+          fail(where, std::string(section) + "." + stat + " = " + fmt(x) +
+                          " outside [0, 1]");
+        }
+      }
+    }
+    const double ratio = num("recovery_success_ratio");
+    if (ratio < 0.0 || ratio > 1.0) {
+      fail(where, "recovery_success_ratio = " + fmt(ratio) +
+                      " outside [0, 1]");
+    }
+    if (num("recovered") > num("victims")) {
+      fail(where, "recovered " + fmt(num("recovered"), 0) + " > victims " +
+                      fmt(num("victims"), 0));
+    }
+    for (const char* lat_key : {"recovery_latency", "retry_latency"}) {
+      const JsonValue* lat = point.find(lat_key);
+      const JsonValue* count = lat ? lat->find("count") : nullptr;
+      if (!lat || !count || count->num_or(0) <= 0) continue;
+      const auto pct = [&](const char* p) {
+        const JsonValue* v = lat->find(p);
+        return v ? v->num_or(0.0) : 0.0;
+      };
+      if (!(pct("p50") <= pct("p90") && pct("p90") <= pct("p99"))) {
+        fail(where, std::string(lat_key) + " percentiles not ordered: " +
+                        fmt(pct("p50"), 1) + "/" + fmt(pct("p90"), 1) + "/" +
+                        fmt(pct("p99"), 1));
+      }
+    }
+
+    // Fault-free anchor: bit-identical to the fig9 sweep's scheduler column.
+    if (rate != 0.0) continue;
+    const JsonValue* anchor = nullptr;
+    for (const JsonValue& fp : fig9_points->array) {
+      const JsonValue* fl = fp.find("levels");
+      const JsonValue* fa = fp.find("arity");
+      if (fl && fa && fl->num_or(-1) == levels && fa->num_or(-1) == arity) {
+        const JsonValue* scheds = fp.find("schedulers");
+        anchor = scheds ? scheds->find(scheduler) : nullptr;
+        break;
+      }
+    }
+    if (!anchor) continue;  // topology not in this fig9 file — nothing to pin
+    ++anchored;
+    const JsonValue* sched_summary = point.find("schedulability");
+    for (const char* stat : {"mean", "min", "max", "stddev"}) {
+      const JsonValue* expect = anchor->find(stat);
+      const JsonValue* got = sched_summary ? sched_summary->find(stat)
+                                           : nullptr;
+      if (!expect || !got || expect->number != got->number) {
+        fail(where, std::string("rate-0 schedulability.") + stat + " = " +
+                        (got ? fmt(got->number, 6) : std::string("missing")) +
+                        " but " + scheduler + " fig9 " + stat + " = " +
+                        (expect ? fmt(expect->number, 6)
+                                : std::string("missing")));
+      }
+    }
+    // At rate 0 nothing is ever revoked, so all three service levels agree.
+    for (const char* section : {"open_ratio", "ever_granted"}) {
+      const JsonValue* s = point.find(section);
+      const JsonValue* mean = s ? s->find("mean") : nullptr;
+      const JsonValue* base = sched_summary ? sched_summary->find("mean")
+                                            : nullptr;
+      if (!mean || !base || mean->number != base->number) {
+        fail(where, std::string("rate-0 ") + section +
+                        ".mean diverges from schedulability.mean");
+      }
+    }
+  }
+
+  std::cout << "anchored " << anchored << " rate-0 point"
+            << (anchored == 1 ? "" : "s") << " against " << scheduler
+            << " in " << fig9_it->second << "\n";
+  if (anchored == 0) {
+    std::cout << "FAIL: no rate-0 point matched a fig9 topology —"
+                 " nothing was pinned\n";
+    return 1;
+  }
+  if (failures > 0) {
+    std::cout << "FAIL: " << failures << " anchor violation"
+              << (failures == 1 ? "" : "s") << "\n";
+    return 1;
+  }
+  std::cout << "PASS\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1045,13 +1395,18 @@ int main(int argc, char** argv) {
     return raw.empty() ? 2 : 0;
   }
   static const std::vector<std::string> kValueFlags = {
-      "baseline", "candidate", "threshold", "metrics",
-      "telemetry", "trace",    "bench",     "out",
-      "csv"};
+      "baseline", "candidate",   "threshold", "metrics",
+      "telemetry", "trace",      "bench",     "out",
+      "csv",       "degradation", "fig9",     "scheduler"};
   if (raw[0] == "report") {
     Args args;
     if (!parse_args({raw.begin() + 1, raw.end()}, kValueFlags, args)) return 2;
     return run_report(args);
+  }
+  if (raw[0] == "anchor") {
+    Args args;
+    if (!parse_args({raw.begin() + 1, raw.end()}, kValueFlags, args)) return 2;
+    return run_anchor(args);
   }
   Args args;
   if (!parse_args(raw, kValueFlags, args)) return 2;

@@ -6,6 +6,10 @@
 //                                          schedulability experiment
 //                                          (m:w selects an asymmetric tree,
 //                                          e.g. `schedule 3 4:2 ...`)
+//   ftsched degrade <levels> <m[:w]> <scheduler> <pattern> <reps> [seed]
+//                                          fault-sweep experiment: MTBF/MTTR
+//                                          cable outages, circuit revocation,
+//                                          retry/backoff recovery
 //   ftsched sweep <scheduler> [reps]       the paper's full Figure-9 grid,
 //                                          CSV on stdout
 //   ftsched hw <levels> <w>                hardware timing + resources
@@ -21,19 +25,35 @@
 //                          boundary and write the time-series JSONL
 //                          (ftreport ingests it; see docs/OBSERVABILITY.md)
 //
-// Execution flags (schedule and sweep commands):
+// Execution flags (schedule, degrade, and sweep commands):
 //   --threads=N            fan repetitions over N worker threads (0 = all
 //                          hardware threads). Results are bit-identical at
 //                          any thread count; see docs/PERFORMANCE.md.
+//
+// Fault flags (degrade command; see docs/ROBUSTNESS.md):
+//   --fault-rate=F         expected fraction of cables failing at least once
+//                          within the horizon (default 0; ignored when
+//                          --fault-mtbf is given)
+//   --fault-mtbf=T         explicit mean time between failures, ticks
+//   --fault-mttr=T         mean time to repair (default horizon / 8)
+//   --retry-policy=SPEC    none | immediate[:R] | fixed:D[:R] |
+//                          backoff:B[:R[:J]] (default backoff:1:8)
+//   --horizon=N            simulated ticks per repetition (default 1000)
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/registry.hpp"
 #include "exec/thread_pool.hpp"
+#include "fault/degradation.hpp"
+#include "fault/fabric_manager.hpp"
+#include "fault/fault_timeline.hpp"
+#include "fault/retry_policy.hpp"
 #include "hw/resources.hpp"
 #include "hw/timing_model.hpp"
 #include "obs/link_telemetry.hpp"
@@ -64,14 +84,19 @@ const std::map<std::string, TrafficPattern>& pattern_names() {
 }
 
 int usage() {
-  std::cerr << "usage: ftsched <info|dot|schedule|sweep|hw|schedulers|"
-               "patterns> ...\n"
+  std::cerr << "usage: ftsched <info|dot|schedule|degrade|sweep|hw|"
+               "schedulers|patterns> ...\n"
                "  info <levels> <m> [w]\n"
                "  dot <levels> <m> [w]\n"
                "  schedule <levels> <m[:w]> <scheduler> <pattern> <reps>"
                " [seed]\n"
                "           [--probe] [--metrics-out=FILE] [--trace-out=FILE]\n"
                "           [--threads=N]\n"
+               "  degrade <levels> <m[:w]> <scheduler> <pattern> <reps>"
+               " [seed]\n"
+               "          [--fault-rate=F | --fault-mtbf=T] [--fault-mttr=T]\n"
+               "          [--retry-policy=SPEC] [--horizon=N] [--threads=N]\n"
+               "          [--metrics-out=FILE] [--trace-out=FILE]\n"
                "  sweep <scheduler> [reps] [--threads=N]\n"
                "  hw <levels> <w>\n";
   return 2;
@@ -87,6 +112,12 @@ struct ObsFlags {
   /// 0 = use every hardware thread. Results are bit-identical at any value;
   /// see docs/PERFORMANCE.md.
   std::size_t threads = 1;
+  // Fault flags (degrade command).
+  double fault_rate = 0.0;
+  double fault_mtbf = 0.0;
+  double fault_mttr = 0.0;
+  std::string retry_policy = "backoff:1:8";
+  SimTime horizon = 1000;
 };
 
 Result<FatTree> tree_from_args(int argc, char** argv, int base) {
@@ -241,6 +272,154 @@ int cmd_schedule(int argc, char** argv, const ObsFlags& flags) {
   return 0;
 }
 
+int cmd_degrade(int argc, char** argv, const ObsFlags& flags) {
+  if (argc < 7) return usage();
+  const std::string arity = argv[3];
+  const std::size_t colon = arity.find(':');
+  const auto levels = static_cast<std::uint32_t>(std::atoi(argv[2]));
+  const auto m = static_cast<std::uint32_t>(std::atoi(arity.c_str()));
+  const auto w =
+      colon == std::string::npos
+          ? m
+          : static_cast<std::uint32_t>(std::atoi(arity.c_str() + colon + 1));
+  auto tree_or = FatTree::create(FatTreeParams{levels, m, w});
+  if (!tree_or.ok()) {
+    std::cerr << tree_or.message() << "\n";
+    return 1;
+  }
+  const FatTree& tree = tree_or.value();
+  const auto pattern = pattern_names().find(argv[5]);
+  if (pattern == pattern_names().end()) {
+    std::cerr << "unknown pattern '" << argv[5] << "'\n";
+    return usage();
+  }
+  auto retry_or = parse_retry_policy(flags.retry_policy);
+  if (!retry_or.ok()) {
+    std::cerr << retry_or.message() << "\n";
+    return 1;
+  }
+
+  DegradationConfig config;
+  config.scheduler = argv[4];
+  if (!make_scheduler(config.scheduler).ok()) {
+    std::cerr << make_scheduler(config.scheduler).message() << "\n";
+    return 1;
+  }
+  config.pattern = pattern->second;
+  config.repetitions = static_cast<std::size_t>(std::atoi(argv[6]));
+  config.seed = argc > 7 ? static_cast<std::uint64_t>(std::atoll(argv[7]))
+                         : 2006;
+  config.threads = flags.threads;
+  config.fault_rate = flags.fault_rate;
+  config.mtbf = flags.fault_mtbf;
+  config.mttr = flags.fault_mttr;
+  config.horizon = flags.horizon;
+  config.retry = retry_or.value();
+
+  const DegradationPoint point = run_degradation(tree, config);
+  std::cout << config.scheduler << " on " << to_string(pattern->second)
+            << ", " << config.repetitions << " reps, horizon "
+            << config.horizon << ", retry " << config.retry.spec() << ":\n";
+  if (config.mtbf > 0.0) {
+    std::cout << "  faults: mtbf " << config.mtbf << ", mttr "
+              << (config.mttr > 0.0
+                      ? config.mttr
+                      : static_cast<double>(config.horizon) / 8.0)
+              << " ticks\n";
+  } else {
+    std::cout << "  faults: rate " << config.fault_rate << "\n";
+  }
+  std::cout << "  first-attempt  " << point.schedulability.ratio_string()
+            << "\n"
+            << "  open at end    " << point.open_ratio.ratio_string() << "\n"
+            << "  ever granted   " << point.ever_granted.ratio_string()
+            << "\n"
+            << "  fail/repair    " << point.fail_events << " / "
+            << point.repair_events << " events\n"
+            << "  victims        " << point.victims << " revoked, "
+            << point.recovered << " recovered ("
+            << TextTable::pct(point.recovery_success_ratio()) << ")\n"
+            << "  retries        " << point.retries << " scheduled, "
+            << point.shed << " shed, " << point.permanent_rejects
+            << " permanent rejects, " << point.abandoned << " abandoned\n";
+  const auto print_latency = [](const char* label,
+                                std::span<const double> lat) {
+    std::cout << "  " << label << lat.size() << " samples";
+    if (!lat.empty()) {
+      std::cout << ", p50/p90/p99 " << TextTable::num(percentile(lat, 0.50), 1)
+                << "/" << TextTable::num(percentile(lat, 0.90), 1) << "/"
+                << TextTable::num(percentile(lat, 0.99), 1) << " ticks";
+    }
+    std::cout << "\n";
+  };
+  print_latency("recovery lat.  ", point.recovery_latency);
+  print_latency("retry lat.     ", point.retry_latency);
+
+  // Observability artifacts come from a single extra repetition-0 run with
+  // the tracer and metrics registry attached — identical seeds, so the spans
+  // and counters describe the first repetition of the sweep above.
+  if (!flags.metrics_out.empty() || !flags.trace_out.empty()) {
+    obs::TraceWriter tracer;
+    FabricOptions options;
+    options.scheduler = config.scheduler;
+    options.seed = config.seed;
+    options.retry = config.retry;
+    options.horizon = config.horizon;
+    options.tracer = flags.trace_out.empty() ? nullptr : &tracer;
+
+    std::uint64_t mix = config.seed + 0x9e3779b97f4a7c15ULL;
+    Xoshiro256ss workload_rng(splitmix64(mix));
+    const std::vector<Request> batch =
+        generate_pattern(tree, config.pattern, workload_rng, config.workload);
+    double mtbf = config.mtbf;
+    if (mtbf <= 0.0 && config.fault_rate > 0.0) {
+      mtbf = FaultTimeline::mtbf_for_fault_rate(config.fault_rate,
+                                                config.horizon);
+    }
+    const double mttr =
+        config.mttr > 0.0
+            ? config.mttr
+            : std::max(1.0, static_cast<double>(config.horizon) / 8.0);
+
+    Simulator sim;
+    FabricManager fabric(tree, sim, options);
+    fabric.reseed(splitmix64(mix));
+    FaultTimeline timeline;
+    if (mtbf > 0.0) {
+      std::uint64_t timeline_mix = mix ^ 0xfa017e11eULL;
+      timeline = FaultTimeline::from_mtbf(tree, mtbf, mttr, config.horizon,
+                                          splitmix64(timeline_mix));
+    }
+    fabric.install(timeline);
+    fabric.submit(batch, 0);
+    sim.run();
+    fabric.verify_invariants();
+
+    if (!flags.metrics_out.empty()) {
+      std::ofstream out(flags.metrics_out);
+      if (!out) {
+        std::cerr << "cannot open " << flags.metrics_out << "\n";
+        return 1;
+      }
+      obs::MetricsRegistry registry;
+      fabric.export_metrics(registry);
+      registry.write_jsonl(out);
+      std::cout << "  metrics -> " << flags.metrics_out << " (rep 0)\n";
+    }
+    if (!flags.trace_out.empty()) {
+      std::ofstream out(flags.trace_out);
+      if (!out) {
+        std::cerr << "cannot open " << flags.trace_out << "\n";
+        return 1;
+      }
+      tracer.write(out);
+      std::cout << "  trace   -> " << flags.trace_out << " (" << tracer.size()
+                << " events, rep 0)\n";
+    }
+  }
+  return 0;
+}
+
 int cmd_sweep(int argc, char** argv, const ObsFlags& flags) {
   if (argc < 3) return usage();
   const std::string scheduler = argv[2];
@@ -347,6 +526,16 @@ int main(int argc, char** argv) {
       const long n = std::atol(arg.c_str() + 10);
       flags.threads = n <= 0 ? exec::hardware_threads()
                              : static_cast<std::size_t>(n);
+    } else if (arg.rfind("--fault-rate=", 0) == 0) {
+      flags.fault_rate = std::atof(arg.c_str() + 13);
+    } else if (arg.rfind("--fault-mtbf=", 0) == 0) {
+      flags.fault_mtbf = std::atof(arg.c_str() + 13);
+    } else if (arg.rfind("--fault-mttr=", 0) == 0) {
+      flags.fault_mttr = std::atof(arg.c_str() + 13);
+    } else if (arg.rfind("--retry-policy=", 0) == 0) {
+      flags.retry_policy = arg.substr(15);
+    } else if (arg.rfind("--horizon=", 0) == 0) {
+      flags.horizon = static_cast<SimTime>(std::atoll(arg.c_str() + 10));
     } else {
       argv[kept++] = argv[i];
     }
@@ -357,6 +546,7 @@ int main(int argc, char** argv) {
   if (command == "info") return cmd_info(argc, argv);
   if (command == "dot") return cmd_dot(argc, argv);
   if (command == "schedule") return cmd_schedule(argc, argv, flags);
+  if (command == "degrade") return cmd_degrade(argc, argv, flags);
   if (command == "sweep") return cmd_sweep(argc, argv, flags);
   if (command == "hw") return cmd_hw(argc, argv);
   if (command == "schedulers") {
