@@ -1,7 +1,5 @@
 #include "core/connection_manager.hpp"
 
-#include <algorithm>
-
 #include "linkstate/transaction.hpp"
 #include "topology/path.hpp"
 
@@ -123,16 +121,14 @@ std::vector<Revocation> ConnectionManager::fail_cable(const CableId& cable) {
   // fault shadow instead of re-advertising a dead link.
   state_.fail_cable(cable.level, cable.lower_index, cable.port);
 
+  // connections_ is id-ordered, so victims come out in grant order and the
+  // re-enqueue order is deterministic by construction.
   std::vector<Revocation> victims;
   for (const auto& [id, path] : connections_) {
     if (path_crosses_cable(tree_, path, cable)) {
       victims.push_back(Revocation{id, Request{path.src, path.dst}});
     }
   }
-  // unordered_map iteration order is not deterministic; the re-enqueue order
-  // must be.
-  std::sort(victims.begin(), victims.end(),
-            [](const Revocation& a, const Revocation& b) { return a.id < b.id; });
   for (const Revocation& v : victims) {
     auto it = connections_.find(v.id);
     state_.release_path(tree_, it->second);

@@ -10,8 +10,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "core/request.hpp"
@@ -99,7 +99,9 @@ class ConnectionManager {
   Xoshiro256ss rng_;
   LinkState state_;
   LeafTracker leaves_;
-  std::unordered_map<ConnectionId, Path> connections_;
+  // Ordered by id, and ids are handed out monotonically: iteration is grant
+  // order, so revocation sweeps are deterministic without re-sorting.
+  std::map<ConnectionId, Path> connections_;
   ConnectionId next_id_ = 1;
 };
 

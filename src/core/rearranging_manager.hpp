@@ -23,7 +23,6 @@
 #include <cstdint>
 #include <map>
 #include <optional>
-#include <unordered_map>
 
 #include "core/connection_manager.hpp"  // ConnectionId
 #include "core/request.hpp"
@@ -85,7 +84,9 @@ class RearrangingConnectionManager {
   RearrangeOptions options_;
   LinkState state_;
   LeafTracker leaves_;
-  std::unordered_map<ConnectionId, Path> connections_;
+  // id-ordered (ids are monotone): any future sweep over open circuits is
+  // deterministic, matching ConnectionManager.
+  std::map<ConnectionId, Path> connections_;
   std::map<ChannelId, ConnectionId> channel_owner_;
   ConnectionId next_id_ = 1;
   Stats stats_;

@@ -1,0 +1,49 @@
+// exec/sync.hpp — annotated synchronization primitives for the pool.
+//
+// Clang's thread-safety analysis only tracks lock acquisition through
+// annotated types; libstdc++'s std::mutex and std::lock_guard carry no
+// annotations, so exec wraps the mutex exactly once here and the whole
+// subsystem becomes analyzable under -Wthread-safety (the `thread-safety`
+// preset / CI job). Everything outside exec is single-threaded by
+// construction (ftlint's no-raw-thread rule), so these wrappers never need
+// to escape this module.
+#pragma once
+
+#include <mutex>
+
+#include "util/contracts.hpp"
+
+namespace ftsched::exec {
+
+/// std::mutex carrying the Clang `capability` annotation, so FT_GUARDED_BY
+/// members and FT_REQUIRES functions can name it.
+class FT_CAPABILITY("mutex") Mutex {
+ public:
+  void lock() FT_ACQUIRE() { m_.lock(); }
+  void unlock() FT_RELEASE() { m_.unlock(); }
+
+ private:
+  std::mutex m_;  // ftlint:allow(mutex-guarded-by) this IS the capability
+};
+
+/// RAII guard over Mutex. Also BasicLockable (public lock/unlock), so
+/// std::condition_variable_any can release and re-acquire it across a wait;
+/// from the waiting function's perspective the capability is continuously
+/// held, which matches how the analysis treats the un-annotated wait() call.
+class FT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& m) FT_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~MutexLock() FT_RELEASE() { m_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  // For std::condition_variable_any only; never call these directly.
+  void lock() FT_ACQUIRE() { m_.lock(); }
+  void unlock() FT_RELEASE() { m_.unlock(); }
+
+ private:
+  Mutex& m_;
+};
+
+}  // namespace ftsched::exec

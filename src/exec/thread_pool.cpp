@@ -19,7 +19,7 @@ ThreadPool::ThreadPool(std::size_t thread_count) : thread_count_(thread_count) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     stop_ = true;
   }
   wake_.notify_all();
@@ -33,7 +33,7 @@ void ThreadPool::run(const std::function<void(std::size_t)>& job) {
     return;
   }
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     FT_REQUIRE_MSG(job_ == nullptr, "ThreadPool::run is not reentrant");
     job_ = &job;
     ++generation_;
@@ -41,8 +41,10 @@ void ThreadPool::run(const std::function<void(std::size_t)>& job) {
   }
   wake_.notify_all();
   job(0);  // the caller is worker 0
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_.wait(lock, [this] { return pending_ == 0; });
+  MutexLock lock(mutex_);
+  // Predicate inline (not a lambda) so the analysis sees the guarded reads
+  // under the lock it is tracking.
+  while (pending_ != 0) done_.wait(lock);
   job_ = nullptr;
 }
 
@@ -51,16 +53,15 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
   for (;;) {
     const std::function<void(std::size_t)>* job = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock,
-                 [&] { return stop_ || generation_ != seen_generation; });
+      MutexLock lock(mutex_);
+      while (!stop_ && generation_ == seen_generation) wake_.wait(lock);
       if (stop_) return;
       seen_generation = generation_;
       job = job_;
     }
     (*job)(worker_index);
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       --pending_;
     }
     done_.notify_one();

@@ -18,10 +18,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "exec/sync.hpp"
+#include "util/contracts.hpp"
 
 namespace ftsched::exec {
 
@@ -74,15 +76,15 @@ class ThreadPool {
   void worker_loop(std::size_t worker_index);
 
   std::size_t thread_count_;
-  std::vector<std::thread> workers_;
+  std::vector<std::thread> workers_;  // touched only by the owning thread
 
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  std::condition_variable done_;
-  const std::function<void(std::size_t)>* job_ = nullptr;  // guarded by mutex_
-  std::uint64_t generation_ = 0;                           // guarded by mutex_
-  std::size_t pending_ = 0;                                // guarded by mutex_
-  bool stop_ = false;                                      // guarded by mutex_
+  Mutex mutex_;
+  std::condition_variable_any wake_;
+  std::condition_variable_any done_;
+  const std::function<void(std::size_t)>* job_ FT_GUARDED_BY(mutex_) = nullptr;
+  std::uint64_t generation_ FT_GUARDED_BY(mutex_) = 0;
+  std::size_t pending_ FT_GUARDED_BY(mutex_) = 0;
+  bool stop_ FT_GUARDED_BY(mutex_) = false;
 };
 
 /// Statically-chunked parallel for: fn(i) for every i in [0, count), chunk k

@@ -1,6 +1,5 @@
 #include "fault/fabric_manager.hpp"
 
-#include <algorithm>
 #include <utility>
 
 #include "topology/path.hpp"
@@ -184,13 +183,13 @@ void FabricManager::verify_invariants() const {
 
   // Every failed cable still masked, both channels unavailable; no open
   // circuit crosses one.
+  // conn_seq_ is id-ordered, so `open` comes out sorted in grant order.
   std::vector<std::pair<ConnectionId, const Path*>> open;
   for (const auto& [id, seq] : conn_seq_) {
     const Path* path = manager_.find(id);
     FT_REQUIRE(path != nullptr);
     open.emplace_back(id, path);
   }
-  std::sort(open.begin(), open.end());
   for (const CableId& cable : failed_cables_) {
     FT_REQUIRE_MSG(
         live.cable_faulted(cable.level, cable.lower_index, cable.port),

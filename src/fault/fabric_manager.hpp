@@ -18,10 +18,10 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/connection_manager.hpp"
@@ -131,7 +131,8 @@ class FabricManager {
   Xoshiro256ss jitter_rng_;
   FabricStats stats_;
   std::set<CableId> failed_cables_;  // ordered: deterministic re-derivation
-  std::unordered_map<ConnectionId, std::uint64_t> conn_seq_;
+  // id-ordered so invariant sweeps walk open circuits in grant order.
+  std::map<ConnectionId, std::uint64_t> conn_seq_;
   std::vector<bool> granted_ever_;  // indexed by seq
   std::uint64_t next_seq_ = 0;
 };

@@ -72,3 +72,46 @@ namespace ftsched::detail {
 #define FT_UNREACHABLE()                                                   \
   ::ftsched::detail::contract_failure("unreachable code reached", "", \
                                       __FILE__, __LINE__)
+
+// --- Lock-discipline annotations --------------------------------------------
+// Thin wrappers over Clang's thread-safety attributes; they compile to
+// nothing under other compilers. The contract they express is static: which
+// mutex guards which member, which capability a function requires, and the
+// acquisition order between mutexes. Two enforcement layers read them:
+//   * ftlint's mutex-guarded-by rule requires every mutex member in src/ to
+//     appear in at least one FT_GUARDED_BY/FT_REQUIRES association;
+//   * the `thread-safety` CMake preset (Clang) compiles with
+//     -Werror=thread-safety, so a guarded member touched without its lock is
+//     a build failure.
+// src/exec is the only subsystem with real concurrency (ftlint's
+// no-raw-thread rule); it wraps std::mutex in an annotated capability type —
+// see src/exec/sync.hpp.
+
+#if defined(__clang__)
+#define FT_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define FT_THREAD_ANNOTATION(x)
+#endif
+
+/// Marks a type as a lockable capability (Clang: `capability`).
+#define FT_CAPABILITY(x) FT_THREAD_ANNOTATION(capability(x))
+/// Marks an RAII guard whose constructor acquires and destructor releases.
+#define FT_SCOPED_CAPABILITY FT_THREAD_ANNOTATION(scoped_lockable)
+/// Member may only be read/written while holding `x`.
+#define FT_GUARDED_BY(x) FT_THREAD_ANNOTATION(guarded_by(x))
+/// Pointee (not the pointer) is guarded by `x`.
+#define FT_PT_GUARDED_BY(x) FT_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function may only be called while holding the listed capabilities.
+#define FT_REQUIRES(...) FT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function acquires the listed capabilities (held on return).
+#define FT_ACQUIRE(...) FT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function releases the listed capabilities.
+#define FT_RELEASE(...) FT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Declares lock-ordering: this mutex is acquired before the listed ones.
+#define FT_ACQUIRED_BEFORE(...) FT_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+/// Declares lock-ordering: this mutex is acquired after the listed ones.
+#define FT_ACQUIRED_AFTER(...) FT_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+/// Function must NOT be called while holding the listed capabilities.
+#define FT_EXCLUDES(...) FT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Escape hatch for code the analysis cannot model; justify in a comment.
+#define FT_NO_THREAD_SAFETY_ANALYSIS FT_THREAD_ANNOTATION(no_thread_safety_analysis)

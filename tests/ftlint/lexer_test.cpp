@@ -1,0 +1,108 @@
+#include "ftlint/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace ftlint {
+namespace {
+
+std::vector<Token> code_tokens(std::string_view text) {
+  std::vector<Token> out;
+  for (const Token& t : lex(text)) {
+    if (t.kind != TokKind::kComment) out.push_back(t);
+  }
+  return out;
+}
+
+TEST(Lexer, IdentifiersNumbersPuncts) {
+  const auto toks = lex("int x = 1'000 + 0x1fULL;");
+  ASSERT_EQ(toks.size(), 7u);
+  EXPECT_TRUE(toks[0].ident("int"));
+  EXPECT_TRUE(toks[1].ident("x"));
+  EXPECT_TRUE(toks[2].punct("="));
+  EXPECT_EQ(toks[3].kind, TokKind::kNumber);
+  EXPECT_EQ(toks[3].text, "1'000");
+  EXPECT_TRUE(toks[4].punct("+"));
+  EXPECT_EQ(toks[5].text, "0x1fULL");
+  EXPECT_TRUE(toks[6].punct(";"));
+}
+
+TEST(Lexer, LineAndColumnAreOneBased) {
+  const auto toks = lex("a\n  b");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].line, 1u);
+  EXPECT_EQ(toks[0].col, 1u);
+  EXPECT_EQ(toks[1].line, 2u);
+  EXPECT_EQ(toks[1].col, 3u);
+}
+
+TEST(Lexer, CommentsAreSingleTokens) {
+  const auto toks = lex("x // trailing std::cout\n/* block\nspanning */ y");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_TRUE(toks[0].ident("x"));
+  EXPECT_EQ(toks[1].kind, TokKind::kComment);
+  EXPECT_EQ(toks[1].text, "// trailing std::cout");
+  EXPECT_EQ(toks[2].kind, TokKind::kComment);
+  EXPECT_EQ(toks[2].line, 2u);
+  EXPECT_TRUE(toks[3].ident("y"));
+  EXPECT_EQ(toks[3].line, 3u);
+}
+
+TEST(Lexer, StringsSwallowTheirContents) {
+  // An identifier inside a literal must never appear as an ident token.
+  const auto toks = code_tokens("f(\"call printf( here\", 'c', u8\"x\");");
+  for (const Token& t : toks) {
+    EXPECT_FALSE(t.ident("printf")) << t.text;
+  }
+  ASSERT_GE(toks.size(), 4u);
+  EXPECT_EQ(toks[2].kind, TokKind::kString);
+  EXPECT_EQ(toks[2].text, "\"call printf( here\"");
+}
+
+TEST(Lexer, EscapedQuotesStayInsideTheLiteral) {
+  const auto toks = code_tokens(R"(x = "a \" b"; y)");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[2].kind, TokKind::kString);
+  EXPECT_EQ(toks[2].text, "\"a \\\" b\"");
+  EXPECT_TRUE(toks[4].ident("y"));
+}
+
+TEST(Lexer, RawStringsWithDelimiterSpanLines) {
+  const std::string text = "auto s = R\"ft(line1\n\"quote\" )\" \nline3)ft\"; z";
+  const auto toks = code_tokens(text);
+  ASSERT_EQ(toks.size(), 6u);
+  EXPECT_EQ(toks[3].kind, TokKind::kString);
+  // The whole raw string, embedded quotes and fake terminator included.
+  EXPECT_EQ(toks[3].text.substr(0, 8), "R\"ft(lin");
+  EXPECT_TRUE(toks[5].ident("z"));
+  EXPECT_EQ(toks[5].line, 3u);
+}
+
+TEST(Lexer, FusedPuncts) {
+  const auto toks = lex("std::cout; p->q; ael: b");
+  EXPECT_TRUE(toks[1].punct("::"));
+  EXPECT_TRUE(toks[5].punct("->"));
+  // A lone ':' stays a single glyph.
+  bool saw_single_colon = false;
+  for (const Token& t : toks) saw_single_colon |= t.punct(":");
+  EXPECT_TRUE(saw_single_colon);
+}
+
+TEST(Lexer, LineContinuationJoinsLogicalLine) {
+  const auto toks = lex("#define M(x) \\\n  (x)\nnext");
+  // `next` is on physical line 3.
+  EXPECT_TRUE(toks.back().ident("next"));
+  EXPECT_EQ(toks.back().line, 3u);
+}
+
+TEST(Lexer, UnterminatedStringStopsAtEndOfLine) {
+  const auto toks = code_tokens("x = \"oops\ny");
+  // The broken literal must not swallow the next line.
+  EXPECT_TRUE(toks.back().ident("y"));
+  EXPECT_EQ(toks.back().line, 2u);
+}
+
+}  // namespace
+}  // namespace ftlint

@@ -1,0 +1,181 @@
+#include "ftlint/engine.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "ftlint/include_graph.hpp"
+
+namespace ftlint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool is_source_file(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".hpp" || ext == ".cpp";
+}
+
+bool skip_directory(const std::string& name) {
+  if (name.empty() || name.front() == '.') return true;
+  if (name.rfind("build", 0) == 0) return true;
+  constexpr std::string_view kFixtureSuffix = "_fixtures";
+  return name.size() >= kFixtureSuffix.size() &&
+         name.compare(name.size() - kFixtureSuffix.size(),
+                      kFixtureSuffix.size(), kFixtureSuffix) == 0;
+}
+
+bool read_file(const fs::path& path, std::string& out, std::string& error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    error = "ftlint: cannot open " + path.generic_string();
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+void Engine::add_source(std::string path, std::string_view content) {
+  files_.push_back(parse_source(std::move(path), content));
+}
+
+bool Engine::scan(const fs::path& path, std::string& error) {
+  std::error_code ec;
+  if (fs::is_directory(path, ec)) {
+    // Collect, then sort: directory_iterator order is unspecified and the
+    // engine promises deterministic output.
+    std::vector<fs::path> entries;
+    for (const auto& entry : fs::directory_iterator(path, ec)) {
+      entries.push_back(entry.path());
+    }
+    if (ec) {
+      error = "ftlint: cannot read directory " + path.generic_string();
+      return false;
+    }
+    std::sort(entries.begin(), entries.end());
+    for (const fs::path& entry : entries) {
+      if (fs::is_directory(entry, ec)) {
+        if (skip_directory(entry.filename().string())) continue;
+        if (!scan(entry, error)) return false;
+      } else if (is_source_file(entry)) {
+        if (!scan(entry, error)) return false;
+      }
+    }
+    return true;
+  }
+  std::string content;
+  if (!read_file(path, content, error)) return false;
+  add_source(path.generic_string(), content);
+  return true;
+}
+
+std::vector<Finding> Engine::run() {
+  std::sort(files_.begin(), files_.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.path < b.path;
+            });
+
+  // Unordered-container names, merged per module: a .cpp iterating a member
+  // declared in its header still trips the rule.
+  std::map<std::string, std::set<std::string>> module_names;
+  for (const SourceFile& file : files_) {
+    std::set<std::string> names = collect_unordered_names(file);
+    module_names[file.module].insert(names.begin(), names.end());
+  }
+
+  std::vector<Finding> findings;
+  for (const SourceFile& file : files_) {
+    run_file_rules(file, module_names[file.module], findings);
+  }
+
+  // Cross-file rules need the graph (and a root to resolve against).
+  if (!opts_.root.empty()) {
+    IncludeGraph graph(opts_.root);
+    for (const SourceFile& file : files_) graph.add(file);
+    for (const SourceFile& file : files_) {
+      for (const IncludeDirective& inc : file.includes) {
+        if (!inc.quoted) continue;
+        if (graph.resolve(file.path, inc.target).empty()) {
+          findings.push_back(
+              Finding{file.path, inc.line, "unresolved-include",
+                      "quoted include \"" + inc.target +
+                          "\" does not resolve to any file (renamed or "
+                          "phantom header?)"});
+        }
+      }
+    }
+    for (const IncludeCycle& cycle : graph.cycles()) {
+      std::string chain;
+      for (std::size_t i = 0; i < cycle.paths.size(); ++i) {
+        if (i != 0) chain += " -> ";
+        chain += cycle.paths[i];
+      }
+      findings.push_back(Finding{cycle.paths.front(), cycle.line,
+                                 "include-cycle",
+                                 "include cycle: " + chain});
+    }
+  }
+
+  // Suppressions absorb findings; the engine remembers which ones fired.
+  std::vector<Finding> surviving;
+  for (Finding& finding : findings) {
+    bool suppressed = false;
+    for (SourceFile& file : files_) {
+      if (file.path != finding.file) continue;
+      for (Suppression& s : file.suppressions) {
+        if (!s.malformed && s.rule == finding.rule && s.covers(finding.line)) {
+          s.used = true;
+          suppressed = true;
+        }
+      }
+      break;
+    }
+    if (!suppressed) surviving.push_back(std::move(finding));
+  }
+
+  // Dead or malformed suppressions are findings themselves — and are the one
+  // rule that cannot be suppressed (a suppression absorbing its own death
+  // note would hide rot forever).
+  for (const SourceFile& file : files_) {
+    for (const Suppression& s : file.suppressions) {
+      if (s.malformed) {
+        surviving.push_back(
+            Finding{file.path, s.line, "dead-suppression",
+                    "unparsable ftlint annotation; expected "
+                    "ftlint:allow(rule[,rule…]) or "
+                    "ftlint:order-insensitive(justification)"});
+        continue;
+      }
+      if (!known_rule(s.rule)) {
+        surviving.push_back(Finding{
+            file.path, s.line, "dead-suppression",
+            "suppression names unknown rule '" + s.rule +
+                "' (see ftlint --list-rules)"});
+        continue;
+      }
+      if (!s.used) {
+        surviving.push_back(Finding{
+            file.path, s.line, "dead-suppression",
+            "suppression for '" + s.rule +
+                "' absorbs no finding; delete it so real suppressions stay "
+                "auditable"});
+      }
+    }
+  }
+
+  std::sort(surviving.begin(), surviving.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return surviving;
+}
+
+}  // namespace ftlint

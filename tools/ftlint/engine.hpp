@@ -1,0 +1,50 @@
+// ftlint/engine.hpp — owns the file set and runs the full analysis.
+//
+// The engine is the only layer that sees more than one file at a time: it
+// merges per-module unordered-container names, builds the include graph for
+// the cycle / unresolved-include rules, applies suppressions (tracking which
+// ones absorbed a finding), and reports dead or malformed suppressions.
+#pragma once
+
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ftlint/rules.hpp"
+#include "ftlint/source_file.hpp"
+
+namespace ftlint {
+
+struct EngineOptions {
+  /// Repository root. When non-empty, quoted includes are resolved against it
+  /// and the include-cycle / unresolved-include rules run; when empty those
+  /// rules are off (single-fixture mode).
+  std::string root;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions opts) : opts_(std::move(opts)) {}
+
+  /// Parses `content` as the file at `path` and adds it to the set.
+  void add_source(std::string path, std::string_view content);
+
+  /// Adds a file or recursively scans a directory for .hpp/.cpp sources.
+  /// Skips hidden entries, `build*` directories, and fixture trees
+  /// (directories whose name ends in `_fixtures`) unless the path names them
+  /// explicitly. Returns false (with a message in `error`) on I/O failure.
+  bool scan(const std::filesystem::path& path, std::string& error);
+
+  /// Runs all rules, applies suppressions, and returns the surviving
+  /// findings sorted by (file, line, rule).
+  std::vector<Finding> run();
+
+  const std::vector<SourceFile>& files() const { return files_; }
+
+ private:
+  EngineOptions opts_;
+  std::vector<SourceFile> files_;
+};
+
+}  // namespace ftlint

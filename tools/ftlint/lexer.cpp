@@ -1,0 +1,249 @@
+#include "ftlint/lexer.hpp"
+
+#include <cctype>
+
+namespace ftlint {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+/// Literal prefixes that glue an identifier to a following quote:
+/// R"…", L"…", u"…", U"…", u8"…" and their R-combinations.
+bool is_literal_prefix(std::string_view ident) {
+  return ident == "R" || ident == "L" || ident == "u" || ident == "U" ||
+         ident == "u8" || ident == "LR" || ident == "uR" || ident == "UR" ||
+         ident == "u8R";
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view content) : src_(content) {}
+
+  std::vector<Token> run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        advance();
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        advance();
+        continue;
+      }
+      if (c == '\\' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '\n') {
+        advance();  // line continuation
+        advance();
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        lex_line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        lex_block_comment();
+        continue;
+      }
+      if (c == '"') {
+        lex_quoted('"', TokKind::kString, "");
+        continue;
+      }
+      if (c == '\'') {
+        lex_quoted('\'', TokKind::kChar, "");
+        continue;
+      }
+      if (is_digit(c) || (c == '.' && is_digit(peek(1)))) {
+        lex_number();
+        continue;
+      }
+      if (is_ident_start(c)) {
+        lex_ident_or_prefixed_literal();
+        continue;
+      }
+      lex_punct();
+    }
+    return std::move(tokens_);
+  }
+
+ private:
+  char peek(std::size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void advance() {
+    if (src_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+
+  void emit(TokKind kind, std::size_t begin, std::size_t begin_line,
+            std::size_t begin_col) {
+    tokens_.push_back(Token{kind, std::string(src_.substr(begin, pos_ - begin)),
+                            begin_line, begin_col});
+  }
+
+  void lex_line_comment() {
+    const std::size_t begin = pos_;
+    const std::size_t bl = line_, bc = col_;
+    while (pos_ < src_.size() && src_[pos_] != '\n') advance();
+    emit(TokKind::kComment, begin, bl, bc);
+  }
+
+  void lex_block_comment() {
+    const std::size_t begin = pos_;
+    const std::size_t bl = line_, bc = col_;
+    advance();  // '/'
+    advance();  // '*'
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '*' && peek(1) == '/') {
+        advance();
+        advance();
+        break;
+      }
+      advance();
+    }
+    emit(TokKind::kComment, begin, bl, bc);
+  }
+
+  /// Ordinary (non-raw) string or char literal starting at the quote.
+  /// `begin_offset` backs the token start up over an already-consumed prefix.
+  void lex_quoted(char quote, TokKind kind, std::string_view prefix) {
+    const std::size_t begin = pos_ - prefix.size();
+    const std::size_t bl = line_;
+    const std::size_t bc = col_ >= prefix.size() + 1 ? col_ - prefix.size() : 1;
+    advance();  // opening quote
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        advance();
+        advance();
+        continue;
+      }
+      if (c == quote) {
+        advance();
+        break;
+      }
+      if (c == '\n') break;  // unterminated: stop at end of line
+      advance();
+    }
+    emit(kind, begin, bl, bc);
+  }
+
+  /// Raw string literal; pos_ is at the opening quote, prefix already
+  /// consumed (ends in R).
+  void lex_raw_string(std::string_view prefix) {
+    const std::size_t begin = pos_ - prefix.size();
+    const std::size_t bl = line_;
+    const std::size_t bc = col_ >= prefix.size() + 1 ? col_ - prefix.size() : 1;
+    advance();  // opening quote
+    // Delimiter: everything up to '('.
+    std::string delim;
+    while (pos_ < src_.size() && src_[pos_] != '(' && src_[pos_] != '\n' &&
+           delim.size() < 16) {
+      delim.push_back(src_[pos_]);
+      advance();
+    }
+    if (pos_ < src_.size() && src_[pos_] == '(') advance();
+    const std::string closer = ")" + delim + "\"";
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == ')' &&
+          src_.compare(pos_, closer.size(), closer) == 0) {
+        for (std::size_t i = 0; i < closer.size(); ++i) advance();
+        break;
+      }
+      advance();
+    }
+    emit(TokKind::kString, begin, bl, bc);
+  }
+
+  void lex_number() {
+    const std::size_t begin = pos_;
+    const std::size_t bl = line_, bc = col_;
+    // pp-number: digits, idents, dots, exponent signs, digit separators.
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (is_ident_char(c) || c == '.') {
+        advance();
+        continue;
+      }
+      if (c == '\'' && is_ident_char(peek(1))) {  // digit separator
+        advance();
+        advance();
+        continue;
+      }
+      if ((c == '+' || c == '-') && pos_ > begin) {
+        const char prev = src_[pos_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          advance();
+          continue;
+        }
+      }
+      break;
+    }
+    emit(TokKind::kNumber, begin, bl, bc);
+  }
+
+  void lex_ident_or_prefixed_literal() {
+    const std::size_t begin = pos_;
+    const std::size_t bl = line_, bc = col_;
+    while (pos_ < src_.size() && is_ident_char(src_[pos_])) advance();
+    const std::string_view ident = src_.substr(begin, pos_ - begin);
+    if (pos_ < src_.size() && is_literal_prefix(ident)) {
+      const char next = src_[pos_];
+      if (next == '"') {
+        if (ident.back() == 'R') {
+          lex_raw_string(ident);
+        } else {
+          lex_quoted('"', TokKind::kString, ident);
+        }
+        return;
+      }
+      if (next == '\'' && ident != "R") {
+        lex_quoted('\'', TokKind::kChar, ident);
+        return;
+      }
+    }
+    tokens_.push_back(Token{TokKind::kIdent, std::string(ident), bl, bc});
+  }
+
+  void lex_punct() {
+    const std::size_t begin = pos_;
+    const std::size_t bl = line_, bc = col_;
+    const char c = src_[pos_];
+    advance();
+    // Fuse the two glyph pairs rules care about; everything else stays
+    // single-character (so template `>` tokens count depth one by one).
+    if (c == ':' && pos_ < src_.size() && src_[pos_] == ':') {
+      advance();
+    } else if (c == '-' && pos_ < src_.size() && src_[pos_] == '>') {
+      advance();
+    }
+    emit(TokKind::kPunct, begin, bl, bc);
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t col_ = 1;
+  std::vector<Token> tokens_;
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view content) {
+  return Lexer(content).run();
+}
+
+}  // namespace ftlint

@@ -1,0 +1,63 @@
+// ftlint/lexer.hpp — a small C++ lexer for lint rules.
+//
+// The v1 linter matched regex-ish patterns against comment-stripped LINES,
+// which broke on raw strings, multi-line literals, and literal prefixes, and
+// could not reason about constructs spanning lines (a `for` header wrapped
+// by clang-format). v2 rules run on a real token stream instead: comments
+// and string/char literals are single tokens, so an identifier inside a
+// diagnostic string can never trip a rule, and a suppression comment is just
+// a Comment token the engine can parse.
+//
+// The lexer is deliberately lossless about position (1-based line/column per
+// token) and tolerant: it never fails, it just tokenizes greedily. It
+// understands:
+//   * // and /* */ comments (emitted as kComment, text preserved),
+//   * "..." and '...' literals with escapes, including multi-char prefixes
+//     (u8"...", L'x', R"(...)", u8R"delim(...)delim"),
+//   * raw strings with custom delimiters, spanning lines,
+//   * identifiers / numbers (pp-number, digit separators),
+//   * punctuation, with `::` and `->` fused (rules match member calls and
+//     qualified names without reassembling char pairs).
+// Preprocessor directives are NOT special-cased: `#include <thread>` lexes
+// as `#` `include` `<` `thread` `>` and source_file.cpp reassembles
+// directives from tokens, so the same no-strings-attached guarantee holds
+// for includes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ftlint {
+
+enum class TokKind {
+  kIdent,    ///< identifier or keyword
+  kNumber,   ///< pp-number (1'000, 0x1f, 1.5e3)
+  kString,   ///< string literal incl. prefix/quotes, or raw string
+  kChar,     ///< character literal incl. prefix/quotes
+  kComment,  ///< // or /* */ comment, full text incl. the markers
+  kPunct,    ///< one punctuation glyph, or fused `::` / `->`
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  std::size_t line = 0;  ///< 1-based line of the token's first character
+  std::size_t col = 0;   ///< 1-based column of the token's first character
+
+  bool is(TokKind k, std::string_view t) const {
+    return kind == k && text == t;
+  }
+  bool ident(std::string_view name) const {
+    return kind == TokKind::kIdent && text == name;
+  }
+  bool punct(std::string_view glyph) const {
+    return kind == TokKind::kPunct && text == glyph;
+  }
+};
+
+/// Tokenizes `content`. Never fails; unterminated literals extend to EOF.
+std::vector<Token> lex(std::string_view content);
+
+}  // namespace ftlint

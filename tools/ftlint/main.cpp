@@ -1,0 +1,134 @@
+// ftlint — token-aware static analysis for the ftsched tree.
+//
+//   ftlint [--root DIR] [--format=text|json|sarif] [--out FILE]
+//          [--expect RULE] [--list-rules] <file-or-dir>...
+//
+// Diagnostics (text) always go to stderr so CI greps and WILL_FAIL tests see
+// them regardless of --format; machine output (json/sarif) goes to stdout or
+// --out FILE. Exit codes: 0 clean, 1 findings (or --expect unmet), 2 usage /
+// I/O error.
+//
+// --root enables the cross-file rules (include-cycle, unresolved-include)
+// and makes reported paths root-relative. --expect RULE inverts the contract
+// for fixtures: exit 0 iff at least one finding of RULE survived.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "ftlint/engine.hpp"
+#include "ftlint/output.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: ftlint [--root DIR] [--format=text|json|sarif] "
+               "[--out FILE] [--expect RULE] [--list-rules] <path>...\n";
+  return 2;
+}
+
+/// Strips `root/` from the front of a finding path so reports are stable
+/// across checkouts.
+void relativize(std::vector<ftlint::Finding>& findings,
+                const std::string& root) {
+  if (root.empty()) return;
+  std::string prefix = root;
+  if (prefix.back() != '/') prefix += '/';
+  for (ftlint::Finding& f : findings) {
+    if (f.file.rfind(prefix, 0) == 0) f.file.erase(0, prefix.size());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root;
+  std::string format = "text";
+  std::string out_path;
+  std::string expect;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of = [&](const std::string& flag,
+                              std::string& slot) -> bool {
+      if (arg.rfind(flag + "=", 0) == 0) {
+        slot = arg.substr(flag.size() + 1);
+        return true;
+      }
+      if (arg == flag) {
+        if (i + 1 >= argc) return false;
+        slot = argv[++i];
+        return true;
+      }
+      return false;
+    };
+    if (arg == "--list-rules") {
+      for (const ftlint::RuleInfo& rule : ftlint::rule_catalog()) {
+        std::cout << rule.name << "  " << rule.summary << "\n";
+      }
+      return 0;
+    }
+    if (value_of("--root", root) || value_of("--format", format) ||
+        value_of("--out", out_path) || value_of("--expect", expect)) {
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-') return usage();
+    paths.push_back(arg);
+  }
+
+  if (paths.empty()) return usage();
+  if (format != "text" && format != "json" && format != "sarif") {
+    return usage();
+  }
+  if (!expect.empty() && !ftlint::known_rule(expect)) {
+    std::cerr << "ftlint: --expect names unknown rule '" << expect << "'\n";
+    return 2;
+  }
+
+  ftlint::Engine engine(ftlint::EngineOptions{root});
+  for (const std::string& path : paths) {
+    std::string error;
+    if (!engine.scan(path, error)) {
+      std::cerr << error << "\n";
+      return 2;
+    }
+  }
+
+  std::vector<ftlint::Finding> findings = engine.run();
+  relativize(findings, root);
+
+  if (!findings.empty()) std::cerr << ftlint::to_text(findings);
+
+  if (format != "text") {
+    const std::string rendered = format == "json" ? ftlint::to_json(findings)
+                                                  : ftlint::to_sarif(findings);
+    if (out_path.empty()) {
+      std::cout << rendered;
+    } else {
+      std::ofstream out(out_path, std::ios::binary);
+      if (!out) {
+        std::cerr << "ftlint: cannot write " << out_path << "\n";
+        return 2;
+      }
+      out << rendered;
+    }
+  }
+
+  if (!expect.empty()) {
+    for (const ftlint::Finding& f : findings) {
+      if (f.rule == expect) return 0;
+    }
+    std::cerr << "ftlint: expected at least one '" << expect
+              << "' finding, got none\n";
+    return 1;
+  }
+
+  if (!findings.empty()) {
+    std::cerr << "ftlint: " << findings.size() << " finding"
+              << (findings.size() == 1 ? "" : "s") << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// ftlint/rules.hpp — the rule catalog and the per-file rule pass.
+//
+// Rules are pure functions over a parsed SourceFile; cross-file rules
+// (include cycles, unresolved includes, dead suppressions) live in the
+// engine, which owns the file set. Each rule has a stable kebab-case name —
+// the name IS the public interface: it appears in diagnostics, in
+// `ftlint:allow(<rule>)` suppressions, in --expect fixtures, and as the
+// SARIF ruleId.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ftlint/source_file.hpp"
+
+namespace ftlint {
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct RuleInfo {
+  std::string_view name;
+  std::string_view summary;  ///< one line, used by --list-rules and SARIF
+};
+
+/// Every rule the engine can emit, determinism family included, in catalog
+/// order (stable for SARIF rule indices).
+const std::vector<RuleInfo>& rule_catalog();
+
+/// True iff `name` is a known rule (suppressions naming unknown rules are
+/// reported as dead).
+bool known_rule(std::string_view name);
+
+/// Container names declared in `src` with an unordered_{map,set,...} type.
+/// The engine merges these per module so a .cpp iterating a member declared
+/// in its header is still caught.
+std::set<std::string> collect_unordered_names(const SourceFile& src);
+
+/// Runs every per-file rule on `src`, appending findings. `unordered_names`
+/// is the merged name set for the file's module (see
+/// collect_unordered_names). Suppressions are NOT applied here — the engine
+/// filters afterwards so it can track used suppressions.
+void run_file_rules(const SourceFile& src,
+                    const std::set<std::string>& unordered_names,
+                    std::vector<Finding>& out);
+
+/// Subsystems whose results feed reproducible figures: iteration order,
+/// clocks, and address-keyed containers are constrained there.
+bool deterministic_module(const std::string& module);
+
+}  // namespace ftlint

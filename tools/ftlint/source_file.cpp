@@ -1,0 +1,209 @@
+#include "ftlint/source_file.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace ftlint {
+
+namespace {
+
+std::vector<std::string_view> split_path(std::string_view path) {
+  std::vector<std::string_view> segments;
+  std::size_t begin = 0;
+  while (begin <= path.size()) {
+    const std::size_t slash = path.find('/', begin);
+    if (slash == std::string_view::npos) {
+      if (begin < path.size()) segments.push_back(path.substr(begin));
+      break;
+    }
+    if (slash > begin) segments.push_back(path.substr(begin, slash - begin));
+    begin = slash + 1;
+  }
+  return segments;
+}
+
+bool is_marker(std::string_view segment) {
+  return segment == "src" || segment == "tools" || segment == "bench" ||
+         segment == "tests" || segment == "examples";
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Rule names are strictly kebab-case; anything else in an allow-list means
+/// the comment is prose ABOUT annotations (docs, messages), not one.
+bool valid_rule_name(std::string_view name) {
+  if (name.empty()) return false;
+  return std::all_of(name.begin(), name.end(), [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '-';
+  });
+}
+
+/// Parses one comment's ftlint annotation (if any) into suppressions.
+/// Comments mentioning the tag without one of the two recognized forms
+/// directly after it are ignored as prose.
+void parse_annotation(const Token& comment, std::vector<Suppression>& out,
+                      std::size_t also_line) {
+  const std::string& text = comment.text;
+  const std::size_t tag = text.find("ftlint:");
+  if (tag == std::string::npos) return;
+  const std::string_view rest = std::string_view(text).substr(tag + 7);
+
+  const auto malformed = [&] {
+    Suppression s;
+    s.line = comment.line;
+    s.malformed = true;
+    s.justification = std::string(trim(rest.substr(0, 40)));
+    out.push_back(std::move(s));
+  };
+
+  constexpr std::string_view kAllow = "allow(";
+  constexpr std::string_view kOrder = "order-insensitive(";
+  if (rest.rfind(kAllow, 0) == 0) {
+    const std::size_t close = rest.find(')', kAllow.size());
+    if (close == std::string_view::npos) return malformed();
+    const std::string_view list = rest.substr(kAllow.size(), close - kAllow.size());
+    const std::string_view justification = trim(rest.substr(close + 1));
+    std::vector<std::string_view> rules;
+    std::size_t begin = 0;
+    while (begin <= list.size()) {
+      std::size_t comma = list.find(',', begin);
+      if (comma == std::string_view::npos) comma = list.size();
+      const std::string_view rule = trim(list.substr(begin, comma - begin));
+      if (!rule.empty()) {
+        // Prose about annotations, e.g. allow(...) in docs: not a suppression.
+        if (!valid_rule_name(rule)) return;
+        rules.push_back(rule);
+      }
+      begin = comma + 1;
+    }
+    if (rules.empty()) return malformed();
+    for (const std::string_view rule : rules) {
+      Suppression s;
+      s.rule = std::string(rule);
+      s.line = comment.line;
+      s.also_line = also_line;
+      s.justification = std::string(justification);
+      out.push_back(std::move(s));
+    }
+    return;
+  }
+  if (rest.rfind(kOrder, 0) == 0) {
+    const std::size_t close = rest.find(')', kOrder.size());
+    if (close == std::string_view::npos) return malformed();
+    const std::string_view justification =
+        trim(rest.substr(kOrder.size(), close - kOrder.size()));
+    if (justification.empty()) return malformed();
+    Suppression s;
+    s.rule = "unordered-iteration";
+    s.line = comment.line;
+    s.also_line = also_line;
+    s.order_insensitive = true;
+    s.justification = std::string(justification);
+    out.push_back(std::move(s));
+    return;
+  }
+  // Anything else after the tag is prose about ftlint, not an annotation.
+}
+
+}  // namespace
+
+std::string module_of(std::string_view generic_path) {
+  const std::vector<std::string_view> segments = split_path(generic_path);
+  if (segments.empty()) return "";
+  std::size_t marker = segments.size();  // npos
+  for (std::size_t i = 0; i + 1 < segments.size(); ++i) {
+    if (is_marker(segments[i])) marker = i;  // last marker wins
+  }
+  if (marker == segments.size()) return "";
+  if (segments[marker] != "src") return std::string(segments[marker]);
+  // src/<sub>/...: the subsystem directory; a file directly under src/ (or a
+  // fixture imitating one) is plain "src".
+  if (marker + 2 < segments.size()) {
+    return "src/" + std::string(segments[marker + 1]);
+  }
+  return "src";
+}
+
+SourceFile parse_source(std::string path, std::string_view content) {
+  SourceFile src;
+  std::replace(path.begin(), path.end(), '\\', '/');
+  src.path = std::move(path);
+  const std::size_t slash = src.path.rfind('/');
+  src.filename = slash == std::string::npos ? src.path : src.path.substr(slash + 1);
+  src.module = module_of(src.path);
+  src.is_header = src.filename.size() >= 4 &&
+                  src.filename.compare(src.filename.size() - 4, 4, ".hpp") == 0;
+  src.tokens = lex(content);
+
+  for (const Token& token : src.tokens) {
+    if (token.kind != TokKind::kComment) src.code.push_back(token);
+  }
+
+  // Directives: a `#` with no code token before it on its line.
+  for (std::size_t i = 0; i < src.code.size(); ++i) {
+    const Token& hash = src.code[i];
+    if (!hash.punct("#")) continue;
+    if (i > 0 && src.code[i - 1].line == hash.line) continue;
+    if (i + 1 >= src.code.size()) continue;
+    const Token& directive = src.code[i + 1];
+    if (directive.line != hash.line) continue;
+    if (directive.ident("pragma") && i + 2 < src.code.size() &&
+        src.code[i + 2].ident("once") && src.code[i + 2].line == hash.line) {
+      src.pragma_once = true;
+      continue;
+    }
+    if (!directive.ident("include")) continue;
+    if (i + 2 >= src.code.size()) continue;
+    const Token& what = src.code[i + 2];
+    if (what.kind == TokKind::kString && what.text.size() >= 2) {
+      IncludeDirective inc;
+      inc.target = what.text.substr(1, what.text.size() - 2);
+      inc.quoted = true;
+      inc.line = hash.line;
+      src.includes.push_back(std::move(inc));
+    } else if (what.punct("<")) {
+      IncludeDirective inc;
+      inc.quoted = false;
+      inc.line = hash.line;
+      for (std::size_t j = i + 3; j < src.code.size(); ++j) {
+        const Token& part = src.code[j];
+        if (part.line != hash.line || part.punct(">")) break;
+        inc.target += part.text;
+      }
+      src.includes.push_back(std::move(inc));
+    }
+  }
+
+  // Suppressions: trailing comments cover their own line; standalone
+  // comments (first token on the line) also cover the line after their last
+  // character.
+  for (std::size_t i = 0; i < src.tokens.size(); ++i) {
+    const Token& token = src.tokens[i];
+    if (token.kind != TokKind::kComment) continue;
+    if (token.text.find("ftlint:") == std::string::npos) continue;
+    bool standalone = true;
+    for (std::size_t j = i; j-- > 0;) {
+      if (src.tokens[j].line != token.line) break;
+      standalone = false;
+      break;
+    }
+    std::size_t also_line = 0;
+    if (standalone) {
+      const std::size_t newlines = static_cast<std::size_t>(
+          std::count(token.text.begin(), token.text.end(), '\n'));
+      also_line = token.line + newlines + 1;
+    }
+    parse_annotation(token, src.suppressions, also_line);
+  }
+  return src;
+}
+
+}  // namespace ftlint

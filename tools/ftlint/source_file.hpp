@@ -1,0 +1,72 @@
+// ftlint/source_file.hpp — one parsed translation unit, ready for rules.
+//
+// Wraps the raw token stream with everything the rule framework needs:
+//   * `code`      — tokens with comments removed (rules match against this),
+//   * `includes`  — reassembled #include directives (quoted and <system>),
+//   * `pragma_once` — whether a `#pragma once` directive exists,
+//   * `suppressions` — parsed allow-list and order-insensitive annotation
+//     comments (see Suppression below for the two recognized forms),
+//   * `module`    — the layering identity derived from the path
+//     ("src/core", "src/util", …, or "tools" / "bench" / "tests" /
+//     "examples"). The LAST marker segment wins so fixture trees like
+//     tools/ftlint_fixtures/layering/src/util/x.hpp are classified as the
+//     module they imitate.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ftlint/lexer.hpp"
+
+namespace ftlint {
+
+struct IncludeDirective {
+  std::string target;  ///< path between the delimiters, e.g. "core/request.hpp"
+  bool quoted = false; ///< "..." (true) vs <...> (false)
+  std::size_t line = 0;
+};
+
+/// One allow-list or order-insensitive annotation comment. A suppression
+/// covers findings on its own line; a standalone comment line also covers
+/// the next line (annotation-above style).
+struct Suppression {
+  std::string rule;
+  std::size_t line = 0;           ///< line of the comment's first character
+  std::size_t also_line = 0;      ///< standalone comment: the line after it
+                                  ///< (0 when the comment trails code)
+  bool order_insensitive = false; ///< came from the order-insensitive form
+  std::string justification;      ///< text after the rule list / in the parens
+  bool used = false;              ///< set by the engine when it absorbs a finding
+  bool malformed = false;         ///< unparsable annotation (reported)
+
+  bool covers(std::size_t finding_line) const {
+    return finding_line == line || (also_line != 0 && finding_line == also_line);
+  }
+};
+
+struct SourceFile {
+  std::string path;      ///< as given, generic separators
+  std::string filename;  ///< last path component
+  std::string module;    ///< "src/<sub>", "src", "tools", "bench", "tests",
+                         ///< "examples", or "" when outside any known tree
+  bool is_header = false;
+
+  std::vector<Token> tokens;  ///< full stream, comments included
+  std::vector<Token> code;    ///< comments stripped
+  std::vector<IncludeDirective> includes;
+  bool pragma_once = false;
+  std::vector<Suppression> suppressions;
+
+  bool in_src() const { return module == "src" || module.rfind("src/", 0) == 0; }
+};
+
+/// Lexes and indexes one file. `path` is only inspected, never opened.
+SourceFile parse_source(std::string path, std::string_view content);
+
+/// The layering module for a path ("" if the path is outside src/tools/
+/// bench/tests/examples). Exposed for the include-graph builder.
+std::string module_of(std::string_view generic_path);
+
+}  // namespace ftlint

@@ -1,0 +1,18 @@
+// ftlint fixture: an unordered iteration whose order genuinely cannot be
+// observed, annotated with the order-insensitive form — the dedicated
+// suppression for [unordered-iteration]. A plain run over clean/ must exit
+// 0 and the annotation must not be reported dead. Not compiled.
+#include <unordered_map>
+
+namespace ftsched {
+
+inline int population(const std::unordered_map<int, int>& histogram) {
+  int total = 0;
+  // ftlint:order-insensitive(summing commutes; no order escapes this loop)
+  for (const auto& [bucket, count] : histogram) {
+    total += count;
+  }
+  return total;
+}
+
+}  // namespace ftsched

@@ -1,0 +1,15 @@
+// ftlint fixture: the NEGATIVE side of suppression — real violations, each
+// covered by a valid allow annotation, so a plain run over clean/ exits 0.
+// Both annotation placements are exercised: trailing (same line) and
+// standalone (line above). Not compiled.
+#include <iostream>
+
+namespace ftsched {
+
+inline void narrate(int step) {
+  std::cout << "step " << step << "\n";  // ftlint:allow(no-raw-io) fixture: trailing form
+  // ftlint:allow(no-raw-io) fixture: standalone form covers the next line
+  std::cerr << "still here\n";
+}
+
+}  // namespace ftsched

@@ -1,0 +1,8 @@
+// ftlint fixture: together with cycle_b.hpp, must trigger [include-cycle]
+// when scanned with --root (same-directory resolution closes the loop).
+// Not compiled.
+#pragma once
+
+#include "cycle_b.hpp"
+
+inline int cycle_a() { return 1; }

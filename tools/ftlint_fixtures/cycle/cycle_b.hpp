@@ -1,0 +1,6 @@
+// ftlint fixture: the other half of the include cycle. Not compiled.
+#pragma once
+
+#include "cycle_a.hpp"
+
+inline int cycle_b() { return 2; }

@@ -1,0 +1,9 @@
+// ftlint fixture: must trigger [dead-suppression] twice — one allow that
+// absorbs nothing, and one naming a rule that does not exist. Not compiled.
+int quiet_value() {
+  return 7;  // ftlint:allow(no-raw-io) nothing on this line prints
+}
+
+int typo_value() {
+  return 8;  // ftlint:allow(no-such-rule) rule name is not in the catalog
+}

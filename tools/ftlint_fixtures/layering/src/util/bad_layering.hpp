@@ -1,0 +1,12 @@
+// ftlint fixture: must trigger [layering]. The path puts this header in
+// src/util, the bottom of the DAG — it may depend on nothing, so both
+// includes below are violations (an upward edge and a driver edge).
+// Not compiled.
+#pragma once
+
+#include "core/request.hpp"       // bad: util -> core is an upward edge
+#include "tests/helpers.hpp"      // bad: src/ never includes tests/
+
+namespace ftsched {
+inline int layering_fixture() { return 0; }
+}  // namespace ftsched

@@ -1,0 +1,20 @@
+// ftlint fixture: must trigger [no-pointer-key] — an ordered container
+// keyed by a pointer orders by allocation address. The pointer in the VALUE
+// position must NOT fire. Not compiled.
+#include <map>
+#include <set>
+
+namespace ftsched {
+
+struct Circuit {};
+
+inline void track(Circuit* c) {
+  std::map<Circuit*, int> by_address;       // bad: pointer key
+  std::set<const Circuit*> address_set;     // bad: pointer key
+  std::map<int, Circuit*> by_id;            // fine: pointer value
+  by_address[c] = 0;
+  address_set.insert(c);
+  by_id[0] = c;
+}
+
+}  // namespace ftsched

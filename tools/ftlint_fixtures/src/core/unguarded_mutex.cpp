@@ -1,0 +1,17 @@
+// ftlint fixture: must trigger [mutex-guarded-by] — a mutex member with no
+// FT_GUARDED_BY / FT_REQUIRES association anywhere in the file. Not
+// compiled.
+#include <mutex>
+
+namespace ftsched {
+
+class Cache {
+ public:
+  int get() const { return value_; }
+
+ private:
+  std::mutex mu_;  // bad: nothing states what mu_ protects
+  int value_ = 0;
+};
+
+}  // namespace ftsched

@@ -1,0 +1,20 @@
+// ftlint fixture: must trigger [unordered-iteration] — the path puts it in
+// src/core, a deterministic subsystem, and both the range-for and the
+// explicit iterator walk visit an unordered container. Not compiled.
+#include <unordered_map>
+
+namespace ftsched {
+
+inline int sum_values() {
+  std::unordered_map<int, int> pending;
+  int total = 0;
+  for (const auto& [key, value] : pending) {  // bad: nondeterministic order
+    total += value;
+  }
+  for (auto it = pending.begin(); it != pending.end(); ++it) {  // bad too
+    total += it->second;
+  }
+  return total;
+}
+
+}  // namespace ftsched

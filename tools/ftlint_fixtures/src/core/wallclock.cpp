@@ -1,0 +1,14 @@
+// ftlint fixture: must trigger [no-wallclock] — reading a wall clock in a
+// deterministic subsystem (src/core by path). The string literal naming a
+// clock must NOT fire. Not compiled.
+#include <chrono>
+
+namespace ftsched {
+
+inline long long stamp() {
+  const char* label = "steady_clock inside a string is fine";
+  (void)label;
+  return std::chrono::steady_clock::now().time_since_epoch().count();  // bad
+}
+
+}  // namespace ftsched

@@ -1,0 +1,8 @@
+// ftlint fixture: must trigger [unresolved-include] when scanned with
+// --root — the quoted target exists nowhere. Angle includes are never
+// resolved, so <vector> below must NOT fire. Not compiled.
+#include <vector>
+
+#include "no/such/header.hpp"
+
+int missing_include_fixture() { return 0; }
