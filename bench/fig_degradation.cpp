@@ -10,15 +10,24 @@
 //
 // Usage: fig_degradation [reps] [--csv] [--json[=FILE]] [--threads=N]
 //                        [--retry=SPEC] [--horizon=T] [--rates=R1,R2,...]
+//                        [--flight=FILE]
+//
+// --flight=FILE attaches the lifecycle flight recorder to every point (one
+// ring per worker thread) and writes the combined dump; request ids carry a
+// per-point namespace on top of the per-repetition one, so one file holds
+// the whole sweep's ledger. The hook is also armed as the crash black box.
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "exec/thread_pool.hpp"
 #include "fault/degradation.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "stats/summary.hpp"
 #include "util/table.hpp"
@@ -40,6 +49,7 @@ struct Args {
   std::string retry = "backoff:1:8";
   SimTime horizon = 1000;
   std::vector<double> rates = {0.0, 0.1, 0.25, 0.5, 0.75};
+  std::string flight_path;
 };
 
 std::vector<double> parse_rates(const std::string& spec) {
@@ -77,6 +87,8 @@ Args parse_args(int argc, char** argv) {
       args.horizon = static_cast<SimTime>(std::atol(arg.c_str() + 10));
     } else if (arg.rfind("--rates=", 0) == 0) {
       args.rates = parse_rates(arg.substr(8));
+    } else if (arg.rfind("--flight=", 0) == 0) {
+      args.flight_path = arg.substr(9);
     } else {
       args.reps = static_cast<std::size_t>(std::atoi(arg.c_str()));
     }
@@ -182,7 +194,18 @@ int run(const Args& args) {
                                      "open at horizon", "ever granted",
                                      "recovery"});
 
+  // One recorder for the whole sweep: rings sized to the worker fan-out,
+  // request ids namespaced per point so the ledgers never collide.
+  std::optional<obs::FlightRecorder> recorder;
+  if (!args.flight_path.empty()) {
+    const std::size_t rings =
+        std::max<std::size_t>(1, std::min(args.threads, args.reps));
+    recorder.emplace(rings);
+    obs::arm_flight_dump_on_contract_failure(*recorder, args.flight_path);
+  }
+
   std::vector<DegradationRow> rows;
+  std::uint64_t point_counter = 0;
   for (const TreeSpec& spec : specs) {
     const FatTree tree = FatTree::symmetric(spec.levels, spec.arity);
     for (double rate : args.rates) {
@@ -193,6 +216,10 @@ int run(const Args& args) {
       config.fault_rate = rate;
       config.horizon = args.horizon;
       config.retry = retry.value();
+      if (recorder) {
+        config.flight = &*recorder;
+        config.flight_base = (++point_counter) << 44U;
+      }
 
       const auto start = std::chrono::steady_clock::now();
       DegradationRow row;
@@ -237,6 +264,18 @@ int run(const Args& args) {
     const std::string path =
         args.json_path.empty() ? "BENCH_degradation.json" : args.json_path;
     write_json(path, args, rows);
+  }
+  if (recorder) {
+    obs::disarm_flight_dump_on_contract_failure();
+    std::ofstream os(args.flight_path);
+    if (!os) {
+      std::cerr << "cannot open " << args.flight_path << "\n";
+      return 1;
+    }
+    recorder->write_jsonl(os);
+    std::cout << "wrote " << args.flight_path << " ("
+              << recorder->recorded() << " events, " << recorder->dropped()
+              << " dropped)\n";
   }
   return 0;
 }

@@ -60,16 +60,20 @@ std::optional<ConnectionId> ConnectionManager::open(const Request& request) {
 }
 
 BatchOpenResult ConnectionManager::open_batch(
-    const std::vector<Request>& requests, Scheduler& scheduler) {
+    const std::vector<Request>& requests, Scheduler& scheduler,
+    std::span<const std::uint64_t> request_ids) {
   BatchOpenResult out;
   out.schedule.outcomes.resize(requests.size());
   out.ids.assign(requests.size(), std::nullopt);
+  const bool tracked =
+      flight_ != nullptr && request_ids.size() == requests.size();
 
   // Pre-filter endpoints already held by open circuits: the scheduler's own
   // per-batch LeafTracker starts empty, so standing claims must be enforced
   // here. Intra-batch endpoint conflicts stay the scheduler's business.
   std::vector<Request> batch;
   std::vector<std::size_t> batch_index;
+  std::vector<std::uint64_t> batch_flight_ids;
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const Request& r = requests[i];
     FT_REQUIRE(r.src < tree_.node_count());
@@ -77,13 +81,35 @@ BatchOpenResult ConnectionManager::open_batch(
     if (!leaves_.can_claim(r.src, r.dst)) {
       out.schedule.outcomes[i].granted = false;
       out.schedule.outcomes[i].reason = RejectReason::kLeafBusy;
+      if (tracked) {
+        // Pre-filtered requests never reach the scheduler (and thus the
+        // probe), so their rejection is recorded here: admission-time
+        // failure, level 0.
+        FT_FLIGHT_EVENT(
+            flight_,
+            obs::FlightEvent::rejected(
+                request_ids[i], flight_now_,
+                static_cast<std::uint8_t>(RejectReason::kLeafBusy), 0));
+      }
       continue;
     }
     batch.push_back(r);
     batch_index.push_back(i);
+    if (tracked) batch_flight_ids.push_back(request_ids[i]);
   }
 
+  // Arm the probe for exactly this batch: record_outcomes walks outcomes in
+  // input order, so the id at the batch cursor is the id of the request
+  // being reported — GRANTED/REJECTED events come out of the existing probe
+  // seam without touching any scheduler.
+  obs::SchedulerProbe* probe = scheduler.probe();
+  const bool armed = tracked && probe != nullptr;
+  if (armed) {
+    probe->begin_flight_batch(batch_flight_ids.data(),
+                              batch_flight_ids.size(), flight_now_);
+  }
   ScheduleResult batch_result = scheduler.schedule(tree_, batch, state_);
+  if (armed) probe->end_flight_batch();
   FT_REQUIRE(batch_result.outcomes.size() == batch.size());
   for (std::size_t b = 0; b < batch.size(); ++b) {
     const std::size_t i = batch_index[b];
@@ -95,6 +121,7 @@ BatchOpenResult ConnectionManager::open_batch(
     const ConnectionId id = next_id_++;
     connections_.emplace(id, out.schedule.outcomes[i].path);
     out.ids[i] = id;
+    if (tracked) flight_ids_.emplace(id, request_ids[i]);
   }
   return out;
 }
@@ -107,6 +134,12 @@ Status ConnectionManager::close(ConnectionId id) {
   state_.release_path(tree_, it->second);
   leaves_.release(it->second.src, it->second.dst);
   connections_.erase(it);
+  auto fit = flight_ids_.find(id);
+  if (fit != flight_ids_.end()) {
+    FT_FLIGHT_EVENT(flight_,
+                    obs::FlightEvent::closed(fit->second, flight_now_));
+    flight_ids_.erase(fit);
+  }
   return Status();
 }
 
@@ -114,6 +147,7 @@ void ConnectionManager::clear() {
   state_.reset();
   leaves_.reset();
   connections_.clear();
+  flight_ids_.clear();  // mass teardown, not a lifecycle event
 }
 
 std::vector<Revocation> ConnectionManager::fail_cable(const CableId& cable) {
@@ -134,6 +168,16 @@ std::vector<Revocation> ConnectionManager::fail_cable(const CableId& cable) {
     state_.release_path(tree_, it->second);
     leaves_.release(v.request.src, v.request.dst);
     connections_.erase(it);
+    auto fit = flight_ids_.find(v.id);
+    if (fit != flight_ids_.end()) {
+      FT_FLIGHT_EVENT(flight_,
+                      obs::FlightEvent::revoked(
+                          fit->second, flight_now_,
+                          static_cast<std::uint8_t>(cable.level),
+                          static_cast<std::uint16_t>(cable.port),
+                          static_cast<std::uint32_t>(cable.lower_index)));
+      flight_ids_.erase(fit);
+    }
   }
   return victims;
 }

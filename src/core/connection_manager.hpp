@@ -12,11 +12,13 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/request.hpp"
 #include "core/scheduler.hpp"
 #include "linkstate/link_state.hpp"
+#include "obs/flight_recorder.hpp"
 #include "topology/fat_tree.hpp"
 
 namespace ftsched {
@@ -60,8 +62,16 @@ class ConnectionManager {
   /// the grant set is bit-identical to a standalone scheduler run — the
   /// property the fault-rate-0 degradation baseline relies on. Grants are
   /// registered as open connections.
+  /// `request_ids` optionally carries one stable flight-recorder id per
+  /// request (parallel to `requests`). When a flight ring is attached and
+  /// the ids are present, the batch is ledger-tracked: pre-filtered
+  /// kLeafBusy rejections are recorded here, per-outcome GRANTED/REJECTED
+  /// events flow through the scheduler's probe (armed for exactly this
+  /// batch), and grants remember their id so close()/fail_cable() can emit
+  /// CLOSED/REVOKED later. An empty span leaves the batch untracked.
   BatchOpenResult open_batch(const std::vector<Request>& requests,
-                             Scheduler& scheduler);
+                             Scheduler& scheduler,
+                             std::span<const std::uint64_t> request_ids = {});
 
   /// Releases a circuit's channels. Fails if the id is unknown.
   Status close(ConnectionId id);
@@ -93,6 +103,17 @@ class ConnectionManager {
   /// Fraction of inter-switch up-channels occupied at `level`.
   double level_utilization(std::uint32_t level) const;
 
+  // --- Flight recorder ------------------------------------------------------
+
+  /// Attaches the lifecycle ledger ring (null detaches). Detached, every
+  /// emission site costs one predicted branch (the null-probe discipline).
+  void set_flight(obs::FlightRing* ring) { flight_ = ring; }
+
+  /// DES tick stamped on subsequently emitted events — the driver sets this
+  /// before open_batch / close / fail_cable (the manager itself has no
+  /// clock, simulated or otherwise).
+  void set_flight_now(std::uint64_t now) { flight_now_ = now; }
+
  private:
   const FatTree& tree_;
   PortPolicy policy_;
@@ -103,6 +124,12 @@ class ConnectionManager {
   // order, so revocation sweeps are deterministic without re-sorting.
   std::map<ConnectionId, Path> connections_;
   ConnectionId next_id_ = 1;
+
+  obs::FlightRing* flight_ = nullptr;
+  std::uint64_t flight_now_ = 0;
+  // Flight id of each tracked open connection (only populated for batches
+  // that passed request_ids); id-ordered like connections_.
+  std::map<ConnectionId, std::uint64_t> flight_ids_;
 };
 
 }  // namespace ftsched

@@ -99,6 +99,21 @@ void parallel_for(ThreadPool& pool, std::size_t count, Fn&& fn) {
   });
 }
 
+/// Statically-chunked lane loop: fn(k, range) once per lane k with chunk k's
+/// half-open range, chunk k on thread k. The lane index is what a caller
+/// needs to select per-thread state owned exclusively by that chunk — e.g.
+/// the flight recorder hands ring(k) to lane k, so event recording stays
+/// race-free without locks and lane outputs can be folded in lane order.
+template <typename Fn>
+void parallel_chunks(ThreadPool& pool, std::size_t count, Fn&& fn) {
+  if (count == 0) return;
+  const std::size_t chunks = pool.thread_count();
+  pool.run([&](std::size_t k) {
+    const ChunkRange r = chunk_range(count, chunks, k);
+    if (!r.empty()) fn(k, r);
+  });
+}
+
 /// map(i) into slot i of a pre-sized vector — each thread writes disjoint
 /// slots, so the result is positionally deterministic. T must be default-
 /// constructible and movable.

@@ -42,7 +42,7 @@ void run_repetitions(const FatTree& tree, const DegradationConfig& config,
                      double mtbf, double mttr, std::size_t rep_begin,
                      std::size_t rep_end, std::span<double> first_attempt,
                      std::span<double> open_ratio,
-                     std::span<double> ever_granted,
+                     std::span<double> ever_granted, obs::FlightRing* ring,
                      DegradationShard& shard) {
   FabricOptions options;
   options.scheduler = config.scheduler;
@@ -51,8 +51,13 @@ void run_repetitions(const FatTree& tree, const DegradationConfig& config,
   options.max_pending = config.max_pending;
   options.horizon = config.horizon;
   options.deep_verify = config.deep_verify;
+  options.flight = ring;
 
   for (std::size_t rep = rep_begin; rep < rep_end; ++rep) {
+    // Request ids stay unique across repetitions: the per-rep namespace
+    // leaves 24 bits for FabricManager seq numbers.
+    options.flight_base =
+        config.flight_base + ((static_cast<std::uint64_t>(rep) + 1) << 24U);
     // Identical to run_experiment's per-repetition derivation: seeds depend
     // only on the repetition index, never on the thread running it.
     std::uint64_t mix = config.seed + 0x9e3779b97f4a7c15ULL * (rep + 1);
@@ -136,10 +141,14 @@ DegradationPoint run_degradation(const FatTree& tree,
   std::vector<double> ever_granted(config.repetitions, 0.0);
 
   const std::size_t threads = std::min(config.threads, config.repetitions);
+  FT_REQUIRE_MSG(config.flight == nullptr ||
+                     config.flight->ring_count() >= threads,
+                 "flight recorder needs one ring per degradation thread");
   if (threads == 1) {
     DegradationShard shard;
     run_repetitions(tree, config, mtbf, mttr, 0, config.repetitions,
-                    first_attempt, open_ratio, ever_granted, shard);
+                    first_attempt, open_ratio, ever_granted,
+                    config.flight ? &config.flight->ring(0) : nullptr, shard);
     merge_shard(point, shard);
   } else {
     std::vector<DegradationShard> shards(threads);
@@ -149,7 +158,9 @@ DegradationPoint run_degradation(const FatTree& tree,
           exec::chunk_range(config.repetitions, threads, k);
       if (chunk.empty()) return;
       run_repetitions(tree, config, mtbf, mttr, chunk.begin, chunk.end,
-                      first_attempt, open_ratio, ever_granted, shards[k]);
+                      first_attempt, open_ratio, ever_granted,
+                      config.flight ? &config.flight->ring(k) : nullptr,
+                      shards[k]);
     });
     // Chunk order == repetition order: bit-identical to the sequential run.
     for (DegradationShard& shard : shards) merge_shard(point, shard);

@@ -26,6 +26,12 @@ FabricManager::FabricManager(const FatTree& tree, Simulator& sim,
   auto scheduler = make_scheduler(options_.scheduler, options_.seed);
   FT_REQUIRE_MSG(scheduler.ok(), "unknown scheduler for FabricManager");
   scheduler_ = std::move(scheduler).value();
+  if (options_.flight != nullptr) {
+    manager_.set_flight(options_.flight);
+    queue_.set_flight(options_.flight, options_.flight_base);
+    flight_probe_.set_flight(options_.flight);
+    scheduler_->set_probe(&flight_probe_);
+  }
 }
 
 void FabricManager::reseed(std::uint64_t seed) {
@@ -56,6 +62,9 @@ void FabricManager::submit(std::vector<Request> requests, SimTime t) {
     entry.seq = next_seq_++;
     entry.eligible_at = t;
     entry.first_submit = t;
+    FT_FLIGHT_EVENT(options_.flight,
+                    obs::FlightEvent::requested(
+                        options_.flight_base + entry.seq, t));
     entries.push_back(entry);
   }
   stats_.submitted += entries.size();
@@ -72,7 +81,16 @@ void FabricManager::run_batch(std::vector<RetryEntry> entries) {
   requests.reserve(entries.size());
   for (const RetryEntry& e : entries) requests.push_back(e.request);
 
-  const BatchOpenResult result = manager_.open_batch(requests, *scheduler_);
+  std::vector<std::uint64_t> flight_ids;
+  if (options_.flight != nullptr) {
+    flight_ids.reserve(entries.size());
+    for (const RetryEntry& e : entries) {
+      flight_ids.push_back(options_.flight_base + e.seq);
+    }
+    manager_.set_flight_now(now);
+  }
+  const BatchOpenResult result =
+      manager_.open_batch(requests, *scheduler_, flight_ids);
   for (std::size_t i = 0; i < entries.size(); ++i) {
     RetryEntry& entry = entries[i];
     const RequestOutcome& outcome = result.schedule.outcomes[i];
@@ -90,6 +108,10 @@ void FabricManager::run_batch(std::vector<RetryEntry> entries) {
         ++stats_.recovered;
         const SimTime latency = now - entry.revoked_at;
         stats_.recovery_latency.push_back(static_cast<double>(latency));
+        FT_FLIGHT_EVENT(options_.flight,
+                        obs::FlightEvent::recovered(
+                            options_.flight_base + entry.seq, now,
+                            static_cast<std::uint32_t>(latency)));
         if (options_.tracer) {
           options_.tracer->complete("fault.recover", "fault", entry.revoked_at,
                                     latency, obs::kPidDes);
@@ -112,11 +134,19 @@ void FabricManager::handle_reject(RetryEntry entry) {
       options_.retry.delay_for(attempt, jitter_rng_);
   if (!delay) {
     ++stats_.permanent_rejects;
+    FT_FLIGHT_EVENT(options_.flight,
+                    obs::FlightEvent::retry_shed(
+                        options_.flight_base + entry.seq, sim_.now(),
+                        obs::kShedBudget));
     return;
   }
   const SimTime eligible = sim_.now() + *delay;
   if (eligible > options_.horizon) {
     ++stats_.abandoned;
+    FT_FLIGHT_EVENT(options_.flight,
+                    obs::FlightEvent::retry_shed(
+                        options_.flight_base + entry.seq, sim_.now(),
+                        obs::kShedHorizon));
     return;
   }
   entry.attempts = attempt;
@@ -145,9 +175,10 @@ void FabricManager::on_fail(const CableId& cable) {
     options_.tracer->instant("fault.cable_fail", "fault", sim_.now(),
                              obs::kPidDes);
   }
+  const SimTime now = sim_.now();
+  manager_.set_flight_now(now);  // REVOKED events carry the failure tick
   const std::vector<Revocation> victims = manager_.fail_cable(cable);
   stats_.victims += victims.size();
-  const SimTime now = sim_.now();
   for (const Revocation& v : victims) {
     auto seq_it = conn_seq_.find(v.id);
     FT_REQUIRE(seq_it != conn_seq_.end());

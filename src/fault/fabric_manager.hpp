@@ -30,7 +30,9 @@
 #include "fault/fault_timeline.hpp"
 #include "fault/retry_policy.hpp"
 #include "fault/retry_queue.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sched_probe.hpp"
 #include "obs/trace.hpp"
 #include "util/contracts.hpp"
 
@@ -48,6 +50,12 @@ struct FabricOptions {
   /// per event.
   bool deep_verify = false;
   obs::TraceWriter* tracer = nullptr;  ///< fault spans on the DES track
+  /// Lifecycle ledger ring (null = recorder detached, zero-cost path). The
+  /// manager threads it through ConnectionManager, RetryQueue, and the
+  /// scheduler probe; every tracked request gets the stable id
+  /// `flight_base + seq` so dumps from different repetitions never collide.
+  obs::FlightRing* flight = nullptr;
+  std::uint64_t flight_base = 0;
 };
 
 struct FabricStats {
@@ -127,6 +135,10 @@ class FabricManager {
   FabricOptions options_;
   ConnectionManager manager_;
   std::unique_ptr<Scheduler> scheduler_;
+  // Carries per-outcome GRANTED/REJECTED emission through the scheduler's
+  // probe seam; attached only when options_.flight is set, so an untracked
+  // manager keeps the bare null-probe fast path.
+  obs::SchedulerProbe flight_probe_;
   RetryQueue queue_;
   Xoshiro256ss jitter_rng_;
   FabricStats stats_;

@@ -1,0 +1,234 @@
+#include "obs/flight_decoder.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <string>
+
+namespace ftsched::obs {
+
+namespace {
+
+/// Finds `"key":` in a flat one-line JSON object and parses the unsigned
+/// integer that follows. The dump writer emits exactly this shape (no
+/// spaces, no nesting), so plain string scanning is both sufficient and
+/// byte-for-byte deterministic.
+bool find_u64(const std::string& line, std::string_view key,
+              std::uint64_t& out) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  std::size_t i = at + needle.size();
+  if (i >= line.size() || line[i] < '0' || line[i] > '9') return false;
+  std::uint64_t value = 0;
+  while (i < line.size() && line[i] >= '0' && line[i] <= '9') {
+    value = value * 10 + static_cast<std::uint64_t>(line[i] - '0');
+    ++i;
+  }
+  out = value;
+  return true;
+}
+
+/// Same, for a quoted string value.
+bool find_string(const std::string& line, std::string_view key,
+                 std::string& out) {
+  const std::string needle = "\"" + std::string(key) + "\":\"";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  const std::size_t begin = at + needle.size();
+  const std::size_t end = line.find('"', begin);
+  if (end == std::string::npos) return false;
+  out = line.substr(begin, end - begin);
+  return true;
+}
+
+bool blank(const std::string& line) {
+  return line.find_first_not_of(" \t\r\n") == std::string::npos;
+}
+
+}  // namespace
+
+Result<FlightDump> read_flight_jsonl(std::istream& is) {
+  FlightDump dump;
+  std::string line;
+  bool have_header = false;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (blank(line)) continue;
+    if (!have_header) {
+      std::string type;
+      if (!find_string(line, "type", type) || type != "flight_recorder") {
+        return Result<FlightDump>::error(
+            "flight dump: first line is not a flight_recorder header");
+      }
+      std::uint64_t version = 0;
+      if (!find_u64(line, "version", version) || version != 1) {
+        return Result<FlightDump>::error(
+            "flight dump: unsupported format version");
+      }
+      dump.version = static_cast<std::uint32_t>(version);
+      std::uint64_t rings = 0;
+      if (!find_u64(line, "rings", rings) ||
+          !find_u64(line, "capacity", dump.capacity) ||
+          !find_u64(line, "recorded", dump.recorded) ||
+          !find_u64(line, "dropped", dump.dropped)) {
+        return Result<FlightDump>::error(
+            "flight dump: header is missing rings/capacity/recorded/dropped");
+      }
+      dump.rings = static_cast<std::uint32_t>(rings);
+      have_header = true;
+      continue;
+    }
+    FlightRecord record;
+    std::uint64_t ring = 0;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    std::uint64_t c = 0;
+    std::string kind;
+    if (!find_u64(line, "ring", ring) ||
+        !find_u64(line, "req", record.event.req) ||
+        !find_u64(line, "t", record.event.t) ||
+        !find_string(line, "kind", kind) || !find_u64(line, "a", a) ||
+        !find_u64(line, "b", b) || !find_u64(line, "c", c)) {
+      return Result<FlightDump>::error("flight dump: malformed event at line " +
+                                       std::to_string(line_no));
+    }
+    if (!flight_kind_from_string(kind, record.event.kind)) {
+      return Result<FlightDump>::error("flight dump: unknown event kind '" +
+                                       kind + "' at line " +
+                                       std::to_string(line_no));
+    }
+    record.ring = static_cast<std::uint32_t>(ring);
+    record.event.a = static_cast<std::uint8_t>(a);
+    record.event.b = static_cast<std::uint16_t>(b);
+    record.event.c = static_cast<std::uint32_t>(c);
+    dump.records.push_back(record);
+  }
+  if (!have_header) {
+    return Result<FlightDump>::error("flight dump: empty input");
+  }
+  return dump;
+}
+
+std::vector<CircuitTimeline> stitch_timelines(
+    const std::vector<FlightRecord>& records) {
+  // Stable sort by request id: within one request, dump order is preserved.
+  // A request's events all come from the one ring that ran its repetition,
+  // so that order is chronological regardless of how many rings exist.
+  std::vector<std::size_t> order(records.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t lhs, std::size_t rhs) {
+                     return records[lhs].event.req < records[rhs].event.req;
+                   });
+
+  std::vector<CircuitTimeline> timelines;
+  for (const std::size_t i : order) {
+    const FlightEvent& event = records[i].event;
+    if (timelines.empty() || timelines.back().req != event.req) {
+      timelines.push_back(CircuitTimeline{event.req, {}});
+    }
+    timelines.back().events.push_back(event);
+  }
+  return timelines;
+}
+
+std::vector<CircuitTimeline> stitch_timelines(const FlightRecorder& recorder) {
+  std::vector<FlightRecord> records;
+  for (std::size_t k = 0; k < recorder.ring_count(); ++k) {
+    for (const FlightEvent& event : recorder.ring(k).snapshot()) {
+      records.push_back(FlightRecord{static_cast<std::uint32_t>(k), event});
+    }
+  }
+  return stitch_timelines(records);
+}
+
+SloSummary summarize_slo(const std::vector<CircuitTimeline>& timelines) {
+  SloSummary slo;
+  for (const CircuitTimeline& timeline : timelines) {
+    ++slo.circuits;
+    bool saw_requested = false;
+    bool saw_granted = false;
+    std::uint64_t requested_at = 0;
+    std::uint64_t first_granted_at = 0;
+    bool revocation_pending = false;
+    std::uint64_t revoked_at = 0;
+    std::uint64_t retries = 0;
+    for (const FlightEvent& event : timeline.events) {
+      switch (event.kind) {
+        case FlightEventKind::kRequested:
+          if (!saw_requested) {
+            saw_requested = true;
+            requested_at = event.t;
+          }
+          break;
+        case FlightEventKind::kGranted:
+          if (!saw_granted) {
+            saw_granted = true;
+            first_granted_at = event.t;
+          }
+          break;
+        case FlightEventKind::kRejected:
+          break;
+        case FlightEventKind::kRevoked:
+          ++slo.revocations;
+          revocation_pending = true;
+          revoked_at = event.t;
+          break;
+        case FlightEventKind::kRetryEnqueued:
+          ++slo.retries;
+          ++retries;
+          break;
+        case FlightEventKind::kRetryShed:
+          ++slo.shed;
+          break;
+        case FlightEventKind::kRecovered:
+          ++slo.recoveries;
+          if (revocation_pending) {
+            slo.recovery_time.push_back(
+                static_cast<double>(event.t - revoked_at));
+            revocation_pending = false;
+          }
+          break;
+        case FlightEventKind::kClosed:
+          ++slo.closed;
+          break;
+      }
+    }
+    if (saw_granted) {
+      ++slo.granted;
+      if (saw_requested) {
+        slo.admission_latency.push_back(
+            static_cast<double>(first_granted_at - requested_at));
+      }
+    } else {
+      ++slo.never_granted;
+    }
+    slo.retry_count.push_back(static_cast<double>(retries));
+  }
+  return slo;
+}
+
+void export_slo_metrics(const SloSummary& slo, MetricsRegistry& registry,
+                        double horizon) {
+  FT_REQUIRE(horizon >= 0.0);
+  registry.counter("slo.circuits").add(slo.circuits);
+  registry.counter("slo.granted").add(slo.granted);
+  registry.counter("slo.never_granted").add(slo.never_granted);
+  registry.counter("slo.revocations").add(slo.revocations);
+  registry.counter("slo.recoveries").add(slo.recoveries);
+  registry.counter("slo.closed").add(slo.closed);
+  registry.counter("slo.shed").add(slo.shed);
+  registry.counter("slo.retries").add(slo.retries);
+  Histogram& admission =
+      registry.histogram("slo.admission_latency", 0.0, horizon + 1.0, 32);
+  for (const double v : slo.admission_latency) admission.observe(v);
+  Histogram& recovery =
+      registry.histogram("slo.recovery_time", 0.0, horizon + 1.0, 32);
+  for (const double v : slo.recovery_time) recovery.observe(v);
+  Histogram& retries =
+      registry.histogram("slo.retries_per_circuit", 0.0, 32.0, 32);
+  for (const double v : slo.retry_count) retries.observe(v);
+}
+
+}  // namespace ftsched::obs

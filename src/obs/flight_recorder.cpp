@@ -1,0 +1,128 @@
+#include "obs/flight_recorder.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <utility>
+
+namespace ftsched::obs {
+
+namespace {
+
+constexpr std::string_view kKindNames[] = {
+    "REQUESTED", "GRANTED",    "REJECTED",  "REVOKED",
+    "RETRY_ENQUEUED", "RETRY_SHED", "RECOVERED", "CLOSED"};
+constexpr std::size_t kKindCount = sizeof(kKindNames) / sizeof(kKindNames[0]);
+
+}  // namespace
+
+std::string_view to_string(FlightEventKind kind) {
+  const auto index = static_cast<std::size_t>(kind);
+  FT_REQUIRE(index < kKindCount);
+  return kKindNames[index];
+}
+
+bool flight_kind_from_string(std::string_view name, FlightEventKind& kind) {
+  for (std::size_t i = 0; i < kKindCount; ++i) {
+    if (kKindNames[i] == name) {
+      kind = static_cast<FlightEventKind>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<FlightEvent> FlightRing::snapshot() const {
+  std::vector<FlightEvent> out;
+  const std::size_t kept = size();
+  out.reserve(kept);
+  // Oldest retained event sits at head_ once the ring has wrapped (head_ is
+  // the next overwrite target), at 0 before.
+  const std::size_t start = total_ < buf_.size() ? 0 : head_;
+  for (std::size_t i = 0; i < kept; ++i) {
+    out.push_back(buf_[(start + i) % buf_.size()]);
+  }
+  return out;
+}
+
+void FlightRing::clear() {
+  head_ = 0;
+  total_ = 0;
+}
+
+FlightRecorder::FlightRecorder(std::size_t rings, std::size_t capacity)
+    : capacity_(capacity) {
+  FT_REQUIRE(rings >= 1);
+  FT_REQUIRE(capacity >= 1);
+  rings_.reserve(rings);
+  for (std::size_t i = 0; i < rings; ++i) rings_.emplace_back(capacity);
+}
+
+std::uint64_t FlightRecorder::recorded() const {
+  std::uint64_t total = 0;
+  for (const FlightRing& ring : rings_) total += ring.total();
+  return total;
+}
+
+std::uint64_t FlightRecorder::dropped() const {
+  std::uint64_t total = 0;
+  for (const FlightRing& ring : rings_) total += ring.dropped();
+  return total;
+}
+
+void FlightRecorder::clear() {
+  for (FlightRing& ring : rings_) ring.clear();
+}
+
+void FlightRecorder::export_metrics(MetricsRegistry& registry) const {
+  registry.counter("obs.flight.rings").add(rings_.size());
+  registry.counter("obs.flight.recorded").add(recorded());
+  registry.counter("obs.flight.dropped").add(dropped());
+}
+
+void FlightRecorder::write_jsonl(std::ostream& os) const {
+  os << "{\"type\":\"flight_recorder\",\"version\":1,\"rings\":"
+     << rings_.size() << ",\"capacity\":" << capacity_ << ",\"recorded\":"
+     << recorded() << ",\"dropped\":" << dropped() << "}\n";
+  for (std::size_t k = 0; k < rings_.size(); ++k) {
+    for (const FlightEvent& e : rings_[k].snapshot()) {
+      os << "{\"ring\":" << k << ",\"req\":" << e.req << ",\"t\":" << e.t
+         << ",\"kind\":\"" << to_string(e.kind) << "\",\"a\":"
+         << static_cast<unsigned>(e.a) << ",\"b\":" << e.b << ",\"c\":"
+         << e.c << "}\n";
+    }
+  }
+}
+
+// --- Dump on contract failure ------------------------------------------------
+
+namespace {
+
+// Plain statics: the hook fires on the abort path, where the process is
+// single-threaded for all practical purposes and locking could deadlock.
+const FlightRecorder* g_armed_recorder = nullptr;
+std::string g_armed_path;  // NOLINT(cert-err58-cpp)
+
+void dump_armed_recorder() {
+  if (g_armed_recorder == nullptr) return;
+  std::ofstream out(g_armed_path);
+  if (!out) return;  // aborting anyway; nowhere to report the I/O failure
+  g_armed_recorder->write_jsonl(out);
+  out.flush();
+}
+
+}  // namespace
+
+void arm_flight_dump_on_contract_failure(const FlightRecorder& recorder,
+                                         std::string path) {
+  g_armed_recorder = &recorder;
+  g_armed_path = std::move(path);
+  detail::set_contract_failure_hook(&dump_armed_recorder);
+}
+
+void disarm_flight_dump_on_contract_failure() {
+  g_armed_recorder = nullptr;
+  g_armed_path.clear();
+  detail::set_contract_failure_hook(nullptr);
+}
+
+}  // namespace ftsched::obs

@@ -138,6 +138,13 @@ void MetricsRegistry::write_jsonl(std::ostream& os) const {
         os << "],\"underflow\":" << h.underflow() << ",\"overflow\":"
            << h.overflow() << ",\"count\":" << h.count() << ",\"sum\":"
            << h.sum();
+        if (h.count() > 0) {
+          // percentile() requires observations; empty histograms skip the
+          // fields rather than inventing a value.
+          os << ",\"p50\":" << h.percentile(0.50)
+             << ",\"p90\":" << h.percentile(0.90)
+             << ",\"p99\":" << h.percentile(0.99);
+        }
         break;
       }
     }
@@ -164,6 +171,11 @@ void MetricsRegistry::write_csv(std::ostream& os) const {
         os << e.name << ",histogram,overflow," << h.overflow() << "\n";
         os << e.name << ",histogram,count," << h.count() << "\n";
         os << e.name << ",histogram,sum," << h.sum() << "\n";
+        if (h.count() > 0) {
+          os << e.name << ",histogram,p50," << h.percentile(0.50) << "\n";
+          os << e.name << ",histogram,p90," << h.percentile(0.90) << "\n";
+          os << e.name << ",histogram,p99," << h.percentile(0.99) << "\n";
+        }
         break;
       }
     }

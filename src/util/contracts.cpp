@@ -1,0 +1,28 @@
+#include "util/contracts.hpp"
+
+namespace ftsched::detail {
+
+namespace {
+
+// Plain statics, deliberately unsynchronized: the hook is installed during
+// single-threaded setup (CLI flag parsing, test SetUp) and fired on the
+// abort path, where taking a lock could deadlock a dying process.
+ContractFailureHook g_hook = nullptr;
+bool g_running = false;
+
+}  // namespace
+
+ContractFailureHook set_contract_failure_hook(ContractFailureHook hook) {
+  ContractFailureHook previous = g_hook;
+  g_hook = hook;
+  return previous;
+}
+
+void run_contract_failure_hook() {
+  if (g_hook == nullptr || g_running) return;
+  g_running = true;  // a contract failing inside the hook must not recurse
+  g_hook();
+  g_running = false;
+}
+
+}  // namespace ftsched::detail

@@ -15,10 +15,25 @@
 
 namespace ftsched::detail {
 
+/// Process-wide last-gasp callback, invoked (at most once) after a contract
+/// failure is reported and before abort(). The observability layer uses it
+/// to drain the flight recorder into a post-mortem dump; anything else it
+/// does must be safe on a dying process (no locks, no allocation-heavy
+/// work). Null disables.
+using ContractFailureHook = void (*)();
+
+/// Installs `hook`, returning the previously installed one (null if none).
+ContractFailureHook set_contract_failure_hook(ContractFailureHook hook);
+
+/// Runs the installed hook once; reentrant calls (a contract failing inside
+/// the hook itself) are no-ops so the abort still happens.
+void run_contract_failure_hook();
+
 [[noreturn]] inline void contract_failure(const char* kind, const char* cond,
                                           const char* file, int line) {
   std::fprintf(stderr, "ftsched: %s failed: %s (%s:%d)\n", kind, cond, file,
                line);
+  run_contract_failure_hook();
   std::abort();
 }
 
@@ -28,6 +43,7 @@ namespace ftsched::detail {
                                               const char* file, int line) {
   std::fprintf(stderr, "ftsched: %s failed: %s — %s (%s:%d)\n", kind, cond,
                msg, file, line);
+  run_contract_failure_hook();
   std::abort();
 }
 

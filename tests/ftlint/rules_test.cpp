@@ -85,8 +85,9 @@ TEST(Rules, CatalogNamesAreKnown) {
   EXPECT_TRUE(known_rule("unordered-iteration"));
   EXPECT_TRUE(known_rule("mutex-guarded-by"));
   EXPECT_TRUE(known_rule("dead-suppression"));
+  EXPECT_TRUE(known_rule("flight-event-guard"));
   EXPECT_FALSE(known_rule("no-such-rule"));
-  EXPECT_EQ(rule_catalog().size(), 16u);
+  EXPECT_EQ(rule_catalog().size(), 17u);
 }
 
 TEST(Rules, DeterministicModules) {
@@ -174,6 +175,21 @@ TEST(Rules, PointerKeyChecksKeyPositionOnly) {
       findings_for("src/core/p.cpp",
                    "#include <map>\nstruct S;\nstd::map<int, S*> ok;\n"),
       "no-pointer-key"));
+}
+
+TEST(Rules, FlightEventGuardRequiresMacro) {
+  const std::string bad = "void f(R* flight_) { flight_->record(1); }\n";
+  EXPECT_TRUE(has_rule(findings_for("src/fault/f.cpp", bad),
+                       "flight-event-guard"));
+  EXPECT_TRUE(has_rule(findings_for("src/core/f.cpp", bad),
+                       "flight-event-guard"));
+  // obs owns the recorder; the macro's own expansion lives there.
+  EXPECT_FALSE(has_rule(findings_for("src/obs/f.cpp", bad),
+                        "flight-event-guard"));
+  // Non-flight receivers (trace writers, metrics) are someone else's API.
+  const std::string other = "void f(T* trace_) { trace_->record(1); }\n";
+  EXPECT_FALSE(has_rule(findings_for("src/fault/f.cpp", other),
+                        "flight-event-guard"));
 }
 
 TEST(IncludeGraph, FindsCycles) {

@@ -1,0 +1,86 @@
+// Death tests for the post-mortem dump path: a contract failure while a
+// recorder is armed must drain it to the configured file before aborting
+// (the black-box property), and a disarmed failure must write nothing.
+// EXPECT_DEATH runs the failing statement in a forked child; the parent then
+// validates the file the dying child left behind.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "obs/flight_decoder.hpp"
+#include "obs/flight_recorder.hpp"
+#include "util/contracts.hpp"
+
+namespace ftsched::obs {
+namespace {
+
+std::string dump_path(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+TEST(FlightDumpDeathTest, ContractFailureDrainsArmedRecorder) {
+  const std::string path = dump_path("flight_dump_armed.jsonl");
+  std::remove(path.c_str());
+
+  FlightRecorder recorder(1);
+  recorder.ring(0).record(FlightEvent::requested(7, 3));
+  recorder.ring(0).record(FlightEvent::granted(7, 4, 1));
+  recorder.ring(0).record(FlightEvent::revoked(7, 9, 0, 2, 5));
+  arm_flight_dump_on_contract_failure(recorder, path);
+  EXPECT_DEATH(FT_REQUIRE_MSG(false, "scripted black-box failure"),
+               "scripted black-box failure");
+  disarm_flight_dump_on_contract_failure();
+
+  // The dying child must have written a complete, parseable dump.
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "armed dump file was not written: " << path;
+  const auto dump = read_flight_jsonl(in);
+  ASSERT_TRUE(dump.ok()) << dump.message();
+  EXPECT_EQ(dump.value().recorded, 3u);
+  ASSERT_EQ(dump.value().records.size(), 3u);
+  EXPECT_EQ(dump.value().records[0].event, FlightEvent::requested(7, 3));
+  EXPECT_EQ(dump.value().records[2].event,
+            FlightEvent::revoked(7, 9, 0, 2, 5));
+  std::remove(path.c_str());
+}
+
+TEST(FlightDumpDeathTest, DisarmedFailureWritesNothing) {
+  const std::string path = dump_path("flight_dump_disarmed.jsonl");
+  std::remove(path.c_str());
+
+  FlightRecorder recorder(1);
+  recorder.ring(0).record(FlightEvent::requested(1, 0));
+  arm_flight_dump_on_contract_failure(recorder, path);
+  disarm_flight_dump_on_contract_failure();
+  EXPECT_DEATH(FT_REQUIRE(1 == 2), "precondition");
+
+  std::ifstream in(path);
+  EXPECT_FALSE(in.good()) << "disarmed failure must not write a dump";
+}
+
+TEST(FlightDumpDeathTest, ReArmingReplacesTheTarget) {
+  const std::string stale = dump_path("flight_dump_stale.jsonl");
+  const std::string live = dump_path("flight_dump_live.jsonl");
+  std::remove(stale.c_str());
+  std::remove(live.c_str());
+
+  FlightRecorder recorder(1);
+  recorder.ring(0).record(FlightEvent::closed(5, 42));
+  arm_flight_dump_on_contract_failure(recorder, stale);
+  arm_flight_dump_on_contract_failure(recorder, live);  // latest arm wins
+  EXPECT_DEATH(FT_REQUIRE(false), "precondition");
+  disarm_flight_dump_on_contract_failure();
+
+  EXPECT_FALSE(std::ifstream(stale).good());
+  std::ifstream in(live);
+  ASSERT_TRUE(in.good());
+  const auto dump = read_flight_jsonl(in);
+  ASSERT_TRUE(dump.ok()) << dump.message();
+  EXPECT_EQ(dump.value().recorded, 1u);
+  std::remove(live.c_str());
+}
+
+}  // namespace
+}  // namespace ftsched::obs

@@ -229,6 +229,46 @@ TEST(MetricsRegistry, JsonlLinesAllParse) {
   EXPECT_NE(text.find("\"type\":\"histogram\""), std::string::npos);
 }
 
+TEST(MetricsRegistry, JsonlHistogramCarriesPercentiles) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat", 0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.observe(static_cast<double>(i) + 0.25);
+  std::ostringstream os;
+  reg.write_jsonl(os);
+  const std::string text = os.str();
+  // One observation per bin: the median interpolates between bin centers
+  // 4.5 and 5.5 (the percentile-test fixture), so p50 serializes as 5.
+  EXPECT_NE(text.find("\"p50\":5"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"p90\":"), std::string::npos);
+  EXPECT_NE(text.find("\"p99\":"), std::string::npos);
+  EXPECT_TRUE(ftsched::test::json_valid(
+      text.substr(0, text.find('\n'))));
+}
+
+TEST(MetricsRegistry, EmptyHistogramOmitsPercentiles) {
+  MetricsRegistry reg;
+  reg.histogram("lat", 0.0, 10.0, 10);  // registered, never observed
+  std::ostringstream jsonl;
+  reg.write_jsonl(jsonl);
+  EXPECT_EQ(jsonl.str().find("\"p50\""), std::string::npos)
+      << "empty histogram must not invent percentile values";
+  std::ostringstream csv;
+  reg.write_csv(csv);
+  EXPECT_EQ(csv.str().find(",p50,"), std::string::npos);
+}
+
+TEST(MetricsRegistry, CsvHistogramCarriesPercentileRows) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat", 0.0, 4.0, 4);
+  h.observe(2.5);  // single observation: every quantile is the bin center
+  std::ostringstream os;
+  reg.write_csv(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("lat,histogram,p50,2.5"), std::string::npos) << text;
+  EXPECT_NE(text.find("lat,histogram,p90,2.5"), std::string::npos);
+  EXPECT_NE(text.find("lat,histogram,p99,2.5"), std::string::npos);
+}
+
 TEST(MetricsRegistry, CsvHasHeaderAndHistogramRows) {
   MetricsRegistry reg;
   reg.counter("n").add(2);

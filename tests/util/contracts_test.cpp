@@ -33,6 +33,43 @@ TEST(ContractsDeathTest, UnreachableAborts) {
   EXPECT_DEATH(FT_UNREACHABLE(), "unreachable code reached");
 }
 
+int g_hook_runs = 0;
+void counting_hook() { ++g_hook_runs; }
+void reentrant_hook() {
+  ++g_hook_runs;
+  // A contract failing inside the hook would re-enter; the guard must make
+  // that a no-op so the abort still happens.
+  detail::run_contract_failure_hook();
+}
+
+TEST(ContractFailureHook, InstallReturnsPreviousAndNullDisables) {
+  g_hook_runs = 0;
+  EXPECT_EQ(detail::set_contract_failure_hook(&counting_hook), nullptr);
+  detail::run_contract_failure_hook();
+  EXPECT_EQ(g_hook_runs, 1);
+  // Swapping hooks hands back the one being replaced.
+  EXPECT_EQ(detail::set_contract_failure_hook(nullptr), &counting_hook);
+  detail::run_contract_failure_hook();  // disabled: no further runs
+  EXPECT_EQ(g_hook_runs, 1);
+}
+
+TEST(ContractFailureHook, ReentrantInvocationIsANoOp) {
+  g_hook_runs = 0;
+  detail::set_contract_failure_hook(&reentrant_hook);
+  detail::run_contract_failure_hook();
+  EXPECT_EQ(g_hook_runs, 1);
+  detail::set_contract_failure_hook(nullptr);
+}
+
+TEST(ContractFailureHookDeathTest, HookFiresBeforeAbort) {
+  // The hook's stderr write must appear alongside the contract message —
+  // proof it ran on the failure path, not after abort().
+  detail::set_contract_failure_hook(
+      +[] { std::fprintf(stderr, "hook-drained\n"); });
+  EXPECT_DEATH(require_positive(-1), "precondition failed(.|\n)*hook-drained");
+  detail::set_contract_failure_hook(nullptr);
+}
+
 #ifdef NDEBUG
 TEST(ContractsDeathTest, AssertCompiledOutUnderNdebug) {
   // The condition must not even be evaluated: a side effect inside the

@@ -360,6 +360,28 @@ void rule_pointer_key(const SourceFile& src, std::vector<Finding>& out) {
   }
 }
 
+// --- Observability discipline -----------------------------------------------
+
+/// Lifecycle-event emission in the scheduling/fault/linkstate layers must go
+/// through FT_FLIGHT_EVENT: the macro null-guards the ring pointer, so a
+/// detached recorder costs one branch and a raw `flight->record(...)` call
+/// either crashes when detached or pays event construction unconditionally.
+void rule_flight_event_guard(const SourceFile& src,
+                             std::vector<Finding>& out) {
+  if (!module_in(src.module, {"src/core", "src/fault", "src/linkstate"})) {
+    return;
+  }
+  for (std::size_t i = 0; i < src.code.size(); ++i) {
+    if (!src.code[i].ident("record") || !is_call(src.code, i)) continue;
+    const std::string recv = receiver_of(src.code, i);
+    if (recv.find("flight") == std::string::npos) continue;
+    add(out, src, src.code[i].line, "flight-event-guard",
+        "flight-recorder events must be emitted through FT_FLIGHT_EVENT "
+        "(null-guarded, free when detached), not a raw " +
+            recv + "->record() call");
+  }
+}
+
 // --- Lock discipline --------------------------------------------------------
 
 void rule_mutex_guarded_by(const SourceFile& src, std::vector<Finding>& out) {
@@ -457,6 +479,10 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"mutex-guarded-by",
        "every mutex member carries at least one FT_GUARDED_BY/FT_REQUIRES "
        "association"},
+      {"flight-event-guard",
+       "core/fault/linkstate emit lifecycle events only through the "
+       "null-guarded FT_FLIGHT_EVENT macro, never a raw flight ring record() "
+       "call"},
       {"dead-suppression",
        "ftlint:allow / order-insensitive annotations must suppress something "
        "(and parse)"},
@@ -521,6 +547,7 @@ void run_file_rules(const SourceFile& src,
   rule_wallclock(src, out);
   rule_pointer_key(src, out);
   rule_mutex_guarded_by(src, out);
+  rule_flight_event_guard(src, out);
 }
 
 }  // namespace ftlint

@@ -1,0 +1,16 @@
+// Fixture: trips flight-event-guard — emitting a lifecycle event through a
+// raw flight-ring record() call instead of the null-guarded FT_FLIGHT_EVENT
+// macro (crashes when the recorder is detached, pays event construction even
+// when disabled). Not compiled.
+
+namespace ftsched {
+
+struct Ring {
+  void record(int event) { (void)event; }
+};
+
+void emit_unguarded(Ring* flight_) {
+  flight_->record(42);  // bad: must go through FT_FLIGHT_EVENT
+}
+
+}  // namespace ftsched

@@ -7,6 +7,7 @@
 //
 //   ftreport report [--metrics FILE.jsonl] [--telemetry FILE.jsonl]
 //                   [--trace FILE.json] [--bench BENCH_*.json]
+//                   [--flight FILE.jsonl]
 //                   [--out report.md] [--csv report.csv]
 //
 //   * --bench      fig9-schema schedulability table per sweep point
@@ -16,6 +17,10 @@
 //                  level x stage occupancy heatmap (stages = tenths of the
 //                  sample window), saturation histograms, top contended links
 //   * --trace      Chrome trace JSON: duration-span rollups by name
+//   * --flight     FlightRecorder dump (format v1): per-circuit lifecycle
+//                  ledger stitched by request id — admission-latency and
+//                  revocation-to-recovery p50/p99, worst-offender circuit
+//                  timelines, recovery burn-down over simulated time
 //
 // Regression mode: diff two benchmark JSON files and exit nonzero when the
 // candidate got worse — the CI bench gate:
@@ -408,6 +413,7 @@ void usage(std::ostream& os) {
   os << "usage:\n"
      << "  ftreport report [--metrics FILE.jsonl] [--telemetry FILE.jsonl]\n"
      << "                  [--trace FILE.json] [--bench BENCH.json]\n"
+     << "                  [--flight FILE.jsonl]\n"
      << "                  [--out report.md] [--csv report.csv]\n"
      << "  ftreport --baseline OLD.json --candidate NEW.json\n"
      << "           [--threshold PCT[%]] [--perf]\n"
@@ -1163,6 +1169,240 @@ void report_trace(const JsonValue& trace, std::ostream& md, CsvSink& csv) {
      << " counter samples\n\n";
 }
 
+/// Circuit lifecycle / SLO section from a FlightRecorder dump (format v1).
+/// The ledger is stitched by request id — ids are rep-namespaced, so one
+/// circuit's events always come from one ring, and dump order within a ring
+/// is chronological.
+void report_flight(const std::vector<JsonValue>& lines, std::ostream& md,
+                   CsvSink& csv) {
+  md << "## Circuit lifecycle / SLO (flight recorder)\n\n";
+  const JsonValue* header = nullptr;
+  struct FlightLine {
+    double req = 0.0;
+    double t = 0.0;
+    std::string kind;
+    double a = 0.0;
+    double b = 0.0;
+    double c = 0.0;
+  };
+  std::vector<FlightLine> events;
+  for (const JsonValue& line : lines) {
+    const JsonValue* type = line.find("type");
+    if (type && type->type == JsonValue::Type::kString &&
+        type->str == "flight_recorder") {
+      header = &line;
+      continue;
+    }
+    const JsonValue* req = line.find("req");
+    const JsonValue* t = line.find("t");
+    const JsonValue* kind = line.find("kind");
+    if (!req || !t || !kind || kind->type != JsonValue::Type::kString) {
+      continue;
+    }
+    FlightLine e;
+    e.req = req->num_or(0);
+    e.t = t->num_or(0);
+    e.kind = kind->str;
+    e.a = line.find("a") ? line.find("a")->num_or(0) : 0;
+    e.b = line.find("b") ? line.find("b")->num_or(0) : 0;
+    e.c = line.find("c") ? line.find("c")->num_or(0) : 0;
+    events.push_back(std::move(e));
+  }
+  if (!header) {
+    md << "_no flight_recorder header line_\n\n";
+    return;
+  }
+  const auto hnum = [&](const char* key) {
+    const JsonValue* v = header->find(key);
+    return v ? v->num_or(0) : 0;
+  };
+  md << fmt(hnum("recorded"), 0) << " events recorded over "
+     << fmt(hnum("rings"), 0) << " ring(s) of capacity "
+     << fmt(hnum("capacity"), 0) << ", " << fmt(hnum("dropped"), 0)
+     << " dropped\n\n";
+  csv.add("flight", "recorded", hnum("recorded"));
+  csv.add("flight", "dropped", hnum("dropped"));
+
+  // Stitch per-circuit timelines: stable sort by request id keeps each
+  // circuit's dump order (chronological within its one ring).
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FlightLine& lhs, const FlightLine& rhs) {
+                     return lhs.req < rhs.req;
+                   });
+  struct Circuit {
+    double req = 0.0;
+    double admission = -1.0;  ///< first REQUESTED -> first GRANTED, ticks
+    std::size_t retries = 0;
+    std::size_t event_count = 0;
+    std::string timeline;  ///< "REQUESTED@0 GRANTED@0 ..." for worst-K rows
+  };
+  std::vector<Circuit> circuits;
+  std::vector<double> admission, recovery, retries_per_circuit;
+  std::size_t granted = 0, never_granted = 0, closed = 0, shed = 0;
+  std::vector<std::pair<double, int>> burn;  ///< (t, +1 revoke / -1 recover)
+  {
+    std::size_t i = 0;
+    while (i < events.size()) {
+      std::size_t j = i;
+      while (j < events.size() && events[j].req == events[i].req) ++j;
+      Circuit circuit;
+      circuit.req = events[i].req;
+      circuit.event_count = j - i;
+      bool saw_requested = false, saw_granted = false, revoked = false;
+      double requested_at = 0, granted_at = 0, revoked_at = 0;
+      for (std::size_t k = i; k < j; ++k) {
+        const FlightLine& e = events[k];
+        if (!circuit.timeline.empty()) circuit.timeline += " ";
+        circuit.timeline += e.kind + "@" + fmt(e.t, 0);
+        if (e.kind == "REQUESTED") {
+          if (!saw_requested) {
+            saw_requested = true;
+            requested_at = e.t;
+          }
+        } else if (e.kind == "GRANTED") {
+          if (!saw_granted) {
+            saw_granted = true;
+            granted_at = e.t;
+          }
+        } else if (e.kind == "REVOKED") {
+          revoked = true;
+          revoked_at = e.t;
+          burn.emplace_back(e.t, 1);
+        } else if (e.kind == "RECOVERED") {
+          if (revoked) {
+            recovery.push_back(e.t - revoked_at);
+            revoked = false;
+          }
+          burn.emplace_back(e.t, -1);
+        } else if (e.kind == "RETRY_ENQUEUED") {
+          ++circuit.retries;
+        } else if (e.kind == "RETRY_SHED") {
+          ++shed;
+        } else if (e.kind == "CLOSED") {
+          ++closed;
+        }
+      }
+      if (saw_granted) {
+        ++granted;
+        if (saw_requested) {
+          circuit.admission = granted_at - requested_at;
+          admission.push_back(circuit.admission);
+        }
+      } else {
+        ++never_granted;
+      }
+      retries_per_circuit.push_back(static_cast<double>(circuit.retries));
+      circuits.push_back(std::move(circuit));
+      i = j;
+    }
+  }
+  md << "| circuits | granted | never granted | closed | retries shed |\n"
+     << "|---:|---:|---:|---:|---:|\n"
+     << "| " << circuits.size() << " | " << granted << " | " << never_granted
+     << " | " << closed << " | " << shed << " |\n\n";
+  csv.add("flight", "circuits", static_cast<double>(circuits.size()));
+  csv.add("flight", "granted", static_cast<double>(granted));
+  csv.add("flight", "never_granted", static_cast<double>(never_granted));
+
+  // Order statistics with linear interpolation, matching the repo's
+  // Summary/Histogram convention.
+  const auto pct = [](std::vector<double> v, double q) {
+    std::sort(v.begin(), v.end());
+    const double rank = q * static_cast<double>(v.size() - 1);
+    const auto lower = static_cast<std::size_t>(rank);
+    const double fraction = rank - static_cast<double>(lower);
+    if (lower + 1 >= v.size()) return v[lower];
+    return v[lower] + fraction * (v[lower + 1] - v[lower]);
+  };
+  md << "### Admission / recovery SLOs\n\n"
+     << "| metric | samples | p50 | p99 |\n|---|---:|---:|---:|\n";
+  const auto slo_row = [&](const char* label, const char* key,
+                           const std::vector<double>& samples) {
+    md << "| " << label << " | " << samples.size() << " | ";
+    if (samples.empty()) {
+      md << "- | - |\n";
+      return;
+    }
+    const double p50 = pct(samples, 0.50);
+    const double p99 = pct(samples, 0.99);
+    md << fmt(p50, 1) << " | " << fmt(p99, 1) << " |\n";
+    csv.add("flight", std::string(key) + ".p50", p50);
+    csv.add("flight", std::string(key) + ".p99", p99);
+  };
+  slo_row("admission latency (ticks)", "admission_latency", admission);
+  slo_row("revocation -> recovery (ticks)", "recovery_time", recovery);
+  slo_row("retries per circuit", "retries_per_circuit", retries_per_circuit);
+  md << "\n";
+
+  // Worst offenders: slowest admissions first, then busiest ledgers.
+  std::vector<const Circuit*> worst;
+  for (const Circuit& c : circuits) worst.push_back(&c);
+  std::sort(worst.begin(), worst.end(), [](const Circuit* a, const Circuit* b) {
+    if (a->admission != b->admission) return a->admission > b->admission;
+    if (a->event_count != b->event_count) return a->event_count > b->event_count;
+    return a->req < b->req;
+  });
+  const std::size_t k_worst = std::min<std::size_t>(5, worst.size());
+  if (k_worst > 0) {
+    md << "### Worst circuits (by admission latency)\n\n"
+       << "| request | admission | retries | timeline |\n"
+       << "|---:|---:|---:|---|\n";
+    for (std::size_t i = 0; i < k_worst; ++i) {
+      const Circuit& c = *worst[i];
+      std::string timeline = c.timeline;
+      constexpr std::size_t kMaxTimeline = 120;
+      if (timeline.size() > kMaxTimeline) {
+        timeline.resize(kMaxTimeline);
+        timeline += "...";
+      }
+      md << "| " << fmt(c.req, 0) << " | "
+         << (c.admission < 0 ? std::string("-") : fmt(c.admission, 0))
+         << " | " << c.retries << " | `" << timeline << "` |\n";
+    }
+    md << "\n";
+  }
+
+  // Recovery burn-down: victims still out of service over simulated time,
+  // in tenths of the observed window.
+  if (!burn.empty()) {
+    std::sort(burn.begin(), burn.end());
+    const double t_max = burn.back().first;
+    constexpr std::size_t kStages = 10;
+    std::vector<int> outstanding(kStages, 0);
+    int level = 0, peak = 0;
+    std::size_t b = 0;
+    for (std::size_t s = 0; s < kStages; ++s) {
+      const double t_end =
+          t_max * static_cast<double>(s + 1) / static_cast<double>(kStages);
+      while (b < burn.size() && burn[b].first <= t_end) {
+        level += burn[b].second;
+        ++b;
+      }
+      outstanding[s] = level;
+      peak = std::max(peak, level);
+    }
+    md << "### Recovery burn-down\n\n"
+       << "Victims still out of service at each tenth of the window"
+          " (`#### ` = at/near peak backlog).\n\n| stage |";
+    for (std::size_t s = 0; s < kStages; ++s) md << " s" << s << " |";
+    md << "\n|---|";
+    for (std::size_t s = 0; s < kStages; ++s) md << "---|";
+    md << "\n| outstanding |";
+    for (std::size_t s = 0; s < kStages; ++s) {
+      md << " " << outstanding[s] << " |";
+      csv.add("flight", "burndown.s" + std::to_string(s),
+              static_cast<double>(outstanding[s]));
+    }
+    md << "\n| backlog |";
+    for (std::size_t s = 0; s < kStages; ++s) {
+      const double frac =
+          peak > 0 ? static_cast<double>(outstanding[s]) / peak : 0.0;
+      md << " " << shade(frac) << "|";
+    }
+    md << "\n\n";
+  }
+}
+
 int run_report(const Args& args) {
   const auto flag = [&](const char* name) -> std::string {
     const auto it = args.flags.find(name);
@@ -1172,8 +1412,9 @@ int run_report(const Args& args) {
   const std::string telemetry_path = flag("telemetry");
   const std::string trace_path = flag("trace");
   const std::string bench_path = flag("bench");
+  const std::string flight_path = flag("flight");
   if (metrics_path.empty() && telemetry_path.empty() && trace_path.empty() &&
-      bench_path.empty()) {
+      bench_path.empty() && flight_path.empty()) {
     std::cerr << "ftreport: report needs at least one input\n";
     usage(std::cerr);
     return 2;
@@ -1207,6 +1448,11 @@ int run_report(const Args& args) {
     JsonValue trace;
     if (!parse_file(trace_path, trace)) return 2;
     report_trace(trace, md, csv);
+  }
+  if (!flight_path.empty()) {
+    std::vector<JsonValue> lines;
+    if (!parse_jsonl_file(flight_path, lines)) return 2;
+    report_flight(lines, md, csv);
   }
 
   const std::string out_path = flag("out");
@@ -1397,7 +1643,8 @@ int main(int argc, char** argv) {
   static const std::vector<std::string> kValueFlags = {
       "baseline", "candidate",   "threshold", "metrics",
       "telemetry", "trace",      "bench",     "out",
-      "csv",       "degradation", "fig9",     "scheduler"};
+      "csv",       "degradation", "fig9",     "scheduler",
+      "flight"};
   if (raw[0] == "report") {
     Args args;
     if (!parse_args({raw.begin() + 1, raw.end()}, kValueFlags, args)) return 2;

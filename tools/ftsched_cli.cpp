@@ -30,6 +30,11 @@
 //                          hardware threads). Results are bit-identical at
 //                          any thread count; see docs/PERFORMANCE.md.
 //
+//   --flight-dump=FILE     degrade only: attach the lifecycle flight
+//                          recorder, arm the dump-on-contract-failure hook,
+//                          and write the self-describing JSONL dump (format
+//                          v1; decode with ftreport --flight=FILE)
+//
 // Fault flags (degrade command; see docs/ROBUSTNESS.md):
 //   --fault-rate=F         expected fraction of cables failing at least once
 //                          within the horizon (default 0; ignored when
@@ -44,6 +49,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -56,6 +62,7 @@
 #include "fault/retry_policy.hpp"
 #include "hw/resources.hpp"
 #include "hw/timing_model.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/link_telemetry.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sched_probe.hpp"
@@ -97,6 +104,7 @@ int usage() {
                "          [--fault-rate=F | --fault-mtbf=T] [--fault-mttr=T]\n"
                "          [--retry-policy=SPEC] [--horizon=N] [--threads=N]\n"
                "          [--metrics-out=FILE] [--trace-out=FILE]\n"
+               "          [--flight-dump=FILE]\n"
                "  sweep <scheduler> [reps] [--threads=N]\n"
                "  hw <levels> <w>\n";
   return 2;
@@ -118,7 +126,19 @@ struct ObsFlags {
   double fault_mttr = 0.0;
   std::string retry_policy = "backoff:1:8";
   SimTime horizon = 1000;
+  std::string flight_dump;  ///< degrade: lifecycle ledger dump path
 };
+
+/// "metrics.jsonl" -> "metrics.rep3.jsonl" — one artifact per repetition, so
+/// a sweep's observability output is never silently rep-0-only.
+std::string rep_path(const std::string& base, std::size_t rep) {
+  const std::size_t dot = base.rfind('.');
+  const std::string suffix = ".rep" + std::to_string(rep);
+  if (dot == std::string::npos || base.find('/', dot) != std::string::npos) {
+    return base + suffix;
+  }
+  return base.substr(0, dot) + suffix + base.substr(dot);
+}
 
 Result<FatTree> tree_from_args(int argc, char** argv, int base) {
   const auto levels = static_cast<std::uint32_t>(std::atoi(argv[base]));
@@ -316,6 +336,17 @@ int cmd_degrade(int argc, char** argv, const ObsFlags& flags) {
   config.horizon = flags.horizon;
   config.retry = retry_or.value();
 
+  // Lifecycle flight recorder: one ring per degradation worker thread, armed
+  // as the contract-failure black box for the whole run.
+  std::optional<obs::FlightRecorder> recorder;
+  if (!flags.flight_dump.empty()) {
+    const std::size_t rings = std::max<std::size_t>(
+        1, std::min(config.threads, config.repetitions));
+    recorder.emplace(rings);
+    config.flight = &*recorder;
+    obs::arm_flight_dump_on_contract_failure(*recorder, flags.flight_dump);
+  }
+
   const DegradationPoint point = run_degradation(tree, config);
   std::cout << config.scheduler << " on " << to_string(pattern->second)
             << ", " << config.repetitions << " reps, horizon "
@@ -355,22 +386,24 @@ int cmd_degrade(int argc, char** argv, const ObsFlags& flags) {
   print_latency("recovery lat.  ", point.recovery_latency);
   print_latency("retry lat.     ", point.retry_latency);
 
-  // Observability artifacts come from a single extra repetition-0 run with
-  // the tracer and metrics registry attached — identical seeds, so the spans
-  // and counters describe the first repetition of the sweep above.
-  if (!flags.metrics_out.empty() || !flags.trace_out.empty()) {
-    obs::TraceWriter tracer;
-    FabricOptions options;
-    options.scheduler = config.scheduler;
-    options.seed = config.seed;
-    options.retry = config.retry;
-    options.horizon = config.horizon;
-    options.tracer = flags.trace_out.empty() ? nullptr : &tracer;
+  if (recorder) {
+    obs::disarm_flight_dump_on_contract_failure();
+    std::ofstream out(flags.flight_dump);
+    if (!out) {
+      std::cerr << "cannot open " << flags.flight_dump << "\n";
+      return 1;
+    }
+    recorder->write_jsonl(out);
+    std::cout << "  flight  -> " << flags.flight_dump << " ("
+              << recorder->recorded() << " events, " << recorder->dropped()
+              << " dropped)\n";
+  }
 
-    std::uint64_t mix = config.seed + 0x9e3779b97f4a7c15ULL;
-    Xoshiro256ss workload_rng(splitmix64(mix));
-    const std::vector<Request> batch =
-        generate_pattern(tree, config.pattern, workload_rng, config.workload);
+  // Observability artifacts re-run every repetition with the tracer and
+  // metrics registry attached — identical per-rep seed derivation, so
+  // artifact rep k describes repetition k of the sweep above and no
+  // repetition's spans are silently missing.
+  if (!flags.metrics_out.empty() || !flags.trace_out.empty()) {
     double mtbf = config.mtbf;
     if (mtbf <= 0.0 && config.fault_rate > 0.0) {
       mtbf = FaultTimeline::mtbf_for_fault_rate(config.fault_rate,
@@ -381,40 +414,63 @@ int cmd_degrade(int argc, char** argv, const ObsFlags& flags) {
             ? config.mttr
             : std::max(1.0, static_cast<double>(config.horizon) / 8.0);
 
-    Simulator sim;
-    FabricManager fabric(tree, sim, options);
-    fabric.reseed(splitmix64(mix));
-    FaultTimeline timeline;
-    if (mtbf > 0.0) {
-      std::uint64_t timeline_mix = mix ^ 0xfa017e11eULL;
-      timeline = FaultTimeline::from_mtbf(tree, mtbf, mttr, config.horizon,
-                                          splitmix64(timeline_mix));
-    }
-    fabric.install(timeline);
-    fabric.submit(batch, 0);
-    sim.run();
-    fabric.verify_invariants();
+    for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
+      obs::TraceWriter tracer;
+      FabricOptions options;
+      options.scheduler = config.scheduler;
+      options.seed = config.seed;
+      options.retry = config.retry;
+      options.horizon = config.horizon;
+      options.tracer = flags.trace_out.empty() ? nullptr : &tracer;
 
-    if (!flags.metrics_out.empty()) {
-      std::ofstream out(flags.metrics_out);
-      if (!out) {
-        std::cerr << "cannot open " << flags.metrics_out << "\n";
-        return 1;
+      std::uint64_t mix = config.seed + 0x9e3779b97f4a7c15ULL * (rep + 1);
+      Xoshiro256ss workload_rng(splitmix64(mix));
+      const std::vector<Request> batch = generate_pattern(
+          tree, config.pattern, workload_rng, config.workload);
+
+      Simulator sim;
+      FabricManager fabric(tree, sim, options);
+      fabric.reseed(splitmix64(mix));
+      FaultTimeline timeline;
+      if (mtbf > 0.0) {
+        std::uint64_t timeline_mix = mix ^ 0xfa017e11eULL;
+        timeline = FaultTimeline::from_mtbf(tree, mtbf, mttr, config.horizon,
+                                            splitmix64(timeline_mix));
       }
-      obs::MetricsRegistry registry;
-      fabric.export_metrics(registry);
-      registry.write_jsonl(out);
-      std::cout << "  metrics -> " << flags.metrics_out << " (rep 0)\n";
+      fabric.install(timeline);
+      fabric.submit(batch, 0);
+      sim.run();
+      fabric.verify_invariants();
+
+      if (!flags.metrics_out.empty()) {
+        const std::string path = rep_path(flags.metrics_out, rep);
+        std::ofstream out(path);
+        if (!out) {
+          std::cerr << "cannot open " << path << "\n";
+          return 1;
+        }
+        obs::MetricsRegistry registry;
+        fabric.export_metrics(registry);
+        registry.write_jsonl(out);
+      }
+      if (!flags.trace_out.empty()) {
+        const std::string path = rep_path(flags.trace_out, rep);
+        std::ofstream out(path);
+        if (!out) {
+          std::cerr << "cannot open " << path << "\n";
+          return 1;
+        }
+        tracer.write(out);
+      }
+    }
+    const std::string last = "rep" + std::to_string(config.repetitions - 1);
+    if (!flags.metrics_out.empty()) {
+      std::cout << "  metrics -> " << rep_path(flags.metrics_out, 0) << " .. "
+                << last << "\n";
     }
     if (!flags.trace_out.empty()) {
-      std::ofstream out(flags.trace_out);
-      if (!out) {
-        std::cerr << "cannot open " << flags.trace_out << "\n";
-        return 1;
-      }
-      tracer.write(out);
-      std::cout << "  trace   -> " << flags.trace_out << " (" << tracer.size()
-                << " events, rep 0)\n";
+      std::cout << "  trace   -> " << rep_path(flags.trace_out, 0) << " .. "
+                << last << "\n";
     }
   }
   return 0;
@@ -534,6 +590,8 @@ int main(int argc, char** argv) {
       flags.fault_mttr = std::atof(arg.c_str() + 13);
     } else if (arg.rfind("--retry-policy=", 0) == 0) {
       flags.retry_policy = arg.substr(15);
+    } else if (arg.rfind("--flight-dump=", 0) == 0) {
+      flags.flight_dump = arg.substr(14);
     } else if (arg.rfind("--horizon=", 0) == 0) {
       flags.horizon = static_cast<SimTime>(std::atoll(arg.c_str() + 10));
     } else {
