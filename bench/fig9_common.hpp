@@ -12,15 +12,18 @@
 // printed for completeness since the paper mentions "greedy or random".
 #pragma once
 
-#include <chrono>
 #include <cstdlib>
+#include <deque>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "exec/thread_pool.hpp"
+#include "obs/env.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/stopwatch.hpp"
 #include "stats/runner.hpp"
 #include "util/table.hpp"
 
@@ -48,12 +51,10 @@ struct Fig9Row {
 };
 
 inline TimedPoint run_timed(const FatTree& tree, ExperimentConfig& config) {
-  const auto start = std::chrono::steady_clock::now();
+  const obs::Stopwatch watch;
   TimedPoint timed;
   timed.point = run_experiment(tree, config);
-  timed.wall_ms = std::chrono::duration<double, std::milli>(
-                      std::chrono::steady_clock::now() - start)
-                      .count();
+  timed.wall_ms = watch.elapsed_ms();
   return timed;
 }
 
@@ -136,24 +137,56 @@ inline void write_timed_point(std::ostream& os, const char* scheduler,
      << ",\"requests_per_sec\":" << timed.requests_per_sec() << '}';
 }
 
+/// One profiled scheduler run destined for a BENCH json's profile block.
+/// Deque-stored: ProfileSession owns perf fds and is immovable.
+struct ProfiledPoint {
+  std::string label;
+  obs::ProfileSession session;
+};
+
+/// The embedded `"profile"` block: same point-object shape as the profile
+/// JSONL v1 `point` lines, plus the backend/env header fields inline.
+inline void write_profile_block(std::ostream& os,
+                                const std::deque<ProfiledPoint>& profiled) {
+  const obs::PerfBackend backend =
+      profiled.empty() ? obs::PerfBackend::kTimer
+                       : profiled.front().session.backend();
+  os << "\"profile\":{\"version\":1,\"backend\":\""
+     << obs::to_string(backend) << "\",\"env\":";
+  obs::write_env_json(os, obs::collect_env());
+  os << ",\"points\":[";
+  for (std::size_t i = 0; i < profiled.size(); ++i) {
+    if (i) os << ',';
+    os << "\n";
+    profiled[i].session.write_point_json(os, profiled[i].label);
+  }
+  os << "\n]}";
+}
+
 /// BENCH_*.json: one self-contained JSON document per bench —
-///   {"bench":..,"reps":..,"threads":..,"points":[{"levels":..,"arity":..,
-///    "nodes":..,"schedulers":{"<name>":{"mean","min","max","stddev",
-///    "wall_ms","requests_per_sec"},..}},..]}
+///   {"bench":..,"reps":..,"threads":..,"env":{..},"points":[{"levels":..,
+///    "arity":..,"nodes":..,"schedulers":{"<name>":{"mean","min","max",
+///    "stddev","wall_ms","requests_per_sec"},..}},..][,"profile":{..}]}
 /// `threads` records the repetition fan-out the numbers were measured with;
 /// the ratio fields are thread-count-invariant, the wall-clock fields are
-/// not. See docs/OBSERVABILITY.md for the schema contract CI validates.
+/// not. `env` fingerprints the machine and build (obs::EnvInfo) so ftreport
+/// can warn when a regression gate compares artifacts from different boxes.
+/// See docs/OBSERVABILITY.md for the schema contract CI validates.
 inline void write_bench_json(const std::string& path,
                              const std::string& bench, std::size_t reps,
                              const std::vector<Fig9Row>& rows,
-                             std::size_t threads = 1) {
+                             std::size_t threads = 1,
+                             const std::deque<ProfiledPoint>* profiled =
+                                 nullptr) {
   std::ofstream os(path);
   if (!os) {
     std::cerr << "cannot open " << path << "\n";
     return;
   }
   os << "{\"bench\":\"" << obs::json_escape(bench) << "\",\"reps\":" << reps
-     << ",\"threads\":" << threads << ",\"points\":[";
+     << ",\"threads\":" << threads << ",\"env\":";
+  obs::write_env_json(os, obs::collect_env());
+  os << ",\"points\":[";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Fig9Row& row = rows[i];
     if (i) os << ',';
@@ -166,18 +199,31 @@ inline void write_bench_json(const std::string& path,
     write_timed_point(os, "local", row.local_greedy);
     os << "}}";
   }
-  os << "\n]}\n";
+  os << "\n]";
+  if (profiled != nullptr && !profiled->empty()) {
+    os << ',';
+    write_profile_block(os, *profiled);
+  }
+  os << "}\n";
   std::cout << "wrote " << path << "\n";
 }
 
 /// Shared argv handling for the sweep benches:
-/// [reps] [--csv] [--json[=FILE]] [--threads=N] in any order. `--json`
-/// without a file writes BENCH_<bench>.json in the working directory.
+/// [reps] [--csv] [--json[=FILE]] [--profile] [--profile-backend=auto|timer]
+/// [--threads=N] in any order. `--json` without a file writes
+/// BENCH_<bench>.json in the working directory.
 struct Fig9Args {
   std::size_t reps = 100;
   bool csv = false;
   bool json = false;
   std::string json_path;  // empty = default BENCH_<bench>.json
+  /// --profile: re-run the levelwise sweep with the cost profiler attached
+  /// and embed the per-level/per-phase attribution as a "profile" block in
+  /// the bench JSON (requires --json; ignored without it).
+  bool profile = false;
+  /// --profile-backend=timer forces the wall-clock fallback backend.
+  obs::PerfCounters::Request profile_request =
+      obs::PerfCounters::Request::kAuto;
   /// Repetition fan-out width (--threads=N; 0 = all hardware threads).
   /// Ratios are bit-identical at any width — only wall_ms moves.
   std::size_t threads = 1;
@@ -194,6 +240,12 @@ inline Fig9Args parse_fig9_args(int argc, char** argv) {
     } else if (arg.rfind("--json=", 0) == 0) {
       args.json = true;
       args.json_path = arg.substr(7);
+    } else if (arg == "--profile") {
+      args.profile = true;
+    } else if (arg == "--profile-backend=timer") {
+      args.profile_request = obs::PerfCounters::Request::kTimer;
+    } else if (arg == "--profile-backend=auto") {
+      args.profile_request = obs::PerfCounters::Request::kAuto;
     } else if (arg.rfind("--threads=", 0) == 0) {
       const long n = std::atol(arg.c_str() + 10);
       args.threads = n <= 0 ? exec::hardware_threads()
@@ -206,6 +258,31 @@ inline Fig9Args parse_fig9_args(int argc, char** argv) {
   return args;
 }
 
+/// --profile support: re-runs the levelwise sweep — same grid, same seeds,
+/// so the profile describes exactly the run the ratios came from — with a
+/// ProfileSession attached per point.
+inline std::deque<ProfiledPoint> profile_sweep(
+    std::uint32_t levels, const std::vector<std::uint32_t>& arities,
+    std::size_t reps, std::size_t threads,
+    obs::PerfCounters::Request request) {
+  std::deque<ProfiledPoint> profiled;
+  for (const std::uint32_t w : arities) {
+    const FatTree tree = FatTree::symmetric(levels, w);
+    ExperimentConfig config;
+    config.repetitions = reps;
+    config.seed = 2006 + w;
+    config.threads = threads;
+    config.scheduler = "levelwise";
+    ProfiledPoint& pp = profiled.emplace_back();
+    pp.label = "levelwise/l" + std::to_string(levels) + "w" +
+               std::to_string(w);
+    pp.session.set_request(request);
+    config.profiler = &pp.session;
+    run_experiment(tree, config);
+  }
+  return profiled;
+}
+
 /// Runs a standard single-family sweep bench end to end (fig9a/b/c share
 /// exactly this shape): print the table, optionally drop BENCH_<name>.json.
 inline int run_sweep_bench(const std::string& bench, const std::string& title,
@@ -216,9 +293,15 @@ inline int run_sweep_bench(const std::string& bench, const std::string& title,
   print_sweep(title, levels, arities, args.reps, args.csv, &rows,
               args.threads);
   if (args.json) {
+    std::deque<ProfiledPoint> profiled;
+    if (args.profile) {
+      profiled = profile_sweep(levels, arities, args.reps, args.threads,
+                               args.profile_request);
+    }
     const std::string path =
         args.json_path.empty() ? "BENCH_" + bench + ".json" : args.json_path;
-    write_bench_json(path, bench, args.reps, rows, args.threads);
+    write_bench_json(path, bench, args.reps, rows, args.threads,
+                     profiled.empty() ? nullptr : &profiled);
   }
   return 0;
 }

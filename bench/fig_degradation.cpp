@@ -10,15 +10,23 @@
 //
 // Usage: fig_degradation [reps] [--csv] [--json[=FILE]] [--threads=N]
 //                        [--retry=SPEC] [--horizon=T] [--rates=R1,R2,...]
-//                        [--flight=FILE]
+//                        [--flight=FILE] [--profile]
+//                        [--profile-backend=auto|timer]
 //
 // --flight=FILE attaches the lifecycle flight recorder to every point (one
 // ring per worker thread) and writes the combined dump; request ids carry a
 // per-point namespace on top of the per-repetition one, so one file holds
 // the whole sweep's ledger. The hook is also armed as the crash black box.
+//
+// --profile attaches the hot-path cost profiler to every point (requires
+// --json): each point's per-level/per-phase attribution — covering every
+// scheduler batch the DES drives, arrivals and retry drains alike — lands
+// in a "profile" block in the bench JSON. Unlike the fig9 benches there is
+// no separate profiled re-run; the profiler observes the measured run
+// itself (it never steers scheduling, so the ratios are unchanged).
 #include <algorithm>
-#include <chrono>
 #include <cstdlib>
+#include <deque>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -27,8 +35,11 @@
 
 #include "exec/thread_pool.hpp"
 #include "fault/degradation.hpp"
+#include "fig9_common.hpp"
+#include "obs/env.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/stopwatch.hpp"
 #include "stats/summary.hpp"
 #include "util/table.hpp"
 
@@ -50,6 +61,9 @@ struct Args {
   SimTime horizon = 1000;
   std::vector<double> rates = {0.0, 0.1, 0.25, 0.5, 0.75};
   std::string flight_path;
+  bool profile = false;
+  obs::PerfCounters::Request profile_request =
+      obs::PerfCounters::Request::kAuto;
 };
 
 std::vector<double> parse_rates(const std::string& spec) {
@@ -89,6 +103,12 @@ Args parse_args(int argc, char** argv) {
       args.rates = parse_rates(arg.substr(8));
     } else if (arg.rfind("--flight=", 0) == 0) {
       args.flight_path = arg.substr(9);
+    } else if (arg == "--profile") {
+      args.profile = true;
+    } else if (arg == "--profile-backend=timer") {
+      args.profile_request = obs::PerfCounters::Request::kTimer;
+    } else if (arg == "--profile-backend=auto") {
+      args.profile_request = obs::PerfCounters::Request::kAuto;
     } else {
       args.reps = static_cast<std::size_t>(std::atoi(arg.c_str()));
     }
@@ -124,14 +144,18 @@ void write_latency(std::ostream& os, const char* name,
 
 /// BENCH_degradation.json:
 ///   {"bench":"degradation","reps":..,"threads":..,"horizon":..,
-///    "retry":"<spec>","points":[{"levels","arity","nodes","fault_rate",
+///    "retry":"<spec>","env":{..},"points":[{"levels","arity","nodes",
+///    "fault_rate",
 ///    "schedulability"/"open_ratio"/"ever_granted":{mean,min,max,stddev},
 ///    counters..., "recovery_success_ratio",
 ///    "recovery_latency"/"retry_latency":{count[,p50,p90,p99]},
-///    "wall_ms"},..]}
+///    "wall_ms"},..][,"profile":{..}]}
 /// Ratio and counter fields are thread-count-invariant; wall_ms is not.
+/// `env` fingerprints machine and build so ftreport can warn on
+/// cross-machine comparisons; `profile` appears under --profile.
 void write_json(const std::string& path, const Args& args,
-                const std::vector<DegradationRow>& rows) {
+                const std::vector<DegradationRow>& rows,
+                const std::deque<ProfiledPoint>& profiled) {
   std::ofstream os(path);
   if (!os) {
     std::cerr << "cannot open " << path << "\n";
@@ -139,7 +163,9 @@ void write_json(const std::string& path, const Args& args,
   }
   os << "{\"bench\":\"degradation\",\"reps\":" << args.reps
      << ",\"threads\":" << args.threads << ",\"horizon\":" << args.horizon
-     << ",\"retry\":\"" << obs::json_escape(args.retry) << "\",\"points\":[";
+     << ",\"retry\":\"" << obs::json_escape(args.retry) << "\",\"env\":";
+  obs::write_env_json(os, obs::collect_env());
+  os << ",\"points\":[";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const DegradationRow& row = rows[i];
     const DegradationPoint& p = row.point;
@@ -165,7 +191,12 @@ void write_json(const std::string& path, const Args& args,
     write_latency(os, "retry_latency", p.retry_latency);
     os << ",\"wall_ms\":" << row.wall_ms << '}';
   }
-  os << "\n]}\n";
+  os << "\n]";
+  if (!profiled.empty()) {
+    os << ',';
+    write_profile_block(os, profiled);
+  }
+  os << "}\n";
   std::cout << "wrote " << path << "\n";
 }
 
@@ -205,6 +236,7 @@ int run(const Args& args) {
   }
 
   std::vector<DegradationRow> rows;
+  std::deque<ProfiledPoint> profiled;
   std::uint64_t point_counter = 0;
   for (const TreeSpec& spec : specs) {
     const FatTree tree = FatTree::symmetric(spec.levels, spec.arity);
@@ -220,16 +252,22 @@ int run(const Args& args) {
         config.flight = &*recorder;
         config.flight_base = (++point_counter) << 44U;
       }
+      if (args.profile && args.json) {
+        ProfiledPoint& pp = profiled.emplace_back();
+        pp.label = "levelwise/l" + std::to_string(spec.levels) + "w" +
+                   std::to_string(spec.arity) + "/rate" +
+                   TextTable::num(rate, 2);
+        pp.session.set_request(args.profile_request);
+        config.profiler = &pp.session;
+      }
 
-      const auto start = std::chrono::steady_clock::now();
+      const obs::Stopwatch watch;
       DegradationRow row;
       row.spec = spec;
       row.nodes = tree.node_count();
       row.fault_rate = rate;
       row.point = run_degradation(tree, config);
-      row.wall_ms = std::chrono::duration<double, std::milli>(
-                        std::chrono::steady_clock::now() - start)
-                        .count();
+      row.wall_ms = watch.elapsed_ms();
 
       const DegradationPoint& p = row.point;
       if (args.csv) {
@@ -263,7 +301,7 @@ int run(const Args& args) {
   if (args.json) {
     const std::string path =
         args.json_path.empty() ? "BENCH_degradation.json" : args.json_path;
-    write_json(path, args, rows);
+    write_json(path, args, rows, profiled);
   }
   if (recorder) {
     obs::disarm_flight_dump_on_contract_failure();

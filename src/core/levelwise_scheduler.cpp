@@ -32,20 +32,29 @@ LevelwiseScheduler::LevelwiseScheduler(LevelwiseOptions options)
 std::optional<std::uint32_t> LevelwiseScheduler::pick_port(
     const LinkState& state, std::uint32_t level, std::uint64_t src_sw,
     std::uint64_t dst_sw, std::vector<std::uint32_t>& rr_hint) {
-  if (probe_) [[unlikely]] {
-    return pick_port_impl<true>(state, level, src_sw, dst_sw, rr_hint);
+  if (profiler_) [[unlikely]] {
+    if (probe_) {
+      return pick_port_impl<true, true>(state, level, src_sw, dst_sw, rr_hint);
+    }
+    return pick_port_impl<false, true>(state, level, src_sw, dst_sw, rr_hint);
   }
-  return pick_port_impl<false>(state, level, src_sw, dst_sw, rr_hint);
+  if (probe_) [[unlikely]] {
+    return pick_port_impl<true, false>(state, level, src_sw, dst_sw, rr_hint);
+  }
+  return pick_port_impl<false, false>(state, level, src_sw, dst_sw, rr_hint);
 }
 
-template <bool kProbed>
+template <bool kProbed, bool kProfiled>
 std::optional<std::uint32_t> LevelwiseScheduler::pick_port_impl(
     const LinkState& state, std::uint32_t level, std::uint64_t src_sw,
     std::uint64_t dst_sw, std::vector<std::uint32_t>& rr_hint) {
+  obs::ProfileSession* const prof = kProfiled ? profiler_ : nullptr;
   if constexpr (kProbed) {
+    obs::ProfileRegion and_region(prof, obs::ProfilePhase::kAnd, level);
     probe_->on_and_popcount(
         level, state.available_port_count(level, src_sw, dst_sw));
   }
+  obs::ProfileRegion pick_region(prof, obs::ProfilePhase::kPortPick, level);
   const auto picked = [&](std::optional<std::uint32_t> port) {
     if constexpr (kProbed) {
       if (port) probe_->on_port_pick(level, *port);
@@ -88,6 +97,18 @@ ScheduleResult LevelwiseScheduler::schedule(const FatTree& tree,
 
 ScheduleResult LevelwiseScheduler::schedule_level_major(
     const FatTree& tree, std::span<const Request> requests, LinkState& state) {
+  if (profiler_) [[unlikely]] {
+    return schedule_level_major_impl<true>(tree, requests, state);
+  }
+  return schedule_level_major_impl<false>(tree, requests, state);
+}
+
+template <bool kProfiled>
+ScheduleResult LevelwiseScheduler::schedule_level_major_impl(
+    const FatTree& tree, std::span<const Request> requests, LinkState& state) {
+  // Compile-time null in the detached instantiation: every ProfileRegion
+  // below folds away entirely, leaving the uninstrumented loop.
+  obs::ProfileSession* const prof = kProfiled ? profiler_ : nullptr;
   if (probe_) probe_->on_batch_begin(requests.size());
   obs::ScopedSpan batch_span(tracer_, name_, "sched.batch");
   ScheduleResult result;
@@ -114,6 +135,7 @@ ScheduleResult LevelwiseScheduler::schedule_level_major(
   // and initialize σ_0 / δ_0 for the rest.
   {
     obs::ScopedSpan admission_span(tracer_, "admission", "sched.phase");
+    obs::ProfileRegion admission_region(prof, obs::ProfilePhase::kAdmission);
     for (std::size_t i = 0; i < requests.size(); ++i) {
       const Request& r = requests[i];
       RequestOutcome& out = result.outcomes[i];
@@ -169,8 +191,12 @@ ScheduleResult LevelwiseScheduler::schedule_level_major(
         out.fail_level = h;
         continue;  // dropped from the live list
       }
-      tx[i].occupy(h, sigma_[i], delta_[i], *port);
-      out.path.ports.push_back(*port);
+      {
+        obs::ProfileRegion commit_region(prof, obs::ProfilePhase::kCommit, h);
+        tx[i].occupy(h, sigma_[i], delta_[i], *port);
+        out.path.ports.push_back(*port);
+      }
+      obs::ProfileRegion label_region(prof, obs::ProfilePhase::kLabel, h);
       // Theorem-1 digit shift, incrementally: new port digit in front,
       // one source digit consumed on each side.
       pval_[i] = *port + w * pval_[i];
@@ -190,23 +216,28 @@ ScheduleResult LevelwiseScheduler::schedule_level_major(
   }
 
   // Cleanup: rejected requests release their leaf claims and (optionally)
-  // their partial channel allocations.
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    RequestOutcome& out = result.outcomes[i];
-    if (out.granted) {
-      tx[i].commit();
-      continue;
-    }
-    out.path.ports.clear();
-    out.path.ancestor_level = 0;
-    if (out.reason != RejectReason::kLeafBusy) {
-      leaves.release(requests[i].src, requests[i].dst);
-    }
-    if (options_.release_rejected) {
-      if (probe_) probe_->on_rollback(tx[i].size());
-      tx[i].rollback();
-    } else {
-      tx[i].commit();  // hardware-fidelity mode: partial allocation persists
+  // their partial channel allocations. Profiled, the sweep is commit volume
+  // with rollback carved out as nested self-time.
+  {
+    obs::ProfileRegion cleanup_region(prof, obs::ProfilePhase::kCommit);
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      RequestOutcome& out = result.outcomes[i];
+      if (out.granted) {
+        tx[i].commit();
+        continue;
+      }
+      out.path.ports.clear();
+      out.path.ancestor_level = 0;
+      if (out.reason != RejectReason::kLeafBusy) {
+        leaves.release(requests[i].src, requests[i].dst);
+      }
+      if (options_.release_rejected) {
+        obs::ProfileRegion rollback_region(prof, obs::ProfilePhase::kRollback);
+        if (probe_) probe_->on_rollback(tx[i].size());
+        tx[i].rollback();
+      } else {
+        tx[i].commit();  // hardware-fidelity mode: partial allocation persists
+      }
     }
   }
   if (probe_) record_outcomes(result);
@@ -240,16 +271,27 @@ ScheduleResult LevelwiseScheduler::schedule_request_major(
   for (const Request& r : requests) {
     RequestOutcome out;
     out.path = Path{r.src, r.dst, 0, {}};
-    if (!leaves.try_claim(r.src, r.dst)) {
-      out.reason = RejectReason::kLeafBusy;
-      result.outcomes.push_back(out);
-      continue;
+    std::uint64_t src_leaf = 0;
+    std::uint64_t dst_leaf = 0;
+    std::uint32_t H = 0;
+    bool resolved = false;
+    {
+      obs::ProfileRegion admission_region(profiler_,
+                                          obs::ProfilePhase::kAdmission);
+      if (!leaves.try_claim(r.src, r.dst)) {
+        out.reason = RejectReason::kLeafBusy;
+        resolved = true;
+      } else {
+        src_leaf = tree.leaf_switch(r.src).index;
+        dst_leaf = tree.leaf_switch(r.dst).index;
+        H = meet_level(src_leaf, dst_leaf, m);
+        if (H == 0) {
+          out.granted = true;  // circuit lives inside one leaf crossbar
+          resolved = true;
+        }
+      }
     }
-    const std::uint64_t src_leaf = tree.leaf_switch(r.src).index;
-    const std::uint64_t dst_leaf = tree.leaf_switch(r.dst).index;
-    const std::uint32_t H = meet_level(src_leaf, dst_leaf, m);
-    if (H == 0) {
-      out.granted = true;
+    if (resolved) {
       result.outcomes.push_back(out);
       continue;
     }
@@ -270,8 +312,13 @@ ScheduleResult LevelwiseScheduler::schedule_request_major(
         rejected = true;
         break;
       }
-      tx.occupy(h, sigma, delta, *port);
-      out.path.ports.push_back(*port);
+      {
+        obs::ProfileRegion commit_region(profiler_, obs::ProfilePhase::kCommit,
+                                         h);
+        tx.occupy(h, sigma, delta, *port);
+        out.path.ports.push_back(*port);
+      }
+      obs::ProfileRegion label_region(profiler_, obs::ProfilePhase::kLabel, h);
       // Theorem-1 digit shift, incrementally (see schedule_level_major).
       pval = *port + w * pval;
       src_rest /= m;
@@ -284,6 +331,8 @@ ScheduleResult LevelwiseScheduler::schedule_request_major(
       out.path.ancestor_level = 0;
       leaves.release(r.src, r.dst);
       if (options_.release_rejected) {
+        obs::ProfileRegion rollback_region(profiler_,
+                                           obs::ProfilePhase::kRollback);
         if (probe_) probe_->on_rollback(tx.size());
         tx.rollback();
       } else {
@@ -292,6 +341,7 @@ ScheduleResult LevelwiseScheduler::schedule_request_major(
     } else {
       FT_ASSERT(sigma == delta);
       out.granted = true;
+      obs::ProfileRegion commit_region(profiler_, obs::ProfilePhase::kCommit);
       tx.commit();
     }
     result.outcomes.push_back(out);

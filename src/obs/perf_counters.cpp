@@ -1,0 +1,148 @@
+#include "obs/perf_counters.hpp"
+
+#include <chrono>
+
+#include "util/contracts.hpp"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace ftsched::obs {
+
+namespace {
+
+bool g_simulate_denied = false;
+
+std::uint64_t monotonic_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+#if defined(__linux__)
+/// One slot of the fixed counter layout (see PerfCounters::fds_).
+struct EventSpec {
+  std::uint32_t type;
+  std::uint64_t config;
+};
+
+constexpr EventSpec kEvents[5] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HW_CACHE,
+     PERF_COUNT_HW_CACHE_L1D | (PERF_COUNT_HW_CACHE_OP_READ << 8U) |
+         (PERF_COUNT_HW_CACHE_RESULT_MISS << 16U)},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+};
+
+int open_event(const EventSpec& spec, int group_fd, bool leader) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = spec.type;
+  attr.config = spec.config;
+  // The group is enabled with one ioctl after every member is attached; the
+  // leader starts disabled, members inherit the leader's on/off state.
+  attr.disabled = leader ? 1 : 0;
+  attr.exclude_kernel = 1;  // self-profiling: user space only, and the
+  attr.exclude_hv = 1;      // relaxed perf_event_paranoid levels allow it
+  attr.read_format = PERF_FORMAT_GROUP;
+  return static_cast<int>(syscall(SYS_perf_event_open, &attr,
+                                  /*pid=*/0, /*cpu=*/-1, group_fd,
+                                  /*flags=*/0UL));
+}
+#endif  // __linux__
+
+}  // namespace
+
+std::string_view to_string(PerfBackend backend) {
+  switch (backend) {
+    case PerfBackend::kTimer:
+      return "timer";
+    case PerfBackend::kPerfEvent:
+      return "perf_event";
+  }
+  FT_UNREACHABLE();
+}
+
+void PerfCounters::set_simulate_denied(bool denied) {
+  g_simulate_denied = denied;
+}
+
+void PerfCounters::open(Request request) {
+  if (open_) return;
+  backend_ = PerfBackend::kTimer;
+#if defined(__linux__)
+  if (request == Request::kAuto && !g_simulate_denied) {
+    const int leader = open_event(kEvents[0], -1, /*leader=*/true);
+    if (leader >= 0) {
+      fds_[0] = leader;
+      // Optional members: a PMU that lacks (say) the LLC-miss event still
+      // yields a useful cycles+instructions group; missing slots read zero.
+      for (int slot = 1; slot < 5; ++slot) {
+        fds_[slot] = open_event(kEvents[slot], leader, /*leader=*/false);
+      }
+      ioctl(leader, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+      ioctl(leader, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+      backend_ = PerfBackend::kPerfEvent;
+    }
+    // leader < 0: EACCES/EPERM (paranoid), ENOENT (no PMU), ENOSYS — every
+    // denial degrades to the timer backend, never aborts.
+  }
+#else
+  (void)request;
+#endif
+  wall_base_ns_ = monotonic_ns();
+  open_ = true;
+}
+
+void PerfCounters::close() {
+#if defined(__linux__)
+  for (int& fd : fds_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+#endif
+  open_ = false;
+  backend_ = PerfBackend::kTimer;
+}
+
+PerfSample PerfCounters::read() const {
+  FT_REQUIRE(open_);
+  PerfSample sample;
+  sample.wall_ns = monotonic_ns() - wall_base_ns_;
+#if defined(__linux__)
+  if (backend_ == PerfBackend::kPerfEvent) {
+    // PERF_FORMAT_GROUP layout: u64 nr, then one u64 per member in the
+    // order the members were attached — which is exactly slot order here,
+    // skipping slots whose open failed.
+    std::uint64_t buf[8] = {0};
+    const auto got = ::read(fds_[0], buf, sizeof(buf));
+    if (got >= static_cast<ssize_t>(sizeof(std::uint64_t))) {
+      std::uint64_t* out[5] = {&sample.cycles, &sample.instructions,
+                               &sample.l1d_misses, &sample.llc_misses,
+                               &sample.branch_misses};
+      const std::uint64_t nr = buf[0];
+      std::uint64_t next = 0;
+      for (int slot = 0; slot < 5; ++slot) {
+        if (fds_[slot] < 0) continue;
+        if (next >= nr) break;
+        *out[slot] = buf[1 + next];
+        ++next;
+      }
+    }
+  }
+#endif
+  return sample;
+}
+
+}  // namespace ftsched::obs

@@ -1,0 +1,121 @@
+// PerfCounters — one hardware-counter group (or a wall-clock fallback).
+//
+// Wraps `perf_event_open` with the five counters the scheduler hot loops
+// care about — cycles, instructions, L1d read misses, LLC misses, branch
+// misses — opened as ONE counter group on the calling thread, so a read is
+// a single syscall and every counter covers exactly the same instruction
+// window. Reads are cumulative since open(); callers subtract samples to
+// attribute windows (PerfSample arithmetic is unsigned and wraps, never UB).
+//
+// Opening NEVER fails: when the syscall is unavailable (non-Linux build),
+// denied (EACCES/EPERM under perf_event_paranoid, ENOSYS in seccomp
+// sandboxes), or the PMU is absent (ENOENT in most VMs/containers), open()
+// silently degrades to the timer backend — monotonic wall nanoseconds only,
+// hardware fields zero — and records which backend it landed on. Profiling
+// must observe, never abort: a bench that works on a developer box must not
+// die in CI. The one consumer-visible trace of the fallback is the
+// `profile.backend` metric / JSONL field (see obs::ProfileSession).
+//
+// This is the only file outside the timer utilities allowed to touch raw
+// clocks and perf syscalls — ftlint's `no-raw-timing` rule pins every other
+// module to this seam (src/obs and src/des are exempt).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ftsched::obs {
+
+/// Which measurement source a PerfCounters instance actually opened.
+enum class PerfBackend : std::uint8_t {
+  kTimer = 0,      ///< monotonic wall clock only; hardware fields stay zero
+  kPerfEvent = 1,  ///< perf_event_open hardware counter group
+};
+
+std::string_view to_string(PerfBackend backend);
+
+/// One cumulative reading. All fields are event counts since open() except
+/// `wall_ns` (monotonic nanoseconds since open). Unsigned arithmetic
+/// throughout: differences of readings taken in order are exact.
+struct PerfSample {
+  std::uint64_t wall_ns = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t l1d_misses = 0;
+  std::uint64_t llc_misses = 0;
+  std::uint64_t branch_misses = 0;
+
+  PerfSample& operator+=(const PerfSample& o) {
+    wall_ns += o.wall_ns;
+    cycles += o.cycles;
+    instructions += o.instructions;
+    l1d_misses += o.l1d_misses;
+    llc_misses += o.llc_misses;
+    branch_misses += o.branch_misses;
+    return *this;
+  }
+
+  friend PerfSample operator+(PerfSample a, const PerfSample& b) {
+    a += b;
+    return a;
+  }
+
+  friend PerfSample operator-(PerfSample a, const PerfSample& b) {
+    a.wall_ns -= b.wall_ns;
+    a.cycles -= b.cycles;
+    a.instructions -= b.instructions;
+    a.l1d_misses -= b.l1d_misses;
+    a.llc_misses -= b.llc_misses;
+    a.branch_misses -= b.branch_misses;
+    return a;
+  }
+
+  bool operator==(const PerfSample&) const = default;
+};
+
+class PerfCounters {
+ public:
+  /// What the caller wants open() to try. kAuto attempts the hardware group
+  /// first; kTimer skips the syscall entirely (the forced-fallback mode CI
+  /// uses so both code paths stay exercised on every machine).
+  enum class Request : std::uint8_t { kAuto = 0, kTimer = 1 };
+
+  PerfCounters() = default;
+  ~PerfCounters() { close(); }
+  PerfCounters(const PerfCounters&) = delete;
+  PerfCounters& operator=(const PerfCounters&) = delete;
+
+  /// Opens the counters on the CALLING thread (perf fds count that thread's
+  /// events only — one PerfCounters per worker, never shared). Idempotent;
+  /// never fails (see file comment). After open(), backend() reports what
+  /// was actually obtained.
+  void open(Request request = Request::kAuto);
+
+  /// Closes any hardware fds. Safe to call repeatedly; re-open() restarts
+  /// the cumulative window from zero.
+  void close();
+
+  bool is_open() const { return open_; }
+  PerfBackend backend() const { return backend_; }
+
+  /// Cumulative sample since open(). One syscall on the perf backend, one
+  /// vDSO clock read on the timer backend. Requires is_open().
+  PerfSample read() const;
+
+  /// Test hook: while true, open(kAuto) behaves exactly as if
+  /// perf_event_open returned EACCES — the graceful-degradation path is
+  /// unit-testable on machines where the syscall would succeed.
+  static void set_simulate_denied(bool denied);
+
+ private:
+  bool open_ = false;
+  PerfBackend backend_ = PerfBackend::kTimer;
+  // Group fds in fixed slot order: cycles (leader), instructions, L1d read
+  // misses, LLC misses, branch misses. -1 = this counter unavailable (its
+  // sample field stays zero); fds_[0] == -1 means the whole group failed
+  // and the instance is on the timer backend.
+  int fds_[5] = {-1, -1, -1, -1, -1};
+  std::uint64_t wall_base_ns_ = 0;
+};
+
+}  // namespace ftsched::obs

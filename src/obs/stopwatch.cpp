@@ -1,0 +1,24 @@
+#include "obs/stopwatch.hpp"
+
+#include <chrono>
+
+namespace ftsched::obs {
+
+namespace {
+
+std::uint64_t monotonic_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+void Stopwatch::restart() { base_ns_ = monotonic_ns(); }
+
+std::uint64_t Stopwatch::elapsed_ns() const {
+  return monotonic_ns() - base_ns_;
+}
+
+}  // namespace ftsched::obs

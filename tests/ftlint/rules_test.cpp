@@ -86,8 +86,9 @@ TEST(Rules, CatalogNamesAreKnown) {
   EXPECT_TRUE(known_rule("mutex-guarded-by"));
   EXPECT_TRUE(known_rule("dead-suppression"));
   EXPECT_TRUE(known_rule("flight-event-guard"));
+  EXPECT_TRUE(known_rule("no-raw-timing"));
   EXPECT_FALSE(known_rule("no-such-rule"));
-  EXPECT_EQ(rule_catalog().size(), 17u);
+  EXPECT_EQ(rule_catalog().size(), 18u);
 }
 
 TEST(Rules, DeterministicModules) {
@@ -190,6 +191,38 @@ TEST(Rules, FlightEventGuardRequiresMacro) {
   const std::string other = "void f(T* trace_) { trace_->record(1); }\n";
   EXPECT_FALSE(has_rule(findings_for("src/fault/f.cpp", other),
                         "flight-event-guard"));
+}
+
+TEST(Rules, RawTimingBansClocksAndCounterSyscalls) {
+  const std::string clock_now =
+      "#include <chrono>\n"
+      "long f() { return std::chrono::steady_clock::now()"
+      ".time_since_epoch().count(); }\n";
+  EXPECT_TRUE(has_rule(findings_for("bench/t.cpp", clock_now),
+                       "no-raw-timing"));
+  EXPECT_TRUE(has_rule(findings_for("tools/t.cpp", clock_now),
+                       "no-raw-timing"));
+  // obs owns the stopwatch; des owns virtual time.
+  EXPECT_FALSE(has_rule(findings_for("src/obs/stopwatch.cpp", clock_now),
+                        "no-raw-timing"));
+  EXPECT_FALSE(has_rule(findings_for("src/des/clock.cpp", clock_now),
+                        "no-raw-timing"));
+
+  const std::string syscall =
+      "long g() { timespec ts{}; clock_gettime(0, &ts); return ts.tv_nsec; }\n";
+  EXPECT_TRUE(has_rule(findings_for("bench/t.cpp", syscall), "no-raw-timing"));
+  EXPECT_TRUE(has_rule(findings_for("src/core/t.cpp",
+                                    "long h() { return __rdtsc(); }\n"),
+                       "no-raw-timing"));
+  EXPECT_TRUE(has_rule(findings_for("tools/t.cpp",
+                                    "int p() { return perf_event_open"
+                                    "(nullptr, 0, -1, -1, 0); }\n"),
+                       "no-raw-timing"));
+  // A bare `now` identifier (no clock qualifier) is someone else's API.
+  EXPECT_FALSE(has_rule(findings_for("bench/t.cpp",
+                                     "struct W { long now(); };\n"
+                                     "long q(W& w) { return w.now(); }\n"),
+                        "no-raw-timing"));
 }
 
 TEST(IncludeGraph, FindsCycles) {

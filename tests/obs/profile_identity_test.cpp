@@ -1,0 +1,98 @@
+// Profiling observes, never steers: an experiment run with a ProfileSession
+// attached must produce results bit-identical to the unprofiled run, at
+// every thread count. This is the same contract SchedulerProbe honors — the
+// profiler reads counters and credits slots, but never touches scheduler
+// state, RNG streams, or iteration order. Timer backend throughout so the
+// test is meaningful on PMU-less CI machines (the backend only changes what
+// the counter read returns, not where marks happen).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/profiler.hpp"
+#include "stats/runner.hpp"
+
+namespace ftsched {
+namespace {
+
+ExperimentPoint run_point(const FatTree& tree, const std::string& scheduler,
+                          std::size_t threads,
+                          obs::ProfileSession* profiler) {
+  ExperimentConfig config;
+  config.scheduler = scheduler;
+  config.repetitions = 12;
+  config.threads = threads;
+  config.profiler = profiler;
+  return run_experiment(tree, config);
+}
+
+void expect_identical(const ExperimentPoint& a, const ExperimentPoint& b) {
+  EXPECT_EQ(a.schedulability.count, b.schedulability.count);
+  EXPECT_EQ(a.schedulability.mean, b.schedulability.mean);
+  EXPECT_EQ(a.schedulability.min, b.schedulability.min);
+  EXPECT_EQ(a.schedulability.max, b.schedulability.max);
+  EXPECT_EQ(a.schedulability.stddev, b.schedulability.stddev);
+  EXPECT_EQ(a.total_requests, b.total_requests);
+  EXPECT_EQ(a.total_granted, b.total_granted);
+  EXPECT_EQ(a.total_rejected, b.total_rejected);
+  EXPECT_EQ(a.reject_by_level, b.reject_by_level);
+}
+
+class ProfileIdentity : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ProfileIdentity, AttachedVsDetachedBitIdenticalAtOneAndEightThreads) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  const ExperimentPoint detached = run_point(tree, GetParam(), 1, nullptr);
+
+  for (std::size_t threads : {1u, 8u}) {
+    obs::ProfileSession session(obs::PerfCounters::Request::kTimer);
+    const ExperimentPoint attached =
+        run_point(tree, GetParam(), threads, &session);
+    expect_identical(detached, attached);
+    // The session really measured the run it did not perturb: one window
+    // per repetition, every request accounted, time on the clock.
+    EXPECT_EQ(session.batches(), 12u);
+    EXPECT_EQ(session.requests(), detached.total_requests);
+    EXPECT_GT(session.total().wall_ns, 0u);
+  }
+}
+
+// Both scheduler families, including the random-policy variants whose RNG
+// streams would expose any profiler-induced draw immediately.
+INSTANTIATE_TEST_SUITE_P(Schedulers, ProfileIdentity,
+                         ::testing::Values("levelwise", "levelwise-random",
+                                           "local", "dmodk"),
+                         [](const auto& param_info) {
+                           std::string name = param_info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(ProfileIdentity, ParallelMergeAccountsTheSameWindowsAsSequential) {
+  const FatTree tree = FatTree::symmetric(3, 4);
+  obs::ProfileSession sequential(obs::PerfCounters::Request::kTimer);
+  run_point(tree, "levelwise", 1, &sequential);
+  obs::ProfileSession parallel(obs::PerfCounters::Request::kTimer);
+  run_point(tree, "levelwise", 8, &parallel);
+
+  // Wall time differs run to run, but the accounting STRUCTURE is exact:
+  // same windows, same requests, same region entries per (phase, level).
+  EXPECT_EQ(parallel.batches(), sequential.batches());
+  EXPECT_EQ(parallel.requests(), sequential.requests());
+  EXPECT_EQ(parallel.marks(), sequential.marks());
+  for (std::size_t p = 0; p < obs::kProfilePhaseCount; ++p) {
+    const auto phase = static_cast<obs::ProfilePhase>(p);
+    const auto& seq_levels = sequential.slots(phase);
+    const auto& par_levels = parallel.slots(phase);
+    ASSERT_EQ(par_levels.size(), seq_levels.size());
+    for (std::size_t level = 0; level < seq_levels.size(); ++level) {
+      EXPECT_EQ(par_levels[level].entries, seq_levels[level].entries);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ftsched

@@ -382,6 +382,43 @@ void rule_flight_event_guard(const SourceFile& src,
   }
 }
 
+// --- Timing authority -------------------------------------------------------
+
+/// All timing — wall-clock stopwatches and hardware counters alike — flows
+/// through src/obs (obs::Stopwatch, obs::PerfCounters) so every bench and
+/// tool shares one calibrated, fallback-aware measurement path. src/des owns
+/// virtual time and is the other legitimate clock authority.
+void rule_raw_timing(const SourceFile& src, std::vector<Finding>& out) {
+  if (module_in(src.module, {"src/obs", "src/des"})) return;
+  constexpr std::array<std::string_view, 6> kTimingCalls = {
+      "clock_gettime", "gettimeofday", "rdtsc",
+      "__rdtsc",       "__rdtscp",     "perf_event_open"};
+  constexpr std::array<std::string_view, 4> kClocks = {
+      "steady_clock", "system_clock", "high_resolution_clock", "utc_clock"};
+  const std::vector<Token>& code = src.code;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (!is_call(code, i)) continue;
+    const Token& tok = code[i];
+    if (std::find(kTimingCalls.begin(), kTimingCalls.end(), tok.text) !=
+        kTimingCalls.end()) {
+      add(out, src, tok.line, "no-raw-timing",
+          "raw timing source " + tok.text +
+              "() outside src/obs and src/des; take wall time through "
+              "obs::Stopwatch and hardware counters through "
+              "obs::PerfCounters");
+      continue;
+    }
+    if (tok.ident("now") && i >= 2 && code[i - 1].punct("::") &&
+        std::find(kClocks.begin(), kClocks.end(), code[i - 2].text) !=
+            kClocks.end()) {
+      add(out, src, tok.line, "no-raw-timing",
+          "std::chrono::" + code[i - 2].text +
+              "::now() outside src/obs and src/des; use obs::Stopwatch so "
+              "all timing shares one calibrated measurement path");
+    }
+  }
+}
+
 // --- Lock discipline --------------------------------------------------------
 
 void rule_mutex_guarded_by(const SourceFile& src, std::vector<Finding>& out) {
@@ -486,6 +523,9 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"dead-suppression",
        "ftlint:allow / order-insensitive annotations must suppress something "
        "(and parse)"},
+      {"no-raw-timing",
+       "timing flows through obs/ (Stopwatch, PerfCounters); raw clocks and "
+       "counter syscalls live only in src/obs and src/des"},
   };
   return kCatalog;
 }
@@ -548,6 +588,7 @@ void run_file_rules(const SourceFile& src,
   rule_pointer_key(src, out);
   rule_mutex_guarded_by(src, out);
   rule_flight_event_guard(src, out);
+  rule_raw_timing(src, out);
 }
 
 }  // namespace ftlint

@@ -24,6 +24,14 @@
 //   --telemetry-out=FILE   sample per-link fabric occupancy at every batch
 //                          boundary and write the time-series JSONL
 //                          (ftreport ingests it; see docs/OBSERVABILITY.md)
+//   --profile-out=FILE     schedule and degrade: attach a cost profiler to
+//                          the scheduler hot path and write the profile
+//                          JSONL (format v1; ftreport --profile=FILE). Uses
+//                          hardware counters via perf_event_open when the
+//                          kernel/PMU allows, wall-clock timing otherwise —
+//                          the artifact's "backend" field says which.
+//   --profile-backend=B    auto (default) or timer: force the wall-clock
+//                          fallback backend even where perf_event works
 //
 // Execution flags (schedule, degrade, and sweep commands):
 //   --threads=N            fan repetitions over N worker threads (0 = all
@@ -65,6 +73,7 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/link_telemetry.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/sched_probe.hpp"
 #include "obs/trace.hpp"
 #include "stats/runner.hpp"
@@ -98,6 +107,7 @@ int usage() {
                "  schedule <levels> <m[:w]> <scheduler> <pattern> <reps>"
                " [seed]\n"
                "           [--probe] [--metrics-out=FILE] [--trace-out=FILE]\n"
+               "           [--profile-out=FILE] [--profile-backend=auto|timer]\n"
                "           [--threads=N]\n"
                "  degrade <levels> <m[:w]> <scheduler> <pattern> <reps>"
                " [seed]\n"
@@ -115,6 +125,10 @@ struct ObsFlags {
   std::string metrics_out;
   std::string trace_out;
   std::string telemetry_out;
+  std::string profile_out;
+  /// kTimer forces the wall-clock fallback (--profile-backend=timer).
+  obs::PerfCounters::Request profile_request =
+      obs::PerfCounters::Request::kAuto;
   bool probe = false;
   /// Worker threads for the repetition fan-out (schedule/sweep commands).
   /// 0 = use every hardware thread. Results are bit-identical at any value;
@@ -235,10 +249,12 @@ int cmd_schedule(int argc, char** argv, const ObsFlags& flags) {
   obs::SchedulerProbe probe;
   obs::TraceWriter tracer;
   obs::LinkTelemetry telemetry;
+  obs::ProfileSession profiler(flags.profile_request);
   const bool probing = flags.probe || !flags.metrics_out.empty();
   if (probing) config.probe = &probe;
   if (!flags.trace_out.empty()) config.tracer = &tracer;
   if (!flags.telemetry_out.empty()) config.telemetry = &telemetry;
+  if (!flags.profile_out.empty()) config.profiler = &profiler;
 
   const ExperimentPoint point = run_experiment(tree_or.value(), config);
   std::cout << config.scheduler << " on " << to_string(pattern->second)
@@ -266,8 +282,22 @@ int cmd_schedule(int argc, char** argv, const ObsFlags& flags) {
     obs::MetricsRegistry registry;
     probe.export_metrics(registry, reject_reason_name);
     if (!flags.telemetry_out.empty()) telemetry.export_metrics(registry);
+    if (!flags.profile_out.empty()) profiler.export_metrics(registry);
     registry.write_jsonl(out);
     std::cout << "  metrics -> " << flags.metrics_out << "\n";
+  }
+  if (!flags.profile_out.empty()) {
+    std::ofstream out(flags.profile_out);
+    if (!out) {
+      std::cerr << "cannot open " << flags.profile_out << "\n";
+      return 1;
+    }
+    obs::ProfileSession::write_jsonl_header(out, "ftsched_schedule",
+                                            profiler.backend());
+    profiler.write_jsonl_point(out, config.scheduler);
+    std::cout << "  profile -> " << flags.profile_out << " (backend "
+              << obs::to_string(profiler.backend()) << ", "
+              << profiler.requests() << " requests)\n";
   }
   if (!flags.telemetry_out.empty()) {
     std::ofstream out(flags.telemetry_out);
@@ -347,6 +377,9 @@ int cmd_degrade(int argc, char** argv, const ObsFlags& flags) {
     obs::arm_flight_dump_on_contract_failure(*recorder, flags.flight_dump);
   }
 
+  obs::ProfileSession profiler(flags.profile_request);
+  if (!flags.profile_out.empty()) config.profiler = &profiler;
+
   const DegradationPoint point = run_degradation(tree, config);
   std::cout << config.scheduler << " on " << to_string(pattern->second)
             << ", " << config.repetitions << " reps, horizon "
@@ -385,6 +418,20 @@ int cmd_degrade(int argc, char** argv, const ObsFlags& flags) {
   };
   print_latency("recovery lat.  ", point.recovery_latency);
   print_latency("retry lat.     ", point.retry_latency);
+
+  if (!flags.profile_out.empty()) {
+    std::ofstream out(flags.profile_out);
+    if (!out) {
+      std::cerr << "cannot open " << flags.profile_out << "\n";
+      return 1;
+    }
+    obs::ProfileSession::write_jsonl_header(out, "ftsched_degrade",
+                                            profiler.backend());
+    profiler.write_jsonl_point(out, config.scheduler);
+    std::cout << "  profile -> " << flags.profile_out << " (backend "
+              << obs::to_string(profiler.backend()) << ", "
+              << profiler.requests() << " requests)\n";
+  }
 
   if (recorder) {
     obs::disarm_flight_dump_on_contract_failure();
@@ -578,6 +625,17 @@ int main(int argc, char** argv) {
       flags.trace_out = arg.substr(12);
     } else if (arg.rfind("--telemetry-out=", 0) == 0) {
       flags.telemetry_out = arg.substr(16);
+    } else if (arg.rfind("--profile-out=", 0) == 0) {
+      flags.profile_out = arg.substr(14);
+    } else if (arg.rfind("--profile-backend=", 0) == 0) {
+      const std::string backend = arg.substr(18);
+      if (backend == "timer") {
+        flags.profile_request = obs::PerfCounters::Request::kTimer;
+      } else if (backend != "auto") {
+        std::cerr << "unknown --profile-backend '" << backend
+                  << "' (auto|timer)\n";
+        return 2;
+      }
     } else if (arg.rfind("--threads=", 0) == 0) {
       const long n = std::atol(arg.c_str() + 10);
       flags.threads = n <= 0 ? exec::hardware_threads()
