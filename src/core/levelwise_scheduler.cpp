@@ -1,13 +1,23 @@
 #include "core/levelwise_scheduler.hpp"
 
 #include <array>
-#include <deque>
 #include <vector>
 
 #include "core/label_math.hpp"
 #include "linkstate/transaction.hpp"
+#include "util/simd.hpp"
 
 namespace ftsched {
+
+namespace {
+
+/// Requests gathered per wavefront. Sized so the select kernels run a few
+/// full vectors (2×8 rows at AVX-512, 4×4 at AVX2) while keeping
+/// within-chunk conflicts — the only source of stale picks — rare even when
+/// many requests share a switch row.
+constexpr std::size_t kWavefrontChunk = 16;
+
+}  // namespace
 
 std::string_view to_string(PortPolicy policy) {
   switch (policy) {
@@ -55,6 +65,13 @@ std::optional<std::uint32_t> LevelwiseScheduler::pick_port_impl(
         level, state.available_port_count(level, src_sw, dst_sw));
   }
   obs::ProfileRegion pick_region(prof, obs::ProfilePhase::kPortPick, level);
+  return pick_port_policy<kProbed>(state, level, src_sw, dst_sw, rr_hint);
+}
+
+template <bool kProbed>
+std::optional<std::uint32_t> LevelwiseScheduler::pick_port_policy(
+    const LinkState& state, std::uint32_t level, std::uint64_t src_sw,
+    std::uint64_t dst_sw, std::vector<std::uint32_t>& rr_hint) {
   const auto picked = [&](std::optional<std::uint32_t> port) {
     if constexpr (kProbed) {
       if (port) probe_->on_port_pick(level, *port);
@@ -79,11 +96,115 @@ std::optional<std::uint32_t> LevelwiseScheduler::pick_port_impl(
       if (!port) {  // wrap around
         port = state.first_available_port(level, src_sw, dst_sw);
       }
+      // The round-robin hint rule: after a successful pick the row's hint
+      // becomes (port + 1) mod w; a failed pick leaves it untouched. The
+      // wavefront commit loop applies this same rule verbatim — the
+      // rr-pick-sequence regression test pins the two together.
       if (port) hint = (*port + 1) % w;
       return picked(port);
     }
   }
   FT_UNREACHABLE();
+}
+
+template <bool kProfiled>
+void LevelwiseScheduler::wavefront_select(const LinkState& state,
+                                          std::uint32_t h, std::size_t base,
+                                          std::size_t count) {
+  obs::ProfileSession* const prof = kProfiled ? profiler_ : nullptr;
+  const std::size_t rw = static_cast<std::size_t>(state.row_words());
+  const bool rr = options_.policy == PortPolicy::kRoundRobin;
+  const simd::Ops& kernels = simd::ops();
+  {
+    obs::ProfileRegion and_region(prof, obs::ProfilePhase::kAnd, h);
+    if (wf_and_.size() < count * rw) {
+      wf_u_.resize(count * rw);
+      wf_d_.resize(count * rw);
+      wf_and_.resize(count * rw);
+    }
+    if (wf_pick_.size() < count) {
+      wf_pick_.resize(count);
+      wf_hint_.resize(count);
+    }
+    if (rw == 1) {
+      // Single-word rows (w <= 64, every paper grid): the gather IS the
+      // AND. Fusing them writes one wavefront word per request instead of
+      // staging two and re-reading both through the kernel.
+      for (std::size_t j = 0; j < count; ++j) {
+        const std::size_t i = live_[base + j];
+        wf_and_[j] = *state.ulink_row(h, sigma_[i]) &
+                     *state.dlink_row(h, delta_[i]);
+        if (rr) wf_hint_[j] = rr_hint_[sigma_[i]];
+      }
+    } else {
+      for (std::size_t j = 0; j < count; ++j) {
+        const std::size_t i = live_[base + j];
+        const std::uint64_t* src_row = state.ulink_row(h, sigma_[i]);
+        const std::uint64_t* dst_row = state.dlink_row(h, delta_[i]);
+        for (std::size_t k = 0; k < rw; ++k) {
+          wf_u_[j * rw + k] = src_row[k];
+          wf_d_[j * rw + k] = dst_row[k];
+        }
+        if (rr) wf_hint_[j] = rr_hint_[sigma_[i]];
+      }
+      kernels.and_rows(wf_u_.data(), wf_d_.data(), wf_and_.data(),
+                       count * rw);
+    }
+  }
+  obs::ProfileRegion pick_region(prof, obs::ProfilePhase::kPortPick, h);
+  if (rr) {
+    kernels.first_set_select_hint(wf_and_.data(), count, rw, wf_hint_.data(),
+                                  wf_pick_.data());
+  } else {
+    kernels.first_set_select(wf_and_.data(), count, rw, wf_pick_.data());
+  }
+}
+
+template <bool kProfiled>
+std::optional<std::uint32_t> LevelwiseScheduler::wavefront_commit_pick(
+    const LinkState& state, std::uint32_t h, std::size_t slot,
+    std::size_t req) {
+  obs::ProfileSession* const prof = kProfiled ? profiler_ : nullptr;
+  if (probe_) [[unlikely]] {
+    // Popcount read from the CURRENT state (after this level's earlier
+    // occupies), exactly where the legacy loop reads it — the probe streams
+    // stay bit-identical.
+    obs::ProfileRegion and_region(prof, obs::ProfilePhase::kAnd, h);
+    probe_->on_and_popcount(
+        h, state.available_port_count(h, sigma_[req], delta_[req]));
+  }
+  obs::ProfileRegion pick_region(prof, obs::ProfilePhase::kPortPick, h);
+  const std::int32_t pre = wf_pick_[slot];
+  if (pre < 0) {
+    // Within a level sweep availability bits are only cleared, so an AND
+    // that was empty at gather time is still empty now.
+    return std::nullopt;
+  }
+  const auto port = static_cast<std::uint32_t>(pre);
+  const bool rr = options_.policy == PortPolicy::kRoundRobin;
+  bool fresh = state.ulink(h, sigma_[req], port) &&
+               state.dlink(h, delta_[req], port);
+  if (rr) fresh = fresh && rr_hint_[sigma_[req]] == wf_hint_[slot];
+  if (!fresh) {
+    // An earlier request this level took the gathered pick's channel (or
+    // advanced this row's round-robin hint); re-pick from the live state.
+    if (probe_) [[unlikely]] {
+      return pick_port_policy<true>(state, h, sigma_[req], delta_[req],
+                                    rr_hint_);
+    }
+    return pick_port_policy<false>(state, h, sigma_[req], delta_[req],
+                                   rr_hint_);
+  }
+  // Monotonicity again: every port below `port` that was busy at gather time
+  // is still busy, and `port` itself is still free — so it is exactly the
+  // pick the legacy loop would make from the current state.
+  if (rr) {
+    rr_hint_[sigma_[req]] = (port + 1) % state.ports_per_switch();
+  }
+  if (probe_) [[unlikely]] {
+    probe_->on_port_pick(h, port);
+  }
+  return port;
 }
 
 ScheduleResult LevelwiseScheduler::schedule(const FatTree& tree,
@@ -118,6 +239,7 @@ ScheduleResult LevelwiseScheduler::schedule_level_major_impl(
   const std::uint64_t m = tree.child_arity();
   const std::uint64_t w = tree.parent_arity();
   const auto wpow = parent_arity_powers(tree);
+  const ChildDivider divm(m);
 
   // Batch precomputation: decompose every request's labels ONCE — σ_0/δ_0,
   // the remainder quotients, and the meet level — into flat per-request
@@ -146,7 +268,7 @@ ScheduleResult LevelwiseScheduler::schedule_level_major_impl(
       }
       const std::uint64_t src_leaf = tree.leaf_switch(r.src).index;
       const std::uint64_t dst_leaf = tree.leaf_switch(r.dst).index;
-      const std::uint32_t H = meet_level(src_leaf, dst_leaf, m);
+      const std::uint32_t H = divm.meet(src_leaf, dst_leaf);
       if (H == 0) {
         out.granted = true;  // circuit lives inside one leaf crossbar
         continue;
@@ -162,13 +284,11 @@ ScheduleResult LevelwiseScheduler::schedule_level_major_impl(
     }
   }
 
-  // One transaction per request holds its channel allocations, so a rejected
-  // request's partial circuit can be released (or deliberately kept, in the
-  // no-release ablation) after the whole batch has been swept. A deque keeps
-  // the elements block-allocated (Transaction is immovable) without one heap
-  // allocation per request.
-  std::deque<Transaction> tx;
-  for (std::size_t i = 0; i < requests.size(); ++i) tx.emplace_back(state);
+  // The random policy draws from the RNG in pick order; routing it through
+  // the wavefront would keep results identical but buy nothing (every pick
+  // depends on a live popcount), so it stays on the legacy loop.
+  const bool use_wavefront =
+      options_.wavefront && options_.policy != PortPolicy::kRandom;
 
   const std::uint32_t link_levels = tree.levels() - 1;
   for (std::uint32_t h = 0; h < link_levels; ++h) {
@@ -182,62 +302,106 @@ ScheduleResult LevelwiseScheduler::schedule_level_major_impl(
       rr_hint_.assign(state.rows_at(h), 0);
     }
     const std::uint64_t wnext = wpow[h + 1];
+    const std::size_t n_live = live_.size();
+    const std::size_t chunk =
+        use_wavefront ? kWavefrontChunk : (n_live == 0 ? 1 : n_live);
     std::size_t kept = 0;
-    for (const std::size_t i : live_) {
-      RequestOutcome& out = result.outcomes[i];
-      const auto port = pick_port(state, h, sigma_[i], delta_[i], rr_hint_);
-      if (!port) {
-        out.reason = RejectReason::kNoCommonPort;
-        out.fail_level = h;
-        continue;  // dropped from the live list
+    // Compaction (live_[kept++] = i below) writes at or before the read
+    // cursor, so chunked gathers always read not-yet-compacted entries.
+    for (std::size_t base = 0; base < n_live; base += chunk) {
+      const std::size_t count = std::min(chunk, n_live - base);
+      if (use_wavefront) {
+        wavefront_select<kProfiled>(state, h, base, count);
       }
-      {
-        obs::ProfileRegion commit_region(prof, obs::ProfilePhase::kCommit, h);
-        tx[i].occupy(h, sigma_[i], delta_[i], *port);
-        out.path.ports.push_back(*port);
+      for (std::size_t j = 0; j < count; ++j) {
+        const std::size_t i = live_[base + j];
+        RequestOutcome& out = result.outcomes[i];
+        const auto port =
+            use_wavefront
+                ? wavefront_commit_pick<kProfiled>(state, h, j, i)
+                : pick_port(state, h, sigma_[i], delta_[i], rr_hint_);
+        if (!port) {
+          out.reason = RejectReason::kNoCommonPort;
+          out.fail_level = h;
+          continue;  // dropped from the live list
+        }
+        {
+          obs::ProfileRegion commit_region(prof, obs::ProfilePhase::kCommit,
+                                           h);
+          // Direct occupation — no transaction journal. The recorded port
+          // digits ARE the journal: a rejected request's partial circuit is
+          // reconstructed in the cleanup sweep by replaying the digit shift
+          // from the leaves, so the hot path records nothing beyond the path
+          // it already builds.
+          state.occupy_ulink(h, sigma_[i], *port);
+          state.occupy_dlink(h, delta_[i], *port);
+          out.path.ports.push_back(*port);
+        }
+        obs::ProfileRegion label_region(prof, obs::ProfilePhase::kLabel, h);
+        // Theorem-1 digit shift, incrementally: new port digit in front,
+        // one source digit consumed on each side.
+        pval_[i] = *port + w * pval_[i];
+        src_rest_[i] = divm(src_rest_[i]);
+        dst_rest_[i] = divm(dst_rest_[i]);
+        if (out.path.ports.size() == ancestor_[i]) {
+          // Theorem 2: sides meet at level H (σ_H == δ_H ⇔ equal
+          // remainders).
+          FT_ASSERT(src_rest_[i] == dst_rest_[i]);
+          out.granted = true;
+          continue;  // dropped from the live list
+        }
+        sigma_[i] = pval_[i] + wnext * src_rest_[i];
+        delta_[i] = pval_[i] + wnext * dst_rest_[i];
+        live_[kept++] = i;
       }
-      obs::ProfileRegion label_region(prof, obs::ProfilePhase::kLabel, h);
-      // Theorem-1 digit shift, incrementally: new port digit in front,
-      // one source digit consumed on each side.
-      pval_[i] = *port + w * pval_[i];
-      src_rest_[i] /= m;
-      dst_rest_[i] /= m;
-      if (out.path.ports.size() == ancestor_[i]) {
-        // Theorem 2: sides meet at level H (σ_H == δ_H ⇔ equal remainders).
-        FT_ASSERT(src_rest_[i] == dst_rest_[i]);
-        out.granted = true;
-        continue;  // dropped from the live list
-      }
-      sigma_[i] = pval_[i] + wnext * src_rest_[i];
-      delta_[i] = pval_[i] + wnext * dst_rest_[i];
-      live_[kept++] = i;
     }
     live_.resize(kept);
   }
 
   // Cleanup: rejected requests release their leaf claims and (optionally)
   // their partial channel allocations. Profiled, the sweep is commit volume
-  // with rollback carved out as nested self-time.
+  // with rollback carved out as nested self-time. Since the sweep occupies
+  // channels directly, a granted request needs no commit step at all; a
+  // rejected one replays the Theorem-1 digit shift over its recorded port
+  // digits to rediscover each level's (σ_h, δ_h) and release the pair —
+  // exactly the entries a transaction journal would have held (the probe's
+  // released-entry count is preserved: two channels per recorded port, and
+  // the rollback event still fires, possibly with zero entries, for every
+  // reject when release is enabled).
   {
     obs::ProfileRegion cleanup_region(prof, obs::ProfilePhase::kCommit);
     for (std::size_t i = 0; i < requests.size(); ++i) {
       RequestOutcome& out = result.outcomes[i];
-      if (out.granted) {
-        tx[i].commit();
-        continue;
-      }
-      out.path.ports.clear();
-      out.path.ancestor_level = 0;
+      if (out.granted) continue;
       if (out.reason != RejectReason::kLeafBusy) {
         leaves.release(requests[i].src, requests[i].dst);
       }
       if (options_.release_rejected) {
         obs::ProfileRegion rollback_region(prof, obs::ProfilePhase::kRollback);
-        if (probe_) probe_->on_rollback(tx[i].size());
-        tx[i].rollback();
-      } else {
-        tx[i].commit();  // hardware-fidelity mode: partial allocation persists
+        if (probe_) probe_->on_rollback(2 * out.path.ports.size());
+        if (!out.path.ports.empty()) {
+          std::uint64_t sigma = tree.leaf_switch(requests[i].src).index;
+          std::uint64_t delta = tree.leaf_switch(requests[i].dst).index;
+          std::uint64_t pval = 0;
+          std::uint64_t src_rest = sigma;
+          std::uint64_t dst_rest = delta;
+          for (std::uint32_t h = 0; h < out.path.ports.size(); ++h) {
+            const std::uint32_t port = out.path.ports[h];
+            // The recorded path IS the journal; this loop is the rollback.
+            state.set_ulink(h, sigma, port, true);  // ftlint:allow(transaction-discipline)
+            state.set_dlink(h, delta, port, true);  // ftlint:allow(transaction-discipline)
+            pval = port + w * pval;
+            src_rest = divm(src_rest);
+            dst_rest = divm(dst_rest);
+            sigma = pval + wpow[h + 1] * src_rest;
+            delta = pval + wpow[h + 1] * dst_rest;
+          }
+        }
       }
+      // hardware-fidelity mode (!release_rejected): partial allocation
+      // persists — the channels stay occupied, nothing to undo.
+      out.path.ports.clear();
+      out.path.ancestor_level = 0;
     }
   }
   if (probe_) record_outcomes(result);
@@ -255,6 +419,7 @@ ScheduleResult LevelwiseScheduler::schedule_request_major(
   const std::uint64_t m = tree.child_arity();
   const std::uint64_t w = tree.parent_arity();
   const auto wpow = parent_arity_powers(tree);
+  const ChildDivider divm(m);
 
   const std::uint32_t link_levels = tree.levels() - 1;
   rr_hint_by_level_.resize(link_levels);
@@ -284,7 +449,7 @@ ScheduleResult LevelwiseScheduler::schedule_request_major(
       } else {
         src_leaf = tree.leaf_switch(r.src).index;
         dst_leaf = tree.leaf_switch(r.dst).index;
-        H = meet_level(src_leaf, dst_leaf, m);
+        H = divm.meet(src_leaf, dst_leaf);
         if (H == 0) {
           out.granted = true;  // circuit lives inside one leaf crossbar
           resolved = true;
@@ -321,8 +486,8 @@ ScheduleResult LevelwiseScheduler::schedule_request_major(
       obs::ProfileRegion label_region(profiler_, obs::ProfilePhase::kLabel, h);
       // Theorem-1 digit shift, incrementally (see schedule_level_major).
       pval = *port + w * pval;
-      src_rest /= m;
-      dst_rest /= m;
+      src_rest = divm(src_rest);
+      dst_rest = divm(dst_rest);
       sigma = pval + wpow[h + 1] * src_rest;
       delta = pval + wpow[h + 1] * dst_rest;
     }

@@ -76,6 +76,7 @@ ScheduleResult LocalAdaptiveScheduler::schedule(
   const std::uint64_t m = tree.child_arity();
   const std::uint64_t w = tree.parent_arity();
   const auto wpow = parent_arity_powers(tree);
+  const ChildDivider divm(m);
 
   const std::uint32_t link_levels = tree.levels() - 1;
   rr_hint_by_level_.resize(link_levels);
@@ -105,7 +106,7 @@ ScheduleResult LocalAdaptiveScheduler::schedule(
       } else {
         src_leaf = tree.leaf_switch(r.src).index;
         dst_leaf = tree.leaf_switch(r.dst).index;
-        H = meet_level(src_leaf, dst_leaf, m);
+        H = divm.meet(src_leaf, dst_leaf);
         if (H == 0) {
           out.granted = true;
           resolved = true;
@@ -148,8 +149,8 @@ ScheduleResult LocalAdaptiveScheduler::schedule(
       }
       obs::ProfileRegion label_region(profiler_, obs::ProfilePhase::kLabel, h);
       pval = *port + w * pval;
-      src_rest /= m;
-      dst_rest /= m;
+      src_rest = divm(src_rest);
+      dst_rest = divm(dst_rest);
       sigma = pval + wpow[h + 1] * src_rest;
     }
 

@@ -266,12 +266,8 @@ std::optional<std::uint32_t> LinkState::nth_local_ulink(
 
 void LinkState::occupy(std::uint32_t level, std::uint64_t src_sw,
                        std::uint64_t dst_sw, std::uint32_t port) {
-  FT_REQUIRE(ulink(level, src_sw, port));
-  FT_REQUIRE(dlink(level, dst_sw, port));
-  set_bit(u_, level, src_sw, port, false);
-  set_bit(d_, level, dst_sw, port, false);
-  ++occupied_u_[level];
-  ++occupied_d_[level];
+  occupy_ulink(level, src_sw, port);
+  occupy_dlink(level, dst_sw, port);
 }
 
 void LinkState::release(std::uint32_t level, std::uint64_t src_sw,

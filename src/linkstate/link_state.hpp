@@ -92,12 +92,60 @@ class LinkState {
                                                std::uint64_t src_sw,
                                                std::uint32_t index) const;
 
+  // --- Wavefront raw-row access ---------------------------------------------
+  //
+  // The SIMD wavefront sweep (levelwise scheduler) gathers many switches'
+  // rows into one contiguous matrix and runs vector kernels over it; these
+  // accessors expose the packed row storage that strided copy reads. Rows
+  // are row_words() uint64 words, bit i = port i available, spare high bits
+  // zero. Faults are already folded in (a faulted channel reads busy here,
+  // like through every other accessor). Pointers are invalidated by nothing
+  // short of destroying or assigning over the LinkState itself.
+
+  /// Words per packed row (= BitVec::word_count(ports_per_switch())).
+  std::uint64_t row_words() const { return row_words_; }
+
+  const std::uint64_t* ulink_row(std::uint32_t level, std::uint64_t sw) const {
+    FT_ASSERT(level < link_levels_);
+    FT_ASSERT(sw < rows_[level]);
+    return u_[level].data() + sw * row_words_;
+  }
+
+  const std::uint64_t* dlink_row(std::uint32_t level, std::uint64_t sw) const {
+    FT_ASSERT(level < link_levels_);
+    FT_ASSERT(sw < rows_[level]);
+    return d_[level].data() + sw * row_words_;
+  }
+
   // --- Allocation -----------------------------------------------------------
 
   /// Clears Ulink(level, src_sw)[port] and Dlink(level, dst_sw)[port]
   /// (both must currently be available).
   void occupy(std::uint32_t level, std::uint64_t src_sw, std::uint64_t dst_sw,
               std::uint32_t port);
+
+  /// Single-sided occupies — the transaction hot path. The free-channel
+  /// precondition stays FT_REQUIRE'd (it is also what keeps faulted channels
+  /// untouchable: a fault forces the availability bit to 0, so the check
+  /// subsumes the overlay lookup); coordinate bounds are internal-invariant
+  /// territory (FT_ASSERT), since every caller passes labels the scheduler
+  /// already validated and an out-of-range coordinate would trip the
+  /// availability check's own load first.
+  void occupy_ulink(std::uint32_t level, std::uint64_t sw, std::uint32_t port) {
+    std::uint64_t& word = row_word(u_, level, sw, port);
+    const std::uint64_t mask = std::uint64_t{1} << (port % 64);
+    FT_REQUIRE((word & mask) != 0);
+    word &= ~mask;
+    ++occupied_u_[level];
+  }
+
+  void occupy_dlink(std::uint32_t level, std::uint64_t sw, std::uint32_t port) {
+    std::uint64_t& word = row_word(d_, level, sw, port);
+    const std::uint64_t mask = std::uint64_t{1} << (port % 64);
+    FT_REQUIRE((word & mask) != 0);
+    word &= ~mask;
+    ++occupied_d_[level];
+  }
 
   /// Inverse of occupy (both must currently be occupied).
   void release(std::uint32_t level, std::uint64_t src_sw, std::uint64_t dst_sw,
@@ -168,6 +216,14 @@ class LinkState {
 
   void set_bit(std::vector<Matrix>& mats, std::uint32_t level,
                std::uint64_t sw, std::uint32_t port, bool value);
+
+  std::uint64_t& row_word(std::vector<Matrix>& mats, std::uint32_t level,
+                          std::uint64_t sw, std::uint32_t port) {
+    FT_ASSERT(level < link_levels_);
+    FT_ASSERT(sw < rows_[level]);
+    FT_ASSERT(port < w_);
+    return mats[level][sw * row_words_ + port / 64];
+  }
 
   /// Allocates the fault/shadow matrices on first failure; reset() frees
   /// them again so fault-free runs never pay for the overlay.

@@ -20,7 +20,7 @@ namespace ftsched {
 
 class Transaction {
  public:
-  explicit Transaction(LinkState& state) : state_(state) {}
+  explicit Transaction(LinkState& state) : state_(&state) {}
 
   Transaction(const Transaction&) = delete;
   Transaction& operator=(const Transaction&) = delete;
@@ -29,25 +29,37 @@ class Transaction {
     if (!committed_) rollback();
   }
 
+  /// Re-arms a settled (committed or rolled-back) transaction against
+  /// `state`, keeping the entry buffer's capacity. The schedulers hold their
+  /// transactions as per-batch scratch and rebind instead of reconstructing,
+  /// so the steady-state hot path does one heap allocation per scratch slot
+  /// EVER, not one per request per batch.
+  void rebind(LinkState& state) {
+    FT_REQUIRE(committed_ || entries_.empty());
+    state_ = &state;
+    entries_.clear();
+    committed_ = false;
+  }
+
   /// Occupies Ulink(level, src_sw)[port] + Dlink(level, dst_sw)[port] — the
   /// level-wise scheduler's paired allocation.
   void occupy(std::uint32_t level, std::uint64_t src_sw, std::uint64_t dst_sw,
               std::uint32_t port) {
-    occupy_up(level, src_sw, port);
-    occupy_down(level, dst_sw, port);
+    state_->occupy_ulink(level, src_sw, port);
+    state_->occupy_dlink(level, dst_sw, port);
+    entries_.push_back(Entry{level, src_sw, port, Direction::kUp});
+    entries_.push_back(Entry{level, dst_sw, port, Direction::kDown});
   }
 
   /// Occupies only the upward channel (local scheduler, ascent phase).
   void occupy_up(std::uint32_t level, std::uint64_t sw, std::uint32_t port) {
-    FT_REQUIRE(state_.ulink(level, sw, port));
-    state_.set_ulink(level, sw, port, false);
+    state_->occupy_ulink(level, sw, port);
     entries_.push_back(Entry{level, sw, port, Direction::kUp});
   }
 
   /// Occupies only the downward channel (local scheduler, descent phase).
   void occupy_down(std::uint32_t level, std::uint64_t sw, std::uint32_t port) {
-    FT_REQUIRE(state_.dlink(level, sw, port));
-    state_.set_dlink(level, sw, port, false);
+    state_->occupy_dlink(level, sw, port);
     entries_.push_back(Entry{level, sw, port, Direction::kDown});
   }
 
@@ -59,9 +71,9 @@ class Transaction {
     const Entry e = entries_.back();
     entries_.pop_back();
     if (e.direction == Direction::kUp) {
-      state_.set_ulink(e.level, e.sw, e.port, true);
+      state_->set_ulink(e.level, e.sw, e.port, true);
     } else {
-      state_.set_dlink(e.level, e.sw, e.port, true);
+      state_->set_dlink(e.level, e.sw, e.port, true);
     }
   }
 
@@ -72,9 +84,9 @@ class Transaction {
   void rollback() {
     for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
       if (it->direction == Direction::kUp) {
-        state_.set_ulink(it->level, it->sw, it->port, true);
+        state_->set_ulink(it->level, it->sw, it->port, true);
       } else {
-        state_.set_dlink(it->level, it->sw, it->port, true);
+        state_->set_dlink(it->level, it->sw, it->port, true);
       }
     }
     entries_.clear();
@@ -91,7 +103,7 @@ class Transaction {
     Direction direction;
   };
 
-  LinkState& state_;
+  LinkState* state_;
   std::vector<Entry> entries_;
   bool committed_ = false;
 };

@@ -1,0 +1,101 @@
+// Bulk-op contract for BitVec::and_into / BitVec::find_first_and — the
+// scheduler-facing forms that route through the simd dispatch shim. The
+// interesting widths straddle the word size (0, 63, 64, 65, 128), exactly
+// like bitvec_edge_test; every case is cross-checked against the operator&
+// and find_first reference path, and the ASan+UBSan preset turns any
+// out-of-bounds word or shift into a hard failure.
+#include "util/bitvec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <optional>
+
+#include "util/rng.hpp"
+
+namespace ftsched {
+namespace {
+
+class BitVecBulkWidth : public ::testing::TestWithParam<std::size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(WordBoundaries, BitVecBulkWidth,
+                         ::testing::Values(0u, 63u, 64u, 65u, 128u));
+
+BitVec patterned(std::size_t width, std::size_t stride, std::size_t phase) {
+  BitVec v(width);
+  for (std::size_t i = phase; i < width; i += stride) v.set(i);
+  return v;
+}
+
+TEST_P(BitVecBulkWidth, AndIntoMatchesOperatorAnd) {
+  const std::size_t width = GetParam();
+  const BitVec a = patterned(width, 3, 0);
+  const BitVec b = patterned(width, 2, 1);
+  const BitVec expect = a & b;
+
+  // Destination starts at a DIFFERENT width: and_into must resize to fit.
+  BitVec out(7, true);
+  out.and_into(a, b);
+  EXPECT_EQ(out, expect);
+  EXPECT_EQ(out.size(), width);
+
+  // Aliasing with the first operand (out == a word buffer) is allowed.
+  BitVec inplace = a;
+  inplace.and_into(inplace, b);
+  EXPECT_EQ(inplace, expect);
+}
+
+TEST_P(BitVecBulkWidth, FindFirstAndMatchesMaterializedAnd) {
+  const std::size_t width = GetParam();
+  const BitVec a = patterned(width, 5, 2);
+  const BitVec b = patterned(width, 4, 2);
+  EXPECT_EQ(BitVec::find_first_and(a, b), (a & b).find_first());
+
+  // Disjoint inputs: the intersection is empty at every width.
+  const BitVec odd = patterned(width, 2, 1);
+  const BitVec even = patterned(width, 2, 0);
+  EXPECT_EQ(BitVec::find_first_and(odd, even), std::nullopt);
+}
+
+TEST_P(BitVecBulkWidth, AndIntoKeepsSlackBitsClear) {
+  const std::size_t width = GetParam();
+  BitVec out;
+  out.and_into(BitVec(width, true), BitVec(width, true));
+  // count() over-reporting would mean the AND wrote into the last word's
+  // slack bits (the trimmed-representation invariant every popcount-based
+  // caller relies on).
+  EXPECT_EQ(out.count(), width);
+  EXPECT_TRUE(out.all());
+}
+
+TEST(BitVecBulk, FindFirstAndCrossesWordBoundary) {
+  BitVec a(130);
+  BitVec b(130);
+  a.set(63);
+  b.set(64);   // a&b empty below the boundary
+  a.set(129);
+  b.set(129);  // ...first shared bit is the very last
+  EXPECT_EQ(BitVec::find_first_and(a, b), std::optional<std::size_t>{129});
+}
+
+TEST(BitVecBulk, FuzzAgainstReferenceOps) {
+  Xoshiro256ss rng(77);
+  for (int iter = 0; iter < 300; ++iter) {
+    const std::size_t width = rng.below(130);
+    BitVec a(width);
+    BitVec b(width);
+    for (std::size_t i = 0; i < width; ++i) {
+      if (rng.below(3) == 0) a.set(i);
+      if (rng.below(2) == 0) b.set(i);
+    }
+    const BitVec expect = a & b;
+    BitVec out;
+    out.and_into(a, b);
+    ASSERT_EQ(out, expect) << "width " << width;
+    ASSERT_EQ(BitVec::find_first_and(a, b), expect.find_first())
+        << "width " << width;
+  }
+}
+
+}  // namespace
+}  // namespace ftsched

@@ -79,6 +79,7 @@
 #include "stats/runner.hpp"
 #include "topology/dot.hpp"
 #include "topology/validate.hpp"
+#include "util/simd.hpp"
 #include "util/table.hpp"
 
 using namespace ftsched;
@@ -101,7 +102,7 @@ const std::map<std::string, TrafficPattern>& pattern_names() {
 
 int usage() {
   std::cerr << "usage: ftsched <info|dot|schedule|degrade|sweep|hw|"
-               "schedulers|patterns> ...\n"
+               "schedulers|patterns|simd> ...\n"
                "  info <levels> <m> [w]\n"
                "  dot <levels> <m> [w]\n"
                "  schedule <levels> <m[:w]> <scheduler> <pattern> <reps>"
@@ -116,7 +117,11 @@ int usage() {
                "          [--metrics-out=FILE] [--trace-out=FILE]\n"
                "          [--flight-dump=FILE]\n"
                "  sweep <scheduler> [reps] [--threads=N]\n"
-               "  hw <levels> <w>\n";
+               "  hw <levels> <w>\n"
+               "  simd                 print detected/active dispatch level\n"
+               "global: [--simd=scalar|avx2|avx512|auto] pin the SIMD\n"
+               "        dispatch level (results are bit-identical; only\n"
+               "        speed moves)\n";
   return 2;
 }
 
@@ -652,6 +657,17 @@ int main(int argc, char** argv) {
       flags.flight_dump = arg.substr(14);
     } else if (arg.rfind("--horizon=", 0) == 0) {
       flags.horizon = static_cast<SimTime>(std::atoll(arg.c_str() + 10));
+    } else if (arg.rfind("--simd=", 0) == 0) {
+      const std::string level = arg.substr(7);
+      if (level == "auto") {
+        simd::use_auto();
+      } else if (const auto parsed = simd::parse_level(level)) {
+        simd::force(*parsed);
+      } else {
+        std::cerr << "unknown --simd '" << level
+                  << "' (scalar|avx2|avx512|auto)\n";
+        return 2;
+      }
     } else {
       argv[kept++] = argv[i];
     }
@@ -673,6 +689,14 @@ int main(int argc, char** argv) {
   }
   if (command == "patterns") {
     for (const auto& [name, _] : pattern_names()) std::cout << name << "\n";
+    return 0;
+  }
+  if (command == "simd") {
+    // Machine-readable dispatch report: CI's equivalence job greps
+    // "detected:" to decide whether an avx2-vs-scalar diff is meaningful on
+    // this host or must be skipped with a notice.
+    std::cout << "detected: " << simd::to_string(simd::detect()) << "\n"
+              << "active: " << simd::to_string(simd::active()) << "\n";
     return 0;
   }
   return usage();
