@@ -10,8 +10,15 @@
 //
 // Usage: fig_degradation [reps] [--csv] [--json[=FILE]] [--threads=N]
 //                        [--retry=SPEC] [--horizon=T] [--rates=R1,R2,...]
-//                        [--flight=FILE] [--profile]
+//                        [--schedulers=A,B,...] [--flight=FILE] [--profile]
 //                        [--profile-backend=auto|timer]
+//
+// --schedulers sweeps several registry schedulers per (topology, rate)
+// point — the fault-aware policy comparison (levelwise vs
+// levelwise-balanced) rides on this. Each JSON point carries its
+// "scheduler" name plus the residual-fabric load-quality summaries
+// (imbalance_max_over_mean / imbalance_cov / imbalance_hotspot) that the
+// ftreport degradation-quality gate compares across policies.
 //
 // --flight=FILE attaches the lifecycle flight recorder to every point (one
 // ring per worker thread) and writes the combined dump; request ids carry a
@@ -60,6 +67,7 @@ struct Args {
   std::string retry = "backoff:1:8";
   SimTime horizon = 1000;
   std::vector<double> rates = {0.0, 0.1, 0.25, 0.5, 0.75};
+  std::vector<std::string> schedulers = {"levelwise"};
   std::string flight_path;
   bool profile = false;
   obs::PerfCounters::Request profile_request =
@@ -101,6 +109,18 @@ Args parse_args(int argc, char** argv) {
       args.horizon = static_cast<SimTime>(std::atol(arg.c_str() + 10));
     } else if (arg.rfind("--rates=", 0) == 0) {
       args.rates = parse_rates(arg.substr(8));
+    } else if (arg.rfind("--schedulers=", 0) == 0) {
+      args.schedulers.clear();
+      const std::string spec = arg.substr(13);
+      std::size_t pos = 0;
+      while (pos <= spec.size()) {
+        const std::size_t comma = spec.find(',', pos);
+        const std::string item = spec.substr(
+            pos, comma == std::string::npos ? comma : comma - pos);
+        if (!item.empty()) args.schedulers.push_back(item);
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
     } else if (arg.rfind("--flight=", 0) == 0) {
       args.flight_path = arg.substr(9);
     } else if (arg == "--profile") {
@@ -115,6 +135,7 @@ Args parse_args(int argc, char** argv) {
   }
   if (args.reps == 0) args.reps = 100;
   if (args.rates.empty()) args.rates = {0.0};
+  if (args.schedulers.empty()) args.schedulers = {"levelwise"};
   return args;
 }
 
@@ -122,6 +143,7 @@ struct DegradationRow {
   TreeSpec spec;
   std::uint64_t nodes = 0;
   double fault_rate = 0.0;
+  std::string scheduler;
   DegradationPoint point;
   double wall_ms = 0.0;
 };
@@ -145,8 +167,9 @@ void write_latency(std::ostream& os, const char* name,
 /// BENCH_degradation.json:
 ///   {"bench":"degradation","reps":..,"threads":..,"horizon":..,
 ///    "retry":"<spec>","env":{..},"points":[{"levels","arity","nodes",
-///    "fault_rate",
+///    "fault_rate","scheduler",
 ///    "schedulability"/"open_ratio"/"ever_granted":{mean,min,max,stddev},
+///    "imbalance_max_over_mean"/"imbalance_cov"/"imbalance_hotspot":{..},
 ///    counters..., "recovery_success_ratio",
 ///    "recovery_latency"/"retry_latency":{count[,p50,p90,p99]},
 ///    "wall_ms"},..][,"profile":{..}]}
@@ -172,12 +195,18 @@ void write_json(const std::string& path, const Args& args,
     if (i) os << ',';
     os << "\n{\"levels\":" << row.spec.levels << ",\"arity\":" << row.spec.arity
        << ",\"nodes\":" << row.nodes << ",\"fault_rate\":" << row.fault_rate
-       << ',';
+       << ",\"scheduler\":\"" << obs::json_escape(row.scheduler) << "\",";
     write_summary(os, "schedulability", p.schedulability);
     os << ',';
     write_summary(os, "open_ratio", p.open_ratio);
     os << ',';
     write_summary(os, "ever_granted", p.ever_granted);
+    os << ',';
+    write_summary(os, "imbalance_max_over_mean", p.imbalance_max_over_mean);
+    os << ',';
+    write_summary(os, "imbalance_cov", p.imbalance_cov);
+    os << ',';
+    write_summary(os, "imbalance_hotspot", p.imbalance_hotspot);
     os << ",\"total_requests\":" << p.total_requests
        << ",\"fail_events\":" << p.fail_events
        << ",\"repair_events\":" << p.repair_events
@@ -212,18 +241,23 @@ int run(const Args& args) {
 
   if (!args.csv) {
     std::cout << "Graceful degradation under dynamic cable faults\n";
-    std::cout << "(level-wise scheduler, retry " << args.retry << ", horizon "
-              << args.horizon << ", " << args.reps
-              << " random permutations per point)\n\n";
+    std::cout << "(";
+    for (std::size_t i = 0; i < args.schedulers.size(); ++i) {
+      std::cout << (i ? ", " : "") << args.schedulers[i];
+    }
+    std::cout << "; retry " << args.retry << ", horizon " << args.horizon
+              << ", " << args.reps << " random permutations per point)\n\n";
   }
   TextTable table(
       args.csv
-          ? std::vector<std::string>{"nodes", "arity", "levels", "fault_rate",
-                                     "sched_mean", "open_mean", "ever_mean",
-                                     "recovery_ratio", "victims", "recovered"}
-          : std::vector<std::string>{"N", "fault rate", "first-attempt",
-                                     "open at horizon", "ever granted",
-                                     "recovery"});
+          ? std::vector<std::string>{"nodes", "arity", "levels", "scheduler",
+                                     "fault_rate", "sched_mean", "open_mean",
+                                     "ever_mean", "recovery_ratio",
+                                     "imbalance_mom", "hotspot", "victims",
+                                     "recovered"}
+          : std::vector<std::string>{"N", "scheduler", "fault rate",
+                                     "first-attempt", "open at horizon",
+                                     "ever granted", "imbalance", "recovery"});
 
   // One recorder for the whole sweep: rings sized to the worker fan-out,
   // request ids namespaced per point so the ledgers never collide.
@@ -241,55 +275,64 @@ int run(const Args& args) {
   for (const TreeSpec& spec : specs) {
     const FatTree tree = FatTree::symmetric(spec.levels, spec.arity);
     for (double rate : args.rates) {
-      DegradationConfig config;
-      config.repetitions = args.reps;
-      config.seed = 2006 + spec.arity;  // the fig9 seed for this family
-      config.threads = args.threads;
-      config.fault_rate = rate;
-      config.horizon = args.horizon;
-      config.retry = retry.value();
-      if (recorder) {
-        config.flight = &*recorder;
-        config.flight_base = (++point_counter) << 44U;
-      }
-      if (args.profile && args.json) {
-        ProfiledPoint& pp = profiled.emplace_back();
-        pp.label = "levelwise/l" + std::to_string(spec.levels) + "w" +
-                   std::to_string(spec.arity) + "/rate" +
-                   TextTable::num(rate, 2);
-        pp.session.set_request(args.profile_request);
-        config.profiler = &pp.session;
-      }
+      for (const std::string& scheduler : args.schedulers) {
+        DegradationConfig config;
+        config.scheduler = scheduler;
+        config.repetitions = args.reps;
+        config.seed = 2006 + spec.arity;  // the fig9 seed for this family
+        config.threads = args.threads;
+        config.fault_rate = rate;
+        config.horizon = args.horizon;
+        config.retry = retry.value();
+        if (recorder) {
+          config.flight = &*recorder;
+          config.flight_base = (++point_counter) << 44U;
+        }
+        if (args.profile && args.json) {
+          ProfiledPoint& pp = profiled.emplace_back();
+          pp.label = scheduler + "/l" + std::to_string(spec.levels) + "w" +
+                     std::to_string(spec.arity) + "/rate" +
+                     TextTable::num(rate, 2);
+          pp.session.set_request(args.profile_request);
+          config.profiler = &pp.session;
+        }
 
-      const obs::Stopwatch watch;
-      DegradationRow row;
-      row.spec = spec;
-      row.nodes = tree.node_count();
-      row.fault_rate = rate;
-      row.point = run_degradation(tree, config);
-      row.wall_ms = watch.elapsed_ms();
+        const obs::Stopwatch watch;
+        DegradationRow row;
+        row.spec = spec;
+        row.nodes = tree.node_count();
+        row.fault_rate = rate;
+        row.scheduler = scheduler;
+        row.point = run_degradation(tree, config);
+        row.wall_ms = watch.elapsed_ms();
 
-      const DegradationPoint& p = row.point;
-      if (args.csv) {
-        table.add_row({std::to_string(row.nodes), std::to_string(spec.arity),
-                       std::to_string(spec.levels), TextTable::num(rate, 2),
-                       TextTable::num(p.schedulability.mean, 4),
-                       TextTable::num(p.open_ratio.mean, 4),
-                       TextTable::num(p.ever_granted.mean, 4),
-                       TextTable::num(p.recovery_success_ratio(), 4),
-                       std::to_string(p.victims),
-                       std::to_string(p.recovered)});
-      } else {
-        table.add_row({std::to_string(row.nodes) + " (" +
-                           std::to_string(spec.arity) + "^" +
-                           std::to_string(spec.levels) + ")",
-                       TextTable::num(rate, 2), p.schedulability.ratio_string(),
-                       p.open_ratio.ratio_string(),
-                       p.ever_granted.ratio_string(),
-                       TextTable::pct(p.recovery_success_ratio()) + " of " +
-                           std::to_string(p.victims)});
+        const DegradationPoint& p = row.point;
+        if (args.csv) {
+          table.add_row({std::to_string(row.nodes), std::to_string(spec.arity),
+                         std::to_string(spec.levels), scheduler,
+                         TextTable::num(rate, 2),
+                         TextTable::num(p.schedulability.mean, 4),
+                         TextTable::num(p.open_ratio.mean, 4),
+                         TextTable::num(p.ever_granted.mean, 4),
+                         TextTable::num(p.recovery_success_ratio(), 4),
+                         TextTable::num(p.imbalance_max_over_mean.mean, 4),
+                         TextTable::num(p.imbalance_hotspot.mean, 4),
+                         std::to_string(p.victims),
+                         std::to_string(p.recovered)});
+        } else {
+          table.add_row(
+              {std::to_string(row.nodes) + " (" + std::to_string(spec.arity) +
+                   "^" + std::to_string(spec.levels) + ")",
+               scheduler, TextTable::num(rate, 2),
+               p.schedulability.ratio_string(), p.open_ratio.ratio_string(),
+               p.ever_granted.ratio_string(),
+               TextTable::num(p.imbalance_max_over_mean.mean, 3) + "x/" +
+                   TextTable::num(p.imbalance_hotspot.mean, 3) + "x",
+               TextTable::pct(p.recovery_success_ratio()) + " of " +
+                   std::to_string(p.victims)});
+        }
+        rows.push_back(std::move(row));
       }
-      rows.push_back(std::move(row));
     }
   }
   if (args.csv) {

@@ -42,6 +42,18 @@ std::optional<ConnectionId> ConnectionManager::open(const Request& request) {
         }
         break;
       }
+      case PortPolicy::kBalanced:
+      case PortPolicy::kBalancedRR:  // no persistent pointer in dynamic mode
+        port = state_.balanced_port(h, sigma, delta);
+        break;
+      case PortPolicy::kBalancedRandom: {
+        const std::uint32_t count = state_.balanced_port_count(h, sigma, delta);
+        if (count > 0) {
+          port = state_.nth_balanced_port(
+              h, sigma, delta, static_cast<std::uint32_t>(rng_.below(count)));
+        }
+        break;
+      }
     }
     if (!port) {
       leaves_.release(request.src, request.dst);

@@ -27,8 +27,24 @@ std::string_view to_string(PortPolicy policy) {
       return "random";
     case PortPolicy::kRoundRobin:
       return "round-robin";
+    case PortPolicy::kBalanced:
+      return "balanced";
+    case PortPolicy::kBalancedRR:
+      return "balanced-rr";
+    case PortPolicy::kBalancedRandom:
+      return "balanced-random";
   }
   FT_UNREACHABLE();
+}
+
+std::optional<PortPolicy> parse_port_policy(std::string_view name) {
+  for (const PortPolicy policy :
+       {PortPolicy::kFirstFit, PortPolicy::kRandom, PortPolicy::kRoundRobin,
+        PortPolicy::kBalanced, PortPolicy::kBalancedRR,
+        PortPolicy::kBalancedRandom}) {
+    if (name == to_string(policy)) return policy;
+  }
+  return std::nullopt;
 }
 
 LevelwiseScheduler::LevelwiseScheduler(LevelwiseOptions options)
@@ -103,6 +119,26 @@ std::optional<std::uint32_t> LevelwiseScheduler::pick_port_policy(
       if (port) hint = (*port + 1) % w;
       return picked(port);
     }
+    case PortPolicy::kBalanced:
+      return picked(state.balanced_port(level, src_sw, dst_sw));
+    case PortPolicy::kBalancedRR: {
+      const std::uint32_t w = state.ports_per_switch();
+      std::uint32_t& hint = rr_hint[src_sw];
+      // Same hint rule as round-robin, applied WITHIN the max-weight tie
+      // set (balanced_port_from wraps to the lowest max-weight port when no
+      // candidate sits at or after the hint).
+      const auto port = state.balanced_port_from(level, src_sw, dst_sw, hint);
+      if (port) hint = (*port + 1) % w;
+      return picked(port);
+    }
+    case PortPolicy::kBalancedRandom: {
+      const std::uint32_t count =
+          state.balanced_port_count(level, src_sw, dst_sw);
+      if (count == 0) return std::nullopt;
+      return picked(state.nth_balanced_port(
+          level, src_sw, dst_sw,
+          static_cast<std::uint32_t>(rng_.below(count))));
+    }
   }
   FT_UNREACHABLE();
 }
@@ -152,7 +188,17 @@ void LevelwiseScheduler::wavefront_select(const LinkState& state,
     }
   }
   obs::ProfileRegion pick_region(prof, obs::ProfilePhase::kPortPick, h);
-  if (rr) {
+  if (policy_weighted(options_.policy)) {
+    // Capacity weights move with every commit, so only EMPTINESS survives
+    // from gather to commit (bits are cleared, never set, within a level
+    // sweep). The select is deferred to wavefront_commit_pick; the slot
+    // records just empty (-1) vs non-empty (0).
+    for (std::size_t j = 0; j < count; ++j) {
+      std::uint64_t any = 0;
+      for (std::size_t k = 0; k < rw; ++k) any |= wf_and_[j * rw + k];
+      wf_pick_[j] = any != 0 ? 0 : -1;
+    }
+  } else if (rr) {
     kernels.first_set_select_hint(wf_and_.data(), count, rw, wf_hint_.data(),
                                   wf_pick_.data());
   } else {
@@ -179,6 +225,19 @@ std::optional<std::uint32_t> LevelwiseScheduler::wavefront_commit_pick(
     // Within a level sweep availability bits are only cleared, so an AND
     // that was empty at gather time is still empty now.
     return std::nullopt;
+  }
+  if (policy_weighted(options_.policy)) {
+    // No freshness shortcut exists for weighted picks: earlier commits this
+    // level shifted the column weights, so the pick is always re-derived
+    // from live state through the one policy switch (which also keeps the
+    // probe pick stream and the balanced-rr hint rule identical to the
+    // legacy loop's).
+    if (probe_) [[unlikely]] {
+      return pick_port_policy<true>(state, h, sigma_[req], delta_[req],
+                                    rr_hint_);
+    }
+    return pick_port_policy<false>(state, h, sigma_[req], delta_[req],
+                                   rr_hint_);
   }
   const auto port = static_cast<std::uint32_t>(pre);
   const bool rr = options_.policy == PortPolicy::kRoundRobin;
@@ -284,11 +343,11 @@ ScheduleResult LevelwiseScheduler::schedule_level_major_impl(
     }
   }
 
-  // The random policy draws from the RNG in pick order; routing it through
+  // The RNG-consuming policies draw in pick order; routing them through
   // the wavefront would keep results identical but buy nothing (every pick
-  // depends on a live popcount), so it stays on the legacy loop.
+  // depends on a live popcount), so they stay on the legacy loop.
   const bool use_wavefront =
-      options_.wavefront && options_.policy != PortPolicy::kRandom;
+      options_.wavefront && !policy_uses_rng(options_.policy);
 
   const std::uint32_t link_levels = tree.levels() - 1;
   for (std::uint32_t h = 0; h < link_levels; ++h) {
@@ -298,7 +357,7 @@ ScheduleResult LevelwiseScheduler::schedule_level_major_impl(
     std::string level_label;
     if (tracer_) level_label = "level " + std::to_string(h);
     obs::ScopedSpan level_span(tracer_, level_label, "sched.level");
-    if (options_.policy == PortPolicy::kRoundRobin) {
+    if (policy_uses_hint(options_.policy)) {
       rr_hint_.assign(state.rows_at(h), 0);
     }
     const std::uint64_t wnext = wpow[h + 1];
@@ -423,7 +482,7 @@ ScheduleResult LevelwiseScheduler::schedule_request_major(
 
   const std::uint32_t link_levels = tree.levels() - 1;
   rr_hint_by_level_.resize(link_levels);
-  if (options_.policy == PortPolicy::kRoundRobin) {
+  if (policy_uses_hint(options_.policy)) {
     for (std::uint32_t h = 0; h < link_levels; ++h) {
       rr_hint_by_level_[h].assign(state.rows_at(h), 0);
     }

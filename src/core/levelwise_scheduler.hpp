@@ -37,13 +37,15 @@ struct LevelwiseOptions {
   /// Release the partial allocations of rejected requests before returning.
   bool release_rejected = true;
 
-  /// Use the SIMD wavefront sweep for level-major first-fit / round-robin:
-  /// gather the live requests' Ulink/Dlink rows, vector AND + select across
-  /// the whole level, then validate + commit sequentially. False forces the
-  /// legacy per-request reference loop. Results — grants, probe streams,
-  /// round-robin hints, verifier output — are bit-identical either way (the
-  /// equivalence tests pin this); the random policy always takes the legacy
-  /// loop to preserve its RNG draw order.
+  /// Use the SIMD wavefront sweep for level-major non-RNG policies: gather
+  /// the live requests' Ulink/Dlink rows, vector AND + select across the
+  /// whole level, then validate + commit sequentially (capacity-weighted
+  /// policies keep the gathered AND only for empty-row rejection and
+  /// re-derive every pick at commit). False forces the legacy per-request
+  /// reference loop. Results — grants, probe streams, round-robin hints,
+  /// verifier output — are bit-identical either way (the equivalence tests
+  /// pin this); RNG-consuming policies always take the legacy loop to
+  /// preserve their draw order.
   bool wavefront = true;
 
   std::uint64_t seed = 0x5eedULL;

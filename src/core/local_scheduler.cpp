@@ -61,6 +61,25 @@ std::optional<std::uint32_t> LocalAdaptiveScheduler::pick_local_port_impl(
       if (port) hint = (*port + 1) % w;
       return picked(port);
     }
+    // Balanced variants act on the source-side column weights only — the
+    // residual-capacity signal a locally-informed scheduler could plausibly
+    // aggregate — mirroring the levelwise variants' tie-break rules.
+    case PortPolicy::kBalanced:
+      return picked(state.balanced_local_ulink(level, src_sw));
+    case PortPolicy::kBalancedRR: {
+      const std::uint32_t w = state.ports_per_switch();
+      std::uint32_t& hint = rr_hint[src_sw];
+      const auto port = state.balanced_local_ulink_from(level, src_sw, hint);
+      if (port) hint = (*port + 1) % w;
+      return picked(port);
+    }
+    case PortPolicy::kBalancedRandom: {
+      const std::uint32_t count =
+          state.balanced_local_ulink_count(level, src_sw);
+      if (count == 0) return std::nullopt;
+      return picked(state.nth_balanced_local_ulink(
+          level, src_sw, static_cast<std::uint32_t>(rng_.below(count))));
+    }
   }
   FT_UNREACHABLE();
 }
@@ -80,7 +99,7 @@ ScheduleResult LocalAdaptiveScheduler::schedule(
 
   const std::uint32_t link_levels = tree.levels() - 1;
   rr_hint_by_level_.resize(link_levels);
-  if (options_.policy == PortPolicy::kRoundRobin) {
+  if (policy_uses_hint(options_.policy)) {
     for (std::uint32_t h = 0; h < link_levels; ++h) {
       rr_hint_by_level_[h].assign(state.rows_at(h), 0);
     }

@@ -28,6 +28,24 @@ Result<std::unique_ptr<Scheduler>> make_scheduler(const std::string& name,
     options.seed = seed;
     return Ptr(new LevelwiseScheduler(options));
   }
+  if (name == "levelwise-balanced") {
+    LevelwiseOptions options;
+    options.policy = PortPolicy::kBalanced;
+    options.seed = seed;
+    return Ptr(new LevelwiseScheduler(options));
+  }
+  if (name == "levelwise-balanced-rr") {
+    LevelwiseOptions options;
+    options.policy = PortPolicy::kBalancedRR;
+    options.seed = seed;
+    return Ptr(new LevelwiseScheduler(options));
+  }
+  if (name == "levelwise-balanced-random") {
+    LevelwiseOptions options;
+    options.policy = PortPolicy::kBalancedRandom;
+    options.seed = seed;
+    return Ptr(new LevelwiseScheduler(options));
+  }
   if (name == "levelwise-reqmajor") {
     LevelwiseOptions options;
     options.order = LevelwiseOptions::Order::kRequestMajor;
@@ -70,12 +88,16 @@ Result<std::unique_ptr<Scheduler>> make_scheduler(const std::string& name,
   }
   return Status::error("unknown scheduler '" + name +
                        "'; known: levelwise, levelwise-random, levelwise-rr, "
-                       "levelwise-reqmajor, local, local-random, local-rr, "
-                       "local-hold, turnback, matching2, dmodk");
+                       "levelwise-balanced, levelwise-balanced-rr, "
+                       "levelwise-balanced-random, levelwise-reqmajor, local, "
+                       "local-random, local-rr, local-hold, turnback, "
+                       "matching2, dmodk");
 }
 
 std::vector<std::string> scheduler_names() {
   return {"levelwise",   "levelwise-random", "levelwise-rr",
+          "levelwise-balanced", "levelwise-balanced-rr",
+          "levelwise-balanced-random",
           "levelwise-reqmajor", "local",     "local-random",
           "local-rr",    "local-hold",       "turnback",
           "matching2",   "dmodk"};

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -30,9 +31,41 @@ enum class PortPolicy : std::uint8_t {
   kFirstFit,    ///< lowest-numbered free port (the paper's priority selector)
   kRandom,      ///< uniform among free ports
   kRoundRobin,  ///< first free port at or after a rotating pointer
+  // Fault-aware variants: weight each free port by the residual capacity of
+  // its subtree plane (LinkState column-free counters, maintained as
+  // circuits come and go and cables fail/repair) and pick within the
+  // max-weight tie set. On a pristine fabric with a symmetric load they
+  // reduce to their oblivious counterparts' tie-break rule; on a damaged
+  // one they steer circuits off the depleted planes.
+  kBalanced,        ///< max residual plane capacity, lowest port on ties
+  kBalancedRR,      ///< max capacity, rotating pointer within the tie set
+  kBalancedRandom,  ///< max capacity, seeded uniform draw within the tie set
 };
 
 std::string_view to_string(PortPolicy policy);
+
+/// Inverse of to_string ("first-fit", "random", "round-robin", "balanced",
+/// "balanced-rr", "balanced-random"); nullopt on anything else.
+std::optional<PortPolicy> parse_port_policy(std::string_view name);
+
+/// Policies that consume RNG draws in pick order — these must stay on the
+/// legacy per-request loop (the wavefront would reorder nothing, but it
+/// buys nothing when every pick needs a live candidate count).
+constexpr bool policy_uses_rng(PortPolicy policy) {
+  return policy == PortPolicy::kRandom || policy == PortPolicy::kBalancedRandom;
+}
+
+/// Policies that keep a per-row rotating pointer (the rr hint rule).
+constexpr bool policy_uses_hint(PortPolicy policy) {
+  return policy == PortPolicy::kRoundRobin || policy == PortPolicy::kBalancedRR;
+}
+
+/// Capacity-weighted policies: their pick depends on column-free counters
+/// that move with every commit, so a gathered wavefront pick can never be
+/// proven fresh — the commit loop re-derives the pick from live state.
+constexpr bool policy_weighted(PortPolicy policy) {
+  return policy == PortPolicy::kBalanced || policy == PortPolicy::kBalancedRR;
+}
 
 /// Occupancy of the PE<->leaf-switch channels, which LinkState does not
 /// model. Under a (partial) permutation these never conflict; under hot-spot

@@ -9,6 +9,7 @@
 #include "exec/thread_pool.hpp"
 #include "fault/fabric_manager.hpp"
 #include "fault/fault_timeline.hpp"
+#include "linkstate/imbalance.hpp"
 
 namespace ftsched {
 
@@ -42,8 +43,11 @@ void run_repetitions(const FatTree& tree, const DegradationConfig& config,
                      double mtbf, double mttr, std::size_t rep_begin,
                      std::size_t rep_end, std::span<double> first_attempt,
                      std::span<double> open_ratio,
-                     std::span<double> ever_granted, obs::FlightRing* ring,
-                     obs::ProfileSession* profiler, DegradationShard& shard) {
+                     std::span<double> ever_granted,
+                     std::span<double> imb_max_over_mean,
+                     std::span<double> imb_cov, std::span<double> imb_hotspot,
+                     obs::FlightRing* ring, obs::ProfileSession* profiler,
+                     DegradationShard& shard) {
   FabricOptions options;
   options.scheduler = config.scheduler;
   options.seed = config.seed;
@@ -83,6 +87,13 @@ void run_repetitions(const FatTree& tree, const DegradationConfig& config,
     first_attempt[rep] = fabric.first_attempt_ratio();
     open_ratio[rep] = fabric.open_ratio();
     ever_granted[rep] = fabric.ever_granted_ratio();
+    // Horizon-end load quality on the live residual fabric. Rep-indexed
+    // like the ratios above, so the summaries are thread-count-invariant.
+    const ImbalanceReport imbalance =
+        measure_imbalance(fabric.connections().state());
+    imb_max_over_mean[rep] = imbalance.worst_max_over_mean;
+    imb_cov[rep] = imbalance.worst_cov;
+    imb_hotspot[rep] = imbalance.worst_hotspot;
     const FabricStats& stats = fabric.stats();
     shard.total_requests += stats.submitted;
     shard.fail_events += stats.fail_events;
@@ -140,6 +151,9 @@ DegradationPoint run_degradation(const FatTree& tree,
   std::vector<double> first_attempt(config.repetitions, 0.0);
   std::vector<double> open_ratio(config.repetitions, 0.0);
   std::vector<double> ever_granted(config.repetitions, 0.0);
+  std::vector<double> imb_max_over_mean(config.repetitions, 0.0);
+  std::vector<double> imb_cov(config.repetitions, 0.0);
+  std::vector<double> imb_hotspot(config.repetitions, 0.0);
 
   const std::size_t threads = std::min(config.threads, config.repetitions);
   FT_REQUIRE_MSG(config.flight == nullptr ||
@@ -149,7 +163,8 @@ DegradationPoint run_degradation(const FatTree& tree,
     DegradationShard shard;
     if (config.profiler) config.profiler->open();
     run_repetitions(tree, config, mtbf, mttr, 0, config.repetitions,
-                    first_attempt, open_ratio, ever_granted,
+                    first_attempt, open_ratio, ever_granted, imb_max_over_mean,
+                    imb_cov, imb_hotspot,
                     config.flight ? &config.flight->ring(0) : nullptr,
                     config.profiler, shard);
     merge_shard(point, shard);
@@ -172,6 +187,7 @@ DegradationPoint run_degradation(const FatTree& tree,
       }
       run_repetitions(tree, config, mtbf, mttr, chunk.begin, chunk.end,
                       first_attempt, open_ratio, ever_granted,
+                      imb_max_over_mean, imb_cov, imb_hotspot,
                       config.flight ? &config.flight->ring(k) : nullptr,
                       profiler, shards[k]);
       if (profiler) profiler->close();
@@ -188,6 +204,9 @@ DegradationPoint run_degradation(const FatTree& tree,
   point.schedulability = Summary::from(first_attempt);
   point.open_ratio = Summary::from(open_ratio);
   point.ever_granted = Summary::from(ever_granted);
+  point.imbalance_max_over_mean = Summary::from(imb_max_over_mean);
+  point.imbalance_cov = Summary::from(imb_cov);
+  point.imbalance_hotspot = Summary::from(imb_hotspot);
   return point;
 }
 

@@ -71,6 +71,16 @@ struct DegradationPoint {
   /// Distinct requests granted at least once / submitted.
   Summary ever_granted;
 
+  // Load-quality of the residual fabric at the horizon, one sample per
+  // repetition (worst level/direction of measure_imbalance — see
+  // linkstate/imbalance.hpp). These are what separates a balanced policy
+  // from an oblivious one on a damaged fabric even when raw schedulability
+  // ties: lower max-over-mean / CoV / hotspot means the surviving planes
+  // carry the load evenly instead of piling onto the first free column.
+  Summary imbalance_max_over_mean;
+  Summary imbalance_cov;
+  Summary imbalance_hotspot;
+
   std::uint64_t total_requests = 0;
   std::uint64_t fail_events = 0;
   std::uint64_t repair_events = 0;

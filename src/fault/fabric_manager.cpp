@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "linkstate/imbalance.hpp"
 #include "topology/path.hpp"
 
 namespace ftsched {
@@ -216,10 +217,21 @@ void FabricManager::on_repair(const CableId& cable) {
   if (options_.deep_verify) verify_invariants();
 }
 
-void FabricManager::verify_invariants() const {
+Status FabricManager::check_invariants() const {
   const LinkState& live = manager_.state();
   const Status audit = live.audit();
-  FT_REQUIRE_MSG(audit.ok(), audit.message().c_str());
+  if (!audit.ok()) return audit;
+
+  // The seq ledger and the connection table must agree on what is open.
+  if (conn_seq_.size() != manager_.active_count()) {
+    return Status::error("connection ledger disagrees with open-circuit set");
+  }
+  // Circuit conservation: every grant is open, closed, or revoked — nothing
+  // leaks and nothing is double-counted.
+  if (stats_.grants != conn_seq_.size() + stats_.closed + stats_.victims) {
+    return Status::error(
+        "circuit conservation violated: grants != open + closed + victims");
+  }
 
   // Every failed cable still masked, both channels unavailable; no open
   // circuit crosses one.
@@ -227,19 +239,26 @@ void FabricManager::verify_invariants() const {
   std::vector<std::pair<ConnectionId, const Path*>> open;
   for (const auto& [id, seq] : conn_seq_) {
     const Path* path = manager_.find(id);
-    FT_REQUIRE(path != nullptr);
+    if (path == nullptr) {
+      return Status::error("ledgered connection id has no open circuit");
+    }
     open.emplace_back(id, path);
   }
   for (const CableId& cable : failed_cables_) {
-    FT_REQUIRE_MSG(
-        live.cable_faulted(cable.level, cable.lower_index, cable.port),
-        "failed cable lost its fault mark");
-    FT_REQUIRE_MSG(!live.ulink(cable.level, cable.lower_index, cable.port) &&
-                       !live.dlink(cable.level, cable.lower_index, cable.port),
-                   "faulted cable advertises availability");
+    if (!live.cable_faulted(cable.level, cable.lower_index, cable.port)) {
+      return Status::error("failed cable lost its fault mark: " +
+                           to_string(cable));
+    }
+    if (live.ulink(cable.level, cable.lower_index, cable.port) ||
+        live.dlink(cable.level, cable.lower_index, cable.port)) {
+      return Status::error("faulted cable advertises availability: " +
+                           to_string(cable));
+    }
     for (const auto& [id, path] : open) {
-      FT_REQUIRE_MSG(!path_crosses_cable(tree_, *path, cable),
-                     "open circuit crosses a faulted cable");
+      if (path_crosses_cable(tree_, *path, cable)) {
+        return Status::error("open circuit crosses a faulted cable: " +
+                             to_string(cable));
+      }
     }
   }
 
@@ -253,8 +272,35 @@ void FabricManager::verify_invariants() const {
   for (const auto& [id, path] : open) {
     expected.occupy_path(tree_, *path);
   }
-  FT_REQUIRE_MSG(expected == live,
-                 "link state residue differs from re-derivation");
+  if (!(expected == live)) {
+    return Status::error("link state residue differs from re-derivation");
+  }
+  return Status();
+}
+
+void FabricManager::verify_invariants() const {
+  const Status status = check_invariants();
+  FT_REQUIRE_MSG(status.ok(), status.message().c_str());
+}
+
+Status FabricManager::close(ConnectionId id) {
+  const auto it = conn_seq_.find(id);
+  if (it == conn_seq_.end()) {
+    return Status::error("close of unknown connection id");
+  }
+  manager_.set_flight_now(sim_.now());
+  const Status status = manager_.close(id);
+  if (!status.ok()) return status;
+  conn_seq_.erase(it);
+  ++stats_.closed;
+  return Status();
+}
+
+std::vector<ConnectionId> FabricManager::open_ids() const {
+  std::vector<ConnectionId> ids;
+  ids.reserve(conn_seq_.size());
+  for (const auto& [id, seq] : conn_seq_) ids.push_back(id);
+  return ids;
 }
 
 void FabricManager::export_metrics(obs::MetricsRegistry& registry) const {
@@ -269,6 +315,7 @@ void FabricManager::export_metrics(obs::MetricsRegistry& registry) const {
   registry.counter("fault.recovered").add(stats_.recovered);
   registry.counter("fault.retries").add(stats_.retries);
   registry.counter("fault.shed").add(stats_.shed);
+  registry.counter("fault.closed").add(stats_.closed);
   registry.counter("fault.permanent_rejects").add(stats_.permanent_rejects);
   registry.counter("fault.abandoned").add(stats_.abandoned);
   registry.counter("fault.open_circuits").add(manager_.active_count());
@@ -280,6 +327,9 @@ void FabricManager::export_metrics(obs::MetricsRegistry& registry) const {
       "fault.retry_latency", 0.0, static_cast<double>(options_.horizon) + 1.0,
       32);
   for (double v : stats_.retry_latency) retry.observe(v);
+  // Load quality of the residual fabric right now — how evenly the open
+  // circuits sit on the surviving planes (fabric.imbalance.* gauges).
+  export_imbalance_metrics(measure_imbalance(manager_.state()), registry);
 }
 
 double FabricManager::first_attempt_ratio() const {

@@ -76,6 +76,7 @@ struct FabricStats {
   std::uint64_t recovered = 0;  ///< victims re-granted later
   std::uint64_t retries = 0;    ///< re-attempts actually scheduled
   std::uint64_t shed = 0;       ///< dropped by the admission gate
+  std::uint64_t closed = 0;     ///< circuits released through close()
   std::uint64_t permanent_rejects = 0;  ///< retry budget exhausted
   std::uint64_t abandoned = 0;          ///< retry would land past the horizon
   /// Victim revocation → re-grant latencies in ticks, grant order.
@@ -102,6 +103,31 @@ class FabricManager {
   /// Schedules a batch arrival at time `t` (>= sim.now()).
   void submit(std::vector<Request> requests, SimTime t);
 
+  // --- Immediate-mode chaos surface ----------------------------------------
+  // ChaosSoak drives fail/repair/close from its own scheduled events, making
+  // legality decisions against the live state at execution time (so any
+  // subset of a chaos script replays legally — the property the interleaving
+  // shrinker depends on). install() remains the declarative alternative.
+
+  /// Applies a cable failure at the simulator's current time: victims are
+  /// revoked and re-enqueued exactly as a timeline fail event would. The
+  /// cable must not already be failed.
+  void fail_cable(const CableId& cable) { on_fail(cable); }
+
+  /// Repairs a cable at the simulator's current time. It must be failed.
+  void repair_cable(const CableId& cable) { on_repair(cable); }
+
+  bool cable_is_failed(const CableId& cable) const {
+    return failed_cables_.count(cable) != 0;
+  }
+
+  /// Releases an open circuit's channels. Fails on an unknown id (a circuit
+  /// that was already revoked or closed).
+  Status close(ConnectionId id);
+
+  /// Ids of all open circuits in grant order.
+  std::vector<ConnectionId> open_ids() const;
+
   const FabricStats& stats() const { return stats_; }
   const ConnectionManager& connections() const { return manager_; }
   std::size_t open_circuits() const { return manager_.active_count(); }
@@ -121,10 +147,15 @@ class FabricManager {
   double recovery_success_ratio() const;
 
   /// The invariant bundle: LinkState audit, no open circuit crosses a
-  /// faulted cable, and the full-state residue re-derivation (faults first,
-  /// then every open circuit — must reproduce the live state exactly).
-  /// Aborts on violation. Cheap enough to call at end of run; deep_verify
-  /// runs it after every event.
+  /// faulted cable, the full-state residue re-derivation (faults first,
+  /// then every open circuit — must reproduce the live state exactly), and
+  /// circuit conservation (grants == open + closed + victims). Returns the
+  /// first violation instead of aborting — the chaos soak engine keeps the
+  /// process alive to shrink the violating interleaving.
+  Status check_invariants() const;
+
+  /// check_invariants() with abort-on-violation semantics. Cheap enough to
+  /// call at end of run; deep_verify runs it after every event.
   void verify_invariants() const;
 
   /// Exports fault.* counters and latency histograms.

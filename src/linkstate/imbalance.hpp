@@ -1,0 +1,62 @@
+// Load-quality metrics on the residual (non-faulted) fabric.
+//
+// Raw schedulability hides badly imbalanced routing on a damaged fabric:
+// an oblivious first-free pick silently concentrates circuits on the
+// surviving subtree planes, and the service ratio looks fine right up to
+// the point where those planes saturate. These metrics quantify the
+// concentration directly from a LinkState snapshot:
+//
+//   * per-switch (row) occupancy fraction — busy non-faulted channels over
+//     residual capacity — summarized per level and direction as max/mean
+//     and coefficient of variation (CoV);
+//   * per-plane (column) occupancy fraction — port column p at level h is
+//     one subtree plane (the Theorem-1 port digit) — whose worst-column
+//     max/mean is the hot-spot score.
+//
+// Faulted channels are EXCLUDED from both numerator and denominator: a
+// dead cable is not load, and a fabric with 5% of its cables down should
+// score 1.0 (perfectly balanced) when the survivors carry equal load.
+// Exported as fabric.imbalance.* gauges (export_imbalance_metrics) and
+// aggregated per repetition by the degradation engine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linkstate/link_state.hpp"
+#include "obs/metrics.hpp"
+
+namespace ftsched {
+
+/// One direction (up or down) of one inter-switch level.
+struct DirectionImbalance {
+  double mean = 0.0;           ///< mean row occupancy fraction
+  double max_over_mean = 1.0;  ///< worst row over mean (1.0 when idle)
+  double cov = 0.0;            ///< stddev / mean of row fractions (0 idle)
+  double hotspot = 1.0;        ///< worst column over mean column (1.0 idle)
+};
+
+struct LevelImbalance {
+  DirectionImbalance up;
+  DirectionImbalance down;
+};
+
+struct ImbalanceReport {
+  std::vector<LevelImbalance> levels;  ///< one per inter-switch level
+  // Worst case over every level and direction — the headline quality
+  // numbers the degradation sweep tracks as damage grows.
+  double worst_max_over_mean = 1.0;
+  double worst_cov = 0.0;
+  double worst_hotspot = 1.0;
+};
+
+/// Measures the snapshot. O(switches × ports) — a cold-path accounting
+/// walk, not scheduler cost.
+ImbalanceReport measure_imbalance(const LinkState& state);
+
+/// Exports fabric.imbalance.{max_over_mean,cov,hotspot}.levelH.{up,down}
+/// gauges plus the worst-case roll-ups.
+void export_imbalance_metrics(const ImbalanceReport& report,
+                              obs::MetricsRegistry& registry);
+
+}  // namespace ftsched

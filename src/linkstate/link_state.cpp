@@ -15,6 +15,8 @@ LinkState::LinkState(const FatTree& tree)
   d_.resize(link_levels_);
   occupied_u_.assign(link_levels_, 0);
   occupied_d_.assign(link_levels_, 0);
+  col_free_u_.assign(std::uint64_t{link_levels_} * w_, 0);
+  col_free_d_.assign(std::uint64_t{link_levels_} * w_, 0);
   reset();
 }
 
@@ -41,6 +43,10 @@ void LinkState::reset() {
     }
     occupied_u_[h] = 0;
     occupied_d_[h] = 0;
+    for (std::uint32_t p = 0; p < w_; ++p) {
+      col_free_u_[std::uint64_t{h} * w_ + p] = rows_[h];
+      col_free_d_[std::uint64_t{h} * w_ + p] = rows_[h];
+    }
   }
 }
 
@@ -96,11 +102,13 @@ void LinkState::fail_cable(std::uint32_t level, std::uint64_t sw,
     set_bit(su_, level, sw, port, true);
     set_bit(u_, level, sw, port, false);
     ++occupied_u_[level];
+    --col_free_u_[std::uint64_t{level} * w_ + port];
   }
   if (dlink(level, sw, port)) {
     set_bit(sd_, level, sw, port, true);
     set_bit(d_, level, sw, port, false);
     ++occupied_d_[level];
+    --col_free_d_[std::uint64_t{level} * w_ + port];
   }
   set_bit(f_, level, sw, port, true);
   ++faulted_;
@@ -122,11 +130,13 @@ void LinkState::repair_cable(std::uint32_t level, std::uint64_t sw,
     set_bit(su_, level, sw, port, false);
     set_bit(u_, level, sw, port, true);
     --occupied_u_[level];
+    ++col_free_u_[std::uint64_t{level} * w_ + port];
   }
   if (test(sd_, level, sw, port)) {
     set_bit(sd_, level, sw, port, false);
     set_bit(d_, level, sw, port, true);
     --occupied_d_[level];
+    ++col_free_d_[std::uint64_t{level} * w_ + port];
   }
 }
 
@@ -141,6 +151,8 @@ void LinkState::set_ulink(std::uint32_t level, std::uint64_t sw,
   if (was == available) return;
   set_bit(u_, level, sw, port, available);
   occupied_u_[level] += available ? std::uint64_t(-1) : 1;
+  col_free_u_[std::uint64_t{level} * w_ + port] +=
+      available ? 1 : std::uint64_t(-1);
 }
 
 void LinkState::set_dlink(std::uint32_t level, std::uint64_t sw,
@@ -154,6 +166,8 @@ void LinkState::set_dlink(std::uint32_t level, std::uint64_t sw,
   if (was == available) return;
   set_bit(d_, level, sw, port, available);
   occupied_d_[level] += available ? std::uint64_t(-1) : 1;
+  col_free_d_[std::uint64_t{level} * w_ + port] +=
+      available ? 1 : std::uint64_t(-1);
 }
 
 std::optional<std::uint32_t> LinkState::first_available_port(
@@ -208,6 +222,259 @@ std::optional<std::uint32_t> LinkState::nth_available_port(
       const std::size_t bit = bits::find_first_word(word);
       if (index == 0) return static_cast<std::uint32_t>(wd * 64 + bit);
       --index;
+      word &= word - 1;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint32_t> LinkState::balanced_port(
+    std::uint32_t level, std::uint64_t src_sw, std::uint64_t dst_sw) const {
+  FT_REQUIRE(level < link_levels_);
+  FT_REQUIRE(src_sw < rows_[level]);
+  FT_REQUIRE(dst_sw < rows_[level]);
+  const std::uint64_t* su = &u_[level][src_sw * row_words_];
+  const std::uint64_t* dd = &d_[level][dst_sw * row_words_];
+  const std::uint64_t* cu = &col_free_u_[std::uint64_t{level} * w_];
+  const std::uint64_t* cd = &col_free_d_[std::uint64_t{level} * w_];
+  std::optional<std::uint32_t> best;
+  std::uint64_t best_weight = 0;
+  for (std::uint64_t wd = 0; wd < row_words_; ++wd) {
+    std::uint64_t word = su[wd] & dd[wd];
+    while (word != 0) {
+      const auto p = static_cast<std::uint32_t>(wd * 64 +
+                                                bits::find_first_word(word));
+      const std::uint64_t weight = cu[p] + cd[p];
+      // Strictly-greater keeps the LOWEST port on ties, matching the
+      // paper's priority selector within the max-weight plane set.
+      if (!best || weight > best_weight) {
+        best = p;
+        best_weight = weight;
+      }
+      word &= word - 1;
+    }
+  }
+  return best;
+}
+
+std::optional<std::uint32_t> LinkState::balanced_port_from(
+    std::uint32_t level, std::uint64_t src_sw, std::uint64_t dst_sw,
+    std::uint32_t from) const {
+  FT_REQUIRE(level < link_levels_);
+  FT_REQUIRE(src_sw < rows_[level]);
+  FT_REQUIRE(dst_sw < rows_[level]);
+  const std::uint64_t* su = &u_[level][src_sw * row_words_];
+  const std::uint64_t* dd = &d_[level][dst_sw * row_words_];
+  const std::uint64_t* cu = &col_free_u_[std::uint64_t{level} * w_];
+  const std::uint64_t* cd = &col_free_d_[std::uint64_t{level} * w_];
+  // One pass tracks both the global argmax (lowest-port tiebreak) and the
+  // argmax restricted to ports >= from; the hint rule prefers the latter
+  // when it reaches the same maximum weight, else wraps to the former.
+  std::optional<std::uint32_t> best;
+  std::optional<std::uint32_t> best_from;
+  std::uint64_t best_weight = 0;
+  std::uint64_t best_from_weight = 0;
+  for (std::uint64_t wd = 0; wd < row_words_; ++wd) {
+    std::uint64_t word = su[wd] & dd[wd];
+    while (word != 0) {
+      const auto p = static_cast<std::uint32_t>(wd * 64 +
+                                                bits::find_first_word(word));
+      const std::uint64_t weight = cu[p] + cd[p];
+      if (!best || weight > best_weight) {
+        best = p;
+        best_weight = weight;
+      }
+      if (p >= from && (!best_from || weight > best_from_weight)) {
+        best_from = p;
+        best_from_weight = weight;
+      }
+      word &= word - 1;
+    }
+  }
+  if (best_from && best_from_weight == best_weight) return best_from;
+  return best;
+}
+
+std::uint32_t LinkState::balanced_port_count(std::uint32_t level,
+                                             std::uint64_t src_sw,
+                                             std::uint64_t dst_sw) const {
+  FT_REQUIRE(level < link_levels_);
+  FT_REQUIRE(src_sw < rows_[level]);
+  FT_REQUIRE(dst_sw < rows_[level]);
+  const std::uint64_t* su = &u_[level][src_sw * row_words_];
+  const std::uint64_t* dd = &d_[level][dst_sw * row_words_];
+  const std::uint64_t* cu = &col_free_u_[std::uint64_t{level} * w_];
+  const std::uint64_t* cd = &col_free_d_[std::uint64_t{level} * w_];
+  bool any = false;
+  std::uint64_t best_weight = 0;
+  std::uint32_t count = 0;
+  for (std::uint64_t wd = 0; wd < row_words_; ++wd) {
+    std::uint64_t word = su[wd] & dd[wd];
+    while (word != 0) {
+      const auto p = static_cast<std::uint32_t>(wd * 64 +
+                                                bits::find_first_word(word));
+      const std::uint64_t weight = cu[p] + cd[p];
+      if (!any || weight > best_weight) {
+        any = true;
+        best_weight = weight;
+        count = 1;
+      } else if (weight == best_weight) {
+        ++count;
+      }
+      word &= word - 1;
+    }
+  }
+  return count;
+}
+
+std::optional<std::uint32_t> LinkState::nth_balanced_port(
+    std::uint32_t level, std::uint64_t src_sw, std::uint64_t dst_sw,
+    std::uint32_t index) const {
+  FT_REQUIRE(level < link_levels_);
+  const std::uint64_t* su = &u_[level][src_sw * row_words_];
+  const std::uint64_t* dd = &d_[level][dst_sw * row_words_];
+  const std::uint64_t* cu = &col_free_u_[std::uint64_t{level} * w_];
+  const std::uint64_t* cd = &col_free_d_[std::uint64_t{level} * w_];
+  bool any = false;
+  std::uint64_t best_weight = 0;
+  for (std::uint64_t wd = 0; wd < row_words_; ++wd) {
+    std::uint64_t word = su[wd] & dd[wd];
+    while (word != 0) {
+      const auto p = static_cast<std::uint32_t>(wd * 64 +
+                                                bits::find_first_word(word));
+      const std::uint64_t weight = cu[p] + cd[p];
+      if (!any || weight > best_weight) {
+        any = true;
+        best_weight = weight;
+      }
+      word &= word - 1;
+    }
+  }
+  if (!any) return std::nullopt;
+  for (std::uint64_t wd = 0; wd < row_words_; ++wd) {
+    std::uint64_t word = su[wd] & dd[wd];
+    while (word != 0) {
+      const auto p = static_cast<std::uint32_t>(wd * 64 +
+                                                bits::find_first_word(word));
+      if (cu[p] + cd[p] == best_weight) {
+        if (index == 0) return p;
+        --index;
+      }
+      word &= word - 1;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint32_t> LinkState::balanced_local_ulink(
+    std::uint32_t level, std::uint64_t src_sw) const {
+  FT_REQUIRE(level < link_levels_);
+  FT_REQUIRE(src_sw < rows_[level]);
+  const std::uint64_t* su = &u_[level][src_sw * row_words_];
+  const std::uint64_t* cu = &col_free_u_[std::uint64_t{level} * w_];
+  std::optional<std::uint32_t> best;
+  std::uint64_t best_weight = 0;
+  for (std::uint64_t wd = 0; wd < row_words_; ++wd) {
+    std::uint64_t word = su[wd];
+    while (word != 0) {
+      const auto p = static_cast<std::uint32_t>(wd * 64 +
+                                                bits::find_first_word(word));
+      if (!best || cu[p] > best_weight) {
+        best = p;
+        best_weight = cu[p];
+      }
+      word &= word - 1;
+    }
+  }
+  return best;
+}
+
+std::optional<std::uint32_t> LinkState::balanced_local_ulink_from(
+    std::uint32_t level, std::uint64_t src_sw, std::uint32_t from) const {
+  FT_REQUIRE(level < link_levels_);
+  FT_REQUIRE(src_sw < rows_[level]);
+  const std::uint64_t* su = &u_[level][src_sw * row_words_];
+  const std::uint64_t* cu = &col_free_u_[std::uint64_t{level} * w_];
+  std::optional<std::uint32_t> best;
+  std::optional<std::uint32_t> best_from;
+  std::uint64_t best_weight = 0;
+  std::uint64_t best_from_weight = 0;
+  for (std::uint64_t wd = 0; wd < row_words_; ++wd) {
+    std::uint64_t word = su[wd];
+    while (word != 0) {
+      const auto p = static_cast<std::uint32_t>(wd * 64 +
+                                                bits::find_first_word(word));
+      if (!best || cu[p] > best_weight) {
+        best = p;
+        best_weight = cu[p];
+      }
+      if (p >= from && (!best_from || cu[p] > best_from_weight)) {
+        best_from = p;
+        best_from_weight = cu[p];
+      }
+      word &= word - 1;
+    }
+  }
+  if (best_from && best_from_weight == best_weight) return best_from;
+  return best;
+}
+
+std::uint32_t LinkState::balanced_local_ulink_count(std::uint32_t level,
+                                                    std::uint64_t src_sw) const {
+  FT_REQUIRE(level < link_levels_);
+  FT_REQUIRE(src_sw < rows_[level]);
+  const std::uint64_t* su = &u_[level][src_sw * row_words_];
+  const std::uint64_t* cu = &col_free_u_[std::uint64_t{level} * w_];
+  bool any = false;
+  std::uint64_t best_weight = 0;
+  std::uint32_t count = 0;
+  for (std::uint64_t wd = 0; wd < row_words_; ++wd) {
+    std::uint64_t word = su[wd];
+    while (word != 0) {
+      const auto p = static_cast<std::uint32_t>(wd * 64 +
+                                                bits::find_first_word(word));
+      if (!any || cu[p] > best_weight) {
+        any = true;
+        best_weight = cu[p];
+        count = 1;
+      } else if (cu[p] == best_weight) {
+        ++count;
+      }
+      word &= word - 1;
+    }
+  }
+  return count;
+}
+
+std::optional<std::uint32_t> LinkState::nth_balanced_local_ulink(
+    std::uint32_t level, std::uint64_t src_sw, std::uint32_t index) const {
+  FT_REQUIRE(level < link_levels_);
+  const std::uint64_t* su = &u_[level][src_sw * row_words_];
+  const std::uint64_t* cu = &col_free_u_[std::uint64_t{level} * w_];
+  bool any = false;
+  std::uint64_t best_weight = 0;
+  for (std::uint64_t wd = 0; wd < row_words_; ++wd) {
+    std::uint64_t word = su[wd];
+    while (word != 0) {
+      const auto p = static_cast<std::uint32_t>(wd * 64 +
+                                                bits::find_first_word(word));
+      if (!any || cu[p] > best_weight) {
+        any = true;
+        best_weight = cu[p];
+      }
+      word &= word - 1;
+    }
+  }
+  if (!any) return std::nullopt;
+  for (std::uint64_t wd = 0; wd < row_words_; ++wd) {
+    std::uint64_t word = su[wd];
+    while (word != 0) {
+      const auto p = static_cast<std::uint32_t>(wd * 64 +
+                                                bits::find_first_word(word));
+      if (cu[p] == best_weight) {
+        if (index == 0) return p;
+        --index;
+      }
       word &= word - 1;
     }
   }
@@ -281,6 +548,7 @@ void LinkState::release(std::uint32_t level, std::uint64_t src_sw,
     FT_REQUIRE(!ulink(level, src_sw, port));
     set_bit(u_, level, src_sw, port, true);
     --occupied_u_[level];
+    ++col_free_u_[std::uint64_t{level} * w_ + port];
   }
   if (cable_faulted(level, dst_sw, port)) {
     park_release(sd_, level, dst_sw, port);
@@ -288,6 +556,7 @@ void LinkState::release(std::uint32_t level, std::uint64_t src_sw,
     FT_REQUIRE(!dlink(level, dst_sw, port));
     set_bit(d_, level, dst_sw, port, true);
     --occupied_d_[level];
+    ++col_free_d_[std::uint64_t{level} * w_ + port];
   }
 }
 
@@ -343,9 +612,23 @@ Status LinkState::audit() const {
   for (std::uint32_t h = 0; h < link_levels_; ++h) {
     std::uint64_t set_u = 0;
     std::uint64_t set_d = 0;
-    for (std::uint64_t wd = 0; wd < rows_[h] * row_words_; ++wd) {
-      set_u += bits::popcount(u_[h][wd]);
-      set_d += bits::popcount(d_[h][wd]);
+    std::vector<std::uint64_t> col_u(w_, 0);
+    std::vector<std::uint64_t> col_d(w_, 0);
+    for (std::uint64_t sw = 0; sw < rows_[h]; ++sw) {
+      for (std::uint64_t wd = 0; wd < row_words_; ++wd) {
+        std::uint64_t wu = u_[h][sw * row_words_ + wd];
+        std::uint64_t wv = d_[h][sw * row_words_ + wd];
+        set_u += bits::popcount(wu);
+        set_d += bits::popcount(wv);
+        while (wu != 0) {
+          ++col_u[wd * 64 + bits::find_first_word(wu)];
+          wu &= wu - 1;
+        }
+        while (wv != 0) {
+          ++col_d[wd * 64 + bits::find_first_word(wv)];
+          wv &= wv - 1;
+        }
+      }
     }
     const std::uint64_t total = rows_[h] * w_;
     if (total - set_u != occupied_u_[h]) {
@@ -355,6 +638,16 @@ Status LinkState::audit() const {
     if (total - set_d != occupied_d_[h]) {
       return Status::error("dlink occupancy counter drift at level " +
                            std::to_string(h));
+    }
+    for (std::uint32_t p = 0; p < w_; ++p) {
+      if (col_u[p] != col_free_u_[std::uint64_t{h} * w_ + p]) {
+        return Status::error("ulink column-free counter drift at level " +
+                             std::to_string(h) + " port " + std::to_string(p));
+      }
+      if (col_d[p] != col_free_d_[std::uint64_t{h} * w_ + p]) {
+        return Status::error("dlink column-free counter drift at level " +
+                             std::to_string(h) + " port " + std::to_string(p));
+      }
     }
   }
   if (!f_.empty()) {
@@ -405,6 +698,7 @@ bool operator==(const LinkState& a, const LinkState& b) {
   return a.link_levels_ == b.link_levels_ && a.w_ == b.w_ &&
          a.rows_ == b.rows_ && a.u_ == b.u_ && a.d_ == b.d_ &&
          a.occupied_u_ == b.occupied_u_ && a.occupied_d_ == b.occupied_d_ &&
+         a.col_free_u_ == b.col_free_u_ && a.col_free_d_ == b.col_free_d_ &&
          a.faulted_ == b.faulted_ && overlay_equal(a.f_, b.f_) &&
          overlay_equal(a.su_, b.su_) && overlay_equal(a.sd_, b.sd_);
 }

@@ -79,6 +79,71 @@ class LinkState {
                                                   std::uint64_t dst_sw,
                                                   std::uint32_t index) const;
 
+  // --- Balanced (capacity-weighted) picks -----------------------------------
+  //
+  // Port column p at level h feeds a distinct 1/w slice of the level-(h+1)
+  // switches (the Theorem-1 port digit is the next label digit), so the
+  // number of free channels in that column is the residual capacity of a
+  // whole subtree plane. The balanced policies pick, among the AND row's
+  // free ports, one whose column has the MOST free channels left — the
+  // weight is maintained incrementally (column_free counters below) as
+  // circuits come and go and as cables fail and repair, so a degraded
+  // fabric steers new circuits away from the depleted planes.
+
+  /// Free up-channels in column `port` of `level` (count over switches).
+  std::uint64_t column_free_ulinks(std::uint32_t level,
+                                   std::uint32_t port) const {
+    FT_ASSERT(level < link_levels_);
+    FT_ASSERT(port < w_);
+    return col_free_u_[std::uint64_t{level} * w_ + port];
+  }
+  /// Free down-channels in column `port` of `level`.
+  std::uint64_t column_free_dlinks(std::uint32_t level,
+                                   std::uint32_t port) const {
+    FT_ASSERT(level < link_levels_);
+    FT_ASSERT(port < w_);
+    return col_free_d_[std::uint64_t{level} * w_ + port];
+  }
+
+  /// Max-weight available port of the AND row (weight = column_free_ulinks +
+  /// column_free_dlinks); ties break to the lowest port. nullopt when the
+  /// AND row is empty.
+  std::optional<std::uint32_t> balanced_port(std::uint32_t level,
+                                             std::uint64_t src_sw,
+                                             std::uint64_t dst_sw) const;
+
+  /// Like balanced_port, but ties break to the first max-weight candidate at
+  /// or after `from`, wrapping to the lowest — the balanced round-robin
+  /// hint rule.
+  std::optional<std::uint32_t> balanced_port_from(std::uint32_t level,
+                                                  std::uint64_t src_sw,
+                                                  std::uint64_t dst_sw,
+                                                  std::uint32_t from) const;
+
+  /// Number of available ports tied at the maximum weight (0 iff the AND
+  /// row is empty) — the candidate-set size the randomized policy draws
+  /// from.
+  std::uint32_t balanced_port_count(std::uint32_t level, std::uint64_t src_sw,
+                                    std::uint64_t dst_sw) const;
+
+  /// The `index`-th (0-based, ascending port order) max-weight available
+  /// port, or nullopt if the tie set is smaller.
+  std::optional<std::uint32_t> nth_balanced_port(std::uint32_t level,
+                                                 std::uint64_t src_sw,
+                                                 std::uint64_t dst_sw,
+                                                 std::uint32_t index) const;
+
+  // Source-side-only balanced picks (weight = column_free_ulinks alone) —
+  // what the local-information baseline can act on.
+  std::optional<std::uint32_t> balanced_local_ulink(std::uint32_t level,
+                                                    std::uint64_t src_sw) const;
+  std::optional<std::uint32_t> balanced_local_ulink_from(
+      std::uint32_t level, std::uint64_t src_sw, std::uint32_t from) const;
+  std::uint32_t balanced_local_ulink_count(std::uint32_t level,
+                                           std::uint64_t src_sw) const;
+  std::optional<std::uint32_t> nth_balanced_local_ulink(
+      std::uint32_t level, std::uint64_t src_sw, std::uint32_t index) const;
+
   /// Ports free on the SOURCE side only (local information — what the
   /// conventional adaptive scheduler sees).
   std::uint32_t local_ulink_count(std::uint32_t level,
@@ -137,6 +202,7 @@ class LinkState {
     FT_REQUIRE((word & mask) != 0);
     word &= ~mask;
     ++occupied_u_[level];
+    --col_free_u_[std::uint64_t{level} * w_ + port];
   }
 
   void occupy_dlink(std::uint32_t level, std::uint64_t sw, std::uint32_t port) {
@@ -145,6 +211,7 @@ class LinkState {
     FT_REQUIRE((word & mask) != 0);
     word &= ~mask;
     ++occupied_d_[level];
+    --col_free_d_[std::uint64_t{level} * w_ + port];
   }
 
   /// Inverse of occupy (both must currently be occupied).
@@ -242,6 +309,12 @@ class LinkState {
   std::vector<Matrix> d_;
   std::vector<std::uint64_t> occupied_u_;
   std::vector<std::uint64_t> occupied_d_;
+  // Per-column free-channel counters, [level * w_ + port]: the number of
+  // switches at `level` whose availability bit at `port` is set. Updated
+  // in lock-step with occupied_u_/occupied_d_ (every effective-availability
+  // flip adjusts both), verified against the bitmaps by audit().
+  std::vector<std::uint64_t> col_free_u_;
+  std::vector<std::uint64_t> col_free_d_;
   // Fault overlay (empty until the first fail_cable): f_ marks faulted
   // cables; su_/sd_ park the availability the fault displaced.
   std::vector<Matrix> f_;

@@ -142,9 +142,14 @@ SetupSimReport DistributedSetupSim::run(std::span<const Request> requests,
         switch (options_.policy) {
           case PortPolicy::kFirstFit:
           case PortPolicy::kRoundRobin:
+          // The token protocol carries no global capacity signal; the
+          // balanced policies degrade to their oblivious scan rules here.
+          case PortPolicy::kBalanced:
+          case PortPolicy::kBalancedRR:
             offset = (t.attempts - 1) % w;
             break;
           case PortPolicy::kRandom:
+          case PortPolicy::kBalancedRandom:
             offset = static_cast<std::uint32_t>(rng_.below(w));
             break;
         }

@@ -25,6 +25,8 @@ TEST(Registry, NamesAreStableIdentifiers) {
   // breaking change this test makes deliberate.
   const std::vector<std::string> expected{
       "levelwise",   "levelwise-random", "levelwise-rr",
+      "levelwise-balanced", "levelwise-balanced-rr",
+      "levelwise-balanced-random",
       "levelwise-reqmajor", "local",     "local-random",
       "local-rr",    "local-hold",       "turnback",
       "matching2",   "dmodk"};

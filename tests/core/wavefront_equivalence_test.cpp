@@ -8,12 +8,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "core/levelwise_scheduler.hpp"
 #include "core/verifier.hpp"
 #include "obs/profiler.hpp"
 #include "obs/sched_probe.hpp"
+#include "util/simd.hpp"
 #include "workload/patterns.hpp"
 
 namespace ftsched {
@@ -57,10 +59,17 @@ class WavefrontEquivalence : public ::testing::TestWithParam<Config> {};
 
 INSTANTIATE_TEST_SUITE_P(
     Policies, WavefrontEquivalence,
-    ::testing::Values(Config{"first_fit", PortPolicy::kFirstFit, true},
-                      Config{"round_robin", PortPolicy::kRoundRobin, true},
-                      Config{"random", PortPolicy::kRandom, true},
-                      Config{"first_fit_hold", PortPolicy::kFirstFit, false}),
+    ::testing::Values(
+        Config{"first_fit", PortPolicy::kFirstFit, true},
+        Config{"round_robin", PortPolicy::kRoundRobin, true},
+        Config{"random", PortPolicy::kRandom, true},
+        Config{"first_fit_hold", PortPolicy::kFirstFit, false},
+        // Capacity-weighted policies: the wavefront commit re-picks through
+        // the weighted argmax, and must still match the legacy loop exactly.
+        Config{"balanced", PortPolicy::kBalanced, true},
+        Config{"balanced_rr", PortPolicy::kBalancedRR, true},
+        Config{"balanced_random", PortPolicy::kBalancedRandom, true},
+        Config{"balanced_hold", PortPolicy::kBalanced, false}),
     [](const auto& param_info) { return std::string(param_info.param.name); });
 
 TEST_P(WavefrontEquivalence, BitIdenticalAcrossGridsAndBatches) {
@@ -161,6 +170,55 @@ TEST(WavefrontProfiled, AttachedRunReconcilesAndStaysBitIdentical) {
   EXPECT_EQ(session.total(), attributed + session.unattributed());
   EXPECT_TRUE(saw_and);
   EXPECT_TRUE(saw_pick);
+}
+
+TEST(WavefrontSimdBoundary, BalancedPoliciesBitIdenticalAtWordEdges) {
+  // Widths 63/64/65 straddle the one-word/two-word row boundary — the spot
+  // where a gather or select kernel would mishandle the spare high bits.
+  // With cables pre-failed, the gathered rows also carry fault-forced busy
+  // bits, so the weighted argmax runs over exactly the residual fabric.
+  // Three paths must agree bit-for-bit: wavefront at forced-scalar
+  // dispatch, wavefront at the host's auto level, and the legacy loop.
+  for (std::uint32_t w : {63u, 64u, 65u}) {
+    const FatTree tree = FatTree::symmetric(2, w);
+    for (PortPolicy policy :
+         {PortPolicy::kBalanced, PortPolicy::kBalancedRR,
+          PortPolicy::kBalancedRandom}) {
+      const auto run = [&](bool wavefront) {
+        LevelwiseOptions options;
+        options.policy = policy;
+        options.wavefront = wavefront;
+        options.seed = 5;
+        LevelwiseScheduler scheduler(options);
+        LinkState state(tree);
+        // Damage concentrated on column 0 plus the top ports of both word
+        // halves: the balanced weights differ per column, so a pick that
+        // read a stale or mis-gathered counter diverges immediately.
+        for (std::uint64_t sw = 0; sw < 5; ++sw) {
+          state.fail_cable(0, sw, 0);
+        }
+        state.fail_cable(0, 6, w - 1);
+        state.fail_cable(0, 7, w / 2);
+        Xoshiro256ss rng(13);
+        const auto batch = random_permutation(tree.node_count(), rng);
+        ScheduleResult result = scheduler.schedule(tree, batch, state);
+        return std::pair{std::move(result), std::move(state)};
+      };
+
+      simd::force(simd::Level::kScalar);
+      auto [scalar_result, scalar_state] = run(true);
+      simd::use_auto();
+      auto [auto_result, auto_state] = run(true);
+      auto [legacy_result, legacy_state] = run(false);
+
+      expect_same_outcomes(scalar_result, auto_result);
+      expect_same_outcomes(scalar_result, legacy_result);
+      EXPECT_TRUE(scalar_state == auto_state)
+          << "w=" << w << " policy=" << static_cast<int>(policy);
+      EXPECT_TRUE(scalar_state == legacy_state)
+          << "w=" << w << " policy=" << static_cast<int>(policy);
+    }
+  }
 }
 
 TEST(RoundRobinPin, PickSequencesPinnedAndSharedAcrossPaths) {

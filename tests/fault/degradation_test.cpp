@@ -41,6 +41,33 @@ TEST(Degradation, RateZeroReproducesOneShotEngineBitForBit) {
   EXPECT_DOUBLE_EQ(point.recovery_success_ratio(), 1.0);
 }
 
+TEST(Degradation, RateZeroAnchorHoldsForBalancedPolicies) {
+  // The capacity-weighted policies join the same anchor contract: at fault
+  // intensity zero, each balanced registry scheduler reproduces the one-shot
+  // engine bit for bit — weighting the pick must not perturb the seed
+  // derivation or the batch walk. And on a healthy fabric the column
+  // weights start uniform, so the imbalance summaries are real samples.
+  const FatTree tree = FatTree::symmetric(3, 4);
+  for (const char* scheduler :
+       {"levelwise-balanced", "levelwise-balanced-rr",
+        "levelwise-balanced-random"}) {
+    ExperimentConfig baseline;
+    baseline.scheduler = scheduler;
+    baseline.repetitions = 10;
+    const ExperimentPoint expected = run_experiment(tree, baseline);
+
+    DegradationConfig config;
+    config.scheduler = scheduler;
+    config.repetitions = 10;
+    config.retry = RetryPolicy::none();
+    const DegradationPoint point = run_degradation(tree, config);
+
+    expect_same_summary(point.schedulability, expected.schedulability);
+    EXPECT_EQ(point.imbalance_hotspot.count, 10u) << scheduler;
+    EXPECT_GE(point.imbalance_hotspot.mean, 1.0) << scheduler;
+  }
+}
+
 TEST(Degradation, RateZeroAnchorSurvivesRetries) {
   // Late retries at rate 0 can genuinely succeed (level-major rollbacks
   // leave the final state roomier than any mid-batch state), so open/ever
@@ -91,6 +118,40 @@ TEST(Degradation, ThreadFanOutIsBitIdentical) {
     EXPECT_EQ(p->recovery_latency, sequential.recovery_latency);
     EXPECT_EQ(p->retry_latency, sequential.retry_latency);
   }
+}
+
+TEST(Degradation, JitteredBackoffWithAdmissionGateStaysDeterministic) {
+  // The two nondeterminism-prone ingredients at once: backoff jitter (a
+  // per-repetition RNG draw on every retry) and a tight admission gate
+  // (shedding depends on exact queue occupancy, so any reordering shows).
+  // Thread fan-out must still merge bit-identically, shed and all.
+  const FatTree tree = FatTree::symmetric(3, 4);
+  DegradationConfig config;
+  config.repetitions = 12;
+  config.fault_rate = 0.6;
+  config.horizon = 300;
+  config.retry = RetryPolicy::backoff(1, 2.0, 16, 6, 0.5);
+  config.max_pending = 4;
+
+  config.threads = 1;
+  const DegradationPoint sequential = run_degradation(tree, config);
+  config.threads = 8;
+  const DegradationPoint eight = run_degradation(tree, config);
+
+  // The scenario must actually exercise both ingredients.
+  EXPECT_GT(sequential.retries, 0u);
+  EXPECT_GT(sequential.shed, 0u);
+
+  expect_same_summary(eight.schedulability, sequential.schedulability);
+  expect_same_summary(eight.open_ratio, sequential.open_ratio);
+  expect_same_summary(eight.imbalance_max_over_mean,
+                      sequential.imbalance_max_over_mean);
+  expect_same_summary(eight.imbalance_cov, sequential.imbalance_cov);
+  expect_same_summary(eight.imbalance_hotspot, sequential.imbalance_hotspot);
+  EXPECT_EQ(eight.retries, sequential.retries);
+  EXPECT_EQ(eight.shed, sequential.shed);
+  EXPECT_EQ(eight.victims, sequential.victims);
+  EXPECT_EQ(eight.retry_latency, sequential.retry_latency);
 }
 
 TEST(Degradation, NonzeroRateDegradesAndRecovers) {

@@ -166,6 +166,92 @@ TEST(FabricManager, ChaosSweepKeepsInvariantsAtEveryEvent) {
   fabric.verify_invariants();
 }
 
+TEST(FabricManager, CloseReleasesAndConservesCircuits) {
+  const FatTree tree = FatTree::symmetric(2, 4);
+  Simulator sim;
+  FabricManager fabric(tree, sim, FabricOptions{});
+  fabric.submit({{0, 4}, {5, 1}, {10, 14}}, 0);
+  sim.run();
+  ASSERT_EQ(fabric.open_circuits(), 3u);
+
+  std::vector<ConnectionId> ids = fabric.open_ids();
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_TRUE(fabric.close(ids[1]).ok());
+  EXPECT_EQ(fabric.open_circuits(), 2u);
+  EXPECT_EQ(fabric.stats().closed, 1u);
+  // Conservation: every grant is exactly one of open / closed / victim.
+  EXPECT_EQ(fabric.stats().grants,
+            fabric.open_circuits() + fabric.stats().closed +
+                fabric.stats().victims);
+  EXPECT_TRUE(fabric.check_invariants().ok());
+
+  // Double-close and unknown ids are reported errors, not aborts — the
+  // soak engine probes closes against the live set and must stay alive.
+  EXPECT_FALSE(fabric.close(ids[1]).ok());
+  EXPECT_FALSE(fabric.close(ConnectionId{9999}).ok());
+  EXPECT_TRUE(fabric.check_invariants().ok());
+
+  // Remaining ids stay closeable down to an empty fabric.
+  for (const ConnectionId id : fabric.open_ids()) {
+    EXPECT_TRUE(fabric.close(id).ok());
+  }
+  EXPECT_EQ(fabric.open_circuits(), 0u);
+  EXPECT_EQ(fabric.stats().closed, 3u);
+  fabric.verify_invariants();
+}
+
+TEST(FabricManager, ImmediateChaosSurfaceMatchesTimelineInstall) {
+  // fail_cable/repair_cable are the soak engine's immediate-mode doors into
+  // the same on_fail/on_repair handlers a FaultTimeline drives; an outage
+  // expressed either way must produce identical stats and final state.
+  const FatTree tree = FatTree::symmetric(2, 4);
+  const auto run = [&](bool immediate) {
+    Simulator sim;
+    FabricOptions options;
+    options.retry = RetryPolicy::fixed(1, 30);
+    options.deep_verify = true;
+    FabricManager fabric(tree, sim, options);
+    if (immediate) {
+      for (const CableId& c : leaf0_up_cables()) {
+        sim.schedule_at(5, [&fabric, c] { fabric.fail_cable(c); });
+        sim.schedule_at(20, [&fabric, c] { fabric.repair_cable(c); });
+      }
+    } else {
+      fabric.install(outage(5, 20));
+    }
+    fabric.submit({{0, 4}}, 0);
+    sim.run();
+    EXPECT_TRUE(fabric.check_invariants().ok());
+    return fabric.stats();
+  };
+  const FabricStats via_events = run(true);
+  const FabricStats via_timeline = run(false);
+  EXPECT_EQ(via_events.victims, via_timeline.victims);
+  EXPECT_EQ(via_events.recovered, via_timeline.recovered);
+  EXPECT_EQ(via_events.fail_events, via_timeline.fail_events);
+  EXPECT_EQ(via_events.repair_events, via_timeline.repair_events);
+  EXPECT_EQ(via_events.grants, via_timeline.grants);
+  EXPECT_EQ(via_events.recovery_latency, via_timeline.recovery_latency);
+}
+
+TEST(FabricManager, CableIsFailedTracksLiveState) {
+  const FatTree tree = FatTree::symmetric(2, 4);
+  Simulator sim;
+  FabricManager fabric(tree, sim, FabricOptions{});
+  const CableId cable{0, 0, 2};
+  EXPECT_FALSE(fabric.cable_is_failed(cable));
+  sim.schedule_at(1, [&] {
+    fabric.fail_cable(cable);
+    EXPECT_TRUE(fabric.cable_is_failed(cable));
+  });
+  sim.schedule_at(2, [&] { fabric.repair_cable(cable); });
+  sim.run();
+  EXPECT_FALSE(fabric.cable_is_failed(cable));
+  EXPECT_EQ(fabric.stats().fail_events, 1u);
+  EXPECT_EQ(fabric.stats().repair_events, 1u);
+  fabric.verify_invariants();
+}
+
 void run_double_fail() {
   const FatTree tree = FatTree::symmetric(2, 4);
   Simulator sim;

@@ -64,6 +64,60 @@ TEST(RetryQueue, PeakPendingTracksHighWater) {
   EXPECT_EQ(q.peak_pending(), 2u);
 }
 
+TEST(RetryQueue, BoundaryShedsExactlyWhileFullUnderChurn) {
+  // Drive the gate at its boundary through fill/drain cycles: an admit at
+  // pending == max_pending sheds, an admit one drain later succeeds, and
+  // the shed counter moves only on actual rejections.
+  RetryQueue q(2);
+  std::uint64_t seq = 0;
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    const SimTime now = static_cast<SimTime>(cycle);
+    EXPECT_TRUE(q.admit(entry(seq++, now)));
+    EXPECT_TRUE(q.admit(entry(seq++, now)));
+    EXPECT_FALSE(q.admit(entry(seq++, now)));  // full — shed
+    EXPECT_EQ(q.pending(), 2u);
+    const auto due = q.take_due(now);
+    EXPECT_EQ(due.size(), 2u);
+    EXPECT_TRUE(q.admit(entry(seq++, now + 1)));  // space again
+    (void)q.take_due(now + 1);
+  }
+  EXPECT_EQ(q.shed(), 3u);
+  EXPECT_EQ(q.peak_pending(), 2u);
+}
+
+TEST(RetryQueue, ReadmissionAfterShedKeepsSeqOrderWithinDrain) {
+  // Shed-then-readmit: a victim shed at the boundary re-enters later (the
+  // repair path re-submits it) with its ORIGINAL seq. However late it was
+  // admitted, one drain returns entries in grant (seq) order — not
+  // admission order.
+  RetryQueue q(3);
+  EXPECT_TRUE(q.admit(entry(5, 4)));
+  EXPECT_TRUE(q.admit(entry(7, 4)));
+  EXPECT_TRUE(q.admit(entry(2, 4)));
+  EXPECT_FALSE(q.admit(entry(9, 4)));  // shed at the boundary
+  auto due = q.take_due(4);
+  ASSERT_EQ(due.size(), 3u);
+  EXPECT_EQ(due[0].seq, 2u);
+  EXPECT_EQ(due[1].seq, 5u);
+  EXPECT_EQ(due[2].seq, 7u);
+  // The shed victim re-admits after the drain and is not double-counted.
+  EXPECT_TRUE(q.admit(entry(9, 6)));
+  due = q.take_due(6);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].seq, 9u);
+  EXPECT_EQ(q.shed(), 1u);
+}
+
+TEST(RetryQueue, UnlimitedGateNeverSheds) {
+  RetryQueue q;  // max_pending = 0 → unlimited
+  for (std::uint64_t i = 0; i < 512; ++i) {
+    EXPECT_TRUE(q.admit(entry(i, 1)));
+  }
+  EXPECT_EQ(q.shed(), 0u);
+  EXPECT_EQ(q.pending(), 512u);
+  EXPECT_EQ(q.take_due(1).size(), 512u);
+}
+
 TEST(RetryQueueDeath, DuplicateSeqRejected) {
   RetryQueue q;
   EXPECT_TRUE(q.admit(entry(4, 1)));

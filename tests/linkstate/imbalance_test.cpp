@@ -1,0 +1,160 @@
+// Imbalance metrics — the degradation-quality arithmetic, pinned.
+//
+// The quality gate compares schedulers on these numbers, so their edge
+// cases are contract: an idle fabric scores perfectly balanced (not
+// infinitely imbalanced), faulted channels are load-neutral (excluded from
+// numerator AND denominator), and the hotspot score reacts to column
+// concentration that row statistics cannot see.
+#include "linkstate/imbalance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+
+namespace ftsched {
+namespace {
+
+FatTree make_ft34() { return FatTree::symmetric(3, 4); }
+
+void expect_perfectly_balanced(const ImbalanceReport& report) {
+  EXPECT_DOUBLE_EQ(report.worst_max_over_mean, 1.0);
+  EXPECT_DOUBLE_EQ(report.worst_cov, 0.0);
+  EXPECT_DOUBLE_EQ(report.worst_hotspot, 1.0);
+  for (const LevelImbalance& lvl : report.levels) {
+    for (const DirectionImbalance* dir : {&lvl.up, &lvl.down}) {
+      EXPECT_DOUBLE_EQ(dir->max_over_mean, 1.0);
+      EXPECT_DOUBLE_EQ(dir->cov, 0.0);
+      EXPECT_DOUBLE_EQ(dir->hotspot, 1.0);
+    }
+  }
+}
+
+TEST(Imbalance, IdleFabricScoresPerfectlyBalanced) {
+  const FatTree tree = make_ft34();
+  LinkState state(tree);
+  const ImbalanceReport report = measure_imbalance(state);
+  ASSERT_EQ(report.levels.size(), 2u);
+  expect_perfectly_balanced(report);
+  EXPECT_DOUBLE_EQ(report.levels[0].up.mean, 0.0);
+  EXPECT_DOUBLE_EQ(report.levels[1].down.mean, 0.0);
+}
+
+TEST(Imbalance, UniformLoadScoresPerfectlyBalanced) {
+  // One circuit per switch, rotating the port so every row carries 1/4 and
+  // every column carries rows/4 — balanced on both axes, mean 0.25.
+  const FatTree tree = make_ft34();
+  LinkState state(tree);
+  for (std::uint64_t sw = 0; sw < state.rows_at(0); ++sw) {
+    state.occupy(0, sw, sw, static_cast<std::uint32_t>(sw % 4));
+  }
+  const ImbalanceReport report = measure_imbalance(state);
+  expect_perfectly_balanced(report);
+  EXPECT_DOUBLE_EQ(report.levels[0].up.mean, 0.25);
+  EXPECT_DOUBLE_EQ(report.levels[0].down.mean, 0.25);
+  EXPECT_DOUBLE_EQ(report.levels[1].up.mean, 0.0);
+}
+
+TEST(Imbalance, RowConcentrationRaisesMaxOverMeanNotHotspot) {
+  // Saturate one switch (all 4 ports) and leave the other 15 idle: the row
+  // axis is maximally skewed (max 1.0 over mean 1/16), while every COLUMN
+  // holds exactly one busy channel — columns stay uniform.
+  const FatTree tree = make_ft34();
+  LinkState state(tree);
+  for (std::uint32_t p = 0; p < 4; ++p) state.occupy(0, 0, 0, p);
+  const ImbalanceReport report = measure_imbalance(state);
+  EXPECT_DOUBLE_EQ(report.levels[0].up.max_over_mean, 16.0);
+  EXPECT_DOUBLE_EQ(report.levels[0].down.max_over_mean, 16.0);
+  EXPECT_DOUBLE_EQ(report.levels[0].up.hotspot, 1.0);
+  EXPECT_DOUBLE_EQ(report.levels[0].down.hotspot, 1.0);
+  EXPECT_GT(report.levels[0].up.cov, 0.0);
+  EXPECT_DOUBLE_EQ(report.worst_max_over_mean, 16.0);
+}
+
+TEST(Imbalance, ColumnConcentrationRaisesHotspot) {
+  // Port 0 on 8 distinct switches: each loaded row carries only 1/4, but
+  // column 0 carries 8/16 while columns 1..3 are empty — the hotspot axis
+  // (worst column over mean column = 0.5 / 0.125 = 4) flags what
+  // per-row max-over-mean (0.25 / 0.125 = 2) underestimates.
+  const FatTree tree = make_ft34();
+  LinkState state(tree);
+  for (std::uint64_t sw = 0; sw < 8; ++sw) state.occupy(0, sw, sw, 0);
+  const ImbalanceReport report = measure_imbalance(state);
+  EXPECT_DOUBLE_EQ(report.levels[0].up.hotspot, 4.0);
+  EXPECT_DOUBLE_EQ(report.levels[0].down.hotspot, 4.0);
+  EXPECT_DOUBLE_EQ(report.levels[0].up.max_over_mean, 2.0);
+  EXPECT_DOUBLE_EQ(report.worst_hotspot, 4.0);
+}
+
+TEST(Imbalance, FaultedChannelsAreLoadNeutral) {
+  // A damaged-but-idle fabric must score exactly like an idle one: faulted
+  // channels read busy through the bitmaps, and the metrics must subtract
+  // them from load and capacity alike.
+  const FatTree tree = make_ft34();
+  LinkState state(tree);
+  state.fail_cable(0, 3, 1);
+  state.fail_cable(0, 7, 2);
+  state.fail_cable(1, 0, 0);
+  const ImbalanceReport report = measure_imbalance(state);
+  expect_perfectly_balanced(report);
+  EXPECT_DOUBLE_EQ(report.levels[0].up.mean, 0.0);
+  EXPECT_DOUBLE_EQ(report.levels[1].up.mean, 0.0);
+}
+
+TEST(Imbalance, FaultsShrinkResidualCapacity) {
+  // One fault + one circuit on the same row: the loaded row's fraction is
+  // 1 busy of 3 residual channels, not 2 of 4 — the fault is neither load
+  // nor capacity.
+  const FatTree tree = make_ft34();
+  LinkState state(tree);
+  state.fail_cable(0, 0, 0);
+  state.occupy(0, 0, 0, 1);
+  const ImbalanceReport report = measure_imbalance(state);
+  const double rows = 16.0;
+  EXPECT_DOUBLE_EQ(report.levels[0].up.mean, (1.0 / 3.0) / rows);
+  EXPECT_DOUBLE_EQ(report.levels[0].up.max_over_mean, rows);
+}
+
+TEST(Imbalance, FullyFaultedColumnIsSkipped) {
+  // Kill column 3 at level 0 entirely: it has zero residual capacity and
+  // must drop out of the column statistics instead of contributing a 0/0.
+  const FatTree tree = make_ft34();
+  LinkState state(tree);
+  for (std::uint64_t sw = 0; sw < state.rows_at(0); ++sw) {
+    state.fail_cable(0, sw, 3);
+  }
+  // Uniform load on the three surviving columns: 15 circuits = 5 per
+  // column (the 16th would tip one column to 6 and break the uniformity).
+  for (std::uint64_t sw = 0; sw < 15; ++sw) {
+    state.occupy(0, sw, sw, static_cast<std::uint32_t>(sw % 3));
+  }
+  const ImbalanceReport report = measure_imbalance(state);
+  EXPECT_NEAR(report.levels[0].up.hotspot, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(report.levels[0].up.mean, 15.0 * (1.0 / 3.0) / 16.0);
+}
+
+TEST(Imbalance, ExportsGaugesUnderStableNames) {
+  const FatTree tree = make_ft34();
+  LinkState state(tree);
+  for (std::uint64_t sw = 0; sw < 8; ++sw) state.occupy(0, sw, sw, 0);
+  const ImbalanceReport report = measure_imbalance(state);
+
+  obs::MetricsRegistry registry;
+  export_imbalance_metrics(report, registry);
+  EXPECT_DOUBLE_EQ(registry.gauge("fabric.imbalance.worst_hotspot").value(),
+                   report.worst_hotspot);
+  EXPECT_DOUBLE_EQ(
+      registry.gauge("fabric.imbalance.worst_max_over_mean").value(),
+      report.worst_max_over_mean);
+  EXPECT_DOUBLE_EQ(registry.gauge("fabric.imbalance.worst_cov").value(),
+                   report.worst_cov);
+  EXPECT_DOUBLE_EQ(
+      registry.gauge("fabric.imbalance.level0.up.hotspot").value(),
+      report.levels[0].up.hotspot);
+  EXPECT_DOUBLE_EQ(registry.gauge("fabric.imbalance.level1.down.mean").value(),
+                   report.levels[1].down.mean);
+  // 3 roll-ups + 2 levels × 2 directions × 4 gauges.
+  EXPECT_EQ(registry.size(), 19u);
+}
+
+}  // namespace
+}  // namespace ftsched

@@ -175,6 +175,146 @@ TEST(LinkState, SingleLevelTreeHasNoLinkLevels) {
   EXPECT_TRUE(state.audit().ok());
 }
 
+TEST(LinkState, ColumnCountersTrackOccupyReleaseFailRepair) {
+  // The balanced policies' weights are the per-column free counters; every
+  // effective-availability flip — occupy, release, fail, repair, reset —
+  // must move them in lock-step with the bitmaps (audit re-derives them).
+  const FatTree tree = make_ft34();
+  LinkState state(tree);
+  const std::uint64_t rows = state.rows_at(0);
+  EXPECT_EQ(state.column_free_ulinks(0, 1), rows);
+  EXPECT_EQ(state.column_free_dlinks(0, 1), rows);
+
+  state.occupy(0, 2, 9, 1);
+  EXPECT_EQ(state.column_free_ulinks(0, 1), rows - 1);
+  EXPECT_EQ(state.column_free_dlinks(0, 1), rows - 1);
+  EXPECT_EQ(state.column_free_ulinks(0, 0), rows);  // other columns untouched
+  EXPECT_TRUE(state.audit().ok());
+
+  state.release(0, 2, 9, 1);
+  EXPECT_EQ(state.column_free_ulinks(0, 1), rows);
+  EXPECT_EQ(state.column_free_dlinks(0, 1), rows);
+
+  state.fail_cable(0, 3, 2);
+  EXPECT_EQ(state.column_free_ulinks(0, 2), rows - 1);
+  EXPECT_EQ(state.column_free_dlinks(0, 2), rows - 1);
+  EXPECT_TRUE(state.audit().ok());
+  state.repair_cable(0, 3, 2);
+  EXPECT_EQ(state.column_free_ulinks(0, 2), rows);
+  EXPECT_EQ(state.column_free_dlinks(0, 2), rows);
+
+  state.occupy(0, 0, 1, 3);
+  state.fail_cable(1, 5, 0);
+  state.reset();
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    EXPECT_EQ(state.column_free_ulinks(0, p), rows);
+    EXPECT_EQ(state.column_free_dlinks(0, p), rows);
+    EXPECT_EQ(state.column_free_ulinks(1, p), state.rows_at(1));
+  }
+  EXPECT_TRUE(state.audit().ok());
+}
+
+TEST(LinkState, ColumnCountersSurviveFailWhileOccupied) {
+  // Fail a cable whose up-channel is held by a circuit: only the free down
+  // side flips to busy. The holder's release parks in the shadow (counter
+  // unchanged), and repair restores exactly the unheld channels.
+  const FatTree tree = make_ft34();
+  LinkState state(tree);
+  const std::uint64_t rows = state.rows_at(0);
+  state.occupy(0, 2, 9, 1);  // u(0,2,1) and d(0,9,1) busy
+  state.fail_cable(0, 2, 1);
+  EXPECT_EQ(state.column_free_ulinks(0, 1), rows - 1);  // already busy
+  EXPECT_EQ(state.column_free_dlinks(0, 1), rows - 2);  // fault took d(0,2,1)
+  EXPECT_TRUE(state.audit().ok());
+
+  state.release(0, 2, 9, 1);
+  // d(0,9,1) really frees; the faulted u(0,2,1) release parks in the shadow
+  // and the effective counter must NOT move for it.
+  EXPECT_EQ(state.column_free_ulinks(0, 1), rows - 1);
+  EXPECT_EQ(state.column_free_dlinks(0, 1), rows - 1);
+  EXPECT_TRUE(state.audit().ok());
+
+  state.repair_cable(0, 2, 1);
+  EXPECT_EQ(state.column_free_ulinks(0, 1), rows);
+  EXPECT_EQ(state.column_free_dlinks(0, 1), rows);
+  EXPECT_TRUE(state.audit().ok());
+}
+
+TEST(LinkState, BalancedPortPicksFullestColumnLowestTie) {
+  const FatTree tree = make_ft34();
+  LinkState state(tree);
+  // Deplete column 0 on six switches: weight(0) = 2·10, weights 1..3 = 2·16.
+  for (std::uint64_t sw = 0; sw < 6; ++sw) state.occupy(0, sw, sw, 0);
+  // Rows 10/11 are fully free, so the AND covers all ports: the pick must
+  // skip the depleted column and tie-break to the lowest max-weight port.
+  EXPECT_EQ(*state.balanced_port(0, 10, 11), 1u);
+  EXPECT_EQ(state.balanced_port_count(0, 10, 11), 3u);
+  EXPECT_EQ(*state.nth_balanced_port(0, 10, 11, 0), 1u);
+  EXPECT_EQ(*state.nth_balanced_port(0, 10, 11, 1), 2u);
+  EXPECT_EQ(*state.nth_balanced_port(0, 10, 11, 2), 3u);
+  EXPECT_FALSE(state.nth_balanced_port(0, 10, 11, 3).has_value());
+
+  // The round-robin variant starts the tie scan at `from` and wraps.
+  EXPECT_EQ(*state.balanced_port_from(0, 10, 11, 0), 1u);
+  EXPECT_EQ(*state.balanced_port_from(0, 10, 11, 2), 2u);
+  EXPECT_EQ(*state.balanced_port_from(0, 10, 11, 3), 3u);
+}
+
+TEST(LinkState, BalancedPortIsArgmaxOverAvailableOnly) {
+  const FatTree tree = make_ft34();
+  LinkState state(tree);
+  // Distinct depletion per column: 0 → -6, 1 → -3, 2 → -1, 3 → 0.
+  for (std::uint64_t sw = 0; sw < 6; ++sw) state.occupy(0, sw, sw, 0);
+  for (std::uint64_t sw = 6; sw < 9; ++sw) state.occupy(0, sw, sw, 1);
+  state.occupy(0, 9, 9, 2);
+  EXPECT_EQ(*state.balanced_port(0, 10, 11), 3u);
+  EXPECT_EQ(state.balanced_port_count(0, 10, 11), 1u);
+  // Mask the heaviest column out of the AND row: the argmax re-runs over
+  // what is actually available, it does not fall back to first-free.
+  state.set_ulink(0, 10, 3, false);
+  EXPECT_EQ(*state.balanced_port(0, 10, 11), 2u);
+  state.set_dlink(0, 11, 2, false);
+  EXPECT_EQ(*state.balanced_port(0, 10, 11), 1u);
+  // Empty AND row → nullopt, count 0.
+  state.set_ulink(0, 10, 0, false);
+  state.set_ulink(0, 10, 1, false);
+  EXPECT_FALSE(state.balanced_port(0, 10, 11).has_value());
+  EXPECT_EQ(state.balanced_port_count(0, 10, 11), 0u);
+}
+
+TEST(LinkState, BalancedPickSteersAwayFromFaultedColumns) {
+  // A faulted cable both removes its column capacity from the weights and
+  // reads busy in the AND row — the balanced pick therefore drains load
+  // away from damaged planes with no fault-specific branch.
+  const FatTree tree = make_ft34();
+  LinkState state(tree);
+  for (std::uint64_t sw = 0; sw < 5; ++sw) state.fail_cable(0, sw, 0);
+  EXPECT_EQ(*state.balanced_port(0, 10, 11), 1u);
+  // The faulted column is still pickable when it is all that remains.
+  state.set_ulink(0, 10, 1, false);
+  state.set_ulink(0, 10, 2, false);
+  state.set_ulink(0, 10, 3, false);
+  EXPECT_EQ(*state.balanced_port(0, 10, 11), 0u);
+}
+
+TEST(LinkState, BalancedLocalUlinkUsesSourceSideWeightOnly) {
+  const FatTree tree = make_ft34();
+  LinkState state(tree);
+  // Deplete the DOWN side of column 3 heavily; the local balanced pick is
+  // the baseline that cannot see it and must still rank by up-capacity.
+  for (std::uint64_t sw = 0; sw < 8; ++sw) {
+    state.set_dlink(0, sw, 3, false);
+  }
+  for (std::uint64_t sw = 0; sw < 4; ++sw) {
+    state.set_ulink(0, sw, 0, false);
+  }
+  // Up-weights: col0 = 12, cols 1..3 = 16 → lowest max-weight port is 1.
+  EXPECT_EQ(*state.balanced_local_ulink(0, 10), 1u);
+  EXPECT_EQ(state.balanced_local_ulink_count(0, 10), 3u);
+  EXPECT_EQ(*state.nth_balanced_local_ulink(0, 10, 2), 3u);
+  EXPECT_EQ(*state.balanced_local_ulink_from(0, 10, 2), 2u);
+}
+
 TEST(LinkStateDeath, DoubleOccupyRejected) {
   const FatTree tree = make_ft34();
   LinkState state(tree);

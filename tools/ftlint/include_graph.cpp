@@ -27,7 +27,7 @@ const std::map<std::string, std::set<std::string>>& dag() {
         "src/workload"}},
       {"src/fault",
        {"src/util", "src/topology", "src/obs", "src/des", "src/exec",
-        "src/core", "src/workload", "src/stats"}},
+        "src/linkstate", "src/core", "src/workload", "src/stats"}},
       {"src/simnet",
        {"src/util", "src/topology", "src/obs", "src/des", "src/linkstate",
         "src/core", "src/fault"}},

@@ -19,7 +19,7 @@
 //   L4  workload   topology, core
 //       hw         topology, obs, linkstate, core
 //   L5  stats      obs, exec, linkstate, core, workload
-//   L6  fault      topology, obs, des, exec, core, workload, stats
+//   L6  fault      topology, obs, des, exec, linkstate, core, workload, stats
 //   L7  simnet     topology, obs, des, linkstate, core, fault
 //
 // NOTHING in src/ may include tools/, bench/, or tests/, and file-level

@@ -12,7 +12,11 @@
 //
 //   * --bench      fig9-schema schedulability table per sweep point; when
 //                  the file embeds a "profile" block (bench --profile runs)
-//                  the hot-path profile section renders too
+//                  the hot-path profile section renders too. Chaos-soak
+//                  artifacts ({"bench":"chaos_soak"}, from `ftsched soak
+//                  --json=FILE`) render a soak summary instead — and a
+//                  recorded violation fails the report run with exit 2, so
+//                  a CI soak job goes red off the artifact alone
 //   * --metrics    MetricsRegistry JSONL: scheduling totals, rejection
 //                  breakdown by level and by reason, fabric utilization
 //   * --telemetry  LinkTelemetry series JSONL: per-level utilization,
@@ -67,10 +71,30 @@
 //
 // Rate-0 points whose (levels, arity) appear in the fig9 file must match
 // that scheduler's mean/min/max/stddev exactly; any tolerance would hide a
-// seed-derivation drift.
+// seed-derivation drift. Multi-scheduler sweeps carry a per-point
+// "scheduler" field, which overrides --scheduler for that point; points
+// whose scheduler has no fig9 column are consistency-checked but not
+// pinned.
 //
-// Exit codes: 0 = ok / no regression, 1 = regression, missing benchmark, or
-// anchor mismatch, 2 = usage or parse error.
+// Quality mode: the degradation-quality gate. Within ONE multi-scheduler
+// degradation sweep, compare a capacity-weighted candidate policy against
+// an oblivious baseline at every (topology, fault rate) point both were
+// swept at:
+//
+//   ftreport quality --bench BENCH_degradation.json
+//            [--baseline-scheduler levelwise]
+//            [--candidate-scheduler levelwise-balanced]
+//            [--max-sched-drop 0.02]
+//
+// The candidate must carry a strictly lower plane hot-spot score
+// (imbalance_hotspot.mean) at every faulted rate — balanced routing must
+// actually spread load over the surviving subtree planes — while keeping
+// schedulability within max-sched-drop (relative) of the baseline; pass 0
+// to demand equal-or-better schedulability outright. Both sides are
+// deterministic per seed, so the gate is exact, not statistical.
+//
+// Exit codes: 0 = ok / no regression, 1 = regression, missing benchmark,
+// anchor mismatch, or quality-gate failure, 2 = usage or parse error.
 #include <algorithm>
 #include <cctype>
 #include <cstdint>
@@ -578,8 +602,12 @@ void usage(std::ostream& os) {
      << "            baseline — a speedup floor, not just no-regression)\n"
      << "  ftreport anchor --degradation BENCH_degradation.json\n"
      << "           --fig9 BENCH_fig9*.json [--scheduler levelwise]\n"
-     << "exit: 0 ok, 1 regression/missing benchmark/anchor mismatch,\n"
-     << "      2 usage or parse error\n";
+     << "  ftreport quality --bench BENCH_degradation.json\n"
+     << "           [--baseline-scheduler levelwise]\n"
+     << "           [--candidate-scheduler levelwise-balanced]\n"
+     << "           [--max-sched-drop 0.02]\n"
+     << "exit: 0 ok, 1 regression/missing benchmark/anchor or quality-gate\n"
+     << "      failure, 2 usage or parse error\n";
 }
 
 // --- Regression gate -------------------------------------------------------
@@ -708,9 +736,16 @@ bool compare_degradation(const JsonValue& base, const JsonValue& cand,
     const JsonValue* levels = point.find("levels");
     const JsonValue* arity = point.find("arity");
     const JsonValue* rate = point.find("fault_rate");
-    return "levels=" + fmt(levels ? levels->num_or(0) : 0, 0) +
-           " arity=" + fmt(arity ? arity->num_or(0) : 0, 0) +
-           " rate=" + fmt(rate ? rate->num_or(0) : 0, 2);
+    std::string key = "levels=" + fmt(levels ? levels->num_or(0) : 0, 0) +
+                      " arity=" + fmt(arity ? arity->num_or(0) : 0, 0) +
+                      " rate=" + fmt(rate ? rate->num_or(0) : 0, 2);
+    // Multi-scheduler sweeps key the scheduler too; single-scheduler files
+    // (no "scheduler" field) keep the legacy key, so old baselines compare.
+    const JsonValue* sched = point.find("scheduler");
+    if (sched && sched->type == JsonValue::Type::kString) {
+      key += " scheduler=" + sched->str;
+    }
+    return key;
   };
   for (const JsonValue& bp : base_points->array) {
     const std::string key = point_key(bp);
@@ -721,7 +756,7 @@ bool compare_degradation(const JsonValue& base, const JsonValue& cand,
         break;
       }
     }
-    const auto emit_mean = [&](const char* section) {
+    const auto emit_mean = [&](const char* section, bool higher_is_better) {
       const JsonValue* bs = bp.find(section);
       const JsonValue* bv = bs ? bs->find("mean") : nullptr;
       if (!bv || bv->type != JsonValue::Type::kNumber) return;
@@ -729,6 +764,7 @@ bool compare_degradation(const JsonValue& base, const JsonValue& cand,
       c.name = key;
       c.metric = std::string(section) + ".mean";
       c.baseline = bv->number;
+      c.higher_is_better = higher_is_better;
       const JsonValue* cs = cp ? cp->find(section) : nullptr;
       const JsonValue* cv = cs ? cs->find("mean") : nullptr;
       if (!cv || cv->type != JsonValue::Type::kNumber) {
@@ -738,9 +774,13 @@ bool compare_degradation(const JsonValue& base, const JsonValue& cand,
       }
       out.push_back(std::move(c));
     };
-    emit_mean("schedulability");
-    emit_mean("open_ratio");
-    emit_mean("ever_granted");
+    emit_mean("schedulability", true);
+    emit_mean("open_ratio", true);
+    emit_mean("ever_granted", true);
+    // Load-quality means are lower-is-better: a candidate that keeps the
+    // same service ratios but piles its circuits onto fewer planes regresses.
+    emit_mean("imbalance_max_over_mean", false);
+    emit_mean("imbalance_hotspot", false);
     const JsonValue* bv = bp.find("recovery_success_ratio");
     if (bv && bv->type == JsonValue::Type::kNumber) {
       Comparison c;
@@ -1162,9 +1202,15 @@ void report_degradation(const JsonValue& bench, std::ostream& md,
     md << "_no sweep points_\n\n";
     return;
   }
-  md << "| nodes | rate | first-attempt | open | ever granted | victims |"
-        " recovered | recovery | retry p50/p90/p99 |\n"
-        "|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n";
+  const auto scheduler_of = [](const JsonValue& point) {
+    const JsonValue* s = point.find("scheduler");
+    return s && s->type == JsonValue::Type::kString ? s->str
+                                                    : std::string("levelwise");
+  };
+  md << "| nodes | scheduler | rate | first-attempt | open | ever granted |"
+        " victims | recovered | recovery | retry p50/p90/p99 |\n"
+        "|---:|---|---:|---:|---:|---:|---:|---:|---:|---:|\n";
+  bool have_imbalance = false;
   for (const JsonValue& point : points->array) {
     const auto num = [&](const char* key) {
       const JsonValue* v = point.find(key);
@@ -1175,11 +1221,13 @@ void report_degradation(const JsonValue& bench, std::ostream& md,
       const JsonValue* m = s ? s->find("mean") : nullptr;
       return m ? m->num_or(0.0) : 0.0;
     };
+    if (point.find("imbalance_hotspot")) have_imbalance = true;
     const double rate = num("fault_rate");
     const std::string key_prefix =
         "levels" + fmt(num("levels"), 0) + ".arity" + fmt(num("arity"), 0) +
-        ".rate" + fmt(rate, 2);
-    md << "| " << fmt(num("nodes"), 0) << " | " << fmt(rate, 2) << " | "
+        "." + scheduler_of(point) + ".rate" + fmt(rate, 2);
+    md << "| " << fmt(num("nodes"), 0) << " | " << scheduler_of(point)
+       << " | " << fmt(rate, 2) << " | "
        << fmt_pct(mean_of("schedulability")) << " | "
        << fmt_pct(mean_of("open_ratio")) << " | "
        << fmt_pct(mean_of("ever_granted")) << " | " << fmt(num("victims"), 0)
@@ -1204,6 +1252,102 @@ void report_degradation(const JsonValue& bench, std::ostream& md,
             num("recovery_success_ratio"));
   }
   md << "\n";
+
+  // Load quality of the residual fabric at the horizon: how evenly the
+  // surviving planes carry the open circuits. 1.000x = perfectly even;
+  // the policy comparison the quality gate (ftreport quality) automates.
+  if (have_imbalance) {
+    md << "### Degradation quality\n\n"
+          "Residual-fabric load imbalance at the horizon (lower is better;"
+          " 1.000x = even). `hotspot` is the worst subtree plane's occupancy"
+          " over the mean plane; `max/mean` and `CoV` are per-switch"
+          " statistics of the worst level and direction.\n\n"
+          "| nodes | scheduler | rate | max/mean | CoV | hotspot |\n"
+          "|---:|---|---:|---:|---:|---:|\n";
+    for (const JsonValue& point : points->array) {
+      const auto num = [&](const char* key) {
+        const JsonValue* v = point.find(key);
+        return v ? v->num_or(0.0) : 0.0;
+      };
+      const auto mean_of = [&](const char* section) {
+        const JsonValue* s = point.find(section);
+        const JsonValue* m = s ? s->find("mean") : nullptr;
+        return m ? m->num_or(0.0) : 0.0;
+      };
+      const double rate = num("fault_rate");
+      const std::string key_prefix =
+          "levels" + fmt(num("levels"), 0) + ".arity" + fmt(num("arity"), 0) +
+          "." + scheduler_of(point) + ".rate" + fmt(rate, 2);
+      md << "| " << fmt(num("nodes"), 0) << " | " << scheduler_of(point)
+         << " | " << fmt(rate, 2) << " | "
+         << fmt(mean_of("imbalance_max_over_mean"), 3) << "x | "
+         << fmt(mean_of("imbalance_cov"), 3) << " | "
+         << fmt(mean_of("imbalance_hotspot"), 3) << "x |\n";
+      csv.add("degradation", key_prefix + ".imbalance_max_over_mean",
+              mean_of("imbalance_max_over_mean"));
+      csv.add("degradation", key_prefix + ".imbalance_cov",
+              mean_of("imbalance_cov"));
+      csv.add("degradation", key_prefix + ".imbalance_hotspot",
+              mean_of("imbalance_hotspot"));
+    }
+    md << "\n";
+  }
+}
+
+/// Chaos soak summary ({"bench":"chaos_soak"}). Returns false when the
+/// artifact records an invariant violation — the caller exits 2 so a CI
+/// soak job fails even if the report itself rendered fine.
+bool report_chaos_soak(const JsonValue& bench, std::ostream& md,
+                       CsvSink& csv) {
+  md << "## Chaos soak\n\n";
+  const auto num = [&](const char* key) {
+    const JsonValue* v = bench.find(key);
+    return v ? v->num_or(0.0) : 0.0;
+  };
+  const auto str = [&](const char* key) {
+    const JsonValue* v = bench.find(key);
+    return v && v->type == JsonValue::Type::kString ? v->str : std::string();
+  };
+  const JsonValue* ok_value = bench.find("ok");
+  const bool ok = ok_value && ok_value->type == JsonValue::Type::kBool &&
+                  ok_value->boolean;
+  md << "scheduler `" << str("scheduler") << "` on FT(" << fmt(num("levels"), 0)
+     << "," << fmt(num("m"), 0) << "," << fmt(num("w"), 0) << "), seed "
+     << fmt(num("seed"), 0) << ", " << fmt(num("ops"), 0)
+     << " ops, invariant epoch " << fmt(num("epoch"), 0) << "\n\n";
+  md << "| counter | value |\n|---|---:|\n"
+     << "| executed ops | " << fmt(num("executed"), 0) << " |\n"
+     << "| skipped ops | " << fmt(num("skipped"), 0) << " |\n"
+     << "| invariant epochs | " << fmt(num("epochs"), 0) << " |\n"
+     << "| submitted | " << fmt(num("submitted"), 0) << " |\n"
+     << "| grants | " << fmt(num("grants"), 0) << " |\n"
+     << "| closed | " << fmt(num("closed"), 0) << " |\n"
+     << "| open at end | " << fmt(num("open_at_end"), 0) << " |\n"
+     << "| fail / repair events | " << fmt(num("fail_events"), 0) << " / "
+     << fmt(num("repair_events"), 0) << " |\n"
+     << "| victims / recovered | " << fmt(num("victims"), 0) << " / "
+     << fmt(num("recovered"), 0) << " |\n"
+     << "| retries / shed | " << fmt(num("retries"), 0) << " / "
+     << fmt(num("shed"), 0) << " |\n\n";
+  for (const char* key :
+       {"executed", "skipped", "epochs", "submitted", "grants", "closed",
+        "open_at_end", "fail_events", "repair_events", "victims", "recovered",
+        "retries", "shed"}) {
+    csv.add("soak", key, num(key));
+  }
+  csv.add("soak", "ok", ok ? 1.0 : 0.0);
+  if (ok) {
+    md << "verdict: **PASS** — invariants clean at every epoch\n\n";
+  } else {
+    md << "verdict: **FAIL** after " << fmt(num("violation_op"), 0)
+       << " executed ops: " << str("violation") << "\n\n";
+    if (num("reproducer_ops") > 0) {
+      md << "minimal reproducer: " << fmt(num("reproducer_ops"), 0)
+         << " ops (shrunk in " << fmt(num("shrink_runs"), 0)
+         << " replays); replay with `ftsched soak --replay=...`\n\n";
+    }
+  }
+  return ok;
 }
 
 void report_metrics(const std::vector<JsonValue>& lines, std::ostream& md,
@@ -1789,10 +1933,17 @@ int run_report(const Args& args) {
   csv.rows << "section,key,value\n";
   md << "# ftsched observability report\n\n";
 
+  int exit_code = 0;
   if (!bench_path.empty()) {
     JsonValue bench;
     if (!parse_file(bench_path, bench)) return 2;
-    if (points_have_fault_rate(bench)) {
+    const JsonValue* bench_name = bench.find("bench");
+    if (bench_name && bench_name->type == JsonValue::Type::kString &&
+        bench_name->str == "chaos_soak") {
+      // A violation in the artifact fails the report run itself (exit 2):
+      // the CI soak job must go red even though the report rendered fine.
+      if (!report_chaos_soak(bench, md, csv)) exit_code = 2;
+    } else if (points_have_fault_rate(bench)) {
       report_degradation(bench, md, csv);
     } else {
       report_bench(bench, md, csv);
@@ -1849,7 +2000,11 @@ int run_report(const Args& args) {
     out << csv.rows.str();
     std::cout << "csv -> " << csv_path << "\n";
   }
-  return 0;
+  if (exit_code != 0) {
+    std::cerr << "ftreport: chaos-soak artifact records an invariant "
+                 "violation\n";
+  }
+  return exit_code;
 }
 
 // --- Anchor mode -----------------------------------------------------------
@@ -1901,9 +2056,16 @@ int run_anchor(const Args& args) {
     const double levels = num("levels");
     const double arity = num("arity");
     const double rate = num("fault_rate");
+    // Multi-scheduler sweeps tag each point; --scheduler covers legacy
+    // single-scheduler files.
+    std::string point_scheduler = scheduler;
+    if (const JsonValue* s = point.find("scheduler");
+        s && s->type == JsonValue::Type::kString) {
+      point_scheduler = s->str;
+    }
     const std::string where = "levels=" + fmt(levels, 0) +
                               " arity=" + fmt(arity, 0) +
-                              " rate=" + fmt(rate, 2);
+                              " rate=" + fmt(rate, 2) + " " + point_scheduler;
 
     // Internal consistency: service levels are ratios, recovery cannot
     // exceed the victim count, percentiles must be ordered.
@@ -1932,6 +2094,24 @@ int run_anchor(const Args& args) {
       fail(where, "recovered " + fmt(num("recovered"), 0) + " > victims " +
                       fmt(num("victims"), 0));
     }
+    // Imbalance ratios are >= 1 by construction (max over mean; 1.0 when
+    // idle) and the CoV is non-negative. Absent in pre-imbalance files.
+    for (const char* section : {"imbalance_max_over_mean",
+                                "imbalance_hotspot"}) {
+      const JsonValue* s = point.find(section);
+      const JsonValue* m = s ? s->find("mean") : nullptr;
+      if (s && (!m || m->num_or(0.0) < 1.0 - 1e-9)) {
+        fail(where, std::string(section) + ".mean = " +
+                        (m ? fmt(m->num_or(0.0), 6) : std::string("missing")) +
+                        " below 1");
+      }
+    }
+    if (const JsonValue* s = point.find("imbalance_cov")) {
+      const JsonValue* m = s->find("mean");
+      if (!m || m->num_or(-1.0) < 0.0) {
+        fail(where, "imbalance_cov.mean negative or missing");
+      }
+    }
     for (const char* lat_key : {"recovery_latency", "retry_latency"}) {
       const JsonValue* lat = point.find(lat_key);
       const JsonValue* count = lat ? lat->find("count") : nullptr;
@@ -1955,11 +2135,13 @@ int run_anchor(const Args& args) {
       const JsonValue* fa = fp.find("arity");
       if (fl && fa && fl->num_or(-1) == levels && fa->num_or(-1) == arity) {
         const JsonValue* scheds = fp.find("schedulers");
-        anchor = scheds ? scheds->find(scheduler) : nullptr;
+        anchor = scheds ? scheds->find(point_scheduler) : nullptr;
         break;
       }
     }
-    if (!anchor) continue;  // topology not in this fig9 file — nothing to pin
+    // Topology or scheduler not in this fig9 file — nothing to pin (new
+    // policies without a fig9 column are consistency-checked only).
+    if (!anchor) continue;
     ++anchored;
     const JsonValue* sched_summary = point.find("schedulability");
     for (const char* stat : {"mean", "min", "max", "stddev"}) {
@@ -1969,7 +2151,7 @@ int run_anchor(const Args& args) {
       if (!expect || !got || expect->number != got->number) {
         fail(where, std::string("rate-0 schedulability.") + stat + " = " +
                         (got ? fmt(got->number, 6) : std::string("missing")) +
-                        " but " + scheduler + " fig9 " + stat + " = " +
+                        " but " + point_scheduler + " fig9 " + stat + " = " +
                         (expect ? fmt(expect->number, 6)
                                 : std::string("missing")));
       }
@@ -1988,8 +2170,8 @@ int run_anchor(const Args& args) {
   }
 
   std::cout << "anchored " << anchored << " rate-0 point"
-            << (anchored == 1 ? "" : "s") << " against " << scheduler
-            << " in " << fig9_it->second << "\n";
+            << (anchored == 1 ? "" : "s") << " against " << fig9_it->second
+            << "\n";
   if (anchored == 0) {
     std::cout << "FAIL: no rate-0 point matched a fig9 topology —"
                  " nothing was pinned\n";
@@ -1997,6 +2179,144 @@ int run_anchor(const Args& args) {
   }
   if (failures > 0) {
     std::cout << "FAIL: " << failures << " anchor violation"
+              << (failures == 1 ? "" : "s") << "\n";
+    return 1;
+  }
+  std::cout << "PASS\n";
+  return 0;
+}
+
+// --- Quality mode ----------------------------------------------------------
+
+/// The degradation-quality gate: within one multi-scheduler degradation
+/// sweep, the capacity-weighted candidate policy must spread load strictly
+/// better than the oblivious baseline (lower plane hot-spot score at every
+/// faulted rate, no worse at rate 0) while keeping schedulability within
+/// --max-sched-drop (relative) of the baseline. Everything compared is
+/// deterministic per seed, so failures are real, not noise.
+int run_quality(const Args& args) {
+  const auto bench_it = args.flags.find("bench");
+  if (bench_it == args.flags.end()) {
+    usage(std::cerr);
+    return 2;
+  }
+  std::string baseline = "levelwise";
+  std::string candidate = "levelwise-balanced";
+  double max_sched_drop = 0.02;
+  if (const auto it = args.flags.find("baseline-scheduler");
+      it != args.flags.end()) {
+    baseline = it->second;
+  }
+  if (const auto it = args.flags.find("candidate-scheduler");
+      it != args.flags.end()) {
+    candidate = it->second;
+  }
+  if (const auto it = args.flags.find("max-sched-drop");
+      it != args.flags.end()) {
+    max_sched_drop = std::atof(it->second.c_str());
+    if (max_sched_drop < 0.0) {
+      std::cerr << "ftreport: --max-sched-drop must be >= 0\n";
+      return 2;
+    }
+  }
+  JsonValue doc;
+  if (!parse_file(bench_it->second, doc)) return 2;
+  if (!points_have_fault_rate(doc)) {
+    std::cerr << "ftreport: " << bench_it->second
+              << ": not a degradation sweep (no \"fault_rate\" points)\n";
+    return 2;
+  }
+  const JsonValue* points = doc.find("points");
+
+  const auto scheduler_of = [](const JsonValue& point) {
+    const JsonValue* s = point.find("scheduler");
+    return s && s->type == JsonValue::Type::kString ? s->str : std::string();
+  };
+  const auto mean_of = [](const JsonValue& point, const char* section) {
+    const JsonValue* s = point.find(section);
+    const JsonValue* m = s ? s->find("mean") : nullptr;
+    return m ? m->num_or(-1.0) : -1.0;
+  };
+
+  std::size_t failures = 0;
+  std::size_t gated = 0;
+  for (const JsonValue& bp : points->array) {
+    if (scheduler_of(bp) != baseline) continue;
+    const auto num = [&](const char* key) {
+      const JsonValue* v = bp.find(key);
+      return v ? v->num_or(0.0) : 0.0;
+    };
+    const double levels = num("levels");
+    const double arity = num("arity");
+    const double rate = num("fault_rate");
+    const JsonValue* cp = nullptr;
+    for (const JsonValue& candidate_point : points->array) {
+      if (scheduler_of(candidate_point) != candidate) continue;
+      const auto cnum = [&](const char* key) {
+        const JsonValue* v = candidate_point.find(key);
+        return v ? v->num_or(-1.0) : -1.0;
+      };
+      if (cnum("levels") == levels && cnum("arity") == arity &&
+          cnum("fault_rate") == rate) {
+        cp = &candidate_point;
+        break;
+      }
+    }
+    const std::string where = "levels=" + fmt(levels, 0) +
+                              " arity=" + fmt(arity, 0) +
+                              " rate=" + fmt(rate, 2);
+    if (!cp) {
+      std::cout << "FAIL " << where << ": no " << candidate
+                << " point matches this " << baseline << " point\n";
+      ++failures;
+      continue;
+    }
+    ++gated;
+    const std::size_t failures_before = failures;
+
+    const double base_hotspot = mean_of(bp, "imbalance_hotspot");
+    const double cand_hotspot = mean_of(*cp, "imbalance_hotspot");
+    if (base_hotspot < 0.0 || cand_hotspot < 0.0) {
+      std::cout << "FAIL " << where
+                << ": imbalance_hotspot summary missing — re-run the bench"
+                   " with this repo's fig_degradation\n";
+      ++failures;
+    } else if (rate > 0.0 ? !(cand_hotspot < base_hotspot)
+                          : !(cand_hotspot <= base_hotspot)) {
+      std::cout << "FAIL " << where << ": " << candidate << " hotspot "
+                << fmt(cand_hotspot, 4) << "x not "
+                << (rate > 0.0 ? "below" : "at or below") << " " << baseline
+                << " " << fmt(base_hotspot, 4) << "x\n";
+      ++failures;
+    }
+
+    const double base_sched = mean_of(bp, "schedulability");
+    const double cand_sched = mean_of(*cp, "schedulability");
+    const double floor = base_sched * (1.0 - max_sched_drop);
+    if (cand_sched < floor) {
+      std::cout << "FAIL " << where << ": " << candidate
+                << " schedulability " << fmt(cand_sched, 4) << " below "
+                << fmt(floor, 4) << " (" << baseline << " "
+                << fmt(base_sched, 4) << " - " << fmt(max_sched_drop * 100, 1)
+                << "%)\n";
+      ++failures;
+    }
+    if (failures == failures_before) {
+      std::cout << "ok   " << where << ": hotspot " << fmt(base_hotspot, 3)
+                << "x -> " << fmt(cand_hotspot, 3) << "x, schedulability "
+                << fmt(base_sched, 4) << " -> " << fmt(cand_sched, 4) << "\n";
+    }
+  }
+
+  std::cout << "gated " << gated << " point" << (gated == 1 ? "" : "s")
+            << ": " << candidate << " vs " << baseline << "\n";
+  if (gated == 0) {
+    std::cout << "FAIL: no (" << baseline << ", " << candidate
+              << ") point pair found — nothing was gated\n";
+    return 1;
+  }
+  if (failures > 0) {
+    std::cout << "FAIL: " << failures << " quality violation"
               << (failures == 1 ? "" : "s") << "\n";
     return 1;
   }
@@ -2016,7 +2336,8 @@ int main(int argc, char** argv) {
       "baseline", "candidate",   "threshold", "metrics",
       "telemetry", "trace",      "bench",     "out",
       "csv",       "degradation", "fig9",     "scheduler",
-      "flight",    "profile",     "min-ratio"};
+      "flight",    "profile",     "min-ratio",
+      "baseline-scheduler", "candidate-scheduler", "max-sched-drop"};
   if (raw[0] == "report") {
     Args args;
     if (!parse_args({raw.begin() + 1, raw.end()}, kValueFlags, args)) return 2;
@@ -2026,6 +2347,11 @@ int main(int argc, char** argv) {
     Args args;
     if (!parse_args({raw.begin() + 1, raw.end()}, kValueFlags, args)) return 2;
     return run_anchor(args);
+  }
+  if (raw[0] == "quality") {
+    Args args;
+    if (!parse_args({raw.begin() + 1, raw.end()}, kValueFlags, args)) return 2;
+    return run_quality(args);
   }
   Args args;
   if (!parse_args(raw, kValueFlags, args)) return 2;

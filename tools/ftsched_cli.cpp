@@ -12,6 +12,14 @@
 //                                          retry/backoff recovery
 //   ftsched sweep <scheduler> [reps]       the paper's full Figure-9 grid,
 //                                          CSV on stdout
+//   ftsched soak <levels> <m[:w]> [scheduler] [seed]
+//                                          chaos soak: seeded fail/repair/
+//                                          open/close interleavings with the
+//                                          invariant bundle re-checked every
+//                                          epoch; on violation the script is
+//                                          shrunk to a minimal reproducer
+//                                          (exit 1). `--replay=FILE` re-runs
+//                                          a reproducer instead.
 //   ftsched hw <levels> <w>                hardware timing + resources
 //   ftsched schedulers                     list registry names
 //   ftsched patterns                       list traffic pattern names
@@ -37,6 +45,12 @@
 //   --threads=N            fan repetitions over N worker threads (0 = all
 //                          hardware threads). Results are bit-identical at
 //                          any thread count; see docs/PERFORMANCE.md.
+//   --port-policy=P        schedule and degrade: pick the level-wise port
+//                          policy by name (first-fit | random | round-robin |
+//                          balanced | balanced-rr | balanced-random) instead
+//                          of spelling the registry name — `levelwise`
+//                          + --port-policy=balanced is `levelwise-balanced`.
+//                          Only valid with the `levelwise` scheduler.
 //
 //   --flight-dump=FILE     degrade only: attach the lifecycle flight
 //                          recorder, arm the dump-on-contract-failure hook,
@@ -52,6 +66,23 @@
 //   --retry-policy=SPEC    none | immediate[:R] | fixed:D[:R] |
 //                          backoff:B[:R[:J]] (default backoff:1:8)
 //   --horizon=N            simulated ticks per repetition (default 1000)
+//
+// Soak flags (soak command; see docs/ROBUSTNESS.md):
+//   --ops=N                chaos operations to generate (default 4096)
+//   --epoch=N              invariant-check cadence in executed ops
+//                          (default 64)
+//   --max-pending=N        RetryQueue admission gate (default 256)
+//   --retry-policy=SPEC    retry policy under churn (default backoff:1:4)
+//   --soak-out=FILE        write the minimal reproducer script here on
+//                          violation (default chaos_repro.txt)
+//   --json=FILE            write the soak summary as JSON (ftreport renders
+//                          it and exits 2 when the artifact records a
+//                          violation)
+//   --replay=FILE          re-run a reproducer script; exit 1 if it still
+//                          violates, 0 if clean
+//   --no-shrink            report the violation without shrinking
+//   --flight-dump=FILE     also valid for soak: lifecycle ledger of the
+//                          primary run
 #include <algorithm>
 #include <cstdlib>
 #include <fstream>
@@ -59,17 +90,20 @@
 #include <map>
 #include <optional>
 #include <span>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/registry.hpp"
 #include "exec/thread_pool.hpp"
+#include "fault/chaos_soak.hpp"
 #include "fault/degradation.hpp"
 #include "fault/fabric_manager.hpp"
 #include "fault/fault_timeline.hpp"
 #include "fault/retry_policy.hpp"
 #include "hw/resources.hpp"
 #include "hw/timing_model.hpp"
+#include "obs/env.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/link_telemetry.hpp"
 #include "obs/metrics.hpp"
@@ -101,7 +135,7 @@ const std::map<std::string, TrafficPattern>& pattern_names() {
 }
 
 int usage() {
-  std::cerr << "usage: ftsched <info|dot|schedule|degrade|sweep|hw|"
+  std::cerr << "usage: ftsched <info|dot|schedule|degrade|sweep|soak|hw|"
                "schedulers|patterns|simd> ...\n"
                "  info <levels> <m> [w]\n"
                "  dot <levels> <m> [w]\n"
@@ -109,14 +143,19 @@ int usage() {
                " [seed]\n"
                "           [--probe] [--metrics-out=FILE] [--trace-out=FILE]\n"
                "           [--profile-out=FILE] [--profile-backend=auto|timer]\n"
-               "           [--threads=N]\n"
+               "           [--threads=N] [--port-policy=P]\n"
                "  degrade <levels> <m[:w]> <scheduler> <pattern> <reps>"
                " [seed]\n"
                "          [--fault-rate=F | --fault-mtbf=T] [--fault-mttr=T]\n"
                "          [--retry-policy=SPEC] [--horizon=N] [--threads=N]\n"
                "          [--metrics-out=FILE] [--trace-out=FILE]\n"
-               "          [--flight-dump=FILE]\n"
+               "          [--flight-dump=FILE] [--port-policy=P]\n"
                "  sweep <scheduler> [reps] [--threads=N]\n"
+               "  soak <levels> <m[:w]> [scheduler] [seed]\n"
+               "       [--ops=N] [--epoch=N] [--max-pending=N]\n"
+               "       [--retry-policy=SPEC] [--soak-out=FILE] [--no-shrink]\n"
+               "       [--json=FILE] [--flight-dump=FILE] [--port-policy=P]\n"
+               "  soak --replay=FILE   re-run a chaos reproducer script\n"
                "  hw <levels> <w>\n"
                "  simd                 print detected/active dispatch level\n"
                "global: [--simd=scalar|avx2|avx512|auto] pin the SIMD\n"
@@ -144,9 +183,53 @@ struct ObsFlags {
   double fault_mtbf = 0.0;
   double fault_mttr = 0.0;
   std::string retry_policy = "backoff:1:8";
+  bool retry_policy_set = false;  ///< soak keeps its own default otherwise
   SimTime horizon = 1000;
-  std::string flight_dump;  ///< degrade: lifecycle ledger dump path
+  std::string flight_dump;  ///< degrade/soak: lifecycle ledger dump path
+  std::string port_policy;  ///< level-wise port policy override, by name
+  // Soak flags (soak command).
+  std::uint64_t soak_ops = 4096;
+  std::size_t soak_epoch = 64;
+  std::size_t soak_max_pending = 256;
+  std::string soak_out = "chaos_repro.txt";
+  std::string soak_json;  ///< machine-readable soak summary for ftreport
+  std::string soak_replay;
+  bool soak_shrink = true;
 };
+
+/// Resolves --port-policy=P against the positional scheduler name: the
+/// policy names map onto the levelwise registry family (the registry is the
+/// single source of construction, so the CLI never builds options itself).
+Result<std::string> apply_port_policy(const std::string& scheduler,
+                                      const std::string& policy_name) {
+  if (policy_name.empty()) return scheduler;
+  const std::optional<PortPolicy> policy = parse_port_policy(policy_name);
+  if (!policy) {
+    return Status::error("unknown --port-policy '" + policy_name +
+                         "'; known: first-fit, random, round-robin, "
+                         "balanced, balanced-rr, balanced-random");
+  }
+  if (scheduler != "levelwise") {
+    return Status::error(
+        "--port-policy only combines with the 'levelwise' scheduler; use "
+        "the policy-specific registry name otherwise (ftsched schedulers)");
+  }
+  switch (*policy) {
+    case PortPolicy::kFirstFit:
+      return std::string("levelwise");
+    case PortPolicy::kRandom:
+      return std::string("levelwise-random");
+    case PortPolicy::kRoundRobin:
+      return std::string("levelwise-rr");
+    case PortPolicy::kBalanced:
+      return std::string("levelwise-balanced");
+    case PortPolicy::kBalancedRR:
+      return std::string("levelwise-balanced-rr");
+    case PortPolicy::kBalancedRandom:
+      return std::string("levelwise-balanced-random");
+  }
+  return Status::error("unhandled port policy");
+}
 
 /// "metrics.jsonl" -> "metrics.rep3.jsonl" — one artifact per repetition, so
 /// a sweep's observability output is never silently rep-0-only.
@@ -239,7 +322,12 @@ int cmd_schedule(int argc, char** argv, const ObsFlags& flags) {
     return usage();
   }
   ExperimentConfig config;
-  config.scheduler = argv[4];
+  auto scheduler_or = apply_port_policy(argv[4], flags.port_policy);
+  if (!scheduler_or.ok()) {
+    std::cerr << scheduler_or.message() << "\n";
+    return 1;
+  }
+  config.scheduler = scheduler_or.value();
   if (!make_scheduler(config.scheduler).ok()) {
     std::cerr << make_scheduler(config.scheduler).message() << "\n";
     return 1;
@@ -355,7 +443,12 @@ int cmd_degrade(int argc, char** argv, const ObsFlags& flags) {
   }
 
   DegradationConfig config;
-  config.scheduler = argv[4];
+  auto scheduler_or = apply_port_policy(argv[4], flags.port_policy);
+  if (!scheduler_or.ok()) {
+    std::cerr << scheduler_or.message() << "\n";
+    return 1;
+  }
+  config.scheduler = scheduler_or.value();
   if (!make_scheduler(config.scheduler).ok()) {
     std::cerr << make_scheduler(config.scheduler).message() << "\n";
     return 1;
@@ -567,6 +660,205 @@ int cmd_sweep(int argc, char** argv, const ObsFlags& flags) {
   return 0;
 }
 
+/// Machine-readable soak summary ({"bench":"chaos_soak", ...}) — ftreport
+/// renders it and exits 2 when the artifact records a violation.
+int write_soak_json(const std::string& path, const FatTreeParams& tree,
+                    const SoakConfig& config, const SoakReport& report) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "cannot open " << path << "\n";
+    return 1;
+  }
+  os << "{\"bench\":\"chaos_soak\",\"scheduler\":\""
+     << obs::json_escape(config.scheduler) << "\",\"levels\":" << tree.levels
+     << ",\"m\":" << tree.child_arity << ",\"w\":" << tree.parent_arity
+     << ",\"seed\":" << config.seed << ",\"ops\":" << config.ops
+     << ",\"epoch\":" << config.epoch_ops
+     << ",\"ok\":" << (report.ok ? "true" : "false") << ",\"violation\":\""
+     << obs::json_escape(report.violation)
+     << "\",\"violation_op\":" << report.violation_op
+     << ",\"reproducer_ops\":" << report.reproducer.size()
+     << ",\"shrink_runs\":" << report.shrink_runs
+     << ",\"executed\":" << report.executed
+     << ",\"skipped\":" << report.skipped << ",\"epochs\":" << report.epochs
+     << ",\"submitted\":" << report.stats.submitted
+     << ",\"grants\":" << report.stats.grants
+     << ",\"closed\":" << report.stats.closed
+     << ",\"open_at_end\":" << report.open_at_end
+     << ",\"fail_events\":" << report.stats.fail_events
+     << ",\"repair_events\":" << report.stats.repair_events
+     << ",\"victims\":" << report.stats.victims
+     << ",\"recovered\":" << report.stats.recovered
+     << ",\"retries\":" << report.stats.retries
+     << ",\"shed\":" << report.stats.shed << ",\"env\":";
+  obs::write_env_json(os, obs::collect_env());
+  os << "}\n";
+  std::cout << "  json    -> " << path << "\n";
+  return 0;
+}
+
+void print_soak_report(const SoakReport& report) {
+  std::cout << "  executed " << report.executed << " ops (" << report.skipped
+            << " skipped), " << report.epochs << " invariant epochs\n";
+  std::cout << "  traffic  " << report.stats.submitted << " submitted, "
+            << report.stats.grants << " grants, " << report.stats.closed
+            << " closed, " << report.open_at_end << " open at end\n";
+  std::cout << "  churn    " << report.stats.fail_events << " fails, "
+            << report.stats.repair_events << " repairs, "
+            << report.stats.victims << " victims (" << report.stats.recovered
+            << " recovered), " << report.stats.retries << " retries, "
+            << report.stats.shed << " shed\n";
+}
+
+int cmd_soak(int argc, char** argv, const ObsFlags& flags) {
+  if (flags.soak_epoch == 0) {
+    std::cerr << "--epoch must be >= 1\n";
+    return 2;
+  }
+
+  // Replay mode: everything (tree, config, ops) comes from the script.
+  if (!flags.soak_replay.empty()) {
+    std::ifstream in(flags.soak_replay);
+    if (!in) {
+      std::cerr << "cannot open " << flags.soak_replay << "\n";
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    auto script_or = parse_soak_script(buffer.str());
+    if (!script_or.ok()) {
+      std::cerr << flags.soak_replay << ": " << script_or.message() << "\n";
+      return 2;
+    }
+    SoakScript script = std::move(script_or).value();
+    auto tree_or = FatTree::create(script.tree);
+    if (!tree_or.ok()) {
+      std::cerr << flags.soak_replay << ": " << tree_or.message() << "\n";
+      return 2;
+    }
+    if (!make_scheduler(script.config.scheduler).ok()) {
+      std::cerr << flags.soak_replay << ": "
+                << make_scheduler(script.config.scheduler).message() << "\n";
+      return 2;
+    }
+    std::cout << "chaos replay: " << script.config.scheduler << " on FT("
+              << script.tree.levels << "," << script.tree.child_arity
+              << "," << script.tree.parent_arity << "), "
+              << script.ops.size() << " ops from " << flags.soak_replay
+              << "\n";
+    ChaosSoak soak(tree_or.value(), script.config);
+    const SoakReport report = soak.replay(script.ops);
+    print_soak_report(report);
+    if (report.ok) {
+      std::cout << "PASS: reproducer no longer violates\n";
+      return 0;
+    }
+    std::cout << "FAIL after " << report.violation_op << " executed ops: "
+              << report.violation << "\n";
+    return 1;
+  }
+
+  if (argc < 4) return usage();
+  const std::string arity = argv[3];
+  const std::size_t colon = arity.find(':');
+  const auto levels = static_cast<std::uint32_t>(std::atoi(argv[2]));
+  const auto m = static_cast<std::uint32_t>(std::atoi(arity.c_str()));
+  const auto w =
+      colon == std::string::npos
+          ? m
+          : static_cast<std::uint32_t>(std::atoi(arity.c_str() + colon + 1));
+  auto tree_or = FatTree::create(FatTreeParams{levels, m, w});
+  if (!tree_or.ok()) {
+    std::cerr << tree_or.message() << "\n";
+    return 1;
+  }
+  const FatTree& tree = tree_or.value();
+
+  SoakConfig config;
+  auto scheduler_or = apply_port_policy(
+      argc > 4 ? argv[4] : config.scheduler, flags.port_policy);
+  if (!scheduler_or.ok()) {
+    std::cerr << scheduler_or.message() << "\n";
+    return 1;
+  }
+  config.scheduler = scheduler_or.value();
+  if (!make_scheduler(config.scheduler).ok()) {
+    std::cerr << make_scheduler(config.scheduler).message() << "\n";
+    return 1;
+  }
+  config.seed = argc > 5 ? static_cast<std::uint64_t>(std::atoll(argv[5]))
+                         : 2006;
+  config.ops = flags.soak_ops;
+  config.epoch_ops = flags.soak_epoch;
+  config.max_pending = flags.soak_max_pending;
+  config.shrink = flags.soak_shrink;
+  if (flags.retry_policy_set) {
+    auto retry_or = parse_retry_policy(flags.retry_policy);
+    if (!retry_or.ok()) {
+      std::cerr << retry_or.message() << "\n";
+      return 1;
+    }
+    config.retry = retry_or.value();
+  }
+
+  // Lifecycle flight recorder over the primary run, armed as the black box
+  // for contract failures inside the fault stack.
+  std::optional<obs::FlightRecorder> recorder;
+  if (!flags.flight_dump.empty()) {
+    recorder.emplace(1);
+    config.flight = &recorder->ring(0);
+    obs::arm_flight_dump_on_contract_failure(*recorder, flags.flight_dump);
+  }
+
+  std::cout << "chaos soak: " << config.scheduler << " on FT(" << levels
+            << "," << m << "," << w << "), " << config.ops
+            << " ops, seed " << config.seed << ", epoch "
+            << config.epoch_ops << ", retry " << config.retry.spec() << "\n";
+  ChaosSoak soak(tree, config);
+  const SoakReport report = soak.run();
+  print_soak_report(report);
+
+  if (recorder) {
+    obs::disarm_flight_dump_on_contract_failure();
+    std::ofstream out(flags.flight_dump);
+    if (!out) {
+      std::cerr << "cannot open " << flags.flight_dump << "\n";
+      return 1;
+    }
+    recorder->write_jsonl(out);
+    std::cout << "  flight  -> " << flags.flight_dump << " ("
+              << recorder->recorded() << " events, " << recorder->dropped()
+              << " dropped)\n";
+  }
+
+  if (!flags.soak_json.empty()) {
+    const int rc =
+        write_soak_json(flags.soak_json, tree.params(), config, report);
+    if (rc != 0) return rc;
+  }
+
+  if (report.ok) {
+    std::cout << "PASS: invariants clean at every epoch\n";
+    return 0;
+  }
+  std::cout << "FAIL after " << report.violation_op << " executed ops: "
+            << report.violation << "\n";
+  if (!report.reproducer.empty()) {
+    std::cout << "  shrunk to " << report.reproducer.size() << " ops in "
+              << report.shrink_runs << " replays\n";
+    std::ofstream out(flags.soak_out);
+    if (!out) {
+      std::cerr << "cannot open " << flags.soak_out << "\n";
+      return 1;
+    }
+    out << write_soak_script(tree.params(), config, report.reproducer);
+    std::cout << "  reproducer -> " << flags.soak_out
+              << " (replay: ftsched soak --replay=" << flags.soak_out
+              << ")\n";
+  }
+  return 1;
+}
+
 int cmd_hw(int argc, char** argv) {
   if (argc < 4) return usage();
   auto tree_or = FatTree::create(FatTreeParams::symmetric(
@@ -653,6 +945,25 @@ int main(int argc, char** argv) {
       flags.fault_mttr = std::atof(arg.c_str() + 13);
     } else if (arg.rfind("--retry-policy=", 0) == 0) {
       flags.retry_policy = arg.substr(15);
+      flags.retry_policy_set = true;
+    } else if (arg.rfind("--ops=", 0) == 0) {
+      flags.soak_ops = static_cast<std::uint64_t>(std::atoll(arg.c_str() + 6));
+    } else if (arg.rfind("--epoch=", 0) == 0) {
+      flags.soak_epoch =
+          static_cast<std::size_t>(std::atoll(arg.c_str() + 8));
+    } else if (arg.rfind("--max-pending=", 0) == 0) {
+      flags.soak_max_pending =
+          static_cast<std::size_t>(std::atoll(arg.c_str() + 14));
+    } else if (arg.rfind("--soak-out=", 0) == 0) {
+      flags.soak_out = arg.substr(11);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      flags.soak_json = arg.substr(7);
+    } else if (arg.rfind("--replay=", 0) == 0) {
+      flags.soak_replay = arg.substr(9);
+    } else if (arg == "--no-shrink") {
+      flags.soak_shrink = false;
+    } else if (arg.rfind("--port-policy=", 0) == 0) {
+      flags.port_policy = arg.substr(14);
     } else if (arg.rfind("--flight-dump=", 0) == 0) {
       flags.flight_dump = arg.substr(14);
     } else if (arg.rfind("--horizon=", 0) == 0) {
@@ -680,6 +991,7 @@ int main(int argc, char** argv) {
   if (command == "schedule") return cmd_schedule(argc, argv, flags);
   if (command == "degrade") return cmd_degrade(argc, argv, flags);
   if (command == "sweep") return cmd_sweep(argc, argv, flags);
+  if (command == "soak") return cmd_soak(argc, argv, flags);
   if (command == "hw") return cmd_hw(argc, argv);
   if (command == "schedulers") {
     for (const std::string& name : scheduler_names()) {
